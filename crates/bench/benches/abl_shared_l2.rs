@@ -1,0 +1,15 @@
+//! Ablation: shared vs private L2.
+//!
+//! Prints the reproduced figure, then benchmarks the simulator's
+//! wall-clock cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figure;
+use vgrid_core::{experiments, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    bench_figure(c, "abl_shared_l2", || experiments::ablations::shared_l2(Fidelity::Fast));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Ablation: single-core counterfactual.
+//!
+//! Prints the reproduced figure, then benchmarks the simulator's
+//! wall-clock cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figure;
+use vgrid_core::{experiments, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    bench_figure(c, "abl_single_core", || experiments::ablations::single_core(Fidelity::Fast));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Figure 1: relative performance of 7z on virtual machines.
+//!
+//! Prints the reproduced figure, then benchmarks the simulator's
+//! wall-clock cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figure;
+use vgrid_core::{experiments, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    bench_figure(c, "fig1", || experiments::fig1::run(Fidelity::Fast));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Figure 2: relative performance of Matrix on virtual machines.
+//!
+//! Prints the reproduced figure, then benchmarks the simulator's
+//! wall-clock cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figure;
+use vgrid_core::{experiments, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    bench_figure(c, "fig2", || experiments::fig2::run(Fidelity::Fast));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figures 5, 6 and the omitted FP plot: host NBench overhead under an
+//! active VM. One experiment produces all three; this target prints them
+//! and benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figures;
+use vgrid_core::{experiments, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    bench_figures(c, "fig5_fig6_figfp", || {
+        let (f5, f6, ffp) = experiments::fig56::run(Fidelity::Fast);
+        vec![f5, f6, ffp]
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figures 7 and 8: host-side 7z %CPU and MIPS while a VM computes at
+//! 100 % virtual CPU. One experiment produces both; this target prints
+//! them and benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figures;
+use vgrid_core::{experiments, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    bench_figures(c, "fig7_fig8", || {
+        let (f7, f8) = experiments::fig78::run(Fidelity::Fast);
+        vec![f7, f8]
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

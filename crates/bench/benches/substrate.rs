@@ -1,0 +1,101 @@
+//! Microbenchmarks of the testbed's hot layers: the discrete-event
+//! loop + scheduler, the contention solver, the real LZMA kernel and
+//! the FFT kernel. These are the simulator's own performance
+//! characteristics (events/second, kernel throughput), independent of
+//! any paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vgrid_machine::ops::OpBlock;
+use vgrid_machine::MachineSpec;
+use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
+use vgrid_simcore::SimTime;
+use vgrid_workloads::counter::OpCounter;
+use vgrid_workloads::einstein::fft;
+use vgrid_workloads::lzma::{compress, decompress, LzmaConfig};
+use vgrid_workloads::corpus;
+
+#[derive(Debug)]
+struct Hog;
+impl ThreadBody for Hog {
+    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        Action::Compute(OpBlock::mem_stream(1_000_000, 8 << 20))
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    // Three contending threads on two cores for 10 simulated seconds:
+    // quantum rotations, contention retiming, boost scans.
+    group.bench_function("sim_10s_three_threads", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::testbed(1));
+            sys.spawn("a", Priority::Normal, Box::new(Hog));
+            sys.spawn("b", Priority::Normal, Box::new(Hog));
+            sys.spawn("c", Priority::Idle, Box::new(Hog));
+            sys.run_until(SimTime::from_secs(10));
+            sys.now()
+        })
+    });
+    group.finish();
+}
+
+fn bench_contention_solver(c: &mut Criterion) {
+    let cm = MachineSpec::core2_duo_6600().contention_model();
+    let a = OpBlock::mem_stream(1_000_000, 16 << 20);
+    let b = OpBlock::mem_stream(500_000, 2 << 20);
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("contention_solve_2core", |bch| {
+        bch.iter(|| cm.slowdown_against(&a, &[&b]))
+    });
+    group.finish();
+}
+
+fn bench_lzma(c: &mut Criterion) {
+    let data = corpus::seven_zip_bench(64 * 1024, 1);
+    let mut group = c.benchmark_group("substrate");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    group.bench_function("lzma_compress_64k", |b| {
+        b.iter(|| {
+            let mut ops = OpCounter::new();
+            compress(&data, LzmaConfig::default(), &mut ops)
+        })
+    });
+    let mut ops = OpCounter::new();
+    let packed = compress(&data, LzmaConfig::default(), &mut ops);
+    group.bench_function("lzma_decompress_64k", |b| {
+        b.iter(|| {
+            let mut ops = OpCounter::new();
+            decompress(&packed, data.len(), &mut ops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let n = 16_384;
+    let re0: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let im0 = vec![0.0; n];
+    let mut group = c.benchmark_group("substrate");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("fft_16k", |b| {
+        b.iter(|| {
+            let mut re = re0.clone();
+            let mut im = im0.clone();
+            let mut ops = OpCounter::new();
+            fft(&mut re, &mut im, &mut ops);
+            re[1]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_loop,
+    bench_contention_solver,
+    bench_lzma,
+    bench_fft
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Table: committed VM memory (Section 4.2.1).
+//!
+//! Prints the reproduced figure, then benchmarks the simulator's
+//! wall-clock cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgrid_bench::bench_figure;
+use vgrid_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    bench_figure(c, "tab_mem", experiments::memfoot::run);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # vgrid-bench
+//!
+//! Criterion benchmark harness regenerating every table and figure of
+//! the paper (plus the ablations and extensions). Each bench target:
+//!
+//! 1. runs its experiment once and **prints the reproduced figure**
+//!    (with the paper's reported values alongside) — so `cargo bench`
+//!    regenerates the paper's evaluation; and
+//! 2. benchmarks the *testbed itself* — how long the simulator takes to
+//!    reproduce that figure — which is the meaningful wall-clock metric
+//!    for a simulator (the figures' own values are simulated time and
+//!    deterministic).
+//!
+//! `benches/substrate.rs` additionally microbenchmarks the hot layers
+//! (event loop, LZMA kernel, contention solver).
+
+use criterion::Criterion;
+use vgrid_core::FigureResult;
+
+/// Print a figure once, then benchmark regenerating it.
+pub fn bench_figure<F>(c: &mut Criterion, name: &str, f: F)
+where
+    F: Fn() -> FigureResult,
+{
+    let fig = f();
+    println!("\n{}", fig.render());
+    let mut group = c.benchmark_group("reproduce");
+    group.sample_size(10);
+    group.bench_function(name, |b| b.iter(&f));
+    group.finish();
+}
+
+/// Print several figures produced by one experiment, then benchmark it.
+pub fn bench_figures<F>(c: &mut Criterion, name: &str, f: F)
+where
+    F: Fn() -> Vec<FigureResult>,
+{
+    for fig in f() {
+        println!("\n{}", fig.render());
+    }
+    let mut group = c.benchmark_group("reproduce");
+    group.sample_size(10);
+    group.bench_function(name, |b| b.iter(&f));
+    group.finish();
+}

@@ -1,0 +1,137 @@
+//! Paper-vs-measured calibration summary.
+//!
+//! Collects every row of every reproduced figure that has a
+//! paper-reported value and renders the comparison table EXPERIMENTS.md
+//! embeds. The reproduction targets *shape* (ordering, rough factors,
+//! crossovers), not absolute 2006 numbers — see DESIGN.md §5.
+
+use crate::figures::FigureResult;
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationEntry {
+    /// Figure id.
+    pub figure: String,
+    /// Row label.
+    pub label: String,
+    /// Our measured value.
+    pub measured: f64,
+    /// The paper's reported value.
+    pub paper: f64,
+}
+
+impl CalibrationEntry {
+    /// Relative deviation from the paper value (0 = exact).
+    pub fn relative_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            self.measured.abs()
+        } else {
+            (self.measured - self.paper).abs() / self.paper.abs()
+        }
+    }
+}
+
+/// Extract all comparable rows from a set of figures.
+pub fn collect(figures: &[FigureResult]) -> Vec<CalibrationEntry> {
+    figures
+        .iter()
+        .flat_map(|f| {
+            f.rows.iter().filter_map(|r| {
+                r.paper.map(|paper| CalibrationEntry {
+                    figure: f.id.clone(),
+                    label: r.label.clone(),
+                    measured: r.value,
+                    paper,
+                })
+            })
+        })
+        .collect()
+}
+
+/// Render the comparison as a Markdown table.
+pub fn render_markdown(entries: &[CalibrationEntry]) -> String {
+    let mut out = String::from(
+        "| figure | environment | paper | measured | rel. dev. |\n\
+         |--------|-------------|-------|----------|-----------|\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} | {:.0}% |\n",
+            e.figure,
+            e.label,
+            e.paper,
+            e.measured,
+            100.0 * e.relative_error()
+        ));
+    }
+    out
+}
+
+/// Median relative error across all comparable rows — the single-number
+/// health indicator of the calibration.
+pub fn median_relative_error(entries: &[CalibrationEntry]) -> f64 {
+    if entries.is_empty() {
+        return 0.0;
+    }
+    let mut errs: Vec<f64> = entries.iter().map(|e| e.relative_error()).collect();
+    errs.sort_by(f64::total_cmp);
+    errs[errs.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{FigureResult, FigureRow};
+
+    fn figs() -> Vec<FigureResult> {
+        let mut f1 = FigureResult::new("fig1", "t", "u");
+        f1.push(FigureRow::new("a", 1.1).with_paper(1.0));
+        f1.push(FigureRow::new("b", 2.0)); // no paper value -> excluded
+        let mut f2 = FigureResult::new("fig2", "t", "u");
+        f2.push(FigureRow::new("c", 3.0).with_paper(4.0));
+        vec![f1, f2]
+    }
+
+    #[test]
+    fn collect_filters_rows_with_paper_values() {
+        let entries = collect(&figs());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].label, "a");
+        assert_eq!(entries[1].figure, "fig2");
+    }
+
+    #[test]
+    fn relative_error_math() {
+        let e = CalibrationEntry {
+            figure: "f".into(),
+            label: "l".into(),
+            measured: 1.1,
+            paper: 1.0,
+        };
+        assert!((e.relative_error() - 0.1).abs() < 1e-12);
+        let zero_paper = CalibrationEntry {
+            paper: 0.0,
+            measured: 0.5,
+            ..e
+        };
+        assert_eq!(zero_paper.relative_error(), 0.5);
+    }
+
+    #[test]
+    fn markdown_has_all_rows() {
+        let entries = collect(&figs());
+        let md = render_markdown(&entries);
+        assert_eq!(md.lines().count(), 2 + entries.len());
+        assert!(md.contains("| fig1 | a |"));
+    }
+
+    #[test]
+    fn median_error() {
+        let entries = collect(&figs());
+        // errors: 10% and 25%; median (upper) = 25%.
+        let m = median_relative_error(&entries);
+        assert!((m - 0.25).abs() < 1e-12);
+        assert_eq!(median_relative_error(&[]), 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Ablation experiments for the design claims the paper makes in prose.
+//!
+//! * `abl-prio` — Section 4.2.2 claims the VM's priority class barely
+//!   matters on the dual core: sweep every class.
+//! * `abl-cores` — "the marginal overhead appears to be a consequence of
+//!   the dual core processor": rerun the NBench experiment on a
+//!   single-core variant of the testbed.
+//! * `abl-l2` — "the slight overhead in the MEM index might be due to
+//!   ... the 4 MB level 2 cache ... shared between the two cores": rerun
+//!   with private per-core L2.
+//! * `abl-bt` — the paper's closing observation: "the higher the
+//!   performance [of a VMM], the higher is the overhead [on the host]".
+
+use crate::experiments::fig56::nbench_run;
+use crate::experiments::fig78::sevenz_on_host;
+use crate::figures::{FigureResult, FigureRow};
+use crate::testbed::{
+    host_system, install_einstein_vm, paper_profiles, run_guest_loop, run_native_loop, Fidelity,
+};
+use vgrid_machine::MachineSpec;
+use vgrid_os::{Priority, System, SystemConfig};
+use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_vmm::VmmProfile;
+use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchSuite};
+use vgrid_workloads::sevenz::{SevenZConfig, SevenZKernel};
+
+/// `abl-prio`: MEM-index overhead for every VM priority class
+/// (VmPlayer guest).
+pub fn priority_sweep(fidelity: Fidelity) -> FigureResult {
+    let suite = NBenchSuite::small();
+    let baseline = nbench_run(None, fidelity, &suite);
+    let profile = VmmProfile::vmplayer();
+    let mut fig = FigureResult::new(
+        "abl-prio",
+        "MEM-index overhead vs VM priority class (VmPlayer)",
+        "% overhead vs no-VM run",
+    );
+    for (prio, label) in [
+        (Priority::Idle, "Idle"),
+        (Priority::BelowNormal, "BelowNormal"),
+        (Priority::Normal, "Normal"),
+        (Priority::AboveNormal, "AboveNormal"),
+        (Priority::High, "High"),
+    ] {
+        let rep = nbench_run(Some((&profile, prio)), fidelity, &suite);
+        let overhead = (1.0 - rep.index_vs(&baseline, IndexGroup::Memory)) * 100.0;
+        fig.push(FigureRow::new(label, overhead));
+    }
+    fig.note("the dual core absorbs the VM at every class except when the vCPU outranks the benchmark");
+    fig
+}
+
+/// NBench MEM overhead on an arbitrary machine spec, with and without an
+/// einstein VM (helper for the machine ablations).
+fn mem_overhead_on(machine: MachineSpec, fidelity: Fidelity) -> f64 {
+    let suite = match fidelity {
+        Fidelity::Fast => NBenchSuite::small(),
+        Fidelity::Paper => NBenchSuite::standard(),
+    };
+    let mk = |with_vm: bool| {
+        let mut sys = System::new(SystemConfig {
+            machine: machine.clone(),
+            ..SystemConfig::testbed(0xab1)
+        });
+        if with_vm {
+            install_einstein_vm(&mut sys, &VmmProfile::vmplayer(), Priority::Idle, fidelity);
+            sys.run_until(SimTime::from_millis(200));
+        }
+        let per_test = fidelity.pick(
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(500),
+        );
+        let (body, report) = NBenchBody::new(suite.clone(), per_test);
+        sys.spawn("nbench", Priority::Normal, Box::new(body));
+        let deadline = SimTime::from_secs(3600);
+        while !report.borrow().complete && sys.now() < deadline {
+            let t = sys.now() + SimDuration::from_secs(1);
+            sys.run_until(t);
+        }
+        let r = report.borrow().clone();
+        assert!(r.complete);
+        r
+    };
+    let base = mk(false);
+    let with_vm = mk(true);
+    (1.0 - with_vm.index_vs(&base, IndexGroup::Memory)) * 100.0
+}
+
+/// `abl-cores`: the dual-core claim, counterfactually.
+pub fn single_core(fidelity: Fidelity) -> FigureResult {
+    let dual = mem_overhead_on(MachineSpec::core2_duo_6600(), fidelity);
+    let solo = mem_overhead_on(MachineSpec::core2_duo_6600().core2_solo(), fidelity);
+    let mut fig = FigureResult::new(
+        "abl-cores",
+        "MEM-index overhead: dual-core testbed vs single-core counterfactual",
+        "% overhead vs no-VM run on the same machine",
+    );
+    fig.push(FigureRow::new("dual-core (paper testbed)", dual));
+    fig.push(FigureRow::new("single-core (counterfactual)", solo));
+    fig.note("supports Section 4.2.2: without the second core the VM's service load lands on the benchmark");
+    fig
+}
+
+/// `abl-l2`: the shared-L2-collision hypothesis.
+pub fn shared_l2(fidelity: Fidelity) -> FigureResult {
+    let shared = mem_overhead_on(MachineSpec::core2_duo_6600(), fidelity);
+    let private = mem_overhead_on(MachineSpec::core2_duo_6600().with_private_l2(), fidelity);
+    let mut fig = FigureResult::new(
+        "abl-l2",
+        "MEM-index overhead: shared 4 MB L2 vs private 2x2 MB L2",
+        "% overhead vs no-VM run on the same machine",
+    );
+    fig.push(FigureRow::new("shared L2 (paper testbed)", shared));
+    fig.push(FigureRow::new("private L2 (counterfactual)", private));
+    fig.note("supports Section 4.2.2: cache collisions over the shared L2 drive the residual MEM overhead");
+    fig
+}
+
+/// `abl-bt`: guest speed vs host intrusiveness across monitors.
+pub fn bt_tradeoff(fidelity: Fidelity) -> FigureResult {
+    let cfg = SevenZConfig {
+        threads: 1,
+        corpus_len: fidelity.pick(48 * 1024, 256 * 1024),
+        depth: fidelity.pick(8, 32),
+        ..Default::default()
+    };
+    let kernel = SevenZKernel::characterize(&cfg);
+    let iter_secs = kernel.ops_per_iter as f64 / 6.0e9;
+    let iters = (fidelity.pick(0.3, 1.0) / iter_secs).ceil() as u64;
+    let native = run_native_loop(&kernel.block, iters, 7);
+
+    let mut fig = FigureResult::new(
+        "abl-bt",
+        "Guest speed vs host intrusiveness (the paper's closing observation)",
+        "guest 7z slowdown (value) vs host 2-thread %CPU (detail)",
+    );
+    for profile in paper_profiles() {
+        let guest = run_guest_loop(&profile, &kernel.block, iters, 7) / native;
+        let host = sevenz_on_host(2, Some(&profile), fidelity);
+        fig.push(
+            FigureRow::new(profile.name, guest).with_detail(format!(
+                "host 7z gets {:.0}% CPU while this VM runs",
+                host.cpu_usage_pct
+            )),
+        );
+    }
+    fig.note("the fastest monitor (VmPlayer) is also the most intrusive on the host");
+    let _ = host_system(0); // keep the helper import exercised in Fast builds
+    fig
+}
+
+/// `abl-quad`: the paper's forward-looking claim, tested — "3 and 4 GB
+/// are becoming standard on new machines" and more cores make VM
+/// hosting even cheaper. Rerun the Figure 7 headline (host 7z, 2
+/// threads, VmPlayer VM at idle) on a quad-core testbed.
+pub fn quad_core(fidelity: Fidelity) -> FigureResult {
+    use vgrid_workloads::sevenz::{SevenZBody, SevenZReport};
+    let run = |machine: MachineSpec, with_vm: bool| -> SevenZReport {
+        let mut sys = System::new(SystemConfig {
+            machine,
+            ..SystemConfig::testbed(0xab4)
+        });
+        if with_vm {
+            install_einstein_vm(&mut sys, &VmmProfile::vmplayer(), Priority::Idle, fidelity);
+            sys.run_until(SimTime::from_millis(200));
+        }
+        let cfg = SevenZConfig {
+            threads: 2,
+            corpus_len: fidelity.pick(32 * 1024, 128 * 1024),
+            depth: fidelity.pick(8, 16),
+            duration: fidelity.pick(SimDuration::from_secs(2), SimDuration::from_secs(8)),
+            ..Default::default()
+        };
+        let (body, report) = SevenZBody::new(cfg, Priority::Normal);
+        sys.spawn("7z", Priority::Normal, Box::new(body));
+        let deadline = SimTime::from_secs(3600);
+        while !report.borrow().complete && sys.now() < deadline {
+            let t = sys.now() + SimDuration::from_secs(1);
+            sys.run_until(t);
+        }
+        let r = report.borrow().clone();
+        assert!(r.complete);
+        r
+    };
+    let mut fig = FigureResult::new(
+        "abl-quad",
+        "Figure 7's worst case (2-thread 7z vs VmPlayer) on a quad-core testbed",
+        "% CPU available to 7z",
+    );
+    for (label, machine) in [
+        ("dual-core (paper)", MachineSpec::core2_duo_6600()),
+        ("quad-core (counterfactual)", MachineSpec::core2_duo_6600().core2_quad()),
+    ] {
+        let base = run(machine.clone(), false);
+        let vm = run(machine, true);
+        fig.push(
+            FigureRow::new(label, vm.cpu_usage_pct).with_detail(format!(
+                "{:.0}% without the VM; MIPS ratio {:.2}",
+                base.cpu_usage_pct,
+                vm.mips / base.mips
+            )),
+        );
+    }
+    fig.note("with spare cores the monitor's service load stops competing with host work");
+    fig
+}
+
+/// `abl-lzma`: the compressor's own speed/ratio trade-off (7z's
+/// match-finder depth knob), run through the simulated native machine —
+/// a sanity anchor showing the benchmark kernel behaves like the tool it
+/// stands in for.
+pub fn lzma_depth_sweep(fidelity: Fidelity) -> FigureResult {
+    use vgrid_workloads::counter::OpCounter;
+    use vgrid_workloads::corpus;
+    use vgrid_workloads::lzma::{compress, LzmaConfig};
+    let len = fidelity.pick(48 * 1024, 256 * 1024);
+    let data = corpus::seven_zip_bench(len, 0x12a);
+    let mut fig = FigureResult::new(
+        "abl-lzma",
+        "LZMA match-finder depth: compression ratio vs simulated compression time",
+        "output bytes per input KB (lower = better ratio)",
+    );
+    for depth in [1u32, 4, 16, 64, 256] {
+        let mut ops = OpCounter::new();
+        let packed = compress(
+            &data,
+            LzmaConfig {
+                depth,
+                ..Default::default()
+            },
+            &mut ops,
+        );
+        let block = vgrid_machine::ops::OpBlock {
+            label: format!("lzma-d{depth}"),
+            counts: ops.to_counts(),
+            working_set: (len * 9) as u64,
+            locality: 0.9,
+        };
+        let secs = run_native_loop(&block, 1, 1);
+        fig.push(
+            FigureRow::new(
+                format!("depth {depth}"),
+                packed.len() as f64 / (len as f64 / 1024.0),
+            )
+            .with_detail(format!("{:.1} ms simulated compression time", secs * 1e3)),
+        );
+    }
+    fig.note("deeper chain search buys ratio with time — 7z's -mx knob in miniature");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_rarely_matters_below_benchmark_class() {
+        let fig = priority_sweep(Fidelity::Fast);
+        let v = |l: &str| fig.value_of(l).unwrap();
+        // Idle through Normal: dual core absorbs the VM.
+        for label in ["Idle", "BelowNormal", "Normal"] {
+            assert!(v(label) < 8.0, "{label}: {}", v(label));
+        }
+        // A High-priority vCPU outranks the benchmark and must hurt more
+        // than the Idle case.
+        assert!(v("High") > v("Idle"), "High {} vs Idle {}", v("High"), v("Idle"));
+    }
+
+    #[test]
+    fn single_core_makes_vm_heavy() {
+        let fig = single_core(Fidelity::Fast);
+        let dual = fig.value_of("dual-core (paper testbed)").unwrap();
+        let solo = fig.value_of("single-core (counterfactual)").unwrap();
+        assert!(solo > dual + 10.0, "solo {solo} vs dual {dual}");
+        assert!(solo > 25.0, "solo {solo}");
+    }
+
+    #[test]
+    fn private_l2_reduces_mem_overhead() {
+        let fig = shared_l2(Fidelity::Fast);
+        let shared = fig.value_of("shared L2 (paper testbed)").unwrap();
+        let private = fig.value_of("private L2 (counterfactual)").unwrap();
+        assert!(
+            private <= shared + 0.5,
+            "private {private} vs shared {shared}"
+        );
+    }
+
+    #[test]
+    fn quad_core_absorbs_the_most_intrusive_monitor() {
+        let fig = quad_core(Fidelity::Fast);
+        let dual = fig.value_of("dual-core (paper)").unwrap();
+        let quad = fig.value_of("quad-core (counterfactual)").unwrap();
+        // On the dual core VmPlayer squeezes 7z to ~120 %; on a quad the
+        // VM has its own cores and 7z keeps nearly its no-VM share.
+        assert!(dual < 135.0, "dual {dual}");
+        assert!(quad > 160.0, "quad {quad}");
+        assert!(quad > dual + 25.0);
+    }
+
+    #[test]
+    fn lzma_depth_trades_time_for_ratio() {
+        let fig = lzma_depth_sweep(Fidelity::Fast);
+        let ratio = |d: &str| fig.value_of(d).unwrap();
+        // Ratio improves (bytes/KB falls) monotonically-ish with depth.
+        assert!(ratio("depth 1") >= ratio("depth 16"));
+        assert!(ratio("depth 16") >= ratio("depth 256"));
+        assert!(ratio("depth 256") > 0.0);
+    }
+
+    #[test]
+    fn fastest_guest_is_most_intrusive() {
+        let fig = bt_tradeoff(Fidelity::Fast);
+        // VmPlayer has the lowest slowdown...
+        let vmp = fig.value_of("VMwarePlayer").unwrap();
+        for other in ["QEMU", "VirtualBox", "VirtualPC"] {
+            assert!(vmp < fig.value_of(other).unwrap());
+        }
+        // ...and its detail shows the lowest host CPU (asserted in fig7's
+        // own test; here we just check the row exists with a detail).
+        assert!(fig.rows.iter().all(|r| r.detail.is_some()));
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 1 — Relative performance of 7z on virtual machines.
+//!
+//! The 7z LZMA benchmark (integer CPU) runs in each guest; results are
+//! normalized against the native run (native = 1.0, larger = slower).
+//! Paper: VmPlayer ~1.15, VirtualBox ~1.20, VirtualPC ~1.36, QEMU >2x.
+
+use crate::figures::{FigureResult, FigureRow};
+use crate::testbed::{paper_profiles, run_guest_loop, run_native_loop, Fidelity};
+use vgrid_simcore::{OnlineStats, RepetitionRunner};
+use vgrid_workloads::sevenz::{SevenZConfig, SevenZKernel};
+
+/// Paper-reported slowdowns for annotation.
+fn paper_value(name: &str) -> f64 {
+    match name {
+        "VMwarePlayer" => 1.15,
+        "QEMU" => 2.2,
+        "VirtualBox" => 1.20,
+        "VirtualPC" => 1.36,
+        _ => 1.0,
+    }
+}
+
+/// Run the experiment.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    let cfg = SevenZConfig {
+        threads: 1,
+        corpus_len: fidelity.pick(48 * 1024, 256 * 1024),
+        depth: fidelity.pick(8, 32),
+        ..Default::default()
+    };
+    let kernel = SevenZKernel::characterize(&cfg);
+    // Size the loop to ~1 s of native execution.
+    let iter_secs = kernel.ops_per_iter as f64 / 6.0e9;
+    let iters = (fidelity.pick(0.3, 1.0) / iter_secs).ceil() as u64;
+
+    let reps = RepetitionRunner::new().repetitions(fidelity.repetitions());
+    let native = reps.run(|seed| run_native_loop(&kernel.block, iters, seed));
+
+    let mut fig = FigureResult::new(
+        "fig1",
+        "Relative performance of 7z on virtual machines",
+        "slowdown vs native (native = 1.0)",
+    );
+    fig.push(FigureRow::new("native", 1.0).with_paper(1.0));
+    for profile in paper_profiles() {
+        let mut stats = OnlineStats::new();
+        for rep in 0..fidelity.repetitions() {
+            let wall = run_guest_loop(&profile, &kernel.block, iters, reps.seed_for(rep));
+            stats.push(wall / native.mean);
+        }
+        fig.push(
+            FigureRow::new(profile.name, stats.mean())
+                .with_paper(paper_value(profile.name))
+                .with_detail(format!("±{:.3} (95% CI)", stats.ci95().half_width())),
+        );
+    }
+    fig.note(format!(
+        "7z LZMA kernel: {} B corpus, depth {}, {} iters, {} reps",
+        cfg.corpus_len,
+        cfg.depth,
+        iters,
+        fidelity.repetitions()
+    ));
+    fig.note("measured with the external (host-side) time reference".to_string());
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let fig = run(Fidelity::Fast);
+        let v = |l: &str| fig.value_of(l).unwrap();
+        // Ordering: VmPlayer < VirtualBox < VirtualPC < QEMU.
+        assert!(v("VMwarePlayer") < v("VirtualBox"));
+        assert!(v("VirtualBox") < v("VirtualPC"));
+        assert!(v("VirtualPC") < v("QEMU"));
+        // Magnitudes: all slower than native; QEMU at least twice slower.
+        assert!(v("VMwarePlayer") > 1.05 && v("VMwarePlayer") < 1.30);
+        assert!(v("QEMU") > 1.9, "QEMU {}", v("QEMU"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 3 — Relative performance of IOBench on virtual machines.
+//!
+//! The disk benchmark (write+sync+read of files 128 KB..32 MB) runs
+//! natively and inside each guest (guest filesystem -> virtual disk ->
+//! host image file -> host disk). Paper: VmPlayer ~1.3x slower, VBox and
+//! VirtualPC roughly 2x, QEMU nearly 5x.
+
+use crate::figures::{FigureResult, FigureRow};
+use crate::testbed::{host_system, paper_profiles, Fidelity};
+use vgrid_os::Priority;
+use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile};
+use vgrid_workloads::iobench::{IoBenchBody, IoBenchConfig, IoBenchReport};
+
+fn paper_value(name: &str) -> f64 {
+    match name {
+        "VMwarePlayer" => 1.3,
+        "QEMU" => 4.9,
+        "VirtualBox" => 2.0,
+        "VirtualPC" => 2.1,
+        _ => 1.0,
+    }
+}
+
+fn bench_config(fidelity: Fidelity) -> IoBenchConfig {
+    IoBenchConfig {
+        min_size: 128 * 1024,
+        max_size: fidelity.pick(4 * 1024 * 1024, 32 * 1024 * 1024),
+        path_prefix: "/iobench".to_string(),
+    }
+}
+
+/// Native IOBench score (bytes/sec).
+pub fn native_score(fidelity: Fidelity) -> IoBenchReport {
+    let mut sys = host_system(0xf1);
+    let (body, report) = IoBenchBody::new(bench_config(fidelity));
+    sys.spawn("iobench", Priority::Normal, Box::new(body));
+    assert!(
+        sys.run_to_completion(SimTime::from_secs(3600)),
+        "native iobench did not finish"
+    );
+    let r = report.borrow().clone();
+    assert!(r.complete);
+    r
+}
+
+/// Guest IOBench score for one profile.
+pub fn guest_score(profile: &VmmProfile, fidelity: Fidelity) -> IoBenchReport {
+    let mut sys = host_system(0xf2);
+    let mut guest = GuestVm::new(GuestConfig::new(profile.clone()), sys.machine());
+    let (body, report) = IoBenchBody::new(bench_config(fidelity));
+    guest.spawn("iobench", Box::new(body));
+    let vm = Vm::install(
+        &mut sys,
+        VmConfig::new(format!("vm-{}", profile.name), Priority::Normal),
+        guest,
+    );
+    let deadline = SimTime::from_secs(3600);
+    while !vm.halted() && sys.now() < deadline {
+        let t = sys.now() + SimDuration::from_secs(1);
+        sys.run_until(t);
+    }
+    assert!(vm.halted(), "guest iobench did not finish");
+    let r = report.borrow().clone();
+    assert!(r.complete);
+    r
+}
+
+/// Run the experiment.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    let native = native_score(fidelity);
+    let mut fig = FigureResult::new(
+        "fig3",
+        "Relative performance of IOBench on virtual machines",
+        "slowdown vs native (native = 1.0)",
+    );
+    fig.push(
+        FigureRow::new("native", 1.0)
+            .with_paper(1.0)
+            .with_detail(format!(
+                "native score {:.1} MB/s",
+                native.score_bps() / 1e6
+            )),
+    );
+    for profile in paper_profiles() {
+        let guest = guest_score(&profile, fidelity);
+        let rel = native.score_bps() / guest.score_bps();
+        fig.push(
+            FigureRow::new(profile.name, rel)
+                .with_paper(paper_value(profile.name))
+                .with_detail(format!("guest score {:.1} MB/s", guest.score_bps() / 1e6)),
+        );
+    }
+    fig.note(format!(
+        "file sizes 128 KB..{} MB doubling; write+fsync then cold read",
+        bench_config(fidelity).max_size >> 20
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let fig = run(Fidelity::Fast);
+        let v = |l: &str| fig.value_of(l).unwrap();
+        // Ordering: VmPlayer fastest; QEMU extremely poor.
+        assert!(v("VMwarePlayer") < v("VirtualBox"));
+        assert!(v("VMwarePlayer") < v("VirtualPC"));
+        assert!(v("QEMU") > v("VirtualBox"));
+        assert!(v("QEMU") > v("VirtualPC"));
+        // Magnitudes: disk I/O is hit much harder than CPU.
+        assert!(
+            v("VMwarePlayer") > 1.15 && v("VMwarePlayer") < 1.6,
+            "vmplayer {}",
+            v("VMwarePlayer")
+        );
+        assert!(v("VirtualBox") > 1.6, "vbox {}", v("VirtualBox"));
+        assert!(v("QEMU") > 3.5, "qemu {}", v("QEMU"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Figures 7 and 8 — host-side 7z while the guest computes at 100 %.
+//!
+//! 7z runs on the host in 1- and 2-thread mode while each VM (at idle
+//! priority, as the paper configures for this test) runs Einstein@home.
+//!
+//! * Figure 7: the %CPU available to 7z. Paper: 1-thread ~100 % for all;
+//!   2-thread: no-VM 180 %, QEMU/VirtualBox/VirtualPC ~160 %, VmPlayer
+//!   ~120 %.
+//! * Figure 8: 7z's MIPS relative to the no-VM run. Paper: VmPlayer
+//!   ~-30 %, others ~-10 %.
+
+use crate::figures::{FigureResult, FigureRow};
+use crate::testbed::{host_system, install_einstein_vm, paper_profiles, Fidelity};
+use vgrid_os::Priority;
+use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_vmm::VmmProfile;
+use vgrid_workloads::sevenz::{SevenZBody, SevenZConfig, SevenZReport};
+
+/// Run host-side 7z with `threads` workers, optionally next to an
+/// idle-priority Einstein VM.
+pub fn sevenz_on_host(
+    threads: u32,
+    vm: Option<&VmmProfile>,
+    fidelity: Fidelity,
+) -> SevenZReport {
+    let mut sys = host_system(0x78);
+    if let Some(profile) = vm {
+        install_einstein_vm(&mut sys, profile, Priority::Idle, fidelity);
+        sys.run_until(SimTime::from_millis(200));
+    }
+    let cfg = SevenZConfig {
+        threads,
+        corpus_len: fidelity.pick(32 * 1024, 128 * 1024),
+        depth: fidelity.pick(8, 16),
+        duration: fidelity.pick(SimDuration::from_secs(2), SimDuration::from_secs(8)),
+        ..Default::default()
+    };
+    let (body, report) = SevenZBody::new(cfg, Priority::Normal);
+    sys.spawn("7z", Priority::Normal, Box::new(body));
+    let deadline = SimTime::from_secs(3600);
+    while !report.borrow().complete && sys.now() < deadline {
+        let t = sys.now() + SimDuration::from_secs(1);
+        sys.run_until(t);
+    }
+    let r = report.borrow().clone();
+    assert!(r.complete, "7z did not finish");
+    r
+}
+
+fn paper_cpu(label: &str) -> f64 {
+    match label {
+        "no VM (1t)" => 100.0,
+        "VMwarePlayer (1t)" | "VirtualBox (1t)" | "VirtualPC (1t)" => 100.0,
+        "QEMU (1t)" => 98.0,
+        "no VM (2t)" => 180.0,
+        "VMwarePlayer (2t)" => 120.0,
+        "QEMU (2t)" | "VirtualBox (2t)" | "VirtualPC (2t)" => 160.0,
+        _ => 0.0,
+    }
+}
+
+fn paper_mips_ratio(label: &str) -> f64 {
+    match label {
+        "no VM (2t)" => 1.0,
+        "VMwarePlayer (2t)" => 0.70,
+        "QEMU (2t)" | "VirtualBox (2t)" | "VirtualPC (2t)" => 0.90,
+        _ => 1.0,
+    }
+}
+
+/// Run both figures; returns (fig7, fig8).
+pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult) {
+    let mut fig7 = FigureResult::new(
+        "fig7",
+        "Available %CPU for host OS when guest OS is running at 100%",
+        "% CPU reported by 7z (200 = both cores)",
+    );
+    let mut fig8 = FigureResult::new(
+        "fig8",
+        "MIPS for 7z when guest OS is running at 100%",
+        "MIPS ratio vs no-VM run (1.0 = unimpacted)",
+    );
+    for threads in [1u32, 2] {
+        let base = sevenz_on_host(threads, None, fidelity);
+        let tag = format!("({threads}t)");
+        fig7.push(
+            FigureRow::new(format!("no VM {tag}"), base.cpu_usage_pct)
+                .with_paper(paper_cpu(&format!("no VM {tag}"))),
+        );
+        fig8.push(
+            FigureRow::new(format!("no VM {tag}"), 1.0)
+                .with_paper(paper_mips_ratio(&format!("no VM {tag}")))
+                .with_detail(format!("{:.0} MIPS absolute", base.mips)),
+        );
+        for profile in paper_profiles() {
+            let rep = sevenz_on_host(threads, Some(&profile), fidelity);
+            let label = format!("{} {tag}", profile.name);
+            fig7.push(
+                FigureRow::new(&label, rep.cpu_usage_pct).with_paper(paper_cpu(&label)),
+            );
+            fig8.push(
+                FigureRow::new(&label, rep.mips / base.mips)
+                    .with_paper(paper_mips_ratio(&label)),
+            );
+        }
+    }
+    let note =
+        "7z benchmark on the host at Normal priority; VM at Idle priority running Einstein@home";
+    fig7.note(note);
+    fig8.note(note);
+    (fig7, fig8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_matches_paper() {
+        let (fig7, _) = run(Fidelity::Fast);
+        let v = |l: &str| fig7.value_of(l).unwrap();
+        // Single-threaded host 7z is essentially unimpacted.
+        for label in [
+            "no VM (1t)",
+            "VMwarePlayer (1t)",
+            "QEMU (1t)",
+            "VirtualBox (1t)",
+            "VirtualPC (1t)",
+        ] {
+            assert!(v(label) > 93.0, "{label}: {}", v(label));
+            assert!(v(label) <= 102.0, "{label}: {}", v(label));
+        }
+        // Two threads, no VM: ~180 % (not 200: hardware contention).
+        assert!((170.0..195.0).contains(&v("no VM (2t)")), "{}", v("no VM (2t)"));
+        // VmPlayer costs ~60 points; the others ~20.
+        assert!(
+            (110.0..135.0).contains(&v("VMwarePlayer (2t)")),
+            "vmp {}",
+            v("VMwarePlayer (2t)")
+        );
+        for label in ["QEMU (2t)", "VirtualBox (2t)", "VirtualPC (2t)"] {
+            assert!((148.0..172.0).contains(&v(label)), "{label}: {}", v(label));
+        }
+        // VmPlayer is the most intrusive.
+        assert!(v("VMwarePlayer (2t)") < v("QEMU (2t)") - 15.0);
+    }
+
+    #[test]
+    fn fig8_shape_matches_paper() {
+        let (_, fig8) = run(Fidelity::Fast);
+        let v = |l: &str| fig8.value_of(l).unwrap();
+        // VmPlayer reduces MIPS by roughly 30 %, the others by ~10 %.
+        assert!(
+            (0.60..0.80).contains(&v("VMwarePlayer (2t)")),
+            "vmp {}",
+            v("VMwarePlayer (2t)")
+        );
+        for label in ["QEMU (2t)", "VirtualBox (2t)", "VirtualPC (2t)"] {
+            assert!((0.80..0.98).contains(&v(label)), "{label}: {}", v(label));
+        }
+        // Single-threaded MIPS barely affected.
+        for label in ["VMwarePlayer (1t)", "QEMU (1t)"] {
+            assert!(v(label) > 0.90, "{label}: {}", v(label));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! `grid-tradeoff` — deployment-scale consequences of the paper's
+//! measurements (extension experiment).
+//!
+//! A volunteer campaign runs the same science workload natively and
+//! under each monitor. VM deployments pay the calibrated CPU dilation,
+//! the initialization-workunit image download (Gonzalez et al.: 1.4 GB),
+//! VM-RAM checkpoints and the 300 MB committed-memory host exclusion —
+//! quantifying the trade the paper's conclusion weighs qualitatively.
+
+use crate::figures::{FigureResult, FigureRow};
+use crate::testbed::Fidelity;
+use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+#[allow(unused_imports)]
+use vgrid_grid::ExecutionMode;
+use vgrid_simcore::SimTime;
+use vgrid_vmm::VmmProfile;
+
+fn project(fidelity: Fidelity) -> ProjectConfig {
+    ProjectConfig {
+        // More work than the horizon can finish: the metric is validated
+        // throughput at the horizon, which (unlike makespan) is not
+        // dominated by the luck of the last straggler.
+        workunits: fidelity.pick(8_000, 40_000),
+        wu_ref_secs: fidelity.pick(1800.0, 4.0 * 3600.0),
+        ..Default::default()
+    }
+}
+
+fn pool(fidelity: Fidelity) -> PoolConfig {
+    PoolConfig {
+        volunteers: fidelity.pick(40, 200),
+        ..Default::default()
+    }
+}
+
+/// Run the campaign comparison.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    let horizon = SimTime::from_secs(fidelity.pick(7, 30) * 24 * 3600);
+    let project = project(fidelity);
+    let pool = pool(fidelity);
+
+    let mut fig = FigureResult::new(
+        "grid-tradeoff",
+        "Volunteer-project throughput: native vs VM-sandboxed deployment",
+        "work units validated within the horizon (higher is better)",
+    );
+    let mut deployments = vec![("native".to_string(), DeployConfig::native())];
+    for profile in VmmProfile::all() {
+        deployments.push((
+            format!("vm-{}", profile.name),
+            DeployConfig::vm(profile, 1_400 << 20),
+        ));
+    }
+    for (label, deploy) in deployments {
+        // Average over seeds: individual churn trajectories carry a few
+        // percent of noise, below the dilation signal but not by much
+        // for the fastest monitor.
+        let seeds = [0x6e1d_u64, 0x6e1e, 0x6e1f];
+        let mut validated = 0.0;
+        let mut detail = String::new();
+        for &seed in &seeds {
+            let r = run_campaign(&project, &pool, &deploy, seed, horizon);
+            validated += r.validated_wus as f64 / seeds.len() as f64;
+            if detail.is_empty() {
+                detail = format!(
+                    "efficiency {:.2}, {} hosts excluded (RAM), {:.0} h image transfer",
+                    r.efficiency,
+                    r.hosts_excluded_ram,
+                    r.image_transfer_secs / 3600.0
+                );
+            }
+        }
+        fig.push(FigureRow::new(&label, validated).with_detail(detail));
+    }
+    fig.note(format!(
+        "{} work units x {:.1} h reference CPU, {} volunteers, quorum {}",
+        project.workunits,
+        project.wu_ref_secs / 3600.0,
+        pool.volunteers,
+        project.quorum
+    ));
+    fig.note("VM rows pay calibrated CPU dilation + 1.4 GB image + RAM exclusion");
+    fig
+}
+
+/// `grid-image` — Section 1's image-size concern, quantified: "To
+/// contain the size of the virtual machine image, one can choose a small
+/// footprint distribution, such as ttylinux. However, this will always
+/// impose a download that might not be affordable for all the would-be
+/// volunteers."
+pub fn image_size_sweep(fidelity: Fidelity) -> FigureResult {
+    // Short horizon + abundant work: the one-time image download is a
+    // meaningful share of each volunteer's early uptime.
+    let horizon = SimTime::from_secs(fidelity.pick(2, 7) * 24 * 3600);
+    let project = ProjectConfig {
+        workunits: 100_000,
+        wu_ref_secs: fidelity.pick(900.0, 3600.0),
+        ..project(fidelity)
+    };
+    let pool = pool(fidelity);
+    let mut fig = FigureResult::new(
+        "grid-image",
+        "VM image size vs volunteer-project throughput (ttylinux vs full distro)",
+        "work units validated within the horizon",
+    );
+    for (label, bytes) in [
+        ("ttylinux-ish (50 MB)", 50u64 << 20),
+        ("small distro (300 MB)", 300 << 20),
+        ("full distro (1.4 GB)", 1_400 << 20),
+        ("DVD image (4 GB)", 4_096 << 20),
+    ] {
+        // Seed-averaged: the one-time download is ~10 % of early uptime
+        // at the largest size, comparable to single-trajectory noise.
+        let seeds = [0x113a_u64, 0x113b, 0x113c, 0x113d, 0x113e];
+        let mut validated = 0.0;
+        let mut transfer_h = 0.0;
+        for &seed in &seeds {
+            let r = run_campaign(
+                &project,
+                &pool,
+                &DeployConfig::vm(VmmProfile::vmplayer(), bytes),
+                seed,
+                horizon,
+            );
+            validated += r.validated_wus as f64 / seeds.len() as f64;
+            transfer_h += r.image_transfer_secs / 3600.0 / seeds.len() as f64;
+        }
+        fig.push(FigureRow::new(label, validated).with_detail(format!(
+            "{transfer_h:.0} h of pool time spent on image transfer"
+        )));
+    }
+    fig.note("one-time initialization-workunit download per volunteer (Gonzalez et al.)");
+    fig
+}
+
+/// `grid-migration` — the checkpoint/migration feature's payoff under
+/// churn (Section 1 motivates exportable VM state).
+pub fn migration_comparison(fidelity: Fidelity) -> FigureResult {
+    // Migration is a *straggler* remedy: it pays when work is scarce and
+    // long tasks camp on flaky hosts (capacity-bound campaigns gain
+    // nothing from shipping state — a fresh copy uses the same cycles).
+    let horizon = SimTime::from_secs(fidelity.pick(4, 10) * 24 * 3600);
+    let project = ProjectConfig {
+        workunits: fidelity.pick(60, 150),
+        wu_ref_secs: fidelity.pick(3.0 * 3600.0, 8.0 * 3600.0),
+        ..project(fidelity)
+    };
+    let pool = PoolConfig {
+        mean_uptime_secs: 2.0 * 3600.0,
+        mean_downtime_secs: 20.0 * 3600.0,
+        ..pool(fidelity)
+    };
+    let mut fig = FigureResult::new(
+        "grid-migration",
+        "Churn migration of checkpointed VM state: throughput with long tasks on flaky hosts",
+        "work units validated within the horizon",
+    );
+    let base = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
+    let stay = run_campaign(&project, &pool, &base, 0x317e, horizon);
+    let migrate = run_campaign(
+        &project,
+        &pool,
+        &base.clone().with_migration(),
+        0x317e,
+        horizon,
+    );
+    fig.push(
+        FigureRow::new("resume on original host", stay.validated_wus as f64)
+            .with_detail(format!("{} migrations", stay.migrations)),
+    );
+    fig.push(
+        FigureRow::new("migrate checkpointed state", migrate.validated_wus as f64)
+            .with_detail(format!(
+                "{} migrations of 300 MB state each",
+                migrate.migrations
+            )),
+    );
+    fig.note("tasks outlive host uptime spans; migration ships the VM checkpoint via the server");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_images_cost_throughput() {
+        let fig = image_size_sweep(Fidelity::Fast);
+        let tty = fig.value_of("ttylinux-ish (50 MB)").unwrap();
+        let dvd = fig.value_of("DVD image (4 GB)").unwrap();
+        assert!(tty >= dvd, "tty {tty} vs dvd {dvd}");
+        assert!(tty > 0.0);
+    }
+
+    #[test]
+    fn migration_helps_under_churn() {
+        let fig = migration_comparison(Fidelity::Fast);
+        let stay = fig.value_of("resume on original host").unwrap();
+        let migrate = fig.value_of("migrate checkpointed state").unwrap();
+        assert!(migrate >= stay, "migrate {migrate} vs stay {stay}");
+    }
+
+    #[test]
+    fn vm_deployments_yield_less_than_native() {
+        let fig = run(Fidelity::Fast);
+        let native = fig.value_of("native").unwrap();
+        assert!(native > 50.0, "native validated too little: {native}");
+        for name in ["VMwarePlayer", "QEMU", "VirtualBox", "VirtualPC"] {
+            let vm = fig.value_of(&format!("vm-{name}")).unwrap();
+            assert!(vm < native, "vm-{name} {vm} vs native {native}");
+            assert!(vm > 0.3 * native, "vm-{name} collapsed: {vm}");
+        }
+        // QEMU (worst CPU dilation) validates the least.
+        let qemu = fig.value_of("vm-QEMU").unwrap();
+        for name in ["VMwarePlayer", "VirtualBox", "VirtualPC"] {
+            assert!(qemu <= fig.value_of(&format!("vm-{name}")).unwrap());
+        }
+    }
+}

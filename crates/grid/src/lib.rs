@@ -1,0 +1,45 @@
+//! # vgrid-grid
+//!
+//! Desktop-grid (BOINC-like) volunteer-computing substrate for the
+//! `vgrid` testbed — the deployment context that motivates the paper.
+//!
+//! The paper measures *one machine's* VM overhead; this crate answers the
+//! question that measurement exists to inform: **what does VM-based
+//! sandboxing cost a whole volunteer project?** A campaign simulator
+//! models a pool of churning volunteers running work units either
+//! natively or inside a VM, where VM execution pays:
+//!
+//! * the CPU dilation **derived from the calibrated monitor profiles**
+//!   (the quantitative bridge from the paper's Figures 1-2);
+//! * the one-time VM-image "initialization workunit" download
+//!   (Gonzalez et al., 1.4 GB, cited in the paper's related work);
+//! * VM checkpoint traffic (300 MB of guest RAM vs kilobytes of
+//!   app-level state);
+//! * the committed-memory exclusion of small-RAM hosts (Section 4.2.1).
+//!
+//! See [`sim::run_campaign`] and the `volunteer_campaign` example.
+//!
+//! ```
+//! use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+//! use vgrid_simcore::SimTime;
+//! use vgrid_vmm::VmmProfile;
+//!
+//! let project = ProjectConfig { workunits: 10, wu_ref_secs: 600.0, ..Default::default() };
+//! let pool = PoolConfig { volunteers: 20, ..Default::default() };
+//! let horizon = SimTime::from_secs(14 * 24 * 3600);
+//! let native = run_campaign(&project, &pool, &DeployConfig::native(), 1, horizon);
+//! let vm = run_campaign(
+//!     &project, &pool,
+//!     &DeployConfig::vm(VmmProfile::vmplayer(), 700 << 20),
+//!     1, horizon,
+//! );
+//! assert!(native.validated_wus >= vm.validated_wus);
+//! ```
+
+pub mod client;
+pub mod model;
+pub mod sim;
+
+pub use client::{BoincClientBody, ClientStats, ClientWorkSpec};
+pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
+pub use sim::{run_campaign, vm_cpu_factor};

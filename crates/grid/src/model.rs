@@ -1,0 +1,233 @@
+//! Desktop-grid domain model: projects, work units, volunteers.
+//!
+//! The paper's motivation is running public-resource projects
+//! (SETI@home, Einstein@home, ...) inside VMs for sandboxing and
+//! homogeneity. This module models the BOINC-style entities; `sim`
+//! runs campaigns over a volunteer pool and measures what VM-based
+//! deployment costs end to end — CPU dilation, the "initialization
+//! workunit" image download (Gonzalez et al., cited by the paper, report
+//! a 1.4 GB image), VM checkpoint overhead, and the paper's committed-
+//! memory constraint.
+
+use serde::{Deserialize, Serialize};
+use vgrid_simcore::SimDuration;
+use vgrid_vmm::VmmProfile;
+
+/// How tasks are executed on volunteers.
+#[derive(Debug, Clone)]
+pub enum ExecutionMode {
+    /// The science app runs directly on the volunteer host.
+    Native,
+    /// The science app runs inside a VM of the given profile
+    /// (vm-wrapper deployment).
+    Vm(VmmProfile),
+}
+
+impl ExecutionMode {
+    /// Name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            ExecutionMode::Native => "native".to_string(),
+            ExecutionMode::Vm(p) => format!("vm-{}", p.name),
+        }
+    }
+}
+
+/// A project's work-generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProjectConfig {
+    /// Work units to produce (the campaign size).
+    pub workunits: u32,
+    /// Reference CPU seconds per work unit (time on the testbed's core,
+    /// native). Einstein@home-era tasks ran for hours.
+    pub wu_ref_secs: f64,
+    /// Input download per work unit, bytes.
+    pub wu_input_bytes: u64,
+    /// Output upload per work unit, bytes.
+    pub wu_output_bytes: u64,
+    /// Copies of each work unit issued (replication).
+    pub replication: u32,
+    /// Matching results required to validate a work unit.
+    pub quorum: u32,
+    /// Reissue a copy if no result arrives within this deadline.
+    pub deadline: SimDuration,
+    /// Probability a volunteer returns a wrong result (why replication
+    /// exists).
+    pub error_rate: f64,
+}
+
+impl Default for ProjectConfig {
+    fn default() -> Self {
+        ProjectConfig {
+            workunits: 200,
+            wu_ref_secs: 4.0 * 3600.0,
+            wu_input_bytes: 4 << 20,
+            wu_output_bytes: 64 << 10,
+            replication: 2,
+            quorum: 2,
+            deadline: SimDuration::from_secs(7 * 24 * 3600),
+            error_rate: 0.02,
+        }
+    }
+}
+
+/// Volunteer-pool parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Number of volunteer hosts.
+    pub volunteers: u32,
+    /// Mean continuous-uptime span, seconds (exponential).
+    pub mean_uptime_secs: f64,
+    /// Mean offline span, seconds (exponential).
+    pub mean_downtime_secs: f64,
+    /// Volunteer CPU speed multipliers relative to the testbed core,
+    /// drawn uniformly from this range.
+    pub speed_range: (f64, f64),
+    /// Download bandwidth per volunteer, bytes/sec.
+    pub down_bw: f64,
+    /// Upload bandwidth per volunteer, bytes/sec.
+    pub up_bw: f64,
+    /// Volunteer RAM, bytes: hosts with less than the VM's committed
+    /// memory plus OS headroom cannot take VM tasks at all (Section
+    /// 4.2.1's constraint, applied pool-wide).
+    pub ram_range: (u64, u64),
+    /// Probability that a host going offline never returns (volunteer
+    /// attrition). The server's deadline reissue is what keeps such
+    /// losses from stranding work units.
+    pub permanent_failure_prob: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            volunteers: 100,
+            mean_uptime_secs: 8.0 * 3600.0,
+            mean_downtime_secs: 16.0 * 3600.0,
+            speed_range: (0.5, 2.0),
+            down_bw: 1.5e6 / 8.0 * 4.0, // ~6 Mbit/s ADSL-era but generous
+            up_bw: 0.5e6,
+            ram_range: (256 << 20, 2 << 30),
+            permanent_failure_prob: 0.0,
+        }
+    }
+}
+
+/// Deployment-mechanics parameters.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// How tasks execute.
+    pub mode: ExecutionMode,
+    /// VM image ("initialization workunit") size; Gonzalez et al. used
+    /// 1.4 GB, the paper suggests small distributions can halve RAM use.
+    pub image_bytes: u64,
+    /// Checkpoint interval (host time).
+    pub checkpoint_interval: SimDuration,
+    /// App-level checkpoint size when running natively.
+    pub native_checkpoint_bytes: u64,
+    /// RAM headroom the host OS needs beyond the VM's commit.
+    pub host_headroom_bytes: u64,
+    /// Migrate interrupted tasks to another volunteer by shipping the
+    /// checkpointed state through the server (the paper's Section 1:
+    /// checkpointing "mak\[es\] possible the exportation of a virtual
+    /// environment to another physical machine"). Without migration an
+    /// interrupted task waits for its original host to return.
+    pub migrate_on_churn: bool,
+}
+
+impl DeployConfig {
+    /// Native deployment (no image, small checkpoints).
+    pub fn native() -> Self {
+        DeployConfig {
+            mode: ExecutionMode::Native,
+            image_bytes: 0,
+            checkpoint_interval: SimDuration::from_secs(600),
+            native_checkpoint_bytes: 1 << 20,
+            host_headroom_bytes: 256 << 20,
+            migrate_on_churn: false,
+        }
+    }
+
+    /// VM deployment with the given monitor and image size.
+    pub fn vm(profile: VmmProfile, image_bytes: u64) -> Self {
+        DeployConfig {
+            mode: ExecutionMode::Vm(profile),
+            image_bytes,
+            checkpoint_interval: SimDuration::from_secs(600),
+            native_checkpoint_bytes: 1 << 20,
+            host_headroom_bytes: 256 << 20,
+            migrate_on_churn: false,
+        }
+    }
+
+    /// Enable churn migration (ship checkpointed state to another host).
+    pub fn with_migration(mut self) -> Self {
+        self.migrate_on_churn = true;
+        self
+    }
+}
+
+/// Campaign outcome statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GridReport {
+    /// Execution-mode name.
+    pub mode: String,
+    /// Work units validated by quorum.
+    pub validated_wus: u32,
+    /// Individual task results returned.
+    pub results_returned: u64,
+    /// Of which failed validation.
+    pub bad_results: u64,
+    /// Simulated seconds until the campaign validated all work units
+    /// (or the horizon, if it did not finish).
+    pub makespan_secs: f64,
+    /// True when every work unit validated within the horizon.
+    pub finished: bool,
+    /// Total volunteer CPU seconds spent computing (including work that
+    /// was later lost or invalidated).
+    pub cpu_secs_spent: f64,
+    /// CPU seconds of computation lost to churn (rolled back to the last
+    /// checkpoint).
+    pub cpu_secs_lost: f64,
+    /// Seconds volunteers spent downloading VM images.
+    pub image_transfer_secs: f64,
+    /// Volunteers excluded because their RAM cannot hold the VM.
+    pub hosts_excluded_ram: u32,
+    /// Interrupted tasks migrated to another volunteer.
+    pub migrations: u64,
+    /// Valid scientific throughput: reference CPU seconds of validated
+    /// work per volunteer-uptime second.
+    pub efficiency: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = ProjectConfig::default();
+        assert!(p.quorum <= p.replication);
+        assert!(p.error_rate < 0.5);
+        let pool = PoolConfig::default();
+        assert!(pool.speed_range.0 < pool.speed_range.1);
+        assert!(pool.ram_range.0 < pool.ram_range.1);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(ExecutionMode::Native.name(), "native");
+        assert_eq!(
+            ExecutionMode::Vm(VmmProfile::vmplayer()).name(),
+            "vm-VMwarePlayer"
+        );
+    }
+
+    #[test]
+    fn deploy_presets() {
+        let n = DeployConfig::native();
+        assert_eq!(n.image_bytes, 0);
+        let v = DeployConfig::vm(VmmProfile::qemu(), 1_400 << 20);
+        assert_eq!(v.image_bytes, 1_400 << 20);
+        assert!(matches!(v.mode, ExecutionMode::Vm(_)));
+    }
+}

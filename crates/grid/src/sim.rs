@@ -1,0 +1,810 @@
+//! The desktop-grid campaign simulator.
+//!
+//! A coarse-grained DES over the volunteer pool: hosts churn between
+//! online/offline (exponential spans), download the VM image once
+//! (initialization workunit), then cycle through fetch -> download input
+//! -> compute (with periodic checkpoints) -> upload -> report. The
+//! per-task CPU dilation of VM execution is *derived from the calibrated
+//! monitor profiles* by dilating the Einstein@home surrogate's measured
+//! instruction mix through the machine model — the quantitative link
+//! from the paper's microbenchmarks to deployment-scale cost.
+//!
+//! Hosts are modeled coarsely (rate-based, not full `vgrid-os` systems):
+//! a campaign simulates hundreds of hosts for simulated weeks, where
+//! per-instruction fidelity would add nothing — the VM overhead enters
+//! through the measured dilation factor, image transfers and checkpoint
+//! costs.
+
+use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
+use std::collections::VecDeque;
+use vgrid_machine::MachineSpec;
+use vgrid_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use vgrid_workloads::counter::OpCounter;
+use vgrid_workloads::einstein::EinsteinKernel;
+use vgrid_workloads::kernel::Kernel;
+
+/// Derive the CPU slowdown of VM execution for the Einstein-style
+/// workload from a monitor profile, via the machine model.
+pub fn vm_cpu_factor(mode: &ExecutionMode) -> f64 {
+    match mode {
+        ExecutionMode::Native => 1.0,
+        ExecutionMode::Vm(profile) => {
+            let kernel = EinsteinKernel {
+                fft_len: 4096,
+                templates: 4,
+                seed: 0x617d,
+            };
+            let mut ops = OpCounter::new();
+            kernel.run(&mut ops);
+            let block = vgrid_machine::ops::OpBlock {
+                label: "grid-task".to_string(),
+                counts: ops.to_counts(),
+                working_set: kernel.working_set(),
+                locality: kernel.locality(),
+            };
+            let cpu = MachineSpec::core2_duo_6600().cpu_model();
+            let native = cpu.solo_estimate(&block).duration.as_secs_f64();
+            let dilated = cpu
+                .solo_estimate(&profile.dilate(&block))
+                .duration
+                .as_secs_f64();
+            dilated / native
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Activity {
+    ImageDl { remaining: f64 },
+    InputDl { remaining: f64, task: usize },
+    /// Downloading a migrated task's checkpointed state.
+    StateDl { remaining: f64, task: usize, remaining_ref: f64 },
+    Compute { task: usize, remaining_ref: f64, progress_ref: f64 },
+    Upload { remaining: f64, task: usize },
+}
+
+/// A queue entry: fresh work, or a migrated task resuming elsewhere.
+#[derive(Debug, Clone, Copy)]
+enum Work {
+    Fresh(usize),
+    Resume { copy: usize, remaining_ref: f64 },
+}
+
+#[derive(Debug)]
+struct Host {
+    speed: f64,
+    excluded: bool,
+    up: bool,
+    life_gen: u64,
+    act_gen: u64,
+    has_image: bool,
+    activity: Option<Activity>,
+    act_started: SimTime,
+    up_since: SimTime,
+    uptime_total: f64,
+    rng: SimRng,
+}
+
+#[derive(Debug)]
+struct TaskCopy {
+    wu: usize,
+    returned: bool,
+}
+
+#[derive(Debug)]
+struct WorkUnit {
+    good: u32,
+    validated: bool,
+    issued: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Up { h: usize, gen: u64 },
+    Down { h: usize, gen: u64 },
+    ActDone { h: usize, gen: u64 },
+    Deadline { copy: usize },
+}
+
+/// Run one campaign; stops when all work units validate or at `horizon`.
+pub fn run_campaign(
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    seed: u64,
+    horizon: SimTime,
+) -> GridReport {
+    let rng = SimRng::new(seed ^ 0x617d_517d);
+    let vm_factor = vm_cpu_factor(&deploy.mode);
+    let (guest_ram, ckpt_bytes) = match &deploy.mode {
+        ExecutionMode::Native => (0u64, deploy.native_checkpoint_bytes),
+        ExecutionMode::Vm(p) => (p.guest_ram, p.guest_ram),
+    };
+    // Checkpoint overhead: fraction of host time spent writing state.
+    let disk_write_bw = 55.0e6;
+    let ckpt_frac = (ckpt_bytes as f64 / disk_write_bw)
+        / deploy.checkpoint_interval.as_secs_f64().max(1.0);
+
+    let mut report = GridReport {
+        mode: deploy.mode.name(),
+        ..Default::default()
+    };
+
+    // Build hosts.
+    let mut hosts: Vec<Host> = (0..pool.volunteers)
+        .map(|i| {
+            let mut hrng = rng.fork(1000 + i as u64);
+            let speed = hrng.range_f64(pool.speed_range.0, pool.speed_range.1);
+            let ram = pool.ram_range.0
+                + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
+            let excluded =
+                guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
+            Host {
+                speed,
+                excluded,
+                up: false,
+                life_gen: 0,
+                act_gen: 0,
+                has_image: deploy.image_bytes == 0,
+                activity: None,
+                act_started: SimTime::ZERO,
+                up_since: SimTime::ZERO,
+                uptime_total: 0.0,
+                rng: hrng,
+            }
+        })
+        .collect();
+    report.hosts_excluded_ram = hosts.iter().filter(|h| h.excluded).count() as u32;
+
+    // Server state.
+    let mut wus: Vec<WorkUnit> = (0..project.workunits)
+        .map(|_| WorkUnit {
+            good: 0,
+            validated: false,
+            issued: 0,
+        })
+        .collect();
+    let mut copies: Vec<TaskCopy> = Vec::new();
+    let mut queue: VecDeque<Work> = VecDeque::new();
+    for (wu_idx, wu) in wus.iter_mut().enumerate() {
+        for _ in 0..project.replication {
+            copies.push(TaskCopy {
+                wu: wu_idx,
+                returned: false,
+            });
+            queue.push_back(Work::Fresh(copies.len() - 1));
+            wu.issued += 1;
+        }
+    }
+    let mut validated_count = 0u32;
+    let mut makespan: Option<SimTime> = None;
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    // Stagger initial power-ons.
+    for (h, host) in hosts.iter_mut().enumerate() {
+        let delay = host.rng.exponential(pool.mean_downtime_secs / 4.0);
+        q.schedule(SimTime::from_secs_f64(delay), Ev::Up { h, gen: 0 });
+    }
+
+    // --- helpers as closures are awkward with borrows; use a macro-free
+    // imperative loop with inline logic. ---
+    #[allow(clippy::needless_range_loop)] // hosts indexed by stable id
+    while let Some(te) = q.peek_time() {
+        if te > horizon || (makespan.is_some() && validated_count >= project.workunits) {
+            break;
+        }
+        let (now, ev) = q.pop().expect("peeked");
+        match ev {
+            Ev::Up { h, gen } => {
+                if gen != hosts[h].life_gen || hosts[h].excluded {
+                    continue;
+                }
+                hosts[h].up = true;
+                hosts[h].up_since = now;
+                let span = hosts[h].rng.exponential(pool.mean_uptime_secs);
+                hosts[h].life_gen += 1;
+                let gen = hosts[h].life_gen;
+                q.schedule(now + SimDuration::from_secs_f64(span), Ev::Down { h, gen });
+                // Resume or acquire work.
+                start_next_activity(
+                    h, now, &mut hosts, &mut queue, &copies, project, pool, deploy, &mut q,
+                    vm_factor, ckpt_frac, &mut report,
+                );
+            }
+            Ev::Down { h, gen } => {
+                if gen != hosts[h].life_gen {
+                    continue;
+                }
+                hosts[h].up = false;
+                hosts[h].uptime_total += now.since(hosts[h].up_since).as_secs_f64();
+                // Interrupt the activity, preserving resumable progress.
+                accrue_activity(h, now, &mut hosts, pool, deploy, vm_factor, ckpt_frac, &mut report);
+                hosts[h].act_gen += 1; // cancel any pending ActDone
+                if deploy.migrate_on_churn {
+                    if let Some(Activity::Compute {
+                        task, remaining_ref, ..
+                    }) = hosts[h].activity
+                    {
+                        // Ship the checkpointed state back through the
+                        // server; any volunteer may pick it up. Resumes
+                        // jump the queue: finishing started work beats
+                        // starting fresh copies (BOINC's deadline-driven
+                        // scheduling has the same effect).
+                        hosts[h].activity = None;
+                        queue.push_front(Work::Resume {
+                            copy: task,
+                            remaining_ref,
+                        });
+                        report.migrations += 1;
+                        kick_idle_hosts(
+                            now, &mut hosts, &mut queue, &copies, project, pool, deploy,
+                            &mut q, vm_factor, ckpt_frac, &mut report,
+                        );
+                    }
+                }
+                if hosts[h].rng.chance(pool.permanent_failure_prob) {
+                    // The volunteer never returns; its task (if any) is
+                    // stranded until the server's deadline reissues it.
+                    hosts[h].excluded = true;
+                    continue;
+                }
+                let span = hosts[h].rng.exponential(pool.mean_downtime_secs);
+                hosts[h].life_gen += 1;
+                let gen = hosts[h].life_gen;
+                q.schedule(now + SimDuration::from_secs_f64(span), Ev::Up { h, gen });
+            }
+            Ev::ActDone { h, gen } => {
+                if gen != hosts[h].act_gen || !hosts[h].up {
+                    continue;
+                }
+                // Finish the current activity.
+                let act = hosts[h].activity.take().expect("activity in flight");
+                match act {
+                    Activity::ImageDl { .. } => {
+                        hosts[h].has_image = true;
+                        report.image_transfer_secs +=
+                            now.since(hosts[h].act_started).as_secs_f64();
+                    }
+                    Activity::StateDl {
+                        task, remaining_ref, ..
+                    } => {
+                        hosts[h].activity = Some(Activity::Compute {
+                            task,
+                            remaining_ref,
+                            progress_ref: project.wu_ref_secs - remaining_ref,
+                        });
+                        hosts[h].act_started = now;
+                        let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
+                        hosts[h].act_gen += 1;
+                        let gen = hosts[h].act_gen;
+                        q.schedule(
+                            now + SimDuration::from_secs_f64(remaining_ref / rate),
+                            Ev::ActDone { h, gen },
+                        );
+                        continue;
+                    }
+                    Activity::InputDl { task, .. } => {
+                        let wu = copies[task].wu;
+                        let remaining_ref = project.wu_ref_secs;
+                        hosts[h].activity = Some(Activity::Compute {
+                            task,
+                            remaining_ref,
+                            progress_ref: 0.0,
+                        });
+                        hosts[h].act_started = now;
+                        let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
+                        hosts[h].act_gen += 1;
+                        let gen = hosts[h].act_gen;
+                        q.schedule(
+                            now + SimDuration::from_secs_f64(remaining_ref / rate),
+                            Ev::ActDone { h, gen },
+                        );
+                        let _ = wu;
+                        continue;
+                    }
+                    Activity::Compute { task, remaining_ref, progress_ref } => {
+                        // Account the CPU time of the final stretch.
+                        let elapsed = now.since(hosts[h].act_started).as_secs_f64();
+                        report.cpu_secs_spent += elapsed;
+                        let _ = (remaining_ref, progress_ref);
+                        hosts[h].activity = Some(Activity::Upload {
+                            remaining: project.wu_output_bytes as f64,
+                            task,
+                        });
+                        hosts[h].act_started = now;
+                        hosts[h].act_gen += 1;
+                        let gen = hosts[h].act_gen;
+                        q.schedule(
+                            now + SimDuration::from_secs_f64(
+                                project.wu_output_bytes as f64 / pool.up_bw,
+                            ),
+                            Ev::ActDone { h, gen },
+                        );
+                        continue;
+                    }
+                    Activity::Upload { task, .. } => {
+                        // Report the result to the server.
+                        copies[task].returned = true;
+                        report.results_returned += 1;
+                        let wu_idx = copies[task].wu;
+                        let good = !hosts[h].rng.chance(project.error_rate);
+                        if good {
+                            wus[wu_idx].good += 1;
+                            if !wus[wu_idx].validated && wus[wu_idx].good >= project.quorum {
+                                wus[wu_idx].validated = true;
+                                validated_count += 1;
+                                if validated_count >= project.workunits {
+                                    makespan = Some(now);
+                                }
+                            }
+                        } else {
+                            report.bad_results += 1;
+                            // Replace the bad copy.
+                            copies.push(TaskCopy {
+                                wu: wu_idx,
+                                returned: false,
+                            });
+                            queue.push_back(Work::Fresh(copies.len() - 1));
+                            wus[wu_idx].issued += 1;
+                            kick_idle_hosts(
+                                now, &mut hosts, &mut queue, &copies, project, pool,
+                                deploy, &mut q, vm_factor, ckpt_frac, &mut report,
+                            );
+                        }
+                    }
+                }
+                // Acquire the next piece of work.
+                start_next_activity(
+                    h, now, &mut hosts, &mut queue, &copies, project, pool, deploy, &mut q,
+                    vm_factor, ckpt_frac, &mut report,
+                );
+            }
+            Ev::Deadline { copy } => {
+                if !copies[copy].returned && !wus[copies[copy].wu].validated {
+                    let wu = copies[copy].wu;
+                    copies.push(TaskCopy {
+                        wu,
+                        returned: false,
+                    });
+                    queue.push_back(Work::Fresh(copies.len() - 1));
+                    wus[wu].issued += 1;
+                    kick_idle_hosts(
+                        now, &mut hosts, &mut queue, &copies, project, pool, deploy,
+                        &mut q, vm_factor, ckpt_frac, &mut report,
+                    );
+                }
+            }
+        }
+    }
+
+    // Final accounting.
+    let end = makespan.unwrap_or(horizon);
+    for host in hosts.iter_mut() {
+        if host.up {
+            host.uptime_total += end.since(host.up_since).as_secs_f64();
+        }
+    }
+    report.validated_wus = validated_count;
+    report.finished = validated_count >= project.workunits;
+    report.makespan_secs = end.as_secs_f64();
+    let uptime: f64 = hosts.iter().map(|h| h.uptime_total).sum();
+    let validated_ref = validated_count as f64 * project.wu_ref_secs * project.quorum as f64;
+    report.efficiency = if uptime > 0.0 {
+        validated_ref / uptime
+    } else {
+        0.0
+    };
+    report
+}
+
+/// Effective compute rate: reference seconds per host second.
+fn compute_rate(host: &Host, vm_factor: f64, ckpt_frac: f64) -> f64 {
+    host.speed / vm_factor * (1.0 - ckpt_frac).max(0.05)
+}
+
+/// Accrue partial progress of the interrupted activity (host went down).
+#[allow(clippy::too_many_arguments)]
+fn accrue_activity(
+    h: usize,
+    now: SimTime,
+    hosts: &mut [Host],
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    vm_factor: f64,
+    ckpt_frac: f64,
+    report: &mut GridReport,
+) {
+    let elapsed = now.since(hosts[h].act_started).as_secs_f64();
+    let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
+    let Some(act) = hosts[h].activity.as_mut() else {
+        return;
+    };
+    match act {
+        Activity::ImageDl { remaining }
+        | Activity::InputDl { remaining, .. }
+        | Activity::StateDl { remaining, .. } => {
+            *remaining = (*remaining - elapsed * pool.down_bw).max(0.0);
+            if matches!(act, Activity::ImageDl { .. }) {
+                report.image_transfer_secs += elapsed;
+            }
+        }
+        Activity::Upload { remaining, .. } => {
+            *remaining = (*remaining - elapsed * pool.up_bw).max(0.0);
+        }
+        Activity::Compute {
+            remaining_ref,
+            progress_ref,
+            ..
+        } => {
+            report.cpu_secs_spent += elapsed;
+            let advanced = elapsed * rate;
+            let new_progress = *progress_ref + advanced;
+            // Roll back to the last checkpoint.
+            let quantum = deploy.checkpoint_interval.as_secs_f64() * rate;
+            let kept = (new_progress / quantum).floor() * quantum;
+            let kept = kept.max(*progress_ref); // never lose pre-existing checkpoints
+            report.cpu_secs_lost += (new_progress - kept) / rate;
+            *remaining_ref -= kept - *progress_ref;
+            *progress_ref = kept;
+        }
+    }
+}
+
+/// Hand queued work to every idle online host (called whenever the
+/// queue gains entries after the initial distribution — migrations,
+/// deadline reissues, replacement copies). Hosts otherwise only ask for
+/// work at their own transitions.
+#[allow(clippy::too_many_arguments)]
+fn kick_idle_hosts(
+    now: SimTime,
+    hosts: &mut [Host],
+    queue: &mut VecDeque<Work>,
+    copies: &[TaskCopy],
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    q: &mut EventQueue<Ev>,
+    vm_factor: f64,
+    ckpt_frac: f64,
+    report: &mut GridReport,
+) {
+    #[allow(clippy::needless_range_loop)] // host ids index several tables
+    for h in 0..hosts.len() {
+        if queue.is_empty() {
+            break;
+        }
+        if hosts[h].up && !hosts[h].excluded && hosts[h].activity.is_none() {
+            start_next_activity(
+                h, now, hosts, queue, copies, project, pool, deploy, q, vm_factor, ckpt_frac,
+                report,
+            );
+        }
+    }
+}
+
+/// Give the host its next activity (resume, or fetch new work).
+#[allow(clippy::too_many_arguments)]
+fn start_next_activity(
+    h: usize,
+    now: SimTime,
+    hosts: &mut [Host],
+    queue: &mut VecDeque<Work>,
+    copies: &[TaskCopy],
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    q: &mut EventQueue<Ev>,
+    vm_factor: f64,
+    ckpt_frac: f64,
+    _report: &mut GridReport,
+) {
+    if !hosts[h].up || hosts[h].excluded {
+        return;
+    }
+    // Resume an interrupted activity if one exists; otherwise pick work.
+    if hosts[h].activity.is_none() {
+        if !hosts[h].has_image {
+            hosts[h].activity = Some(Activity::ImageDl {
+                remaining: deploy.image_bytes as f64,
+            });
+        } else if let Some(work) = queue.pop_front() {
+            match work {
+                Work::Fresh(copy) => {
+                    debug_assert!(!copies[copy].returned);
+                    hosts[h].activity = Some(Activity::InputDl {
+                        remaining: project.wu_input_bytes as f64,
+                        task: copy,
+                    });
+                    q.schedule(now + project.deadline, Ev::Deadline { copy });
+                }
+                Work::Resume {
+                    copy,
+                    remaining_ref,
+                } => {
+                    // Fetch the migrated checkpoint: the VM's committed
+                    // RAM (or the small app-level state when native).
+                    let state_bytes = match &deploy.mode {
+                        crate::model::ExecutionMode::Native => {
+                            deploy.native_checkpoint_bytes
+                        }
+                        crate::model::ExecutionMode::Vm(p) => p.guest_ram,
+                    };
+                    hosts[h].activity = Some(Activity::StateDl {
+                        remaining: state_bytes as f64,
+                        task: copy,
+                        remaining_ref,
+                    });
+                }
+            }
+        } else {
+            return; // nothing to do
+        }
+    }
+    hosts[h].act_started = now;
+    let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
+    let secs = match hosts[h].activity.as_ref().expect("just set") {
+        Activity::ImageDl { remaining }
+        | Activity::InputDl { remaining, .. }
+        | Activity::StateDl { remaining, .. } => remaining / pool.down_bw,
+        Activity::Upload { remaining, .. } => remaining / pool.up_bw,
+        Activity::Compute { remaining_ref, .. } => remaining_ref / rate,
+    };
+    hosts[h].act_gen += 1;
+    let gen = hosts[h].act_gen;
+    q.schedule(now + SimDuration::from_secs_f64(secs.max(1e-6)), Ev::ActDone { h, gen });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgrid_vmm::VmmProfile;
+
+    fn small_project() -> ProjectConfig {
+        ProjectConfig {
+            workunits: 20,
+            wu_ref_secs: 600.0,
+            replication: 2,
+            quorum: 2,
+            error_rate: 0.02,
+            ..Default::default()
+        }
+    }
+
+    fn stable_pool() -> PoolConfig {
+        PoolConfig {
+            volunteers: 30,
+            mean_uptime_secs: 100_000.0,
+            mean_downtime_secs: 100.0,
+            ram_range: (1 << 30, 2 << 30), // everyone can host a VM
+            ..Default::default()
+        }
+    }
+
+    fn horizon() -> SimTime {
+        SimTime::from_secs(30 * 24 * 3600)
+    }
+
+    #[test]
+    fn vm_cpu_factor_is_profile_ordered() {
+        let f = |p: VmmProfile| vm_cpu_factor(&ExecutionMode::Vm(p));
+        assert_eq!(vm_cpu_factor(&ExecutionMode::Native), 1.0);
+        let vmp = f(VmmProfile::vmplayer());
+        let q = f(VmmProfile::qemu());
+        assert!(vmp > 1.0 && vmp < 1.3, "vmp {vmp}");
+        assert!(q > 1.3, "qemu {q}");
+        assert!(q > vmp);
+    }
+
+    #[test]
+    fn native_campaign_completes() {
+        let r = run_campaign(
+            &small_project(),
+            &stable_pool(),
+            &DeployConfig::native(),
+            1,
+            horizon(),
+        );
+        assert!(r.finished, "campaign incomplete: {r:?}");
+        assert_eq!(r.validated_wus, 20);
+        assert!(r.cpu_secs_spent > 0.0);
+        assert_eq!(r.hosts_excluded_ram, 0);
+    }
+
+    #[test]
+    fn vm_campaign_is_slower_but_completes() {
+        let native = run_campaign(
+            &small_project(),
+            &stable_pool(),
+            &DeployConfig::native(),
+            1,
+            horizon(),
+        );
+        let vm = run_campaign(
+            &small_project(),
+            &stable_pool(),
+            &DeployConfig::vm(VmmProfile::qemu(), 1_400 << 20),
+            1,
+            horizon(),
+        );
+        assert!(vm.finished);
+        assert!(
+            vm.makespan_secs > native.makespan_secs,
+            "vm {} vs native {}",
+            vm.makespan_secs,
+            native.makespan_secs
+        );
+        assert!(vm.image_transfer_secs > 0.0);
+        assert!(vm.efficiency < native.efficiency);
+    }
+
+    #[test]
+    fn small_ram_hosts_are_excluded_from_vm_campaigns() {
+        let pool = PoolConfig {
+            ram_range: (128 << 20, 1 << 30),
+            ..stable_pool()
+        };
+        let vm = run_campaign(
+            &small_project(),
+            &pool,
+            &DeployConfig::vm(VmmProfile::vmplayer(), 700 << 20),
+            3,
+            horizon(),
+        );
+        assert!(vm.hosts_excluded_ram > 0, "{:?}", vm.hosts_excluded_ram);
+        let native = run_campaign(&small_project(), &pool, &DeployConfig::native(), 3, horizon());
+        assert_eq!(native.hosts_excluded_ram, 0);
+    }
+
+    #[test]
+    fn churn_loses_work() {
+        let churny = PoolConfig {
+            mean_uptime_secs: 1800.0,
+            mean_downtime_secs: 1800.0,
+            ..stable_pool()
+        };
+        let project = ProjectConfig {
+            wu_ref_secs: 4.0 * 3600.0,
+            workunits: 10,
+            ..small_project()
+        };
+        let r = run_campaign(&project, &churny, &DeployConfig::native(), 5, horizon());
+        assert!(r.cpu_secs_lost > 0.0, "expected lost work: {r:?}");
+        assert!(r.cpu_secs_lost < r.cpu_secs_spent);
+    }
+
+    #[test]
+    fn replication_absorbs_bad_results() {
+        let project = ProjectConfig {
+            error_rate: 0.3,
+            ..small_project()
+        };
+        let r = run_campaign(&project, &stable_pool(), &DeployConfig::native(), 7, horizon());
+        assert!(r.bad_results > 0);
+        assert!(r.finished, "quorum should still be reached: {r:?}");
+    }
+
+    #[test]
+    fn deadline_reissue_survives_permanent_volunteer_loss() {
+        // A third of offline transitions are permanent. The campaign
+        // still completes because expired copies are reissued.
+        let flaky = PoolConfig {
+            volunteers: 40,
+            mean_uptime_secs: 4.0 * 3600.0,
+            mean_downtime_secs: 3600.0,
+            permanent_failure_prob: 0.33,
+            ram_range: (1 << 30, 2 << 30),
+            ..stable_pool()
+        };
+        let project = ProjectConfig {
+            workunits: 20,
+            wu_ref_secs: 1200.0,
+            deadline: vgrid_simcore::SimDuration::from_secs(24 * 3600),
+            ..small_project()
+        };
+        let r = run_campaign(&project, &flaky, &DeployConfig::native(), 13, horizon());
+        assert!(
+            r.finished,
+            "reissue must rescue stranded work units: {r:?}"
+        );
+        // Attrition really happened (some copies never came back).
+        assert!(
+            r.results_returned as u32 >= project.workunits * project.quorum,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn migration_rescues_interrupted_tasks() {
+        // Long tasks + short uptimes: without migration a task camps on
+        // its (offline) host; with migration another host resumes it.
+        let churny = PoolConfig {
+            volunteers: 20,
+            mean_uptime_secs: 2.0 * 3600.0,
+            mean_downtime_secs: 20.0 * 3600.0,
+            ram_range: (1 << 30, 2 << 30),
+            ..stable_pool()
+        };
+        let project = ProjectConfig {
+            workunits: 30,
+            wu_ref_secs: 3.0 * 3600.0,
+            ..small_project()
+        };
+        let without = run_campaign(
+            &project,
+            &churny,
+            &DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20),
+            21,
+            horizon(),
+        );
+        let with = run_campaign(
+            &project,
+            &churny,
+            &DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20).with_migration(),
+            21,
+            horizon(),
+        );
+        assert_eq!(without.migrations, 0);
+        assert!(with.migrations > 0, "migrations happened: {with:?}");
+        assert!(
+            with.validated_wus >= without.validated_wus,
+            "migration should not reduce throughput: {} vs {}",
+            with.validated_wus,
+            without.validated_wus
+        );
+    }
+
+    #[test]
+    fn migrated_state_costs_transfer_time() {
+        // Migration with a huge state should be slower end-to-end than
+        // with a small state, all else equal.
+        let churny = PoolConfig {
+            volunteers: 20,
+            mean_uptime_secs: 2.0 * 3600.0,
+            mean_downtime_secs: 20.0 * 3600.0,
+            ram_range: (4 << 30, 8 << 30),
+            ..stable_pool()
+        };
+        let project = ProjectConfig {
+            workunits: 30,
+            wu_ref_secs: 3.0 * 3600.0,
+            ..small_project()
+        };
+        let mut big_state = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20).with_migration();
+        if let crate::model::ExecutionMode::Vm(p) = &mut big_state.mode {
+            p.guest_ram = 2 << 30; // 2 GB of state to ship per migration
+        }
+        let small = run_campaign(
+            &project,
+            &churny,
+            &DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20).with_migration(),
+            22,
+            horizon(),
+        );
+        let big = run_campaign(&project, &churny, &big_state, 22, horizon());
+        assert!(
+            big.validated_wus <= small.validated_wus,
+            "shipping 2 GB per migration can't beat 300 MB: {} vs {}",
+            big.validated_wus,
+            small.validated_wus
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            run_campaign(
+                &small_project(),
+                &stable_pool(),
+                &DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
+                seed,
+                horizon(),
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.results_returned, b.results_returned);
+        let c = run(12);
+        assert_ne!(a.makespan_secs, c.makespan_secs);
+    }
+}

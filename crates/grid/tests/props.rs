@@ -1,0 +1,59 @@
+//! Property-based tests of campaign-level invariants.
+
+use proptest::prelude::*;
+use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid_simcore::SimTime;
+use vgrid_vmm::VmmProfile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For arbitrary seeds and pool shapes the accounting invariants
+    /// hold: validated <= workunits, lost <= spent, efficiency bounded,
+    /// and the run is reproducible.
+    #[test]
+    fn campaign_accounting_invariants(
+        seed in any::<u64>(),
+        volunteers in 5u32..40,
+        uptime_h in 1u32..24,
+        use_vm in any::<bool>(),
+        migrate in any::<bool>(),
+    ) {
+        let project = ProjectConfig {
+            workunits: 25,
+            wu_ref_secs: 1800.0,
+            ..Default::default()
+        };
+        let pool = PoolConfig {
+            volunteers,
+            mean_uptime_secs: uptime_h as f64 * 3600.0,
+            mean_downtime_secs: 4.0 * 3600.0,
+            ram_range: (1 << 30, 2 << 30),
+            ..Default::default()
+        };
+        let deploy = if use_vm {
+            let d = DeployConfig::vm(VmmProfile::virtualbox(), 300 << 20);
+            if migrate { d.with_migration() } else { d }
+        } else {
+            DeployConfig::native()
+        };
+        let horizon = SimTime::from_secs(10 * 24 * 3600);
+        let a = run_campaign(&project, &pool, &deploy, seed, horizon);
+        prop_assert!(a.validated_wus <= project.workunits);
+        prop_assert!(a.cpu_secs_lost <= a.cpu_secs_spent + 1e-6);
+        prop_assert!(a.efficiency >= 0.0);
+        prop_assert!(a.efficiency <= 2.5, "efficiency {} (bounded by top speed)", a.efficiency);
+        prop_assert!(a.bad_results <= a.results_returned);
+        if !use_vm {
+            prop_assert_eq!(a.hosts_excluded_ram, 0);
+            prop_assert_eq!(a.image_transfer_secs, 0.0);
+        }
+        if !migrate {
+            prop_assert_eq!(a.migrations, 0);
+        }
+        // Determinism.
+        let b = run_campaign(&project, &pool, &deploy, seed, horizon);
+        prop_assert_eq!(a.validated_wus, b.validated_wus);
+        prop_assert_eq!(a.cpu_secs_spent.to_bits(), b.cpu_secs_spent.to_bits());
+    }
+}

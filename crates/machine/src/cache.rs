@@ -1,0 +1,225 @@
+//! Analytic cache-hierarchy model.
+//!
+//! We do not simulate addresses. Instead, each [`crate::ops::OpBlock`]
+//! carries a working-set size and a locality fraction, and the model
+//! computes expected hit ratios per level from capacity arithmetic:
+//! a block whose working set fits in a level hits that level (beyond the
+//! compulsory-miss residue); one that exceeds it misses proportionally to
+//! the capacity shortfall. This is the classic "working set vs capacity"
+//! approximation and is the right fidelity for the paper's effects — the
+//! MEM-index interference in Figure 5 is driven by *which fraction of the
+//! shared L2 each core effectively owns*, not by particular addresses.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache hierarchy parameters (per core for L1; L2 may be shared).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// L1 data capacity per core, bytes.
+    pub l1_bytes: u64,
+    /// L1 hit latency, cycles (pipelined loads hide part of this; the
+    /// value is the *effective* stall per access for non-hidden hits).
+    pub l1_hit_cycles: f64,
+    /// L2 capacity, bytes (total; shared between cores if `l2_shared`).
+    pub l2_bytes: u64,
+    /// Whether the L2 is shared between the cores (Core 2 Duo: yes).
+    pub l2_shared: bool,
+    /// L2 hit latency, cycles.
+    pub l2_hit_cycles: f64,
+    /// Main-memory access latency, cycles (un-contended).
+    pub mem_cycles: f64,
+    /// Cache line size, bytes.
+    pub line_bytes: u64,
+}
+
+/// Result of evaluating a block's memory behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryEstimate {
+    /// Expected stall cycles attributable to the memory hierarchy.
+    pub stall_cycles: f64,
+    /// Bytes of traffic presented to the L2 (L1 miss traffic).
+    pub l2_traffic_bytes: f64,
+    /// Bytes of traffic presented to the memory bus (L2 miss traffic).
+    pub mem_traffic_bytes: f64,
+}
+
+impl CacheConfig {
+    /// Expected hit fraction at a level of capacity `cap` for a working
+    /// set of `ws` bytes. Smooth, monotone in `cap/ws`, with a small
+    /// compulsory/conflict-miss residue even when the set fits.
+    fn capacity_hit_fraction(cap: u64, ws: u64) -> f64 {
+        if ws == 0 {
+            return 1.0;
+        }
+        let ratio = cap as f64 / ws as f64;
+        // 2 % residue models compulsory + conflict misses when fitting;
+        // square-root shaping reflects that partial residency still
+        // captures the hotter part of the set (LRU keeps hot lines).
+        0.98 * ratio.min(1.0).sqrt()
+    }
+
+    /// Evaluate the memory behaviour of a block.
+    ///
+    /// * `accesses` — number of loads+stores in the block.
+    /// * `ws` — the block's working set in bytes.
+    /// * `locality` — fraction of accesses that hit L1 regardless of `ws`.
+    /// * `l2_effective` — the L2 capacity this core effectively owns
+    ///   (the contention model shrinks this when the other core is also
+    ///   cache-hungry).
+    /// * `mem_latency_factor` — multiplier on DRAM latency from bus
+    ///   contention (>= 1).
+    pub fn evaluate(
+        &self,
+        accesses: u64,
+        ws: u64,
+        locality: f64,
+        l2_effective: u64,
+        mem_latency_factor: f64,
+    ) -> MemoryEstimate {
+        debug_assert!((0.0..=1.0).contains(&locality));
+        debug_assert!(mem_latency_factor >= 1.0);
+        let n = accesses as f64;
+        if accesses == 0 {
+            return MemoryEstimate {
+                stall_cycles: 0.0,
+                l2_traffic_bytes: 0.0,
+                mem_traffic_bytes: 0.0,
+            };
+        }
+        let l1_hit = locality + (1.0 - locality) * Self::capacity_hit_fraction(self.l1_bytes, ws);
+        let l1_miss = (1.0 - l1_hit).max(0.0);
+        let l2_hit_of_miss = Self::capacity_hit_fraction(l2_effective, ws);
+        let l2_miss = l1_miss * (1.0 - l2_hit_of_miss).max(0.0);
+        let l2_hit = l1_miss - l2_miss;
+
+        let stall_cycles = n
+            * (l1_hit * self.l1_hit_cycles
+                + l2_hit * self.l2_hit_cycles
+                + l2_miss * self.mem_cycles * mem_latency_factor);
+
+        MemoryEstimate {
+            stall_cycles,
+            l2_traffic_bytes: n * l1_miss * self.line_bytes as f64,
+            mem_traffic_bytes: n * l2_miss * self.line_bytes as f64,
+        }
+    }
+
+    /// The L2 capacity a core owns when running alongside another core
+    /// presenting `other_pressure` in `[0, 1]` (0: other core idle or
+    /// cache-cold; 1: other core fully cache-hungry).
+    ///
+    /// With a private L2 the capacity is unconditional. With a shared L2,
+    /// full pressure from the sibling halves the effective share — the
+    /// mechanism the paper invokes for the <5 % MEM-index overhead in
+    /// Figure 5.
+    pub fn l2_share(&self, other_pressure: f64) -> u64 {
+        debug_assert!((0.0..=1.0).contains(&other_pressure));
+        if !self.l2_shared {
+            return self.l2_bytes;
+        }
+        let frac = 1.0 - 0.5 * other_pressure;
+        (self.l2_bytes as f64 * frac) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            l1_bytes: 32 * 1024,
+            l1_hit_cycles: 3.0,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_shared: true,
+            l2_hit_cycles: 14.0,
+            mem_cycles: 170.0,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn zero_accesses_is_free() {
+        let e = cfg().evaluate(0, 1 << 20, 0.0, 4 << 20, 1.0);
+        assert_eq!(e.stall_cycles, 0.0);
+        assert_eq!(e.mem_traffic_bytes, 0.0);
+    }
+
+    #[test]
+    fn small_ws_stays_in_l1() {
+        let e = cfg().evaluate(1_000_000, 8 * 1024, 0.0, 4 << 20, 1.0);
+        // Nearly all L1 hits: ~3 cycles/access.
+        assert!(e.stall_cycles < 3.5 * 1_000_000.0, "stalls {}", e.stall_cycles);
+        assert!(e.mem_traffic_bytes < 0.01 * 64.0 * 1_000_000.0);
+    }
+
+    #[test]
+    fn medium_ws_lives_in_l2() {
+        let e = cfg().evaluate(1_000_000, 1 << 20, 0.0, 4 << 20, 1.0);
+        // Misses L1 heavily, hits L2: average latency between L1 and L2 cost.
+        assert!(e.stall_cycles > 5.0 * 1_000_000.0);
+        assert!(e.stall_cycles < 20.0 * 1_000_000.0);
+        assert!(e.l2_traffic_bytes > 0.5 * 64.0 * 1_000_000.0);
+        // Very little DRAM traffic.
+        assert!(e.mem_traffic_bytes < 0.1 * e.l2_traffic_bytes);
+    }
+
+    #[test]
+    fn huge_ws_goes_to_memory() {
+        let e = cfg().evaluate(1_000_000, 64 << 20, 0.0, 4 << 20, 1.0);
+        assert!(e.stall_cycles > 80.0 * 1_000_000.0, "stalls {}", e.stall_cycles);
+        assert!(e.mem_traffic_bytes > 0.3 * 64.0 * 1_000_000.0);
+    }
+
+    #[test]
+    fn locality_shields_from_ws() {
+        let cold = cfg().evaluate(1_000_000, 64 << 20, 0.0, 4 << 20, 1.0);
+        let warm = cfg().evaluate(1_000_000, 64 << 20, 0.9, 4 << 20, 1.0);
+        assert!(warm.stall_cycles < 0.3 * cold.stall_cycles);
+    }
+
+    #[test]
+    fn shrinking_l2_share_increases_stalls() {
+        // Working set that fits in a full L2 but not in half of it.
+        let full = cfg().evaluate(1_000_000, 3 << 20, 0.0, 4 << 20, 1.0);
+        let half = cfg().evaluate(1_000_000, 3 << 20, 0.0, 2 << 20, 1.0);
+        assert!(half.stall_cycles > full.stall_cycles * 1.2);
+        assert!(half.mem_traffic_bytes > full.mem_traffic_bytes);
+    }
+
+    #[test]
+    fn bus_contention_scales_dram_latency_only() {
+        // L1-resident block: factor has no effect.
+        let a = cfg().evaluate(1_000_000, 8 * 1024, 0.0, 4 << 20, 1.0);
+        let b = cfg().evaluate(1_000_000, 8 * 1024, 0.0, 4 << 20, 2.0);
+        assert!((a.stall_cycles - b.stall_cycles).abs() / a.stall_cycles < 0.05);
+        // DRAM-resident block: factor bites.
+        let c = cfg().evaluate(1_000_000, 64 << 20, 0.0, 4 << 20, 1.0);
+        let d = cfg().evaluate(1_000_000, 64 << 20, 0.0, 4 << 20, 2.0);
+        assert!(d.stall_cycles > 1.5 * c.stall_cycles);
+    }
+
+    #[test]
+    fn l2_share_shared_vs_private() {
+        let shared = cfg();
+        assert_eq!(shared.l2_share(0.0), 4 << 20);
+        assert_eq!(shared.l2_share(1.0), 2 << 20);
+        let mut private = cfg();
+        private.l2_shared = false;
+        private.l2_bytes = 2 << 20;
+        assert_eq!(private.l2_share(1.0), 2 << 20);
+        assert_eq!(private.l2_share(0.0), 2 << 20);
+    }
+
+    #[test]
+    fn hit_fraction_monotone_in_capacity() {
+        let ws = 1 << 20;
+        let mut last = 0.0;
+        for cap_kb in [64u64, 256, 512, 1024, 2048] {
+            let f = CacheConfig::capacity_hit_fraction(cap_kb * 1024, ws);
+            assert!(f >= last, "not monotone at {cap_kb}");
+            last = f;
+        }
+        assert!(last <= 0.98 + 1e-12);
+    }
+}

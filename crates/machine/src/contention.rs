@@ -1,0 +1,224 @@
+//! Multi-core contention model.
+//!
+//! Given what every core is currently executing, compute each core's
+//! slowdown relative to running the same block solo. Two mechanisms are
+//! modeled, both named by the paper as the sources of residual host
+//! interference on the dual-core testbed (Section 4.2.2):
+//!
+//! 1. **Shared L2 partitioning** — a cache-hungry sibling shrinks this
+//!    core's effective L2 share, turning L2 hits into DRAM misses.
+//! 2. **Memory-bus bandwidth** — the cores' combined DRAM traffic can
+//!    exceed the bus, inflating effective DRAM latency for both.
+//!
+//! The model is evaluated afresh whenever the OS changes what any core is
+//! running; it is a pure function of the current loads.
+
+use crate::cpu::CpuModel;
+use crate::ops::OpBlock;
+use crate::spec::{CpuSpec, MemSpec};
+
+/// What one core is currently executing.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreLoad<'a> {
+    /// The block being executed, or `None` for an idle core.
+    pub block: Option<&'a OpBlock>,
+}
+
+impl<'a> CoreLoad<'a> {
+    /// An idle core.
+    pub fn idle() -> Self {
+        CoreLoad { block: None }
+    }
+    /// A busy core.
+    pub fn busy(block: &'a OpBlock) -> Self {
+        CoreLoad { block: Some(block) }
+    }
+}
+
+/// The contention solver.
+#[derive(Debug, Clone)]
+pub struct ContentionModel {
+    cpu: CpuModel,
+    mem: MemSpec,
+}
+
+impl ContentionModel {
+    /// Build from CPU and memory specs.
+    pub fn new(cpu_spec: CpuSpec, mem: MemSpec) -> Self {
+        ContentionModel {
+            cpu: CpuModel::new(cpu_spec),
+            mem,
+        }
+    }
+
+    /// The CPU model used internally.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Per-core slowdown factors (>= 1.0) for the given simultaneous loads.
+    /// `loads.len()` must equal the core count. Idle cores get factor 1.0.
+    pub fn slowdowns(&self, loads: &[CoreLoad<'_>]) -> Vec<f64> {
+        assert_eq!(
+            loads.len(),
+            self.cpu.spec().cores as usize,
+            "one load entry per core"
+        );
+        // Pass 1: solo profiles.
+        let solo: Vec<_> = loads
+            .iter()
+            .map(|l| l.block.map(|b| self.cpu.solo_estimate(b)))
+            .collect();
+
+        // Aggregate bus demand from solo profiles.
+        let total_demand: f64 = solo
+            .iter()
+            .flatten()
+            .map(|e| e.profile.mem_bw_demand)
+            .sum();
+        let bus_factor = (total_demand / self.mem.bus_bandwidth).max(1.0);
+
+        // Pass 2: contended estimates.
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let (Some(block), Some(solo_est)) = (l.block, &solo[i]) else {
+                    return 1.0;
+                };
+                if solo_est.duration.is_zero() {
+                    return 1.0;
+                }
+                // Sibling L2 pressure: the strongest competing demand.
+                let sibling_pressure = solo
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, e)| e.as_ref())
+                    .map(|e| e.profile.l2_pressure)
+                    .fold(0.0f64, f64::max);
+                let l2_eff = self.cpu.spec().cache.l2_share(sibling_pressure);
+                let contended = self.cpu.estimate(block, l2_eff, bus_factor);
+                (contended.duration.as_secs_f64() / solo_est.duration.as_secs_f64()).max(1.0)
+            })
+            .collect()
+    }
+
+    /// Convenience: slowdown of `block` on one core while each block in
+    /// `others` occupies another core. Pads with idle cores.
+    pub fn slowdown_against(&self, block: &OpBlock, others: &[&OpBlock]) -> f64 {
+        let cores = self.cpu.spec().cores as usize;
+        assert!(others.len() < cores, "too many co-runners for core count");
+        let mut loads = Vec::with_capacity(cores);
+        loads.push(CoreLoad::busy(block));
+        for b in others {
+            loads.push(CoreLoad::busy(b));
+        }
+        while loads.len() < cores {
+            loads.push(CoreLoad::idle());
+        }
+        self.slowdowns(&loads)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    fn model() -> ContentionModel {
+        MachineSpec::core2_duo_6600().contention_model()
+    }
+
+    #[test]
+    fn idle_sibling_means_no_slowdown() {
+        let m = model();
+        let b = OpBlock::mem_stream(1_000_000, 8 << 20);
+        let s = m.slowdown_against(&b, &[]);
+        assert!((s - 1.0).abs() < 1e-9, "s {s}");
+    }
+
+    #[test]
+    fn compute_bound_pairs_dont_interfere() {
+        let m = model();
+        let a = OpBlock::int_alu(1_000_000);
+        let b = OpBlock::fp_alu(1_000_000);
+        let s = m.slowdown_against(&a, &[&b]);
+        assert!(s < 1.01, "s {s}");
+    }
+
+    #[test]
+    fn memory_bound_pairs_interfere() {
+        let m = model();
+        let a = OpBlock::mem_stream(10_000_000, 32 << 20);
+        let b = OpBlock::mem_stream(10_000_000, 32 << 20);
+        let s = m.slowdown_against(&a, &[&b]);
+        assert!(s > 1.08, "s {s}");
+    }
+
+    #[test]
+    fn l2_resident_victim_suffers_from_hungry_sibling() {
+        let m = model();
+        // Victim fits in full L2 but not in half.
+        let victim = OpBlock::mem_stream(10_000_000, 3 << 20);
+        let aggressor = OpBlock::mem_stream(10_000_000, 32 << 20);
+        let s = m.slowdown_against(&victim, &[&aggressor]);
+        assert!(s > 1.05, "s {s}");
+    }
+
+    #[test]
+    fn small_ws_victim_immune() {
+        let m = model();
+        let victim = OpBlock::int_alu(10_000_000); // L1-resident
+        let aggressor = OpBlock::mem_stream(10_000_000, 32 << 20);
+        let s = m.slowdown_against(&victim, &[&aggressor]);
+        assert!(s < 1.02, "s {s}");
+    }
+
+    #[test]
+    fn slowdowns_are_symmetric_for_identical_blocks() {
+        let m = model();
+        let a = OpBlock::mem_stream(10_000_000, 16 << 20);
+        let b = a.clone();
+        let loads = [CoreLoad::busy(&a), CoreLoad::busy(&b)];
+        let s = m.slowdowns(&loads);
+        assert!((s[0] - s[1]).abs() < 1e-9);
+        assert!(s[0] > 1.0);
+    }
+
+    #[test]
+    fn idle_core_gets_factor_one() {
+        let m = model();
+        let a = OpBlock::mem_stream(1_000_000, 32 << 20);
+        let loads = [CoreLoad::busy(&a), CoreLoad::idle()];
+        let s = m.slowdowns(&loads);
+        assert_eq!(s[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load entry per core")]
+    fn wrong_core_count_panics() {
+        let m = model();
+        let a = OpBlock::int_alu(10);
+        let _ = m.slowdowns(&[CoreLoad::busy(&a)]);
+    }
+
+    #[test]
+    fn private_l2_reduces_interference() {
+        let shared = model();
+        let private = MachineSpec::core2_duo_6600()
+            .with_private_l2()
+            .contention_model();
+        // Victim that fits the full shared L2 (4 MB) but not a halved
+        // share: sharing hurts it, a private (if smaller) L2 gives it a
+        // *stable* share so co-running costs nothing extra.
+        let victim = OpBlock::mem_stream(10_000_000, 3 << 20);
+        let aggressor = OpBlock::mem_stream(10_000_000, 32 << 20);
+        let s_shared = shared.slowdown_against(&victim, &[&aggressor]);
+        let s_private = private.slowdown_against(&victim, &[&aggressor]);
+        assert!(
+            s_private < s_shared,
+            "private {s_private} vs shared {s_shared}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-core CPU timing model.
+//!
+//! Converts an [`OpBlock`] into cycles and wall time on one core, given a
+//! cache context (effective L2 share and a memory-latency contention
+//! factor). Also derives each block's [`ExecProfile`] — the compact
+//! descriptor the contention model uses to decide how two co-running
+//! blocks slow each other down.
+
+use crate::cache::MemoryEstimate;
+use crate::ops::OpBlock;
+use crate::spec::CpuSpec;
+use serde::{Deserialize, Serialize};
+use vgrid_simcore::SimDuration;
+
+/// Compact execution characteristics of a block, for contention purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecProfile {
+    /// Memory-bus bandwidth demand while the block runs solo, bytes/sec.
+    pub mem_bw_demand: f64,
+    /// L2 cache pressure this block exerts on a sibling, in `[0, 1]`
+    /// (how much of the shared L2 it wants).
+    pub l2_pressure: f64,
+    /// Working set, bytes.
+    pub working_set: u64,
+    /// Locality fraction (see [`OpBlock::locality`]).
+    pub locality: f64,
+    /// Fraction of solo execution time spent stalled on memory.
+    pub mem_stall_frac: f64,
+}
+
+impl ExecProfile {
+    /// Profile of an idle core: no demands.
+    pub const IDLE: ExecProfile = ExecProfile {
+        mem_bw_demand: 0.0,
+        l2_pressure: 0.0,
+        working_set: 0,
+        locality: 1.0,
+        mem_stall_frac: 0.0,
+    };
+}
+
+/// Estimated execution of one block on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecEstimate {
+    /// Wall time of the block on one core at this context.
+    pub duration: SimDuration,
+    /// Total cycles consumed.
+    pub cycles: f64,
+    /// Memory behaviour details.
+    pub memory: MemoryEstimate,
+    /// Contention descriptor.
+    pub profile: ExecProfile,
+}
+
+/// The per-core timing model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    spec: CpuSpec,
+}
+
+impl CpuModel {
+    /// Build a model from a CPU spec.
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuModel { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Core clock frequency in Hz.
+    pub fn freq_hz(&self) -> u64 {
+        self.spec.freq_hz
+    }
+
+    /// Cycles of pure compute (non-memory-stall) work in a block.
+    fn compute_cycles(&self, block: &OpBlock) -> f64 {
+        let c = &block.counts;
+        c.int_ops as f64 / self.spec.int_ops_per_cycle
+            + c.fp_ops as f64 / self.spec.fp_ops_per_cycle
+            + c.branches as f64 / self.spec.branches_per_cycle
+            + c.kernel_ops as f64 * self.spec.kernel_op_cycles
+    }
+
+    /// Estimate a block in an explicit cache context.
+    ///
+    /// * `l2_effective` — L2 bytes this core owns right now.
+    /// * `mem_latency_factor` — DRAM latency multiplier from bus pressure.
+    pub fn estimate(
+        &self,
+        block: &OpBlock,
+        l2_effective: u64,
+        mem_latency_factor: f64,
+    ) -> ExecEstimate {
+        let mem = self.spec.cache.evaluate(
+            block.counts.mem_accesses(),
+            block.working_set,
+            block.locality,
+            l2_effective,
+            mem_latency_factor,
+        );
+        let compute = self.compute_cycles(block);
+        // Out-of-order cores overlap some memory stalls with compute; a
+        // fixed overlap factor keeps the model simple (Core 2's ~96-entry
+        // ROB hides a modest fraction of L2/DRAM latency).
+        const STALL_OVERLAP: f64 = 0.25;
+        let stall = mem.stall_cycles * (1.0 - STALL_OVERLAP);
+        let cycles = compute + stall;
+        let secs = cycles / self.spec.freq_hz as f64;
+        let duration = SimDuration::from_secs_f64(secs);
+
+        let mem_bw_demand = if secs > 0.0 {
+            mem.mem_traffic_bytes / secs
+        } else {
+            0.0
+        };
+        let l2_pressure = if block.working_set == 0 {
+            0.0
+        } else {
+            // How much of the shared L2 this block wants, saturating at 1.
+            (block.working_set as f64 / self.spec.cache.l2_bytes as f64).min(1.0)
+                * (1.0 - block.locality)
+        };
+        let mem_stall_frac = if cycles > 0.0 { stall / cycles } else { 0.0 };
+
+        ExecEstimate {
+            duration,
+            cycles,
+            memory: mem,
+            profile: ExecProfile {
+                mem_bw_demand,
+                l2_pressure,
+                working_set: block.working_set,
+                locality: block.locality,
+                mem_stall_frac,
+            },
+        }
+    }
+
+    /// Estimate a block running solo on the machine: full L2, uncontended
+    /// memory.
+    pub fn solo_estimate(&self, block: &OpBlock) -> ExecEstimate {
+        self.estimate(block, self.spec.cache.l2_bytes, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    fn model() -> CpuModel {
+        MachineSpec::core2_duo_6600().cpu_model()
+    }
+
+    #[test]
+    fn int_throughput_matches_spec() {
+        let m = model();
+        let est = m.solo_estimate(&OpBlock::int_alu(2_400_000_000));
+        // 2.4e9 ops at 2.5 ops/cycle = 0.96e9 cycles = 0.4 s.
+        assert!((est.duration.as_secs_f64() - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn fp_slower_than_int_per_op() {
+        let m = model();
+        let int = m.solo_estimate(&OpBlock::int_alu(1_000_000_000));
+        let fp = m.solo_estimate(&OpBlock::fp_alu(1_000_000_000));
+        assert!(fp.duration > int.duration);
+    }
+
+    #[test]
+    fn kernel_ops_are_expensive() {
+        let m = model();
+        let user = m.solo_estimate(&OpBlock::int_alu(1_000_000));
+        let kern = m.solo_estimate(&OpBlock::kernel(1_000_000));
+        assert!(kern.cycles > 100.0 * user.cycles);
+    }
+
+    #[test]
+    fn memory_bound_block_has_high_stall_frac() {
+        let m = model();
+        let est = m.solo_estimate(&OpBlock::mem_stream(10_000_000, 64 << 20));
+        assert!(est.profile.mem_stall_frac > 0.8, "{}", est.profile.mem_stall_frac);
+        assert!(est.profile.mem_bw_demand > 1e8);
+    }
+
+    #[test]
+    fn compute_bound_block_has_low_stall_frac() {
+        let m = model();
+        let est = m.solo_estimate(&OpBlock::int_alu(10_000_000));
+        assert!(est.profile.mem_stall_frac < 0.1);
+        assert!(est.profile.l2_pressure < 0.05);
+    }
+
+    #[test]
+    fn shrunk_l2_slows_l2_resident_block() {
+        let m = model();
+        let block = OpBlock::mem_stream(10_000_000, 3 << 20);
+        let full = m.estimate(&block, 4 << 20, 1.0);
+        let half = m.estimate(&block, 2 << 20, 1.0);
+        assert!(half.duration > full.duration);
+    }
+
+    #[test]
+    fn bus_factor_slows_dram_block() {
+        let m = model();
+        let block = OpBlock::mem_stream(10_000_000, 64 << 20);
+        let free = m.estimate(&block, 4 << 20, 1.0);
+        let busy = m.estimate(&block, 4 << 20, 1.8);
+        assert!(busy.duration.as_secs_f64() > 1.3 * free.duration.as_secs_f64());
+    }
+
+    #[test]
+    fn empty_block_is_instant() {
+        let m = model();
+        let est = m.solo_estimate(&OpBlock::int_alu(0));
+        assert_eq!(est.duration, SimDuration::ZERO);
+        assert_eq!(est.cycles, 0.0);
+    }
+
+    #[test]
+    fn idle_profile_is_inert() {
+        assert_eq!(ExecProfile::IDLE.mem_bw_demand, 0.0);
+        assert_eq!(ExecProfile::IDLE.l2_pressure, 0.0);
+    }
+
+    #[test]
+    fn duration_scales_linearly_with_ops() {
+        let m = model();
+        let one = m.solo_estimate(&OpBlock::int_alu(1_000_000));
+        let ten = m.solo_estimate(&OpBlock::int_alu(10_000_000));
+        let ratio = ten.duration.as_secs_f64() / one.duration.as_secs_f64();
+        assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

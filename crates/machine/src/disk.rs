@@ -1,0 +1,203 @@
+//! Disk service-time model.
+//!
+//! A 2006-era 7200 rpm SATA drive: per-request command overhead, a
+//! seek+rotational penalty for non-sequential accesses, and sequential
+//! transfer at the platter rate. The model tracks the last accessed
+//! position to classify requests as sequential or random, which is what
+//! IOBench's large sequential files exercise.
+
+use crate::spec::DiskSpec;
+use serde::{Deserialize, Serialize};
+use vgrid_simcore::SimDuration;
+
+/// Kind of disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskRequestKind {
+    /// Read from the device.
+    Read,
+    /// Write to the device.
+    Write,
+}
+
+/// One request presented to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskRequest {
+    /// Read or write.
+    pub kind: DiskRequestKind,
+    /// Device byte offset.
+    pub offset: u64,
+    /// Transfer length in bytes.
+    pub bytes: u64,
+}
+
+/// Stateful disk timing model (tracks head position).
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    spec: DiskSpec,
+    /// Byte offset just past the last transferred byte.
+    head: u64,
+    /// Total bytes read so far (statistics).
+    pub bytes_read: u64,
+    /// Total bytes written so far (statistics).
+    pub bytes_written: u64,
+    /// Total requests serviced.
+    pub requests: u64,
+    /// Of which were random (paid a seek).
+    pub random_requests: u64,
+}
+
+impl DiskModel {
+    /// New model with the head parked at offset 0.
+    pub fn new(spec: DiskSpec) -> Self {
+        DiskModel {
+            spec,
+            head: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            requests: 0,
+            random_requests: 0,
+        }
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// Service time for a request; updates head position and statistics.
+    pub fn service(&mut self, req: DiskRequest) -> SimDuration {
+        self.requests += 1;
+        let sequential = req.offset == self.head;
+        let bw = match req.kind {
+            DiskRequestKind::Read => {
+                self.bytes_read += req.bytes;
+                self.spec.seq_read_bw
+            }
+            DiskRequestKind::Write => {
+                self.bytes_written += req.bytes;
+                self.spec.seq_write_bw
+            }
+        };
+        let mut secs = self.spec.per_request_overhead + req.bytes as f64 / bw;
+        if !sequential {
+            self.random_requests += 1;
+            secs += self.spec.random_access_latency;
+        }
+        self.head = req.offset + req.bytes;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Peek the service time a request *would* take without mutating state.
+    pub fn peek_service(&self, req: DiskRequest) -> SimDuration {
+        let mut probe = self.clone();
+        probe.service(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    fn model() -> DiskModel {
+        MachineSpec::core2_duo_6600().disk_model()
+    }
+
+    #[test]
+    fn sequential_read_at_platter_rate() {
+        let mut d = model();
+        // Warm the head to offset 0 (it starts there): first request IS sequential.
+        let t = d.service(DiskRequest {
+            kind: DiskRequestKind::Read,
+            offset: 0,
+            bytes: 60_000_000,
+        });
+        // 60 MB at 60 MB/s = ~1 s (+0.1 ms overhead).
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01, "t {t}");
+    }
+
+    #[test]
+    fn random_access_pays_seek() {
+        let mut d = model();
+        let seq = d.service(DiskRequest {
+            kind: DiskRequestKind::Read,
+            offset: 0,
+            bytes: 4096,
+        });
+        // Head is now at 4096; jump far away.
+        let rand = d.service(DiskRequest {
+            kind: DiskRequestKind::Read,
+            offset: 500_000_000,
+            bytes: 4096,
+        });
+        assert!(rand.as_secs_f64() > seq.as_secs_f64() + 0.010);
+        assert_eq!(d.random_requests, 1);
+    }
+
+    #[test]
+    fn consecutive_requests_chain_sequentially() {
+        let mut d = model();
+        d.service(DiskRequest {
+            kind: DiskRequestKind::Write,
+            offset: 0,
+            bytes: 1024,
+        });
+        let t = d.service(DiskRequest {
+            kind: DiskRequestKind::Write,
+            offset: 1024,
+            bytes: 1024,
+        });
+        // No seek on the chained request.
+        assert!(t.as_secs_f64() < 0.001);
+        assert_eq!(d.random_requests, 0);
+    }
+
+    #[test]
+    fn write_slower_than_read() {
+        let spec = MachineSpec::core2_duo_6600().disk;
+        let mut d1 = DiskModel::new(spec.clone());
+        let mut d2 = DiskModel::new(spec);
+        let r = d1.service(DiskRequest {
+            kind: DiskRequestKind::Read,
+            offset: 0,
+            bytes: 50_000_000,
+        });
+        let w = d2.service(DiskRequest {
+            kind: DiskRequestKind::Write,
+            offset: 0,
+            bytes: 50_000_000,
+        });
+        assert!(w > r);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut d = model();
+        d.service(DiskRequest {
+            kind: DiskRequestKind::Read,
+            offset: 0,
+            bytes: 100,
+        });
+        d.service(DiskRequest {
+            kind: DiskRequestKind::Write,
+            offset: 100,
+            bytes: 200,
+        });
+        assert_eq!(d.bytes_read, 100);
+        assert_eq!(d.bytes_written, 200);
+        assert_eq!(d.requests, 2);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let d = model();
+        let before_head = d.head;
+        let _ = d.peek_service(DiskRequest {
+            kind: DiskRequestKind::Read,
+            offset: 9_999_999,
+            bytes: 4096,
+        });
+        assert_eq!(d.head, before_head);
+        assert_eq!(d.requests, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # vgrid-machine
+//!
+//! Physical hardware models for the `vgrid` desktop-grid virtualization
+//! testbed: a mechanistic, deterministic timing model of the machine the
+//! paper used — an Intel Core 2 Duo 6600 @ 2.40 GHz with a shared 4 MB L2
+//! cache, 1 GB of DDR2, a 2006-era SATA disk and a 100 Mbps Fast Ethernet
+//! NIC.
+//!
+//! The models are *analytic*: workloads are described as [`ops::OpBlock`]s
+//! (operation counts by class plus memory-behaviour descriptors) and the
+//! machine computes how long such a block takes on a core, solo or under
+//! contention from the other core. This is the style of interval/mechanistic
+//! CPU modeling used by fast architectural simulators: it captures the
+//! first-order effects the paper's host-intrusiveness results hinge on
+//! (shared-L2 pressure and memory-bus bandwidth) without simulating
+//! individual instructions.
+//!
+//! Nothing in this crate schedules anything; the OS layer
+//! (`vgrid-os`) owns time and asks these models questions.
+//!
+//! ```
+//! use vgrid_machine::{MachineSpec, ops::OpBlock};
+//!
+//! let spec = MachineSpec::core2_duo_6600();
+//! let cpu = spec.cpu_model();
+//! // 1 billion independent integer ops: ~0.17 s at 2.5 ops/cycle, 2.4 GHz.
+//! let block = OpBlock::int_alu(1_000_000_000);
+//! let est = cpu.solo_estimate(&block);
+//! assert!(est.duration.as_secs_f64() > 0.1 && est.duration.as_secs_f64() < 0.2);
+//!
+//! // The contention model answers "how much do co-runners hurt?":
+//! let cm = spec.contention_model();
+//! let hog = OpBlock::mem_stream(10_000_000, 32 << 20);
+//! assert!(cm.slowdown_against(&hog, &[&hog.clone()]) > 1.05);
+//! ```
+
+pub mod cache;
+pub mod contention;
+pub mod cpu;
+pub mod disk;
+pub mod nic;
+pub mod ops;
+pub mod spec;
+
+pub use cache::{CacheConfig, MemoryEstimate};
+pub use contention::{ContentionModel, CoreLoad};
+pub use cpu::{CpuModel, ExecEstimate, ExecProfile};
+pub use disk::{DiskModel, DiskRequest, DiskRequestKind};
+pub use nic::{LinkModel, NicModel};
+pub use ops::{OpBlock, OpClassCounts};
+pub use spec::{CpuSpec, DiskSpec, MachineSpec, MemSpec, NicSpec};

@@ -1,0 +1,298 @@
+//! Abstract operation blocks.
+//!
+//! An [`OpBlock`] is the unit of CPU work in the testbed: a bag of
+//! operation counts by class plus descriptors of the block's memory
+//! behaviour. Workload kernels in `vgrid-workloads` *measure* these counts
+//! by running their real Rust implementations under instrumentation, then
+//! emit blocks for the simulated machine to execute.
+//!
+//! The split into classes matters because each layer of the stack treats
+//! them differently:
+//!
+//! * the CPU model has different throughput per class;
+//! * the cache model cares about `mem_reads + mem_writes`, the working set
+//!   and locality;
+//! * the VMM dilates `kernel_ops` enormously (trap-and-emulate / binary
+//!   translation of privileged code) while user-mode `int_ops`/`fp_ops`
+//!   run near-native — which is exactly the paper's headline contrast
+//!   between CPU-bound and I/O-bound guests.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation counts by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpClassCounts {
+    /// User-mode integer ALU operations.
+    pub int_ops: u64,
+    /// User-mode floating-point operations.
+    pub fp_ops: u64,
+    /// Memory read operations (loads reaching the L1 interface).
+    pub mem_reads: u64,
+    /// Memory write operations.
+    pub mem_writes: u64,
+    /// Branch operations.
+    pub branches: u64,
+    /// Kernel-mode / privileged operations (syscall work, page-table
+    /// manipulation, interrupt delivery).
+    pub kernel_ops: u64,
+}
+
+impl OpClassCounts {
+    /// Total operation count across all classes.
+    pub fn total(&self) -> u64 {
+        self.int_ops + self.fp_ops + self.mem_reads + self.mem_writes + self.branches
+            + self.kernel_ops
+    }
+
+    /// Memory accesses (reads + writes).
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_reads + self.mem_writes
+    }
+
+    /// Scale all counts by `factor`, rounding to nearest.
+    pub fn scale(&self, factor: f64) -> OpClassCounts {
+        debug_assert!(factor >= 0.0);
+        let s = |x: u64| (x as f64 * factor).round() as u64;
+        OpClassCounts {
+            int_ops: s(self.int_ops),
+            fp_ops: s(self.fp_ops),
+            mem_reads: s(self.mem_reads),
+            mem_writes: s(self.mem_writes),
+            branches: s(self.branches),
+            kernel_ops: s(self.kernel_ops),
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &OpClassCounts) -> OpClassCounts {
+        OpClassCounts {
+            int_ops: self.int_ops + other.int_ops,
+            fp_ops: self.fp_ops + other.fp_ops,
+            mem_reads: self.mem_reads + other.mem_reads,
+            mem_writes: self.mem_writes + other.mem_writes,
+            branches: self.branches + other.branches,
+            kernel_ops: self.kernel_ops + other.kernel_ops,
+        }
+    }
+}
+
+/// A block of CPU work with uniform characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpBlock {
+    /// Debug label (workload + phase).
+    pub label: String,
+    /// Operation counts.
+    pub counts: OpClassCounts,
+    /// Size of the data the block touches repeatedly, in bytes. Determines
+    /// which cache level the block lives in.
+    pub working_set: u64,
+    /// Fraction of memory accesses that hit L1 *regardless* of working-set
+    /// size (register-like reuse, stack traffic). In `[0, 1]`.
+    pub locality: f64,
+}
+
+impl OpBlock {
+    /// A block of pure independent integer ALU work (the limiting case the
+    /// CPU model is easiest to reason about).
+    pub fn int_alu(n: u64) -> OpBlock {
+        OpBlock {
+            label: "int_alu".into(),
+            counts: OpClassCounts {
+                int_ops: n,
+                ..Default::default()
+            },
+            working_set: 4 * 1024,
+            locality: 1.0,
+        }
+    }
+
+    /// A block of pure floating-point work.
+    pub fn fp_alu(n: u64) -> OpBlock {
+        OpBlock {
+            label: "fp_alu".into(),
+            counts: OpClassCounts {
+                fp_ops: n,
+                ..Default::default()
+            },
+            working_set: 4 * 1024,
+            locality: 1.0,
+        }
+    }
+
+    /// A block of streaming memory traffic over `ws` bytes.
+    pub fn mem_stream(accesses: u64, ws: u64) -> OpBlock {
+        OpBlock {
+            label: "mem_stream".into(),
+            counts: OpClassCounts {
+                mem_reads: accesses / 2,
+                mem_writes: accesses - accesses / 2,
+                int_ops: accesses, // address arithmetic
+                ..Default::default()
+            },
+            working_set: ws,
+            locality: 0.0,
+        }
+    }
+
+    /// A block of kernel-mode work (`n` privileged operations), as incurred
+    /// by syscalls and interrupt handling.
+    pub fn kernel(n: u64) -> OpBlock {
+        OpBlock {
+            label: "kernel".into(),
+            counts: OpClassCounts {
+                kernel_ops: n,
+                ..Default::default()
+            },
+            working_set: 64 * 1024,
+            locality: 0.5,
+        }
+    }
+
+    /// Split off a fraction of this block (used when a scheduler slice ends
+    /// mid-block). Returns the piece of size `frac` of the original; `self`
+    /// keeps the remainder.
+    pub fn split_off(&mut self, frac: f64) -> OpBlock {
+        let frac = frac.clamp(0.0, 1.0);
+        let piece = OpBlock {
+            label: self.label.clone(),
+            counts: self.counts.scale(frac),
+            working_set: self.working_set,
+            locality: self.locality,
+        };
+        self.counts = OpClassCounts {
+            int_ops: self.counts.int_ops - piece.counts.int_ops,
+            fp_ops: self.counts.fp_ops - piece.counts.fp_ops,
+            mem_reads: self.counts.mem_reads - piece.counts.mem_reads,
+            mem_writes: self.counts.mem_writes - piece.counts.mem_writes,
+            branches: self.counts.branches - piece.counts.branches,
+            kernel_ops: self.counts.kernel_ops - piece.counts.kernel_ops,
+        };
+        piece
+    }
+
+    /// Builder: set the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> OpBlock {
+        self.label = label.into();
+        self
+    }
+
+    /// Builder: set the working set.
+    pub fn with_working_set(mut self, ws: u64) -> OpBlock {
+        self.working_set = ws;
+        self
+    }
+
+    /// Builder: set the locality fraction.
+    pub fn with_locality(mut self, locality: f64) -> OpBlock {
+        debug_assert!((0.0..=1.0).contains(&locality));
+        self.locality = locality;
+        self
+    }
+
+    /// Builder: add kernel ops to an otherwise user-mode block (e.g. the
+    /// syscall fraction of a benchmark).
+    pub fn with_kernel_ops(mut self, n: u64) -> OpBlock {
+        self.counts.kernel_ops += n;
+        self
+    }
+
+    /// True when the block contains no work.
+    pub fn is_empty(&self) -> bool {
+        self.counts.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let c = OpClassCounts {
+            int_ops: 1,
+            fp_ops: 2,
+            mem_reads: 3,
+            mem_writes: 4,
+            branches: 5,
+            kernel_ops: 6,
+        };
+        assert_eq!(c.total(), 21);
+        assert_eq!(c.mem_accesses(), 7);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let c = OpClassCounts {
+            int_ops: 10,
+            ..Default::default()
+        };
+        assert_eq!(c.scale(0.25).int_ops, 3); // 2.5 rounds to 3? No: 10*0.25=2.5 -> 3 (round half up)
+        assert_eq!(c.scale(0.5).int_ops, 5);
+        assert_eq!(c.scale(2.0).int_ops, 20);
+    }
+
+    #[test]
+    fn add_componentwise() {
+        let a = OpClassCounts {
+            int_ops: 1,
+            fp_ops: 2,
+            ..Default::default()
+        };
+        let b = OpClassCounts {
+            int_ops: 10,
+            kernel_ops: 5,
+            ..Default::default()
+        };
+        let c = a.add(&b);
+        assert_eq!(c.int_ops, 11);
+        assert_eq!(c.fp_ops, 2);
+        assert_eq!(c.kernel_ops, 5);
+    }
+
+    #[test]
+    fn split_off_conserves_work() {
+        let mut block = OpBlock::int_alu(1000).with_kernel_ops(100);
+        let total_before = block.counts.total();
+        let piece = block.split_off(0.3);
+        assert_eq!(piece.counts.total() + block.counts.total(), total_before);
+        assert!(piece.counts.int_ops > 0);
+        assert!(block.counts.int_ops > 0);
+    }
+
+    #[test]
+    fn split_off_full_and_empty() {
+        let mut block = OpBlock::int_alu(100);
+        let all = block.clone();
+        let piece = block.split_off(1.0);
+        assert_eq!(piece, all);
+        assert!(block.is_empty());
+
+        let mut block2 = OpBlock::int_alu(100);
+        let piece2 = block2.split_off(0.0);
+        assert!(piece2.is_empty());
+        assert_eq!(block2.counts.int_ops, 100);
+    }
+
+    #[test]
+    fn builders() {
+        let b = OpBlock::fp_alu(10)
+            .with_label("x")
+            .with_working_set(999)
+            .with_locality(0.5)
+            .with_kernel_ops(3);
+        assert_eq!(b.label, "x");
+        assert_eq!(b.working_set, 999);
+        assert_eq!(b.locality, 0.5);
+        assert_eq!(b.counts.kernel_ops, 3);
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        assert!(OpBlock::int_alu(5).counts.int_ops == 5);
+        assert!(OpBlock::fp_alu(5).counts.fp_ops == 5);
+        let m = OpBlock::mem_stream(10, 1 << 20);
+        assert_eq!(m.counts.mem_accesses(), 10);
+        assert_eq!(m.working_set, 1 << 20);
+        assert!(OpBlock::kernel(5).counts.kernel_ops == 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the hardware models' invariants.
+
+use proptest::prelude::*;
+use vgrid_machine::ops::OpBlock;
+use vgrid_machine::{CoreLoad, DiskRequest, DiskRequestKind, MachineSpec};
+
+proptest! {
+    /// Cache stalls never decrease when the effective L2 shrinks.
+    #[test]
+    fn smaller_l2_share_never_helps(
+        accesses in 1u64..10_000_000,
+        ws in 1u64..(64u64 << 20),
+        loc in 0.0f64..1.0,
+        share_a in (64u64 << 10)..(4 << 20),
+        share_b in (64u64 << 10)..(4 << 20),
+    ) {
+        let cache = MachineSpec::core2_duo_6600().cpu.cache;
+        let (small, large) = if share_a <= share_b { (share_a, share_b) } else { (share_b, share_a) };
+        let e_small = cache.evaluate(accesses, ws, loc, small, 1.0);
+        let e_large = cache.evaluate(accesses, ws, loc, large, 1.0);
+        prop_assert!(e_small.stall_cycles >= e_large.stall_cycles - 1e-6);
+    }
+
+    /// Solo estimates scale (within rounding) linearly in op counts.
+    #[test]
+    fn cpu_estimate_is_linear_in_work(n in 1_000u64..10_000_000, k in 2u64..8) {
+        let cpu = MachineSpec::core2_duo_6600().cpu_model();
+        let one = cpu.solo_estimate(&OpBlock::int_alu(n)).cycles;
+        let many = cpu.solo_estimate(&OpBlock::int_alu(n * k)).cycles;
+        let ratio = many / one;
+        prop_assert!((ratio - k as f64).abs() < 0.01, "ratio {}", ratio);
+    }
+
+    /// Contention is symmetric for identical blocks and bounded below by 1.
+    #[test]
+    fn contention_symmetric_for_twins(ops in 1u64..5_000_000, ws in 1u64..(32u64 << 20)) {
+        let cm = MachineSpec::core2_duo_6600().contention_model();
+        let a = OpBlock::mem_stream(ops, ws);
+        let b = a.clone();
+        let loads = [CoreLoad::busy(&a), CoreLoad::busy(&b)];
+        let s = cm.slowdowns(&loads);
+        prop_assert!((s[0] - s[1]).abs() < 1e-9);
+        prop_assert!(s[0] >= 1.0);
+    }
+
+    /// Disk service time grows with transfer size; seeks only add cost.
+    #[test]
+    fn disk_service_monotone(bytes_a in 1u64..(64u64 << 20), bytes_b in 1u64..(64u64 << 20)) {
+        let spec = MachineSpec::core2_duo_6600().disk;
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        let mut d1 = MachineSpec::core2_duo_6600().disk_model();
+        let mut d2 = MachineSpec::core2_duo_6600().disk_model();
+        let t_small = d1.service(DiskRequest { kind: DiskRequestKind::Read, offset: 0, bytes: small });
+        let t_large = d2.service(DiskRequest { kind: DiskRequestKind::Read, offset: 0, bytes: large });
+        prop_assert!(t_small <= t_large);
+        // A random follow-up is never cheaper than a sequential one.
+        let mut d3 = MachineSpec::core2_duo_6600().disk_model();
+        d3.service(DiskRequest { kind: DiskRequestKind::Read, offset: 0, bytes: small });
+        let seq = d3.peek_service(DiskRequest { kind: DiskRequestKind::Read, offset: small, bytes: 4096 });
+        let rnd = d3.peek_service(DiskRequest { kind: DiskRequestKind::Read, offset: small + (1 << 30), bytes: 4096 });
+        prop_assert!(rnd >= seq);
+        let _ = spec;
+    }
+}

@@ -1,0 +1,254 @@
+//! Ready queues for the preemptive priority scheduler.
+//!
+//! Six priority classes (Windows XP's classes), round-robin within each
+//! class. The `System` owns dispatch (core assignment, preemption,
+//! quantum); this module owns the queue discipline only, which keeps it
+//! independently testable.
+
+use crate::action::{Priority, ThreadId};
+use std::collections::VecDeque;
+
+/// Ready queues, one per priority class.
+#[derive(Debug, Default)]
+pub struct ReadyQueues {
+    queues: [VecDeque<ThreadId>; 6],
+}
+
+impl ReadyQueues {
+    /// Empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a thread to the back of its class queue (normal wakeup /
+    /// quantum rotation).
+    pub fn push_back(&mut self, tid: ThreadId, prio: Priority) {
+        self.queues[prio as usize].push_back(tid);
+    }
+
+    /// Push a thread to the front of its class queue (it was preempted
+    /// before exhausting its quantum and should run next among its class).
+    pub fn push_front(&mut self, tid: ThreadId, prio: Priority) {
+        self.queues[prio as usize].push_front(tid);
+    }
+
+    /// Highest priority class with a ready thread.
+    pub fn best_priority(&self) -> Option<Priority> {
+        const PRIOS: [Priority; 6] = [
+            Priority::Realtime,
+            Priority::High,
+            Priority::AboveNormal,
+            Priority::Normal,
+            Priority::BelowNormal,
+            Priority::Idle,
+        ];
+        PRIOS
+            .into_iter()
+            .find(|&p| !self.queues[p as usize].is_empty())
+    }
+
+    /// Pop the next thread of the highest non-empty class.
+    pub fn pop_best(&mut self) -> Option<(ThreadId, Priority)> {
+        let p = self.best_priority()?;
+        let tid = self.queues[p as usize].pop_front().expect("non-empty");
+        Some((tid, p))
+    }
+
+    /// Pop the best thread *for a specific core*, honouring last-processor
+    /// affinity the way Windows' dispatcher does: within the highest
+    /// non-empty class, the first FIFO candidate that is eligible for
+    /// this core is taken; a candidate affine to a different busy core is
+    /// skipped (it will reclaim its own core when that frees up).
+    pub fn pop_for_core(
+        &mut self,
+        core: usize,
+        last_core: impl Fn(ThreadId) -> Option<usize>,
+        core_busy: impl Fn(usize) -> bool,
+    ) -> Option<(ThreadId, Priority)> {
+        let p = self.best_priority()?;
+        let q = &mut self.queues[p as usize];
+        // First FIFO candidate *eligible* for this core: never ran, ran
+        // here, or its own core is free anyway (no reason to wait). A
+        // candidate affine to a different busy core keeps its place and
+        // reclaims its own core when it frees. If nobody is eligible,
+        // take the front (work conservation beats affinity).
+        let pos = q
+            .iter()
+            .position(|&t| match last_core(t) {
+                None => true,
+                Some(c) if c == core => true,
+                Some(other) => !core_busy(other),
+            })
+            .unwrap_or(0);
+        let tid = q.remove(pos).expect("position valid");
+        Some((tid, p))
+    }
+
+    /// Pop a specific thread from the given class (preemption path).
+    pub fn pop_exact(&mut self, tid: ThreadId, prio: Priority) -> bool {
+        let q = &mut self.queues[prio as usize];
+        if let Some(idx) = q.iter().position(|&t| t == tid) {
+            q.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Peek the front thread of the highest non-empty class.
+    pub fn peek_best(&self) -> Option<(ThreadId, Priority)> {
+        let p = self.best_priority()?;
+        Some((*self.queues[p as usize].front().expect("non-empty"), p))
+    }
+
+    /// Remove a specific thread from wherever it is queued (it exited or
+    /// was re-prioritized while ready). Returns true if found.
+    pub fn remove(&mut self, tid: ThreadId) -> bool {
+        for q in &mut self.queues {
+            if let Some(idx) = q.iter().position(|&t| t == tid) {
+                q.remove(idx);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of ready threads at a given class.
+    pub fn len_at(&self, prio: Priority) -> usize {
+        self.queues[prio as usize].len()
+    }
+
+    /// Total ready threads.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// True when nothing is ready.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Iterate over all ready thread ids (for starvation scans).
+    pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.queues.iter().flat_map(|q| q.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_wins() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Idle);
+        q.push_back(ThreadId(2), Priority::Normal);
+        q.push_back(ThreadId(3), Priority::High);
+        assert_eq!(q.best_priority(), Some(Priority::High));
+        assert_eq!(q.pop_best(), Some((ThreadId(3), Priority::High)));
+        assert_eq!(q.pop_best(), Some((ThreadId(2), Priority::Normal)));
+        assert_eq!(q.pop_best(), Some((ThreadId(1), Priority::Idle)));
+        assert_eq!(q.pop_best(), None);
+    }
+
+    #[test]
+    fn round_robin_within_class() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Normal);
+        q.push_back(ThreadId(2), Priority::Normal);
+        let (first, _) = q.pop_best().unwrap();
+        q.push_back(first, Priority::Normal); // rotated at quantum end
+        assert_eq!(q.pop_best().unwrap().0, ThreadId(2));
+        assert_eq!(q.pop_best().unwrap().0, ThreadId(1));
+    }
+
+    #[test]
+    fn push_front_runs_next() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Normal);
+        q.push_front(ThreadId(2), Priority::Normal); // preempted thread
+        assert_eq!(q.pop_best().unwrap().0, ThreadId(2));
+    }
+
+    #[test]
+    fn remove_finds_and_removes() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Normal);
+        q.push_back(ThreadId(2), Priority::Idle);
+        assert!(q.remove(ThreadId(2)));
+        assert!(!q.remove(ThreadId(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_for_core_prefers_affine_candidates() {
+        let mut q = ReadyQueues::new();
+        // Front last ran on busy core 1; second candidate is affine to
+        // core 0 -> core 0 takes the second, front keeps its place.
+        q.push_back(ThreadId(1), Priority::Normal); // last core = 1
+        q.push_back(ThreadId(2), Priority::Normal); // last core = 0
+        let last = |t: ThreadId| match t.0 {
+            1 => Some(1usize),
+            2 => Some(0usize),
+            _ => None,
+        };
+        let got = q.pop_for_core(0, last, |c| c == 1).unwrap();
+        assert_eq!(got.0, ThreadId(2));
+        // Front is still queued and now pops for its own core.
+        let got = q.pop_for_core(1, last, |_| false).unwrap();
+        assert_eq!(got.0, ThreadId(1));
+    }
+
+    #[test]
+    fn pop_for_core_takes_front_when_its_core_is_free() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Normal); // last core 1, but free
+        q.push_back(ThreadId(2), Priority::Normal);
+        let last = |t: ThreadId| if t.0 == 1 { Some(1usize) } else { Some(0) };
+        let got = q.pop_for_core(0, last, |_| false).unwrap();
+        assert_eq!(got.0, ThreadId(1), "free home core: no reason to skip");
+    }
+
+    #[test]
+    fn pop_for_core_falls_back_to_front_when_nobody_is_eligible() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Normal);
+        q.push_back(ThreadId(2), Priority::Normal);
+        // Everyone affine to busy core 1: work conservation takes front.
+        let last = |_: ThreadId| Some(1usize);
+        let got = q.pop_for_core(0, last, |c| c == 1).unwrap();
+        assert_eq!(got.0, ThreadId(1));
+    }
+
+    #[test]
+    fn pop_for_core_never_ran_is_always_eligible() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(7), Priority::Idle);
+        let got = q.pop_for_core(0, |_| None, |_| true).unwrap();
+        assert_eq!(got, (ThreadId(7), Priority::Idle));
+    }
+
+    #[test]
+    fn pop_exact_and_peek_best() {
+        let mut q = ReadyQueues::new();
+        q.push_back(ThreadId(1), Priority::Normal);
+        q.push_back(ThreadId(2), Priority::Normal);
+        assert_eq!(q.peek_best(), Some((ThreadId(1), Priority::Normal)));
+        assert!(q.pop_exact(ThreadId(2), Priority::Normal));
+        assert!(!q.pop_exact(ThreadId(2), Priority::Normal));
+        assert_eq!(q.peek_best(), Some((ThreadId(1), Priority::Normal)));
+        assert!(!q.pop_exact(ThreadId(1), Priority::High), "wrong class");
+    }
+
+    #[test]
+    fn counts() {
+        let mut q = ReadyQueues::new();
+        assert!(q.is_empty());
+        q.push_back(ThreadId(1), Priority::Normal);
+        q.push_back(ThreadId(2), Priority::Normal);
+        q.push_back(ThreadId(3), Priority::High);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.len_at(Priority::Normal), 2);
+        assert_eq!(q.iter().count(), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)`. The
+//! monotonically increasing sequence number guarantees FIFO order among
+//! events scheduled for the same instant, which is what makes whole-system
+//! runs bit-for-bit reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with its due time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Global insertion order; breaks ties among same-time events.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events pop in `(time, insertion order)` order. Scheduling in the past is
+/// a logic error and panics in debug builds (it indicates a broken causal
+/// chain in a component model); in release builds the event is clamped to
+/// "now" as tracked by the last pop.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    ///
+    /// Returns the sequence number assigned to the event, which can be used
+    /// by callers implementing cancellation via generation counters.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> u64 {
+        debug_assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        let time = time.max(self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+        seq
+    }
+
+    /// Remove and return the earliest event, advancing the queue's notion
+    /// of "now".
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.last_popped, "event queue went backwards");
+        self.last_popped = ev.time;
+        Some((ev.time, ev.event))
+    }
+
+    /// The due time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the queue's "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Drop all pending events, keeping the current time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), "c");
+        q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(1), 1));
+        // Scheduling relative to "now" keeps working.
+        q.schedule(q.now() + SimDuration::from_secs(1), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(2), 2));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_nanos(5), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+}

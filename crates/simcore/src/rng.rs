@@ -1,0 +1,295 @@
+//! Deterministic random number generation.
+//!
+//! The testbed cannot use `rand::thread_rng()` anywhere: every run must be
+//! a pure function of (config, seed). [`SimRng`] is a self-contained
+//! xoshiro256++ implementation seeded through SplitMix64, following the
+//! reference construction by Blackman & Vigna. It deliberately does *not*
+//! implement `rand::Rng` so that simulation components cannot accidentally
+//! be handed an OS-entropy generator; workload corpora generation in the
+//! `workloads` crate uses `rand` with fixed seeds instead, where the richer
+//! distribution API is worth it.
+//!
+//! `fork()` derives an independent child stream, letting each component
+//! (scheduler jitter, disk service noise, network jitter, ...) own its own
+//! stream so that adding randomness consumption in one component does not
+//! perturb any other.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step; used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ PRNG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive an independent child stream tagged by `stream_id`.
+    ///
+    /// Children with different ids produce statistically independent
+    /// sequences; the parent is not advanced.
+    pub fn fork(&self, stream_id: u64) -> SimRng {
+        let mut sm = self.s[0] ^ self.s[3].rotate_left(17) ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's rejection method.
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Unbiased multiply-shift rejection sampling.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // low < bound: possible bias zone; check threshold.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: lo > hi");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Standard normal deviate (Box-Muller, one value per call; the spare
+    /// is discarded to keep the consumption pattern simple and auditable).
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.next_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Exponential deviate with the given mean. Used for arrival processes
+    /// (volunteer churn, request interarrival).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fill a byte buffer with pseudorandom data (workload corpora).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_consumption() {
+        let parent = SimRng::new(7);
+        let mut child1 = parent.fork(1);
+        let mut parent2 = parent.clone();
+        let _ = parent2.next_u64(); // advancing a copy of the parent...
+        let mut child1b = parent.fork(1); // ...does not change the fork
+        for _ in 0..100 {
+            assert_eq!(child1.next_u64(), child1b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_with_different_ids_differ() {
+        let parent = SimRng::new(7);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut r = SimRng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = SimRng::new(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.range_inclusive(3, 6) {
+                3 => lo_seen = true,
+                6 => hi_seen = true,
+                v => assert!((3..=6).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(13);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(17);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut r = SimRng::new(21);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Overwhelmingly unlikely that 13 random bytes are all zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(23);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

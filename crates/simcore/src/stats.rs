@@ -1,0 +1,420 @@
+//! Statistics toolkit.
+//!
+//! The paper repeats every measurement "at least 50 times" and reports
+//! means normalized against the native environment. This module provides
+//! the same machinery: online mean/variance accumulation (Welford),
+//! normal-approximation confidence intervals, and a repetition runner that
+//! executes a seeded experiment closure N times and summarizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online accumulator for mean and variance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// 95 % confidence interval for the mean (normal approximation; the
+    /// repetition counts used in the testbed, >= 50, make the t vs z
+    /// distinction negligible).
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let half = 1.96 * self.stderr();
+        ConfidenceInterval {
+            lo: self.mean() - half,
+            hi: self.mean() + half,
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            min: self.min(),
+            max: self.max(),
+            ci95: self.ci95(),
+        }
+    }
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+    /// True if `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+/// Frozen summary of a set of observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// 95 % confidence interval on the mean.
+    pub ci95: ConfidenceInterval,
+}
+
+impl Summary {
+    /// Relative standard deviation (coefficient of variation); 0 when the
+    /// mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+}
+
+/// Runs a seeded experiment closure a configurable number of times
+/// (default 50, matching the paper's methodology) and accumulates the
+/// scalar metric each run produces.
+///
+/// The closure receives the repetition index, from which it should derive
+/// its seed so that repetitions are independent but the whole sweep is
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct RepetitionRunner {
+    repetitions: u32,
+    base_seed: u64,
+}
+
+impl Default for RepetitionRunner {
+    fn default() -> Self {
+        RepetitionRunner {
+            repetitions: 50,
+            base_seed: 0xD0A1_57E5_7BED_5EED,
+        }
+    }
+}
+
+impl RepetitionRunner {
+    /// Runner with the paper's default of 50 repetitions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the repetition count (minimum 1).
+    pub fn repetitions(mut self, n: u32) -> Self {
+        self.repetitions = n.max(1);
+        self
+    }
+
+    /// Set the base seed mixed into every repetition's seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Number of repetitions configured.
+    pub fn count(&self) -> u32 {
+        self.repetitions
+    }
+
+    /// Seed for repetition `rep`.
+    pub fn seed_for(&self, rep: u32) -> u64 {
+        // SplitMix-style mix of base seed and repetition index.
+        let mut z = self
+            .base_seed
+            .wrapping_add((rep as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Run `f(seed)` for each repetition and summarize the returned metric.
+    pub fn run<F>(&self, mut f: F) -> Summary
+    where
+        F: FnMut(u64) -> f64,
+    {
+        let mut acc = OnlineStats::new();
+        for rep in 0..self.repetitions {
+            acc.push(f(self.seed_for(rep)));
+        }
+        acc.summary()
+    }
+}
+
+/// Normalize `measured` against `native`, as the paper's Figures 1-3 do:
+/// the result is the slowdown factor (1.0 = native speed, 2.0 = twice
+/// slower). `measured` and `native` are durations or inverse-throughputs.
+pub fn relative_slowdown(measured: f64, native: f64) -> f64 {
+    assert!(native > 0.0, "native reference must be positive");
+    measured / native
+}
+
+/// Percentage overhead, e.g. 0.15 slowdown -> 15.0.
+pub fn percent_overhead(slowdown: f64) -> f64 {
+    (slowdown - 1.0) * 100.0
+}
+
+/// Geometric mean, used by the NBench-style index computation.
+/// Returns 0 for an empty slice; panics on non-positive entries.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert_eq!(s.stderr(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.summary();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.summary().n, before.n);
+        assert_eq!(a.summary().mean, before.mean);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        // Same spread, different n.
+        for i in 0..10 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 2) as f64);
+        }
+        assert!(large.ci95().half_width() < small.ci95().half_width());
+        assert!(large.ci95().contains(0.5));
+    }
+
+    #[test]
+    fn repetition_runner_is_deterministic() {
+        let runner = RepetitionRunner::new().repetitions(50);
+        let s1 = runner.run(|seed| (seed % 1000) as f64);
+        let s2 = runner.run(|seed| (seed % 1000) as f64);
+        assert_eq!(s1.n, 50);
+        assert_eq!(s1.mean, s2.mean);
+        assert_eq!(s1.stddev, s2.stddev);
+    }
+
+    #[test]
+    fn repetition_seeds_are_distinct() {
+        let runner = RepetitionRunner::new().repetitions(50);
+        let mut seeds: Vec<u64> = (0..50).map(|r| runner.seed_for(r)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 50);
+    }
+
+    #[test]
+    fn different_base_seed_changes_streams() {
+        let a = RepetitionRunner::new().base_seed(1);
+        let b = RepetitionRunner::new().base_seed(2);
+        assert_ne!(a.seed_for(0), b.seed_for(0));
+    }
+
+    #[test]
+    fn normalization_helpers() {
+        assert_eq!(relative_slowdown(150.0, 100.0), 1.5);
+        assert!((percent_overhead(1.15) - 15.0).abs() < 1e-12);
+        assert!((percent_overhead(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        let mut s = OnlineStats::new();
+        for _ in 0..10 {
+            s.push(5.0);
+        }
+        assert_eq!(s.summary().cv(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Lightweight simulation tracing.
+//!
+//! Components emit [`TraceEvent`]s into a [`TraceSink`]. The sink is a
+//! bounded ring buffer with per-category enable flags; when a category is
+//! disabled (the default), emission is a branch and nothing more, so
+//! tracing costs essentially nothing unless a test or a debugging session
+//! turns it on. Integration tests use traces to assert on *mechanisms*
+//! (e.g. "the NAT path really did per-packet translation work"), not just
+//! end results.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Categories of trace events, one per subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Host / guest scheduler decisions.
+    Sched,
+    /// Disk and filesystem activity.
+    Io,
+    /// Network stack and NIC activity.
+    Net,
+    /// VMM exits, translations and device emulation.
+    Vmm,
+    /// Workload progress markers.
+    Workload,
+    /// Desktop-grid protocol activity.
+    Grid,
+    /// Clocks and timers.
+    Clock,
+}
+
+impl TraceCategory {
+    const ALL: [TraceCategory; 7] = [
+        TraceCategory::Sched,
+        TraceCategory::Io,
+        TraceCategory::Net,
+        TraceCategory::Vmm,
+        TraceCategory::Workload,
+        TraceCategory::Grid,
+        TraceCategory::Clock,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TraceCategory::Sched => 0,
+            TraceCategory::Io => 1,
+            TraceCategory::Net => 2,
+            TraceCategory::Vmm => 3,
+            TraceCategory::Workload => 4,
+            TraceCategory::Grid => 5,
+            TraceCategory::Clock => 6,
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulated time of emission.
+    pub time: SimTime,
+    /// Subsystem that emitted the event.
+    pub category: TraceCategory,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {:?}] {}", self.time, self.category, self.message)
+    }
+}
+
+/// Bounded, category-filtered trace recorder.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: [bool; 7],
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new(16 * 1024)
+    }
+}
+
+impl TraceSink {
+    /// Sink with the given ring capacity; all categories start disabled.
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            enabled: [false; 7],
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Enable recording for a category.
+    pub fn enable(&mut self, cat: TraceCategory) {
+        self.enabled[cat.index()] = true;
+    }
+
+    /// Enable recording for every category.
+    pub fn enable_all(&mut self) {
+        for c in TraceCategory::ALL {
+            self.enable(c);
+        }
+    }
+
+    /// Disable recording for a category.
+    pub fn disable(&mut self, cat: TraceCategory) {
+        self.enabled[cat.index()] = false;
+    }
+
+    /// True when the category is being recorded. Callers with expensive
+    /// message formatting should check this first.
+    pub fn is_enabled(&self, cat: TraceCategory) -> bool {
+        self.enabled[cat.index()]
+    }
+
+    /// Record an event if its category is enabled.
+    pub fn emit(&mut self, time: SimTime, category: TraceCategory, message: impl Into<String>) {
+        if !self.is_enabled(category) {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            time,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Recorded events of one category.
+    pub fn events_in(&self, cat: TraceCategory) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.category == cat)
+    }
+
+    /// Number of events evicted due to the ring capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of currently held events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Forget all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_categories_record_nothing() {
+        let mut sink = TraceSink::new(8);
+        sink.emit(SimTime::ZERO, TraceCategory::Io, "ignored");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn enabled_category_records() {
+        let mut sink = TraceSink::new(8);
+        sink.enable(TraceCategory::Vmm);
+        sink.emit(SimTime::from_secs(1), TraceCategory::Vmm, "exit");
+        sink.emit(SimTime::from_secs(1), TraceCategory::Io, "ignored");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events().next().unwrap().message, "exit");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut sink = TraceSink::new(3);
+        sink.enable(TraceCategory::Sched);
+        for i in 0..5 {
+            sink.emit(SimTime::from_secs(i), TraceCategory::Sched, format!("e{i}"));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let msgs: Vec<_> = sink.events().map(|e| e.message.clone()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn events_in_filters() {
+        let mut sink = TraceSink::new(8);
+        sink.enable_all();
+        sink.emit(SimTime::ZERO, TraceCategory::Net, "n");
+        sink.emit(SimTime::ZERO, TraceCategory::Io, "i");
+        assert_eq!(sink.events_in(TraceCategory::Net).count(), 1);
+        assert_eq!(sink.events_in(TraceCategory::Io).count(), 1);
+        assert_eq!(sink.events_in(TraceCategory::Vmm).count(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut sink = TraceSink::new(1);
+        sink.enable(TraceCategory::Clock);
+        sink.emit(SimTime::ZERO, TraceCategory::Clock, "a");
+        sink.emit(SimTime::ZERO, TraceCategory::Clock, "b");
+        assert_eq!(sink.dropped(), 1);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let e = TraceEvent {
+            time: SimTime::from_secs(2),
+            category: TraceCategory::Grid,
+            message: "wu done".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("Grid"));
+        assert!(s.contains("wu done"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Property-based tests of the DES core's invariants.
+
+use proptest::prelude::*;
+use vgrid_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Events always pop in nondecreasing time order, FIFO within ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..1000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO within a tie");
+            }
+        }
+    }
+
+    /// Duration scaling is monotone in the factor and exact at 0 and 1.
+    #[test]
+    fn duration_scale_monotone(ps in 0u64..u64::MAX / 4, a in 0.0f64..2.0, b in 0.0f64..2.0) {
+        let d = SimDuration::from_picos(ps);
+        prop_assert_eq!(d.scale(1.0), d);
+        prop_assert_eq!(d.scale(0.0), SimDuration::ZERO);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.scale(lo) <= d.scale(hi));
+    }
+
+    /// exponential() deviates are positive; chance() respects extremes.
+    #[test]
+    fn rng_distribution_sanity(seed in any::<u64>(), mean in 0.001f64..1e6) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.exponential(mean) >= 0.0);
+        }
+        prop_assert!(!rng.chance(0.0));
+        prop_assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,335 @@
+//! # vgrid-timeref
+//!
+//! Guest-clock imprecision and external time referencing.
+//!
+//! The paper's methodology section highlights a real pitfall of measuring
+//! inside virtual machines: "to circumvent the timing imprecision that
+//! occur on virtual machines, especially when the machines are under high
+//! load, time measurements for executions under virtual machines were
+//! done resorting to an external time reference ... a simple UDP time
+//! server running on the host machine" (Section 4). It is also why NBench
+//! cannot be trusted inside a guest (Section 4.2.2): the benchmark times
+//! "extremely short periods" with a clock that lies under load.
+//!
+//! This crate models both halves:
+//!
+//! * [`GuestClock`] — a tick-counting guest clock that loses timer
+//!   interrupts while its vCPU is descheduled and only partially catches
+//!   up, the documented VMware-era timekeeping failure mode.
+//! * [`UdpTimeServer`] / [`ExternalTimer`] — the paper's fix: query an
+//!   authoritative host clock over (simulated) UDP and time benchmarks
+//!   with it.
+//!
+//! ```
+//! use vgrid_simcore::{SimDuration, SimTime};
+//! use vgrid_timeref::{GuestClock, GuestClockConfig};
+//!
+//! let mut clock = GuestClock::new(GuestClockConfig::default());
+//! // A starved vCPU: 1 s gap with almost no service.
+//! clock.observe_with_service(SimTime::from_secs(1), SimDuration::from_millis(5));
+//! assert!(clock.now() < SimTime::from_secs(1));
+//! assert!(clock.total_lag() > SimDuration::from_millis(300));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use vgrid_simcore::{SimDuration, SimRng, SimTime};
+
+/// Guest clock behaviour parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuestClockConfig {
+    /// Guest timer interrupt rate (2.6-era Linux: 1000 Hz).
+    pub tick_hz: f64,
+    /// Fraction of ticks lost (not retro-delivered) when the vCPU was
+    /// descheduled across tick boundaries. VMware's timekeeping paper
+    /// describes exactly this backlog-drop behaviour.
+    pub loss_fraction: f64,
+    /// Maximum backlog of ticks the hypervisor will replay in a burst
+    /// when the vCPU reschedules (beyond this the backlog is dropped).
+    pub max_catchup_ticks: u32,
+}
+
+impl Default for GuestClockConfig {
+    fn default() -> Self {
+        GuestClockConfig {
+            tick_hz: 1000.0,
+            loss_fraction: 0.4,
+            max_catchup_ticks: 60,
+        }
+    }
+}
+
+/// A guest's tick-driven wall clock.
+///
+/// Call [`GuestClock::observe`] with the host time whenever the vCPU
+/// actually runs; the clock advances fully across continuously-scheduled
+/// spans but loses ticks across descheduled gaps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuestClock {
+    cfg: GuestClockConfig,
+    guest_now: SimTime,
+    last_host: SimTime,
+    /// Total time the guest clock has fallen behind the host clock.
+    lost: SimDuration,
+    /// Number of observe() gaps that dropped ticks.
+    pub loss_events: u64,
+}
+
+impl GuestClock {
+    /// New clock synchronized at host time zero.
+    pub fn new(cfg: GuestClockConfig) -> Self {
+        GuestClock {
+            cfg,
+            guest_now: SimTime::ZERO,
+            last_host: SimTime::ZERO,
+            lost: SimDuration::ZERO,
+            loss_events: 0,
+        }
+    }
+
+    /// The guest's idea of "now".
+    pub fn now(&self) -> SimTime {
+        self.guest_now
+    }
+
+    /// How far the guest clock lags the host clock.
+    pub fn total_lag(&self) -> SimDuration {
+        self.lost
+    }
+
+    /// Inform the clock that the vCPU is running at host time `host_now`.
+    ///
+    /// A gap no larger than a couple of tick periods means the vCPU ran
+    /// continuously: the clock keeps perfect time. A larger gap means the
+    /// vCPU was descheduled; the hypervisor replays up to
+    /// `max_catchup_ticks` of the backlog and drops `loss_fraction` of
+    /// the rest.
+    pub fn observe(&mut self, host_now: SimTime) {
+        self.observe_with_service(host_now, SimDuration::ZERO);
+    }
+
+    /// Like [`GuestClock::observe`], but `serviced` of the gap is known
+    /// to have been spent with the monitor actively servicing the VM
+    /// (the vCPU executing, or device emulation running on the VM's
+    /// behalf) — ticks are delivered normally during such spans, so only
+    /// the *starved* remainder can drop ticks. Pass
+    /// `SimDuration::MAX` for a fully-serviced gap (e.g. an I/O wait on
+    /// an otherwise idle host).
+    pub fn observe_with_service(&mut self, host_now: SimTime, serviced: SimDuration) {
+        debug_assert!(host_now >= self.last_host, "host time went backwards");
+        let gap = host_now.since(self.last_host);
+        self.last_host = host_now;
+        let tick = SimDuration::from_secs_f64(1.0 / self.cfg.tick_hz);
+        let starved = gap.saturating_sub(serviced);
+        if starved <= tick * 2 {
+            // Continuously serviced: full advance.
+            self.guest_now += gap;
+            return;
+        }
+        // Starved: replay what the catch-up budget allows.
+        let backlog = starved - tick;
+        let catchup_budget = tick * self.cfg.max_catchup_ticks as u64;
+        let replayed = backlog.min(catchup_budget);
+        let dropped_span = backlog.saturating_sub(replayed);
+        let lost_now = dropped_span.scale(self.cfg.loss_fraction);
+        self.guest_now += gap.saturating_sub(lost_now);
+        if !lost_now.is_zero() {
+            self.lost += lost_now;
+            self.loss_events += 1;
+        }
+    }
+
+    /// Measure a guest-side duration between two guest clock readings —
+    /// what a naive in-guest benchmark does.
+    pub fn guest_elapsed(&self, guest_start: SimTime) -> SimDuration {
+        self.guest_now.since(guest_start)
+    }
+}
+
+/// The paper's UDP time server on the host: authoritative time plus
+/// network round-trip noise.
+#[derive(Debug, Clone)]
+pub struct UdpTimeServer {
+    /// Half the request-reply round trip.
+    pub one_way_delay: SimDuration,
+    /// Standard deviation of the round-trip jitter.
+    pub jitter_sd: SimDuration,
+}
+
+impl Default for UdpTimeServer {
+    fn default() -> Self {
+        UdpTimeServer {
+            // Host-local UDP: tens of microseconds.
+            one_way_delay: SimDuration::from_micros(30),
+            jitter_sd: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl UdpTimeServer {
+    /// Query the server at true host time `host_now`; the returned
+    /// timestamp is the client's estimate of server time after the reply
+    /// propagates (residual error: the jitter).
+    pub fn query(&self, host_now: SimTime, rng: &mut SimRng) -> SimTime {
+        let jitter = rng.normal_with(0.0, self.jitter_sd.as_secs_f64());
+        SimTime::from_secs_f64((host_now.as_secs_f64() + jitter).max(0.0))
+    }
+}
+
+/// Benchmark timing via the external server, as the paper does.
+#[derive(Debug, Clone)]
+pub struct ExternalTimer {
+    server: UdpTimeServer,
+    start: Option<SimTime>,
+}
+
+impl ExternalTimer {
+    /// Timer over the given server.
+    pub fn new(server: UdpTimeServer) -> Self {
+        ExternalTimer {
+            server,
+            start: None,
+        }
+    }
+
+    /// Record the start timestamp.
+    pub fn start(&mut self, host_now: SimTime, rng: &mut SimRng) {
+        self.start = Some(self.server.query(host_now, rng));
+    }
+
+    /// Record the stop timestamp and return the measured duration.
+    pub fn stop(&mut self, host_now: SimTime, rng: &mut SimRng) -> SimDuration {
+        let t0 = self.start.take().expect("timer not started");
+        self.server.query(host_now, rng).since(t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuously_scheduled_clock_keeps_time() {
+        let mut c = GuestClock::new(GuestClockConfig::default());
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t += SimDuration::from_micros(500); // every half tick
+            c.observe(t);
+        }
+        assert_eq!(c.now(), t);
+        assert_eq!(c.total_lag(), SimDuration::ZERO);
+        assert_eq!(c.loss_events, 0);
+    }
+
+    #[test]
+    fn descheduling_loses_time() {
+        let mut c = GuestClock::new(GuestClockConfig::default());
+        // vCPU descheduled for 1 s (far beyond the 60-tick catchup).
+        c.observe(SimTime::from_secs(1));
+        assert!(c.now() < SimTime::from_secs(1));
+        assert!(c.total_lag() > SimDuration::from_millis(300));
+        assert_eq!(c.loss_events, 1);
+    }
+
+    #[test]
+    fn short_gaps_are_replayed_fully() {
+        let mut c = GuestClock::new(GuestClockConfig::default());
+        // 20 ms gap: within the 60-tick catchup budget -> no loss.
+        c.observe(SimTime::from_millis(20));
+        assert_eq!(c.now(), SimTime::from_millis(20));
+        assert_eq!(c.loss_events, 0);
+    }
+
+    #[test]
+    fn lag_accumulates_under_sustained_load() {
+        let mut c = GuestClock::new(GuestClockConfig::default());
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_millis(500); // repeatedly starved
+            c.observe(t);
+            t += SimDuration::from_millis(1);
+            c.observe(t);
+        }
+        let lag = c.total_lag();
+        assert!(
+            lag > SimDuration::from_millis(1000),
+            "expected >1s cumulative lag, got {lag}"
+        );
+    }
+
+    #[test]
+    fn guest_measurement_underestimates_under_load() {
+        // A benchmark that takes 2 s of host time while the vCPU is
+        // starved half the time reads much less than 2 s on the guest
+        // clock — the paper's reason for the UDP server.
+        let mut c = GuestClock::new(GuestClockConfig::default());
+        let t0 = c.now();
+        let mut host = SimTime::ZERO;
+        for _ in 0..4 {
+            host += SimDuration::from_millis(400); // starved span
+            c.observe(host);
+            host += SimDuration::from_millis(100); // running span
+            c.observe(host);
+        }
+        let guest_measured = c.guest_elapsed(t0);
+        let truth = SimDuration::from_secs(2);
+        assert!(
+            guest_measured < truth.scale(0.97),
+            "guest read {guest_measured} vs true {truth}"
+        );
+    }
+
+    #[test]
+    fn external_timer_is_accurate_within_jitter() {
+        let server = UdpTimeServer::default();
+        let mut rng = SimRng::new(1);
+        let mut timer = ExternalTimer::new(server);
+        timer.start(SimTime::from_secs(1), &mut rng);
+        let d = timer.stop(SimTime::from_secs(3), &mut rng);
+        let err = (d.as_secs_f64() - 2.0).abs();
+        assert!(err < 200e-6, "external timing error {err}s");
+    }
+
+    #[test]
+    fn external_beats_guest_clock_under_load() {
+        let mut guest = GuestClock::new(GuestClockConfig::default());
+        let server = UdpTimeServer::default();
+        let mut rng = SimRng::new(2);
+        let mut timer = ExternalTimer::new(server);
+
+        let g0 = guest.now();
+        timer.start(SimTime::ZERO, &mut rng);
+        // 1 s wall with heavy starvation.
+        let mut host = SimTime::ZERO;
+        for _ in 0..2 {
+            host += SimDuration::from_millis(450);
+            guest.observe(host);
+            host += SimDuration::from_millis(50);
+            guest.observe(host);
+        }
+        let ext = timer.stop(host, &mut rng);
+        let ext_err = (ext.as_secs_f64() - 1.0).abs();
+        let guest_err = (guest.guest_elapsed(g0).as_secs_f64() - 1.0).abs();
+        assert!(
+            ext_err < guest_err / 10.0,
+            "external {ext_err} vs guest {guest_err}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let server = UdpTimeServer::default();
+        let q = |seed| {
+            let mut rng = SimRng::new(seed);
+            server.query(SimTime::from_secs(5), &mut rng)
+        };
+        assert_eq!(q(9), q(9));
+        assert_ne!(q(9), q(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "timer not started")]
+    fn stop_without_start_panics() {
+        let mut rng = SimRng::new(3);
+        ExternalTimer::new(UdpTimeServer::default()).stop(SimTime::ZERO, &mut rng);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests of the guest-clock model.
+
+use proptest::prelude::*;
+use vgrid_simcore::{SimDuration, SimRng, SimTime};
+use vgrid_timeref::{ExternalTimer, GuestClock, GuestClockConfig, UdpTimeServer};
+
+proptest! {
+    /// The guest clock is monotone and never runs ahead of host time,
+    /// for arbitrary observation patterns.
+    #[test]
+    fn guest_clock_monotone_and_behind(
+        gaps in proptest::collection::vec(1u64..5_000_000u64, 1..100),
+        serviced_frac in 0.0f64..1.0,
+    ) {
+        let mut clock = GuestClock::new(GuestClockConfig::default());
+        let mut host = SimTime::ZERO;
+        let mut last_guest = clock.now();
+        for &gap_us in &gaps {
+            let gap = SimDuration::from_micros(gap_us);
+            host += gap;
+            clock.observe_with_service(host, gap.scale(serviced_frac));
+            let g = clock.now();
+            prop_assert!(g >= last_guest, "guest clock went backwards");
+            prop_assert!(g <= host, "guest clock ran ahead of host");
+            last_guest = g;
+        }
+        // Lag accounting matches the clock positions.
+        let lag = clock.total_lag();
+        prop_assert_eq!(host.since(clock.now()), lag);
+    }
+
+    /// Fully-serviced clocks keep perfect time regardless of gap sizes.
+    #[test]
+    fn fully_serviced_clock_is_exact(gaps in proptest::collection::vec(1u64..10_000_000u64, 1..50)) {
+        let mut clock = GuestClock::new(GuestClockConfig::default());
+        let mut host = SimTime::ZERO;
+        for &gap_us in &gaps {
+            host += SimDuration::from_micros(gap_us);
+            clock.observe_with_service(host, SimDuration::MAX);
+        }
+        prop_assert_eq!(clock.now(), host);
+        prop_assert_eq!(clock.loss_events, 0);
+    }
+
+    /// The external timer's error is bounded by jitter, never by load.
+    #[test]
+    fn external_timer_error_bounded(seed in any::<u64>(), span_ms in 1u64..100_000) {
+        let server = UdpTimeServer::default();
+        let mut rng = SimRng::new(seed);
+        let mut timer = ExternalTimer::new(server);
+        let t0 = SimTime::from_secs(1);
+        let t1 = t0 + SimDuration::from_millis(span_ms);
+        timer.start(t0, &mut rng);
+        let measured = timer.stop(t1, &mut rng);
+        let err = (measured.as_secs_f64() - span_ms as f64 / 1000.0).abs();
+        prop_assert!(err < 120e-6, "err {}", err);
+    }
+}

@@ -1,0 +1,341 @@
+//! Calibrated profiles of the four virtual machine monitors the paper
+//! evaluates: VMware Player 2.0.2, QEMU 0.9 + kqemu 1.3, VirtualBox
+//! 1.6.2 and Microsoft VirtualPC 2007 (Section 3).
+//!
+//! All four are *full virtualization* monitors of the pre-hardware-assist
+//! era: user-mode guest code runs (nearly) directly or through binary
+//! translation, privileged guest code traps into expensive emulation, and
+//! device I/O crosses a world switch into a host-side device model. A
+//! [`VmmProfile`] parameterizes those mechanisms; the constants are
+//! calibrated so the testbed reproduces the *shape* of the paper's
+//! Figures 1-8 (each field's comment names the figure it is fitted to).
+//! The mechanisms are real: changing one constant moves every figure that
+//! depends on it coherently.
+
+use serde::{Deserialize, Serialize};
+use vgrid_machine::ops::{OpBlock, OpClassCounts};
+use vgrid_simcore::SimDuration;
+
+/// Virtual NIC attachment mode (the paper measures VmPlayer in both;
+/// Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VnicMode {
+    /// Bridged to the physical LAN: frames pass nearly untranslated.
+    Bridged,
+    /// Userspace NAT: every frame is rewritten by the VMM process.
+    Nat,
+}
+
+/// Calibrated description of one VMM product.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmmProfile {
+    /// Product name as the paper uses it.
+    pub name: &'static str,
+    /// Dilation of user-mode integer ops under BT/direct execution.
+    /// Fit: Figure 1 (7z guest slowdown).
+    pub int_dilation: f64,
+    /// Dilation of floating-point ops (FPU instructions pass through BT
+    /// almost unmodified). Fit: Figure 2 (Matrix guest slowdown).
+    pub fp_dilation: f64,
+    /// Dilation of memory operations (shadow page tables, segment checks).
+    /// Fit: Figures 1-2 jointly.
+    pub mem_dilation: f64,
+    /// Dilation of branches (BT translates control flow; QEMU chains
+    /// translation blocks). Fit: Figure 1.
+    pub branch_dilation: f64,
+    /// Multiplier on kernel-mode/privileged operations (trap + emulate or
+    /// retranslate). Fit: Figure 3's syscall-heavy I/O paths.
+    pub kernel_dilation: f64,
+    /// Host CPU burned per virtual-disk request (world switch + device
+    /// model dispatch). Fit: Figure 3.
+    pub disk_exit: SimDuration,
+    /// Host CPU burned per byte moved through the virtual disk (buffer
+    /// copies and image-format bookkeeping), seconds/byte. Fit: Figure 3.
+    pub disk_per_byte: f64,
+    /// Host CPU per guest network frame in bridged mode, seconds.
+    /// Fit: Figure 4 (VmPlayer bridged = 96.02 Mbps).
+    pub bridged_per_frame: f64,
+    /// Host CPU per guest network frame through the userspace NAT path,
+    /// seconds. Fit: Figure 4 (VmPlayer NAT 3.68, VBox 1.3, QEMU 65.91,
+    /// VirtualPC 35.56 Mbps).
+    pub nat_per_frame: f64,
+    /// Which vNIC mode this product uses by default in the paper's runs.
+    pub default_vnic: VnicMode,
+    /// Fraction of one host core consumed by the VMM's service activity
+    /// (timer/APIC emulation, BT cache maintenance, host-side device
+    /// threads) whenever the VM is powered on, at elevated host priority
+    /// regardless of the vCPU's priority class. Fit: Figures 7-8 (7z on
+    /// host reaches 120 % with VmPlayer vs ~160 % with the others).
+    pub service_duty: f64,
+    /// Committed guest RAM (the paper configures every VM with 300 MB;
+    /// Section 4.2.1).
+    pub guest_ram: u64,
+    /// Guest timer-tick loss fraction while descheduled (timekeeping
+    /// quality; Section 4's UDP-time-server methodology exists because
+    /// of this).
+    pub tick_loss: f64,
+}
+
+const MB: u64 = 1024 * 1024;
+
+impl VmmProfile {
+    /// VMware Player 2.0.2 — the fastest guest execution (aggressive BT)
+    /// and the heaviest host service load.
+    pub fn vmplayer() -> Self {
+        VmmProfile {
+            name: "VMwarePlayer",
+            int_dilation: 1.18,
+            fp_dilation: 1.04,
+            mem_dilation: 1.08,
+            branch_dilation: 1.24,
+            kernel_dilation: 9.0,
+            disk_exit: SimDuration::from_micros(30),
+            disk_per_byte: 5.6e-9,
+            bridged_per_frame: 2e-6,
+            nat_per_frame: 3.0e-3,
+            default_vnic: VnicMode::Bridged,
+            service_duty: 0.80,
+            guest_ram: 300 * MB,
+            tick_loss: 0.25,
+        }
+    }
+
+    /// QEMU 0.9 with the kqemu accelerator — dynamic translation without
+    /// the years of BT tuning; slowest CPU, decent (slirp) networking.
+    pub fn qemu() -> Self {
+        VmmProfile {
+            name: "QEMU",
+            int_dilation: 2.95,
+            fp_dilation: 1.32,
+            mem_dilation: 1.32,
+            branch_dilation: 3.4,
+            kernel_dilation: 22.0,
+            disk_exit: SimDuration::from_micros(120),
+            disk_per_byte: 110e-9,
+            bridged_per_frame: 30e-6,
+            nat_per_frame: 47e-6,
+            default_vnic: VnicMode::Nat,
+            service_duty: 0.40,
+            guest_ram: 300 * MB,
+            tick_loss: 0.45,
+        }
+    }
+
+    /// VirtualBox 1.6.2 — BT derived in part from QEMU but heavily
+    /// optimized; catastrophic NAT networking in this release.
+    pub fn virtualbox() -> Self {
+        VmmProfile {
+            name: "VirtualBox",
+            int_dilation: 1.24,
+            fp_dilation: 1.06,
+            mem_dilation: 1.12,
+            branch_dilation: 1.32,
+            kernel_dilation: 11.0,
+            disk_exit: SimDuration::from_micros(60),
+            disk_per_byte: 22e-9,
+            bridged_per_frame: 20e-6,
+            nat_per_frame: 8.9e-3,
+            default_vnic: VnicMode::Nat,
+            service_duty: 0.40,
+            guest_ram: 300 * MB,
+            tick_loss: 0.35,
+        }
+    }
+
+    /// Microsoft VirtualPC 2007 — no Linux guest additions (Section 3.4),
+    /// so every path is unoptimized.
+    pub fn virtualpc() -> Self {
+        VmmProfile {
+            name: "VirtualPC",
+            int_dilation: 1.40,
+            fp_dilation: 1.12,
+            mem_dilation: 1.18,
+            branch_dilation: 1.55,
+            kernel_dilation: 14.0,
+            disk_exit: SimDuration::from_micros(80),
+            disk_per_byte: 24e-9,
+            bridged_per_frame: 25e-6,
+            nat_per_frame: 200e-6,
+            default_vnic: VnicMode::Nat,
+            service_duty: 0.40,
+            guest_ram: 300 * MB,
+            tick_loss: 0.40,
+        }
+    }
+
+    /// All four profiles in the paper's presentation order.
+    pub fn all() -> Vec<VmmProfile> {
+        vec![
+            Self::vmplayer(),
+            Self::qemu(),
+            Self::virtualbox(),
+            Self::virtualpc(),
+        ]
+    }
+
+    /// Dilate a guest-side block into the host work it costs under this
+    /// monitor: each operation class is multiplied by its dilation
+    /// factor; privileged operations explode by `kernel_dilation`.
+    pub fn dilate(&self, block: &OpBlock) -> OpBlock {
+        let c = &block.counts;
+        let s = |x: u64, f: f64| (x as f64 * f).round() as u64;
+        OpBlock {
+            label: format!("{}:{}", self.name, block.label),
+            counts: OpClassCounts {
+                int_ops: s(c.int_ops, self.int_dilation),
+                fp_ops: s(c.fp_ops, self.fp_dilation),
+                mem_reads: s(c.mem_reads, self.mem_dilation),
+                mem_writes: s(c.mem_writes, self.mem_dilation),
+                branches: s(c.branches, self.branch_dilation),
+                kernel_ops: s(c.kernel_ops, self.kernel_dilation),
+            },
+            working_set: block.working_set,
+            locality: block.locality,
+        }
+    }
+
+    /// Host CPU block for emulating one virtual-disk request of `bytes`.
+    /// `ops_per_sec` converts seconds of host CPU into abstract int ops
+    /// (pass `cpu_freq * int_ops_per_cycle` of the host machine).
+    pub fn disk_overhead_block(&self, bytes: u64, ops_per_sec: f64) -> OpBlock {
+        let secs = self.disk_exit.as_secs_f64() + bytes as f64 * self.disk_per_byte;
+        OpBlock {
+            label: format!("{}:vdisk-emu", self.name),
+            counts: OpClassCounts {
+                int_ops: (secs * ops_per_sec) as u64,
+                ..Default::default()
+            },
+            working_set: bytes.max(4096),
+            locality: 0.9,
+        }
+    }
+
+    /// Host CPU per guest frame for the given vNIC mode.
+    pub fn per_frame_cpu(&self, mode: VnicMode) -> f64 {
+        match mode {
+            VnicMode::Bridged => self.bridged_per_frame,
+            VnicMode::Nat => self.nat_per_frame,
+        }
+    }
+
+    /// Host CPU block for forwarding `frames` guest frames.
+    pub fn net_overhead_block(&self, frames: u64, mode: VnicMode, ops_per_sec: f64) -> OpBlock {
+        let secs = frames as f64 * self.per_frame_cpu(mode);
+        OpBlock {
+            label: format!("{}:vnic-{:?}", self.name, mode),
+            counts: OpClassCounts {
+                int_ops: (secs * ops_per_sec) as u64,
+                ..Default::default()
+            },
+            working_set: (frames * 1536).max(4096),
+            locality: 0.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_products_in_paper_order() {
+        let all = VmmProfile::all();
+        let names: Vec<_> = all.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["VMwarePlayer", "QEMU", "VirtualBox", "VirtualPC"]);
+    }
+
+    #[test]
+    fn qemu_is_slowest_cpu_vmplayer_fastest() {
+        let all = VmmProfile::all();
+        let int: Vec<f64> = all.iter().map(|p| p.int_dilation).collect();
+        assert!(int[1] > int[3] && int[3] > int[2] && int[2] > int[0]);
+    }
+
+    #[test]
+    fn fp_dilation_below_int_dilation_everywhere() {
+        // Figure 2 vs Figure 1: floating point is hurt less than integer
+        // for every product.
+        for p in VmmProfile::all() {
+            assert!(p.fp_dilation < p.int_dilation, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn vmplayer_most_intrusive_on_host() {
+        let all = VmmProfile::all();
+        let vmp = &all[0];
+        for other in &all[1..] {
+            assert!(vmp.service_duty > other.service_duty);
+        }
+    }
+
+    #[test]
+    fn all_commit_300mb() {
+        for p in VmmProfile::all() {
+            assert_eq!(p.guest_ram, 300 * MB);
+        }
+    }
+
+    #[test]
+    fn dilate_scales_classes_independently() {
+        let p = VmmProfile::qemu();
+        let block = OpBlock {
+            label: "x".into(),
+            counts: OpClassCounts {
+                int_ops: 1000,
+                fp_ops: 1000,
+                kernel_ops: 100,
+                ..Default::default()
+            },
+            working_set: 1 << 20,
+            locality: 0.5,
+        };
+        let d = p.dilate(&block);
+        assert_eq!(d.counts.int_ops, 2950);
+        assert_eq!(d.counts.fp_ops, 1320);
+        assert_eq!(d.counts.kernel_ops, 2200);
+        assert_eq!(d.working_set, block.working_set);
+        assert!(d.label.contains("QEMU"));
+    }
+
+    #[test]
+    fn nat_slower_than_bridged_for_everyone() {
+        for p in VmmProfile::all() {
+            assert!(p.nat_per_frame > p.bridged_per_frame, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn nat_frame_costs_predict_figure4_ordering() {
+        // The NAT path serializes per-frame translation with the wire
+        // (119.7 us per 1496-byte frame at 100 Mbps); throughput is
+        // mss*8 / (nat_per_frame + wire_per_frame).
+        let wire = 1496.0 * 8.0 / 100e6;
+        let mbps = |p: &VmmProfile| 1460.0 * 8.0 / (p.nat_per_frame + wire) / 1e6;
+        let q = mbps(&VmmProfile::qemu());
+        let pc = mbps(&VmmProfile::virtualpc());
+        let vmw = mbps(&VmmProfile::vmplayer());
+        let vb = mbps(&VmmProfile::virtualbox());
+        // Ordering matches Figure 4: QEMU > VPC > VmPlayer-NAT > VBox.
+        assert!(q > pc && pc > vmw && vmw > vb);
+        // Rough absolute targets (paper: 65.91 / 35.56 / 3.68 / ~1.3);
+        // guest-side stack costs shave the end-to-end figure a little
+        // below these upper bounds (fig4's own test checks end-to-end).
+        assert!((q - 70.0).abs() < 8.0, "qemu {q}");
+        assert!((pc - 36.5).abs() < 5.0, "vpc {pc}");
+        assert!((vmw - 3.74).abs() < 0.5, "vmplayer {vmw}");
+        assert!(vb < 1.7, "vbox {vb}");
+    }
+
+    #[test]
+    fn overhead_blocks_scale() {
+        let p = VmmProfile::vmplayer();
+        let ops_per_sec = 6.0e9;
+        let small = p.disk_overhead_block(4096, ops_per_sec);
+        let large = p.disk_overhead_block(32 << 20, ops_per_sec);
+        assert!(large.counts.int_ops > 100 * small.counts.int_ops);
+        let one = p.net_overhead_block(1, VnicMode::Nat, ops_per_sec);
+        let hundred = p.net_overhead_block(100, VnicMode::Nat, ops_per_sec);
+        assert!(hundred.counts.int_ops > 90 * one.counts.int_ops);
+    }
+}

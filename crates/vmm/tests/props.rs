@@ -1,0 +1,68 @@
+//! Property-based tests of the monitor profiles and guest clock wiring.
+
+use proptest::prelude::*;
+use vgrid_machine::ops::{OpBlock, OpClassCounts};
+use vgrid_machine::MachineSpec;
+use vgrid_vmm::{VmmProfile, VnicMode};
+
+prop_compose! {
+    fn arb_block()(
+        int_ops in 0u64..1_000_000,
+        fp_ops in 0u64..1_000_000,
+        mem in 0u64..1_000_000,
+        branches in 0u64..1_000_000,
+        kernel in 0u64..10_000,
+        ws in 1u64..(32u64 << 20),
+        loc in 0.0f64..1.0,
+    ) -> OpBlock {
+        OpBlock {
+            label: "arb".to_string(),
+            counts: OpClassCounts {
+                int_ops,
+                fp_ops,
+                mem_reads: mem / 2,
+                mem_writes: mem - mem / 2,
+                branches,
+                kernel_ops: kernel,
+            },
+            working_set: ws,
+            locality: loc,
+        }
+    }
+}
+
+proptest! {
+    /// Dilation never makes guest work cheaper, never changes memory
+    /// behaviour descriptors, and is per-class monotone.
+    #[test]
+    fn dilation_never_speeds_up_work(block in arb_block()) {
+        let cpu = MachineSpec::core2_duo_6600().cpu_model();
+        let native = cpu.solo_estimate(&block).cycles;
+        for profile in VmmProfile::all() {
+            let dilated = profile.dilate(&block);
+            prop_assert_eq!(dilated.working_set, block.working_set);
+            prop_assert!((dilated.locality - block.locality).abs() < 1e-12);
+            prop_assert!(dilated.counts.int_ops >= block.counts.int_ops);
+            prop_assert!(dilated.counts.kernel_ops >= block.counts.kernel_ops);
+            let cost = cpu.solo_estimate(&dilated).cycles;
+            prop_assert!(cost + 1.0 >= native, "{}: {} < {}", profile.name, cost, native);
+        }
+    }
+
+    /// Device-overhead blocks scale monotonically with bytes/frames and
+    /// are never free.
+    #[test]
+    fn overhead_blocks_monotone(bytes_a in 1u64..(32u64 << 20), bytes_b in 1u64..(32u64 << 20)) {
+        let ops_per_sec = 6.0e9;
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        for profile in VmmProfile::all() {
+            let s = profile.disk_overhead_block(small, ops_per_sec).counts.int_ops;
+            let l = profile.disk_overhead_block(large, ops_per_sec).counts.int_ops;
+            prop_assert!(s <= l);
+            prop_assert!(s > 0);
+            let nat = profile.net_overhead_block(10, VnicMode::Nat, ops_per_sec).counts.int_ops;
+            let bridged = profile.net_overhead_block(10, VnicMode::Bridged, ops_per_sec).counts.int_ops;
+            prop_assert!(nat >= bridged, "{}", profile.name);
+        }
+    }
+}

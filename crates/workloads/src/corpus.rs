@@ -1,0 +1,114 @@
+//! Deterministic synthetic benchmark corpora.
+//!
+//! The 7z benchmark compresses a synthetic data block; our compressor
+//! kernel needs inputs with realistic, controllable redundancy. All
+//! corpora are pure functions of `(length, seed)`.
+
+use vgrid_simcore::SimRng;
+
+/// Pseudo-text: words drawn Zipf-ishly from a small dictionary, mixed
+/// with separators — compresses roughly like English text (~3:1 with a
+/// decent LZ).
+pub fn text(len: usize, seed: u64) -> Vec<u8> {
+    const WORDS: &[&str] = &[
+        "the", "of", "virtual", "machine", "desktop", "grid", "computing", "performance",
+        "overhead", "benchmark", "guest", "host", "volunteer", "project", "cpu", "disk",
+        "network", "memory", "cache", "thread", "core", "time", "measure", "result", "and",
+        "for", "with", "that", "this", "runs", "slow", "fast", "native", "environment",
+    ];
+    let mut rng = SimRng::new(seed ^ 0x7e87);
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        // Zipf-ish: square the uniform deviate to favour early words.
+        let u = rng.next_f64();
+        let idx = ((u * u) * WORDS.len() as f64) as usize;
+        out.extend_from_slice(WORDS[idx.min(WORDS.len() - 1)].as_bytes());
+        out.push(if rng.chance(0.1) { b'\n' } else { b' ' });
+    }
+    out.truncate(len);
+    out
+}
+
+/// Mixed binary data: alternating runs of (a) low-entropy repeated
+/// structures and (b) incompressible random bytes, in the given
+/// proportion of random content.
+pub fn binary(len: usize, seed: u64, random_fraction: f64) -> Vec<u8> {
+    debug_assert!((0.0..=1.0).contains(&random_fraction));
+    let mut rng = SimRng::new(seed ^ 0xb17a);
+    let mut out = Vec::with_capacity(len + 64);
+    while out.len() < len {
+        let run = 64 + rng.next_below(192) as usize;
+        if rng.next_f64() < random_fraction {
+            let start = out.len();
+            out.resize(start + run, 0);
+            rng.fill_bytes(&mut out[start..]);
+        } else {
+            // Structured run: a short pattern repeated.
+            let pat_len = 4 + rng.next_below(12) as usize;
+            let mut pat = vec![0u8; pat_len];
+            rng.fill_bytes(&mut pat);
+            while out.len() < len.min(out.len() + run) {
+                let take = pat_len.min(run);
+                out.extend_from_slice(&pat[..take.min(pat.len())]);
+                if out.len() >= len {
+                    break;
+                }
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// The 7z-benchmark-style corpus: a text/binary blend approximating the
+/// LZMA benchmark's generated data.
+pub fn seven_zip_bench(len: usize, seed: u64) -> Vec<u8> {
+    let half = len / 2;
+    let mut out = text(half, seed);
+    out.extend_from_slice(&binary(len - half, seed.wrapping_add(1), 0.3));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(text(1000, 7), text(1000, 7));
+        assert_eq!(binary(1000, 7, 0.5), binary(1000, 7, 0.5));
+        assert_ne!(text(1000, 7), text(1000, 8));
+    }
+
+    #[test]
+    fn exact_length() {
+        for len in [0, 1, 13, 1000, 65_536] {
+            assert_eq!(text(len, 1).len(), len);
+            assert_eq!(binary(len, 1, 0.3).len(), len);
+            assert_eq!(seven_zip_bench(len, 1).len(), len);
+        }
+    }
+
+    #[test]
+    fn text_is_ascii_words() {
+        let t = text(10_000, 3);
+        assert!(t
+            .iter()
+            .all(|&b| b.is_ascii_lowercase() || b == b' ' || b == b'\n'));
+    }
+
+    #[test]
+    fn random_fraction_controls_entropy() {
+        // Crude entropy proxy: count distinct 2-grams.
+        fn grams(data: &[u8]) -> usize {
+            let mut seen = std::collections::HashSet::new();
+            for w in data.windows(2) {
+                seen.insert([w[0], w[1]]);
+            }
+            seen.len()
+        }
+        let ordered = binary(20_000, 5, 0.0);
+        let random = binary(20_000, 5, 1.0);
+        assert!(grams(&random) > 2 * grams(&ordered));
+    }
+}

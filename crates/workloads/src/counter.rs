@@ -1,0 +1,144 @@
+//! Operation-count instrumentation.
+//!
+//! Benchmark kernels in this crate are *real* Rust implementations. To
+//! drive the simulated machine they are run under an [`OpCounter`], which
+//! they increment at loop granularity with the abstract-operation cost of
+//! each iteration (one bulk `add` per inner loop, not per instruction, so
+//! instrumentation overhead stays negligible). The counter then converts
+//! into the [`OpClassCounts`] the machine model executes.
+//!
+//! The counts are *abstract machine operations* (the currency of
+//! `vgrid-machine`'s CPU model), not x86 instructions; calibration
+//! constants in the CPU model absorb the difference.
+
+use vgrid_machine::ops::OpClassCounts;
+
+/// Accumulates abstract operation counts during a kernel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating-point operations.
+    pub fp_ops: u64,
+    /// Memory reads.
+    pub mem_reads: u64,
+    /// Memory writes.
+    pub mem_writes: u64,
+    /// Branches.
+    pub branches: u64,
+}
+
+impl OpCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count integer ALU ops.
+    #[inline]
+    pub fn int(&mut self, n: u64) {
+        self.int_ops += n;
+    }
+    /// Count floating-point ops.
+    #[inline]
+    pub fn fp(&mut self, n: u64) {
+        self.fp_ops += n;
+    }
+    /// Count memory reads.
+    #[inline]
+    pub fn read(&mut self, n: u64) {
+        self.mem_reads += n;
+    }
+    /// Count memory writes.
+    #[inline]
+    pub fn write(&mut self, n: u64) {
+        self.mem_writes += n;
+    }
+    /// Count branches.
+    #[inline]
+    pub fn branch(&mut self, n: u64) {
+        self.branches += n;
+    }
+
+    /// Total operations counted.
+    pub fn total(&self) -> u64 {
+        self.int_ops + self.fp_ops + self.mem_reads + self.mem_writes + self.branches
+    }
+
+    /// Convert to machine-model counts (no kernel-mode component; kernels
+    /// are pure user-mode compute — syscall work is added by the OS layer).
+    pub fn to_counts(&self) -> OpClassCounts {
+        OpClassCounts {
+            int_ops: self.int_ops,
+            fp_ops: self.fp_ops,
+            mem_reads: self.mem_reads,
+            mem_writes: self.mem_writes,
+            branches: self.branches,
+            kernel_ops: 0,
+        }
+    }
+
+    /// Scale every count by `factor` (extrapolating a measured small run
+    /// to a larger configured size; kernels document why their op counts
+    /// scale the way they do).
+    pub fn scaled(&self, factor: f64) -> OpCounter {
+        debug_assert!(factor >= 0.0);
+        let s = |x: u64| (x as f64 * factor).round() as u64;
+        OpCounter {
+            int_ops: s(self.int_ops),
+            fp_ops: s(self.fp_ops),
+            mem_reads: s(self.mem_reads),
+            mem_writes: s(self.mem_writes),
+            branches: s(self.branches),
+        }
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.int_ops += other.int_ops;
+        self.fp_ops += other.fp_ops;
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.branches += other.branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut c = OpCounter::new();
+        c.int(10);
+        c.fp(5);
+        c.read(3);
+        c.write(2);
+        c.branch(1);
+        assert_eq!(c.total(), 21);
+        let counts = c.to_counts();
+        assert_eq!(counts.int_ops, 10);
+        assert_eq!(counts.fp_ops, 5);
+        assert_eq!(counts.kernel_ops, 0);
+    }
+
+    #[test]
+    fn scaled_rounds() {
+        let mut c = OpCounter::new();
+        c.int(10);
+        assert_eq!(c.scaled(2.5).int_ops, 25);
+        assert_eq!(c.scaled(0.0).int_ops, 0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = OpCounter::new();
+        a.int(1);
+        let mut b = OpCounter::new();
+        b.int(2);
+        b.fp(3);
+        a.merge(&b);
+        assert_eq!(a.int_ops, 3);
+        assert_eq!(a.fp_ops, 3);
+    }
+}

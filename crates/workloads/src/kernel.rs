@@ -1,0 +1,87 @@
+//! The benchmark-kernel abstraction.
+//!
+//! A [`Kernel`] is a real, runnable algorithm that counts its abstract
+//! operations while it executes. [`characterize`] turns one run of a
+//! kernel into the [`OpBlock`] the simulated machine executes — the
+//! bridge between "we really implemented the benchmark" and "the
+//! simulator times it mechanistically".
+
+use crate::counter::OpCounter;
+use vgrid_machine::ops::OpBlock;
+
+/// A real benchmark kernel.
+pub trait Kernel: std::fmt::Debug {
+    /// Short name ("numeric-sort", "fourier", ...).
+    fn name(&self) -> &'static str;
+
+    /// Execute the real algorithm once, counting work into `ops`.
+    /// Returns a checksum so the compiler cannot elide the computation
+    /// and tests can assert determinism.
+    fn run(&self, ops: &mut OpCounter) -> u64;
+
+    /// Bytes of data the kernel touches repeatedly.
+    fn working_set(&self) -> u64;
+
+    /// Fraction of accesses that hit L1 regardless of working-set size
+    /// (see `vgrid-machine`'s cache model).
+    fn locality(&self) -> f64;
+}
+
+/// Characterization of one kernel run: its op block plus the checksum.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// The machine-model block equivalent to one `run()`.
+    pub block: OpBlock,
+    /// The checksum returned by the run.
+    pub checksum: u64,
+}
+
+/// Run the kernel once and package the measured work as an [`OpBlock`].
+pub fn characterize(kernel: &dyn Kernel) -> Characterization {
+    let mut ops = OpCounter::new();
+    let checksum = kernel.run(&mut ops);
+    let block = OpBlock {
+        label: kernel.name().to_string(),
+        counts: ops.to_counts(),
+        working_set: kernel.working_set(),
+        locality: kernel.locality(),
+    };
+    Characterization { block, checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Toy;
+    impl Kernel for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn run(&self, ops: &mut OpCounter) -> u64 {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            ops.int(2000);
+            acc
+        }
+        fn working_set(&self) -> u64 {
+            64
+        }
+        fn locality(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn characterize_captures_run() {
+        let c = characterize(&Toy);
+        assert_eq!(c.block.label, "toy");
+        assert_eq!(c.block.counts.int_ops, 2000);
+        assert_eq!(c.block.working_set, 64);
+        // Deterministic checksum.
+        assert_eq!(c.checksum, characterize(&Toy).checksum);
+    }
+}

@@ -1,0 +1,52 @@
+//! # vgrid-workloads
+//!
+//! Real benchmark kernels for the `vgrid` desktop-grid virtualization
+//! testbed — the workload side of Domingues et al. 2009:
+//!
+//! | Module | Paper benchmark | Role |
+//! |---|---|---|
+//! | [`sevenz`] | 7z (LZMA) benchmark mode | integer CPU, guest + host |
+//! | [`matrix`] | Matrix (512/1024 doubles) | floating-point CPU |
+//! | [`iobench`] | IOBench (Python original) | disk I/O |
+//! | [`netbench`] | NetBench / iperf | network I/O |
+//! | [`nbench`] | NBench/ByteMark port | host MEM/INT/FP indexes |
+//! | [`einstein`] | Einstein@home worker | the volunteer task in the VM |
+//!
+//! Every kernel is a *real implementation* (a working LZMA-style
+//! compressor, real sorts/ciphers/FFT/LU, a trainable neural net). Each
+//! runs once under [`counter::OpCounter`] instrumentation; the measured
+//! abstract-operation mix becomes the `OpBlock` that drives the simulated
+//! machine. Benchmarks are exposed as `vgrid-os` thread bodies that
+//! reproduce the original tools' measurement semantics (7z's MIPS and
+//! %CPU, iperf's Mbps, IOBench's per-size rates, NBench's indexes).
+//!
+//! ```
+//! use vgrid_workloads::counter::OpCounter;
+//! use vgrid_workloads::lzma::{compress, decompress, LzmaConfig};
+//! use vgrid_workloads::corpus;
+//!
+//! // The 7z kernel is a real compressor: it round-trips and its
+//! // instrumentation counts the work the simulator will charge.
+//! let data = corpus::seven_zip_bench(16 * 1024, 1);
+//! let mut ops = OpCounter::new();
+//! let packed = compress(&data, LzmaConfig::default(), &mut ops);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(decompress(&packed, data.len(), &mut ops), data);
+//! assert!(ops.total() > 100_000);
+//! ```
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the published algorithms
+
+pub mod counter;
+pub mod corpus;
+pub mod einstein;
+pub mod iobench;
+pub mod kernel;
+pub mod lzma;
+pub mod matrix;
+pub mod nbench;
+pub mod netbench;
+pub mod sevenz;
+
+pub use counter::OpCounter;
+pub use kernel::{characterize, Characterization, Kernel};

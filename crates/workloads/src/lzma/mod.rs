@@ -1,0 +1,382 @@
+//! A real LZMA-style compressor: hash-chain LZ77 front end, adaptive
+//! binary range-coded back end.
+//!
+//! This is the kernel behind the testbed's `7z`-equivalent benchmark
+//! (the paper's 7Z runs LZMA in benchmark mode). The format is a
+//! simplified LZMA: greedy parse, order-0.5 literal contexts, LZMA's
+//! position-slot distance coding — enough to exhibit the real algorithm's
+//! instruction mix (integer ALU + branchy bit coding + hash-chain memory
+//! chasing) and honest compression, while staying reviewable.
+
+pub mod lz77;
+pub mod rangecoder;
+
+use crate::counter::OpCounter;
+use lz77::{MatchFinder, MIN_MATCH};
+#[cfg(test)]
+use lz77::MAX_MATCH;
+use rangecoder::{BitModel, RangeDecoder, RangeEncoder};
+
+/// Number of literal contexts (previous byte's top 3 bits).
+const LIT_CTX: usize = 8;
+
+/// Adaptive models for the stream.
+struct Models {
+    is_match: BitModel,
+    /// Literal coding: per context, a 256-leaf bit tree (255 nodes).
+    literals: Vec<[BitModel; 256]>,
+    /// Length coding: choice + low/mid trees + high direct handled inline.
+    len_choice: BitModel,
+    len_choice2: BitModel,
+    len_low: [BitModel; 8],
+    len_mid: [BitModel; 8],
+    len_high: [BitModel; 256],
+    /// Distance slot tree (64 leaves).
+    dist_slot: [BitModel; 64],
+}
+
+impl Models {
+    fn new() -> Self {
+        Models {
+            is_match: BitModel::default(),
+            literals: (0..LIT_CTX).map(|_| [BitModel::default(); 256]).collect(),
+            len_choice: BitModel::default(),
+            len_choice2: BitModel::default(),
+            len_low: [BitModel::default(); 8],
+            len_mid: [BitModel::default(); 8],
+            len_high: [BitModel::default(); 256],
+            dist_slot: [BitModel::default(); 64],
+        }
+    }
+}
+
+/// Encode `value` (with `bits` bits) through a bit-tree of models.
+fn tree_encode(
+    enc: &mut RangeEncoder,
+    models: &mut [BitModel],
+    bits: u32,
+    value: u32,
+    ops: &mut OpCounter,
+) {
+    let mut node = 1usize;
+    for i in (0..bits).rev() {
+        let bit = (value >> i) & 1;
+        enc.encode_bit(&mut models[node - 1], bit, ops);
+        node = (node << 1) | bit as usize;
+    }
+}
+
+/// Decode a `bits`-bit value through a bit-tree of models.
+fn tree_decode(
+    dec: &mut RangeDecoder<'_>,
+    models: &mut [BitModel],
+    bits: u32,
+    ops: &mut OpCounter,
+) -> u32 {
+    let mut node = 1usize;
+    for _ in 0..bits {
+        let bit = dec.decode_bit(&mut models[node - 1], ops);
+        node = (node << 1) | bit as usize;
+    }
+    (node as u32) - (1 << bits)
+}
+
+/// Map a distance to its LZMA position slot.
+fn dist_slot_of(dist: u32) -> u32 {
+    debug_assert!(dist >= 1);
+    let d = dist - 1;
+    if d < 4 {
+        return d;
+    }
+    let n = 31 - d.leading_zeros();
+    (n << 1) | ((d >> (n - 1)) & 1)
+}
+
+/// Encode a match length (MIN_MATCH..=MAX_MATCH) LZMA-style.
+fn encode_len(enc: &mut RangeEncoder, m: &mut Models, len: u32, ops: &mut OpCounter) {
+    let v = len - MIN_MATCH as u32;
+    if v < 8 {
+        enc.encode_bit(&mut m.len_choice, 0, ops);
+        tree_encode(enc, &mut m.len_low, 3, v, ops);
+    } else if v < 16 {
+        enc.encode_bit(&mut m.len_choice, 1, ops);
+        enc.encode_bit(&mut m.len_choice2, 0, ops);
+        tree_encode(enc, &mut m.len_mid, 3, v - 8, ops);
+    } else {
+        enc.encode_bit(&mut m.len_choice, 1, ops);
+        enc.encode_bit(&mut m.len_choice2, 1, ops);
+        tree_encode(enc, &mut m.len_high, 8, v - 16, ops);
+    }
+}
+
+/// Decode a match length.
+fn decode_len(dec: &mut RangeDecoder<'_>, m: &mut Models, ops: &mut OpCounter) -> u32 {
+    let v = if dec.decode_bit(&mut m.len_choice, ops) == 0 {
+        tree_decode(dec, &mut m.len_low, 3, ops)
+    } else if dec.decode_bit(&mut m.len_choice2, ops) == 0 {
+        8 + tree_decode(dec, &mut m.len_mid, 3, ops)
+    } else {
+        16 + tree_decode(dec, &mut m.len_high, 8, ops)
+    };
+    v + MIN_MATCH as u32
+}
+
+/// Encode a distance (>= 1).
+fn encode_dist(enc: &mut RangeEncoder, m: &mut Models, dist: u32, ops: &mut OpCounter) {
+    let slot = dist_slot_of(dist);
+    tree_encode(enc, &mut m.dist_slot, 6, slot, ops);
+    if slot >= 4 {
+        let footer = (slot >> 1) - 1;
+        let base = (2 | (slot & 1)) << footer;
+        let rest = (dist - 1) - base;
+        enc.encode_direct(rest, footer, ops);
+    }
+}
+
+/// Decode a distance.
+fn decode_dist(dec: &mut RangeDecoder<'_>, m: &mut Models, ops: &mut OpCounter) -> u32 {
+    let slot = tree_decode(dec, &mut m.dist_slot, 6, ops);
+    if slot < 4 {
+        slot + 1
+    } else {
+        let footer = (slot >> 1) - 1;
+        let base = (2 | (slot & 1)) << footer;
+        base + dec.decode_direct(footer, ops) + 1
+    }
+}
+
+/// Compression configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LzmaConfig {
+    /// Hash-chain search depth (7z's "fast"/"normal" knob).
+    pub depth: u32,
+    /// Dictionary window size in bytes.
+    pub window: u32,
+}
+
+impl Default for LzmaConfig {
+    fn default() -> Self {
+        LzmaConfig {
+            depth: 32,
+            window: 1 << 22,
+        }
+    }
+}
+
+/// Compress `data`, counting kernel work into `ops`.
+pub fn compress(data: &[u8], cfg: LzmaConfig, ops: &mut OpCounter) -> Vec<u8> {
+    let mut enc = RangeEncoder::new();
+    let mut m = Models::new();
+    let mut mf = MatchFinder::new(data, cfg.depth, cfg.window);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let found = mf.find(pos, ops);
+        match found {
+            Some(mt) if mt.len as usize >= MIN_MATCH => {
+                enc.encode_bit(&mut m.is_match, 1, ops);
+                encode_len(&mut enc, &mut m, mt.len, ops);
+                encode_dist(&mut enc, &mut m, mt.distance, ops);
+                for p in pos..pos + mt.len as usize {
+                    mf.insert(p, ops);
+                }
+                pos += mt.len as usize;
+            }
+            _ => {
+                enc.encode_bit(&mut m.is_match, 0, ops);
+                let ctx = if pos == 0 { 0 } else { (data[pos - 1] >> 5) as usize };
+                tree_encode(
+                    &mut enc,
+                    &mut m.literals[ctx],
+                    8,
+                    data[pos] as u32,
+                    ops,
+                );
+                mf.insert(pos, ops);
+                pos += 1;
+            }
+        }
+    }
+    enc.finish()
+}
+
+/// Decompress a stream produced by [`compress`]; `out_len` must be the
+/// original length.
+pub fn decompress(stream: &[u8], out_len: usize, ops: &mut OpCounter) -> Vec<u8> {
+    let mut dec = RangeDecoder::new(stream);
+    let mut m = Models::new();
+    let mut out = Vec::with_capacity(out_len);
+    while out.len() < out_len {
+        if dec.decode_bit(&mut m.is_match, ops) == 1 {
+            let len = decode_len(&mut dec, &mut m, ops) as usize;
+            let dist = decode_dist(&mut dec, &mut m, ops) as usize;
+            assert!(dist <= out.len(), "corrupt stream: distance past start");
+            let start = out.len() - dist;
+            // Byte-by-byte copy: correct for overlapping matches
+            // (distance < length), the RLE-like case.
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+            ops.read(len as u64);
+            ops.write(len as u64);
+            ops.int(2 * len as u64);
+        } else {
+            let ctx = out.last().map(|&b| (b >> 5) as usize).unwrap_or(0);
+            let byte = tree_decode(&mut dec, &mut m.literals[ctx], 8, ops) as u8;
+            out.push(byte);
+            ops.write(1);
+        }
+    }
+    out.truncate(out_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    fn roundtrip(data: &[u8]) -> (usize, OpCounter) {
+        let mut ops = OpCounter::new();
+        let packed = compress(data, LzmaConfig::default(), &mut ops);
+        let restored = decompress(&packed, data.len(), &mut ops);
+        assert_eq!(restored, data, "roundtrip mismatch");
+        (packed.len(), ops)
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn roundtrip_text_corpus() {
+        let data = corpus::text(50_000, 3);
+        let (packed, _) = roundtrip(&data);
+        // Synthetic text from a 34-word dictionary is highly redundant.
+        assert!(packed < data.len() / 3, "packed {packed} of {}", data.len());
+    }
+
+    #[test]
+    fn roundtrip_binary_corpus() {
+        let data = corpus::binary(50_000, 9, 0.3);
+        let (packed, _) = roundtrip(&data);
+        assert!(packed < data.len(), "no expansion on mixed data");
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let data = corpus::binary(20_000, 11, 1.0);
+        let (packed, _) = roundtrip(&data);
+        // Random data should not expand more than the coder's ~1.6 %
+        // worst case plus flush bytes.
+        assert!(packed < data.len() + data.len() / 16 + 64);
+    }
+
+    #[test]
+    fn roundtrip_runs() {
+        let data = vec![7u8; 100_000];
+        let (packed, _) = roundtrip(&data);
+        assert!(packed < 600, "constant input should collapse: {packed}");
+    }
+
+    #[test]
+    fn roundtrip_7z_bench_corpus() {
+        let data = corpus::seven_zip_bench(64 * 1024, 42);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn deeper_search_never_worse_ratio() {
+        let data = corpus::seven_zip_bench(40_000, 5);
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        let shallow = compress(
+            &data,
+            LzmaConfig {
+                depth: 1,
+                window: 1 << 22,
+            },
+            &mut o1,
+        );
+        let deep = compress(
+            &data,
+            LzmaConfig {
+                depth: 128,
+                window: 1 << 22,
+            },
+            &mut o2,
+        );
+        assert!(deep.len() <= shallow.len() + 16);
+        // ...and costs more work.
+        assert!(o2.total() > o1.total());
+    }
+
+    #[test]
+    fn dist_slot_matches_lzma_table() {
+        // Known LZMA slot values: d-1 in [0..3] -> slot d-1.
+        assert_eq!(dist_slot_of(1), 0);
+        assert_eq!(dist_slot_of(2), 1);
+        assert_eq!(dist_slot_of(3), 2);
+        assert_eq!(dist_slot_of(4), 3);
+        // d-1 = 4..5 -> slot 4; 6..7 -> 5; 8..11 -> 6 ...
+        assert_eq!(dist_slot_of(5), 4);
+        assert_eq!(dist_slot_of(7), 5);
+        assert_eq!(dist_slot_of(9), 6);
+        assert_eq!(dist_slot_of(13), 7);
+    }
+
+    #[test]
+    fn slot_roundtrip_all_distances() {
+        let mut ops = OpCounter::new();
+        let dists: Vec<u32> = (1..100)
+            .chain([127, 128, 129, 1000, 65_535, 1 << 20])
+            .collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = Models::new();
+        for &d in &dists {
+            encode_dist(&mut enc, &mut m, d, &mut ops);
+        }
+        let stream = enc.finish();
+        let mut dec = RangeDecoder::new(&stream);
+        let mut m = Models::new();
+        for &d in &dists {
+            assert_eq!(decode_dist(&mut dec, &mut m, &mut ops), d);
+        }
+    }
+
+    #[test]
+    fn len_roundtrip_full_range() {
+        let mut ops = OpCounter::new();
+        let lens: Vec<u32> = (MIN_MATCH as u32..=MAX_MATCH as u32).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = Models::new();
+        for &l in &lens {
+            encode_len(&mut enc, &mut m, l, &mut ops);
+        }
+        let stream = enc.finish();
+        let mut dec = RangeDecoder::new(&stream);
+        let mut m = Models::new();
+        for &l in &lens {
+            assert_eq!(decode_len(&mut dec, &mut m, &mut ops), l);
+        }
+    }
+
+    #[test]
+    fn op_counts_scale_with_input() {
+        let small = corpus::text(10_000, 1);
+        let large = corpus::text(40_000, 1);
+        let mut o_small = OpCounter::new();
+        let mut o_large = OpCounter::new();
+        compress(&small, LzmaConfig::default(), &mut o_small);
+        compress(&large, LzmaConfig::default(), &mut o_large);
+        let ratio = o_large.total() as f64 / o_small.total() as f64;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "work should grow roughly linearly: {ratio}"
+        );
+    }
+}

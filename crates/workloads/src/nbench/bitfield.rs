@@ -1,0 +1,147 @@
+//! Bitfield operations over a large bitmap (ByteMark's "Bitfield";
+//! MEM index — scattered single-bit updates across a multi-megabyte map).
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+/// Kinds of bitfield operation, as in ByteMark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BitOp {
+    Set,
+    Clear,
+    Complement,
+}
+
+/// Random set/clear/complement of bit runs over a bitmap.
+#[derive(Debug, Clone)]
+pub struct Bitfield {
+    /// Bitmap size in 64-bit words.
+    pub words: usize,
+    /// Number of operations per run.
+    pub operations: usize,
+    /// Seed for the operation stream.
+    pub seed: u64,
+}
+
+impl Default for Bitfield {
+    fn default() -> Self {
+        Bitfield {
+            // 4 M bits = 512 KB bitmap; ops ranges span it randomly.
+            words: 65_536,
+            operations: 200_000,
+            seed: 0xb17f,
+        }
+    }
+}
+
+/// Apply one operation to a run of bits `[start, start+len)`.
+fn apply(map: &mut [u64], op: BitOp, start: usize, len: usize, ops: &mut OpCounter) {
+    let total_bits = map.len() * 64;
+    let end = (start + len).min(total_bits);
+    let mut bit = start;
+    while bit < end {
+        let word = bit / 64;
+        let lo = bit % 64;
+        let span = (64 - lo).min(end - bit);
+        let mask = if span == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << span) - 1) << lo
+        };
+        match op {
+            BitOp::Set => map[word] |= mask,
+            BitOp::Clear => map[word] &= !mask,
+            BitOp::Complement => map[word] ^= mask,
+        }
+        ops.read(1);
+        ops.write(1);
+        ops.int(6);
+        ops.branch(1);
+        bit += span;
+    }
+}
+
+impl Kernel for Bitfield {
+    fn name(&self) -> &'static str {
+        "bitfield"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let mut map = vec![0u64; self.words];
+        let mut rng = SimRng::new(self.seed);
+        let total_bits = (self.words * 64) as u64;
+        for _ in 0..self.operations {
+            let op = match rng.next_below(3) {
+                0 => BitOp::Set,
+                1 => BitOp::Clear,
+                _ => BitOp::Complement,
+            };
+            let start = rng.next_below(total_bits) as usize;
+            let len = 1 + rng.next_below(256) as usize;
+            apply(&mut map, op, start, len, ops);
+            ops.int(6); // RNG + dispatch
+        }
+        // Checksum: popcount over the map.
+        map.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    fn working_set(&self) -> u64 {
+        (self.words * 8) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        // Random single-run updates over the whole map.
+        0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_complement_roundtrip() {
+        let mut ops = OpCounter::new();
+        let mut map = vec![0u64; 4];
+        apply(&mut map, BitOp::Set, 10, 20, &mut ops);
+        assert_eq!(map[0].count_ones(), 20);
+        apply(&mut map, BitOp::Complement, 10, 20, &mut ops);
+        assert!(map.iter().all(|&w| w == 0));
+        apply(&mut map, BitOp::Set, 0, 256, &mut ops);
+        assert!(map.iter().all(|&w| w == u64::MAX));
+        apply(&mut map, BitOp::Clear, 0, 256, &mut ops);
+        assert!(map.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut ops = OpCounter::new();
+        let mut map = vec![0u64; 2];
+        apply(&mut map, BitOp::Set, 60, 8, &mut ops);
+        assert_eq!(map[0] >> 60, 0xF);
+        assert_eq!(map[1] & 0xF, 0xF);
+        assert_eq!(map[0].count_ones() + map[1].count_ones(), 8);
+    }
+
+    #[test]
+    fn clamps_at_end_of_map() {
+        let mut ops = OpCounter::new();
+        let mut map = vec![0u64; 1];
+        apply(&mut map, BitOp::Set, 50, 1000, &mut ops);
+        assert_eq!(map[0].count_ones(), 14);
+    }
+
+    #[test]
+    fn kernel_deterministic() {
+        let k = Bitfield {
+            words: 256,
+            operations: 1000,
+            seed: 5,
+        };
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+        assert_eq!(o1, o2);
+    }
+}

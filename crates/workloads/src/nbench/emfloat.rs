@@ -1,0 +1,293 @@
+//! Software floating-point emulation (ByteMark's "FP emulation"; INT
+//! index — floating point implemented with integer operations only).
+//!
+//! Implements a miniature binary soft-float: 32-bit significand, i32
+//! exponent, explicit sign. Add/sub/mul/div are built from integer
+//! shifts, adds and multiplies, as ByteMark's emfloat does. Correctness
+//! is tested against hardware `f64` within the format's precision.
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+/// A software floating-point number: sign * mant * 2^(exp - 31), with
+/// mant normalized to have bit 31 set (unless zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftFloat {
+    /// False = positive.
+    pub neg: bool,
+    /// Normalized 32-bit significand (bit 31 set) or 0.
+    pub mant: u32,
+    /// Binary exponent.
+    pub exp: i32,
+}
+
+impl SoftFloat {
+    /// Zero.
+    pub const ZERO: SoftFloat = SoftFloat {
+        neg: false,
+        mant: 0,
+        exp: 0,
+    };
+
+    /// Convert from f64 (test/reference path, not counted).
+    pub fn from_f64(x: f64) -> SoftFloat {
+        if x == 0.0 {
+            return SoftFloat::ZERO;
+        }
+        let neg = x < 0.0;
+        let mut a = x.abs();
+        let mut exp = 0i32;
+        while a >= 2.0 {
+            a /= 2.0;
+            exp += 1;
+        }
+        while a < 1.0 {
+            a *= 2.0;
+            exp -= 1;
+        }
+        // a in [1, 2): mant = a * 2^31.
+        let mant = (a * (1u64 << 31) as f64) as u32 | 0x8000_0000;
+        SoftFloat { neg, mant, exp }
+    }
+
+    /// Convert to f64 (test/reference path).
+    pub fn to_f64(self) -> f64 {
+        if self.mant == 0 {
+            return 0.0;
+        }
+        let m = self.mant as f64 / (1u64 << 31) as f64;
+        let v = m * 2f64.powi(self.exp);
+        if self.neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn normalize(mut mant64: u64, mut exp: i32, neg: bool, ops: &mut OpCounter) -> SoftFloat {
+        if mant64 == 0 {
+            return SoftFloat::ZERO;
+        }
+        while mant64 >= 1u64 << 32 {
+            mant64 >>= 1;
+            exp += 1;
+            ops.int(3);
+            ops.branch(1);
+        }
+        while mant64 < 1u64 << 31 {
+            mant64 <<= 1;
+            exp -= 1;
+            ops.int(3);
+            ops.branch(1);
+        }
+        SoftFloat {
+            neg,
+            mant: mant64 as u32,
+            exp,
+        }
+    }
+
+    /// Software addition.
+    pub fn add(self, other: SoftFloat, ops: &mut OpCounter) -> SoftFloat {
+        ops.int(12);
+        ops.branch(4);
+        if self.mant == 0 {
+            return other;
+        }
+        if other.mant == 0 {
+            return self;
+        }
+        // Order by exponent.
+        let (big, small) = if self.exp >= other.exp {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let shift = (big.exp - small.exp).min(63) as u32;
+        let bm = (big.mant as u64) << 16;
+        let sm = ((small.mant as u64) << 16) >> shift;
+        ops.int(8);
+        if big.neg == small.neg {
+            Self::normalize(bm + sm, big.exp - 16, big.neg, ops)
+        } else if bm >= sm {
+            Self::normalize(bm - sm, big.exp - 16, big.neg, ops)
+        } else {
+            Self::normalize(sm - bm, big.exp - 16, small.neg, ops)
+        }
+    }
+
+    /// Software subtraction.
+    pub fn sub(self, other: SoftFloat, ops: &mut OpCounter) -> SoftFloat {
+        ops.int(1);
+        self.add(
+            SoftFloat {
+                neg: !other.neg && other.mant != 0,
+                ..other
+            },
+            ops,
+        )
+    }
+
+    /// Software multiplication.
+    pub fn mul(self, other: SoftFloat, ops: &mut OpCounter) -> SoftFloat {
+        ops.int(10);
+        ops.branch(2);
+        if self.mant == 0 || other.mant == 0 {
+            return SoftFloat::ZERO;
+        }
+        let prod = (self.mant as u64) * (other.mant as u64); // 2^62ish
+        Self::normalize(prod >> 31, self.exp + other.exp, self.neg != other.neg, ops)
+    }
+
+    /// Software division (long division on the significands).
+    pub fn div(self, other: SoftFloat, ops: &mut OpCounter) -> SoftFloat {
+        assert!(other.mant != 0, "soft-float division by zero");
+        ops.int(10);
+        ops.branch(2);
+        if self.mant == 0 {
+            return SoftFloat::ZERO;
+        }
+        let num = (self.mant as u64) << 31;
+        let q = num / other.mant as u64;
+        ops.int(32); // hardware div stands in for the emulated shift-subtract loop
+        Self::normalize(q, self.exp - other.exp, self.neg != other.neg, ops)
+    }
+}
+
+/// FP-emulation kernel: evaluates polynomial expressions over arrays
+/// using soft-float arithmetic only.
+#[derive(Debug, Clone)]
+pub struct EmFloat {
+    /// Number of soft-float values in play.
+    pub values: usize,
+    /// Evaluation loops.
+    pub loops: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EmFloat {
+    fn default() -> Self {
+        EmFloat {
+            values: 2_000,
+            loops: 30,
+            seed: 0xef10,
+        }
+    }
+}
+
+impl Kernel for EmFloat {
+    fn name(&self) -> &'static str {
+        "fp-emulation"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let mut rng = SimRng::new(self.seed);
+        let xs: Vec<SoftFloat> = (0..self.values)
+            .map(|_| SoftFloat::from_f64(rng.range_f64(-100.0, 100.0)))
+            .collect();
+        let mut acc = SoftFloat::ZERO;
+        for _ in 0..self.loops {
+            for &x in &xs {
+                // acc = acc + x*x - x/2 (soft-float ops + array read)
+                ops.read(1);
+                let sq = x.mul(x, ops);
+                let half = x.div(SoftFloat::from_f64(2.0), ops);
+                acc = acc.add(sq, ops).sub(half, ops);
+            }
+        }
+        acc.mant as u64 ^ ((acc.exp as u32 as u64) << 32)
+    }
+
+    fn working_set(&self) -> u64 {
+        (self.values * 12) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        let scale = a.abs().max(b.abs()).max(1e-30);
+        (a - b).abs() / scale < 1e-6
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        for x in [1.0, -1.0, 0.5, 3.75, 1234.5678, -0.001, 1e10, -1e-10] {
+            let sf = SoftFloat::from_f64(x);
+            assert!(close(sf.to_f64(), x), "{x} -> {}", sf.to_f64());
+        }
+        assert_eq!(SoftFloat::from_f64(0.0), SoftFloat::ZERO);
+    }
+
+    #[test]
+    fn add_matches_hardware() {
+        let mut ops = OpCounter::new();
+        for (a, b) in [(1.5, 2.25), (-3.0, 1.0), (100.0, -100.0), (1e6, 1e-3), (0.0, 5.0)] {
+            let r = SoftFloat::from_f64(a).add(SoftFloat::from_f64(b), &mut ops);
+            assert!(close(r.to_f64(), a + b), "{a}+{b} = {}", r.to_f64());
+        }
+    }
+
+    #[test]
+    fn sub_matches_hardware() {
+        let mut ops = OpCounter::new();
+        for (a, b) in [(1.5, 2.25), (-3.0, 1.0), (5.0, 5.0), (1e-3, 1e6)] {
+            let r = SoftFloat::from_f64(a).sub(SoftFloat::from_f64(b), &mut ops);
+            assert!(close(r.to_f64(), a - b), "{a}-{b} = {}", r.to_f64());
+        }
+    }
+
+    #[test]
+    fn mul_matches_hardware() {
+        let mut ops = OpCounter::new();
+        for (a, b) in [(1.5, 2.0), (-3.0, 1.25), (0.0, 5.0), (1e5, 1e-5), (-2.0, -4.0)] {
+            let r = SoftFloat::from_f64(a).mul(SoftFloat::from_f64(b), &mut ops);
+            assert!(close(r.to_f64(), a * b), "{a}*{b} = {}", r.to_f64());
+        }
+    }
+
+    #[test]
+    fn div_matches_hardware() {
+        let mut ops = OpCounter::new();
+        for (a, b) in [(1.0, 3.0), (-10.0, 4.0), (1e6, 1e-2), (0.0, 7.0)] {
+            let r = SoftFloat::from_f64(a).div(SoftFloat::from_f64(b), &mut ops);
+            assert!(close(r.to_f64(), a / b), "{a}/{b} = {}", r.to_f64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let mut ops = OpCounter::new();
+        SoftFloat::from_f64(1.0).div(SoftFloat::ZERO, &mut ops);
+    }
+
+    #[test]
+    fn kernel_counts_are_integer_only() {
+        let k = EmFloat {
+            values: 100,
+            loops: 2,
+            seed: 1,
+        };
+        let mut ops = OpCounter::new();
+        k.run(&mut ops);
+        assert_eq!(ops.fp_ops, 0, "FP emulation must not use fp ops");
+        assert!(ops.int_ops > 10_000);
+    }
+
+    #[test]
+    fn kernel_deterministic() {
+        let k = EmFloat::default();
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+    }
+}

@@ -1,0 +1,172 @@
+//! Fourier coefficients by numerical integration (ByteMark's "Fourier";
+//! FP index — pure floating point, tiny working set).
+//!
+//! Computes the first `terms` Fourier series coefficients of
+//! f(x) = (x + 1)^x over [0, 2] by trapezoidal integration, exactly the
+//! computation the original benchmark performs.
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+
+/// Fourier-coefficient kernel.
+#[derive(Debug, Clone)]
+pub struct Fourier {
+    /// Number of coefficient pairs to compute.
+    pub terms: usize,
+    /// Integration steps per coefficient.
+    pub steps: usize,
+}
+
+impl Default for Fourier {
+    fn default() -> Self {
+        Fourier {
+            terms: 40,
+            steps: 200,
+        }
+    }
+}
+
+/// f(x) = (x+1)^x, the ByteMark integrand.
+fn integrand(x: f64, ops: &mut OpCounter) -> f64 {
+    ops.fp(12); // powf ~ exp+ln, budgeted as a dozen fp ops
+    (x + 1.0).powf(x)
+}
+
+/// Trapezoid rule over [lo, hi].
+fn trapezoid<F: FnMut(f64, &mut OpCounter) -> f64>(
+    lo: f64,
+    hi: f64,
+    steps: usize,
+    mut f: F,
+    ops: &mut OpCounter,
+) -> f64 {
+    let dx = (hi - lo) / steps as f64;
+    let mut sum = (f(lo, ops) + f(hi, ops)) / 2.0;
+    let mut x = lo + dx;
+    for _ in 1..steps {
+        sum += f(x, ops);
+        x += dx;
+        ops.fp(2);
+        ops.branch(1);
+    }
+    ops.fp(4);
+    sum * dx
+}
+
+/// Compute `terms` (a_n, b_n) coefficient pairs.
+pub fn coefficients(terms: usize, steps: usize, ops: &mut OpCounter) -> Vec<(f64, f64)> {
+    let omega = std::f64::consts::PI; // fundamental frequency for period 2
+    (0..terms)
+        .map(|n| {
+            let a = trapezoid(
+                0.0,
+                2.0,
+                steps,
+                |x, ops| {
+                    ops.fp(3);
+                    integrand(x, ops) * (n as f64 * omega * x).cos()
+                },
+                ops,
+            );
+            let b = trapezoid(
+                0.0,
+                2.0,
+                steps,
+                |x, ops| {
+                    ops.fp(3);
+                    integrand(x, ops) * (n as f64 * omega * x).sin()
+                },
+                ops,
+            );
+            (a, b)
+        })
+        .collect()
+}
+
+impl Kernel for Fourier {
+    fn name(&self) -> &'static str {
+        "fourier"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let coeffs = coefficients(self.terms, self.steps, ops);
+        // Checksum: quantized coefficient sum.
+        coeffs
+            .iter()
+            .fold(0u64, |acc, &(a, b)| {
+                acc.wrapping_mul(31)
+                    .wrapping_add(((a + b) * 1e6) as i64 as u64)
+            })
+    }
+
+    fn working_set(&self) -> u64 {
+        (self.terms * 16) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_integrates_polynomial() {
+        let mut ops = OpCounter::new();
+        // Integral of x^2 over [0,3] = 9.
+        let v = trapezoid(0.0, 3.0, 10_000, |x, _| x * x, &mut ops);
+        assert!((v - 9.0).abs() < 1e-4, "v {v}");
+    }
+
+    #[test]
+    fn a0_is_total_integral() {
+        let mut ops = OpCounter::new();
+        let coeffs = coefficients(1, 5_000, &mut ops);
+        // cos(0) = 1, so a_0 equals the plain integral of (x+1)^x over
+        // [0,2]; cross-check with an independent Simpson quadrature.
+        let n = 10_000;
+        let h = 2.0 / n as f64;
+        let f = |x: f64| (x + 1.0f64).powf(x);
+        let mut simpson = f(0.0) + f(2.0);
+        for i in 1..n {
+            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+            simpson += w * f(i as f64 * h);
+        }
+        simpson *= h / 3.0;
+        assert!(
+            (coeffs[0].0 - simpson).abs() < 0.01,
+            "a0 {} vs simpson {simpson}",
+            coeffs[0].0
+        );
+        // b_0 integrates f(x)*sin(0) = 0.
+        assert!(coeffs[0].1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn coefficients_decay() {
+        let mut ops = OpCounter::new();
+        let coeffs = coefficients(20, 2_000, &mut ops);
+        let early = coeffs[1].0.hypot(coeffs[1].1);
+        let late = coeffs[19].0.hypot(coeffs[19].1);
+        assert!(late < early, "Fourier coefficients should decay");
+    }
+
+    #[test]
+    fn kernel_is_fp_dominated() {
+        let k = Fourier::default();
+        let mut ops = OpCounter::new();
+        k.run(&mut ops);
+        assert!(ops.fp_ops > 10 * ops.int_ops.max(1));
+        assert!(ops.mem_reads < ops.fp_ops / 10);
+    }
+
+    #[test]
+    fn kernel_deterministic() {
+        let k = Fourier::default();
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+    }
+}

@@ -1,0 +1,259 @@
+//! Huffman compression (ByteMark's "Huffman"; INT index).
+//!
+//! Canonical two-phase Huffman: frequency count, tree construction with
+//! a binary heap, bit-level encode and tree-walking decode, verified by
+//! roundtrip.
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use crate::corpus;
+
+/// Huffman tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(u8),
+    Internal(Box<Node>, Box<Node>),
+}
+
+/// Build the Huffman tree for the byte frequencies of `data`.
+/// Returns `None` for empty input.
+fn build_tree(data: &[u8], ops: &mut OpCounter) -> Option<Node> {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    ops.read(data.len() as u64);
+    ops.write(data.len() as u64);
+    ops.int(data.len() as u64);
+    // Min-heap of (weight, tiebreak, node). Tiebreak keeps determinism.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut pool: Vec<Node> = Vec::new();
+    let mut tie = 0u32;
+    for (b, &f) in freq.iter().enumerate() {
+        if f > 0 {
+            pool.push(Node::Leaf(b as u8));
+            heap.push(std::cmp::Reverse((f, tie, pool.len() - 1)));
+            tie += 1;
+        }
+    }
+    if heap.is_empty() {
+        return None;
+    }
+    if heap.len() == 1 {
+        // Degenerate single-symbol input: pair it with itself.
+        let std::cmp::Reverse((_, _, idx)) = heap.pop().expect("one");
+        let leaf = pool[idx].clone();
+        return Some(Node::Internal(Box::new(leaf.clone()), Box::new(leaf)));
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((w1, _, i1)) = heap.pop().expect("len>1");
+        let std::cmp::Reverse((w2, _, i2)) = heap.pop().expect("len>1");
+        ops.int(20);
+        ops.read(4);
+        ops.write(4);
+        ops.branch(4);
+        let merged = Node::Internal(Box::new(pool[i1].clone()), Box::new(pool[i2].clone()));
+        pool.push(merged);
+        heap.push(std::cmp::Reverse((w1 + w2, tie, pool.len() - 1)));
+        tie += 1;
+    }
+    let std::cmp::Reverse((_, _, root)) = heap.pop().expect("one left");
+    Some(pool[root].clone())
+}
+
+/// Flatten the tree into a code table (bits, length) per byte.
+fn build_codes(node: &Node, code: u64, len: u32, table: &mut [(u64, u32); 256]) {
+    match node {
+        Node::Leaf(b) => table[*b as usize] = (code, len.max(1)),
+        Node::Internal(l, r) => {
+            build_codes(l, code << 1, len + 1, table);
+            build_codes(r, (code << 1) | 1, len + 1, table);
+        }
+    }
+}
+
+/// Bit-packed encode. Returns (bits, bit length).
+pub fn encode(data: &[u8], ops: &mut OpCounter) -> Option<(Node2, Vec<u8>, u64)> {
+    let tree = build_tree(data, ops)?;
+    let mut table = [(0u64, 0u32); 256];
+    build_codes(&tree, 0, 0, &mut table);
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    let mut nbits = 0u32;
+    let mut total_bits = 0u64;
+    for &b in data {
+        let (code, len) = table[b as usize];
+        ops.read(2);
+        ops.int(8);
+        ops.branch(2);
+        acc = (acc << len) | code;
+        nbits += len;
+        total_bits += len as u64;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+            ops.write(1);
+            ops.int(3);
+        }
+    }
+    if nbits > 0 {
+        out.push((acc << (8 - nbits)) as u8);
+    }
+    Some((Node2(tree), out, total_bits))
+}
+
+/// Opaque tree wrapper for the public API.
+#[derive(Debug, Clone)]
+pub struct Node2(Node);
+
+/// Decode `count` symbols from the bit stream.
+pub fn decode(tree: &Node2, bits: &[u8], count: usize, ops: &mut OpCounter) -> Vec<u8> {
+    let mut out = Vec::with_capacity(count);
+    let mut bit_pos = 0usize;
+    for _ in 0..count {
+        let mut node = &tree.0;
+        loop {
+            match node {
+                Node::Leaf(b) => {
+                    out.push(*b);
+                    ops.write(1);
+                    break;
+                }
+                Node::Internal(l, r) => {
+                    let byte = bits[bit_pos / 8];
+                    let bit = (byte >> (7 - bit_pos % 8)) & 1;
+                    bit_pos += 1;
+                    ops.read(2);
+                    ops.int(5);
+                    ops.branch(2);
+                    node = if bit == 0 { l } else { r };
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Huffman kernel: compress and re-expand a text corpus.
+#[derive(Debug, Clone)]
+pub struct Huffman {
+    /// Input size in bytes.
+    pub input_len: usize,
+    /// Passes per run.
+    pub passes: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for Huffman {
+    fn default() -> Self {
+        Huffman {
+            input_len: 60_000,
+            passes: 4,
+            seed: 0x4f55,
+        }
+    }
+}
+
+impl Kernel for Huffman {
+    fn name(&self) -> &'static str {
+        "huffman"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let data = corpus::text(self.input_len, self.seed);
+        let mut checksum = 0u64;
+        for _ in 0..self.passes {
+            let (tree, bits, total_bits) = encode(&data, ops).expect("non-empty");
+            let back = decode(&tree, &bits, data.len(), ops);
+            debug_assert_eq!(back, data);
+            checksum = checksum.wrapping_mul(31).wrapping_add(total_bits);
+        }
+        checksum
+    }
+
+    fn working_set(&self) -> u64 {
+        (self.input_len * 2) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        0.7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> u64 {
+        let mut ops = OpCounter::new();
+        let (tree, bits, total_bits) = encode(data, &mut ops).expect("non-empty input");
+        let back = decode(&tree, &bits, data.len(), &mut ops);
+        assert_eq!(back, data);
+        total_bits
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(b"abracadabra");
+        roundtrip(b"mississippi river");
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(b"aaaaaaa");
+        roundtrip(b"x");
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        let mut ops = OpCounter::new();
+        assert!(encode(b"", &mut ops).is_none());
+    }
+
+    #[test]
+    fn skewed_frequencies_compress() {
+        // 'a' x 1000 + "bcd": average code length must be near 1 bit.
+        let mut data = vec![b'a'; 1000];
+        data.extend_from_slice(b"bcd");
+        let bits = roundtrip(&data);
+        assert!(bits < 1200, "bits {bits}");
+    }
+
+    #[test]
+    fn uniform_frequencies_cost_log_n() {
+        // 256 distinct bytes equally often: 8 bits each.
+        let data: Vec<u8> = (0..=255u8).cycle().take(2560).collect();
+        let bits = roundtrip(&data);
+        assert_eq!(bits, 2560 * 8);
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let mut ops = OpCounter::new();
+        let data = corpus::text(5000, 1);
+        let tree = build_tree(&data, &mut ops).unwrap();
+        let mut table = [(0u64, 0u32); 256];
+        build_codes(&tree, 0, 0, &mut table);
+        let codes: Vec<(u64, u32)> = table.iter().copied().filter(|&(_, l)| l > 0).collect();
+        for (i, &(c1, l1)) in codes.iter().enumerate() {
+            for &(c2, l2) in codes.iter().skip(i + 1) {
+                let l = l1.min(l2);
+                assert_ne!(c1 >> (l1 - l), c2 >> (l2 - l), "prefix violation");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_deterministic() {
+        let k = Huffman {
+            input_len: 2000,
+            passes: 1,
+            seed: 2,
+        };
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+    }
+}

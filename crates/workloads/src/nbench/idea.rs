@@ -1,0 +1,260 @@
+//! IDEA block cipher (ByteMark's "IDEA"; INT index).
+//!
+//! The International Data Encryption Algorithm: 8.5 rounds over 64-bit
+//! blocks with three group operations (XOR, addition mod 2^16,
+//! multiplication mod 2^16+1). Implemented from the published
+//! specification; encryption/decryption inverse keys are derived with
+//! modular inverses and tested by roundtrip.
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+const ROUNDS: usize = 8;
+/// Sub-keys for encryption or decryption (52 of them).
+pub type KeySchedule = [u16; 52];
+
+/// Multiplication in the group Z*_{2^16+1} with 0 representing 2^16.
+#[inline]
+fn mul(a: u16, b: u16) -> u16 {
+    let a = if a == 0 { 0x1_0000u64 } else { a as u64 };
+    let b = if b == 0 { 0x1_0000u64 } else { b as u64 };
+    let p = (a * b) % 0x1_0001;
+    if p == 0x1_0000 {
+        0
+    } else {
+        p as u16
+    }
+}
+
+/// Additive inverse mod 2^16.
+#[inline]
+fn add_inv(a: u16) -> u16 {
+    a.wrapping_neg()
+}
+
+/// Multiplicative inverse in Z*_{2^16+1} (extended Euclid).
+fn mul_inv(a: u16) -> u16 {
+    if a <= 1 {
+        return a; // 0 (=2^16) and 1 are self-inverse
+    }
+    let modulus = 0x1_0001i64;
+    let (mut t, mut new_t) = (0i64, 1i64);
+    let (mut r, mut new_r) = (modulus, a as i64);
+    while new_r != 0 {
+        let q = r / new_r;
+        (t, new_t) = (new_t, t - q * new_t);
+        (r, new_r) = (new_r, r - q * new_r);
+    }
+    debug_assert_eq!(r, 1, "a must be invertible");
+    (t.rem_euclid(modulus)) as u16
+}
+
+/// Expand a 128-bit key into the 52 encryption sub-keys.
+pub fn expand_key(key: [u16; 8]) -> KeySchedule {
+    let mut ks = [0u16; 52];
+    ks[..8].copy_from_slice(&key);
+    // The schedule rotates the 128-bit key left by 25 bits per group.
+    let mut bits = 0u128;
+    for &k in &key {
+        bits = (bits << 16) | k as u128;
+    }
+    let mut produced = 8;
+    let mut current = bits;
+    while produced < 52 {
+        current = current.rotate_left(25);
+        for i in 0..8 {
+            if produced + i < 52 {
+                ks[produced + i] = ((current >> (112 - 16 * i)) & 0xFFFF) as u16;
+            }
+        }
+        produced += 8;
+    }
+    ks
+}
+
+/// Derive the decryption schedule from an encryption schedule.
+pub fn invert_key(enc: &KeySchedule) -> KeySchedule {
+    let mut dec = [0u16; 52];
+    // Output transform inverted becomes round 1 keys, etc.
+    dec[0] = mul_inv(enc[48]);
+    dec[1] = add_inv(enc[49]);
+    dec[2] = add_inv(enc[50]);
+    dec[3] = mul_inv(enc[51]);
+    dec[4] = enc[46];
+    dec[5] = enc[47];
+    for r in 1..ROUNDS {
+        let e = (ROUNDS - r) * 6;
+        let d = r * 6;
+        dec[d] = mul_inv(enc[e]);
+        // Middle rounds swap the two addition keys.
+        dec[d + 1] = add_inv(enc[e + 2]);
+        dec[d + 2] = add_inv(enc[e + 1]);
+        dec[d + 3] = mul_inv(enc[e + 3]);
+        dec[d + 4] = enc[e - 2];
+        dec[d + 5] = enc[e - 1];
+    }
+    let d = ROUNDS * 6;
+    dec[d] = mul_inv(enc[0]);
+    dec[d + 1] = add_inv(enc[1]);
+    dec[d + 2] = add_inv(enc[2]);
+    dec[d + 3] = mul_inv(enc[3]);
+    dec
+}
+
+/// Encrypt/decrypt one 64-bit block under a schedule.
+pub fn crypt_block(block: [u16; 4], ks: &KeySchedule, ops: &mut OpCounter) -> [u16; 4] {
+    let [mut x1, mut x2, mut x3, mut x4] = block;
+    let mut k = 0;
+    for _ in 0..ROUNDS {
+        // 14 group ops per round: 4 mul-class, 4 add, 6 xor; plus key loads.
+        ops.int(34);
+        ops.read(6);
+        ops.branch(2);
+        x1 = mul(x1, ks[k]);
+        x2 = x2.wrapping_add(ks[k + 1]);
+        x3 = x3.wrapping_add(ks[k + 2]);
+        x4 = mul(x4, ks[k + 3]);
+        let t0 = mul(x1 ^ x3, ks[k + 4]);
+        let t1 = mul(t0.wrapping_add(x2 ^ x4), ks[k + 5]);
+        let t2 = t0.wrapping_add(t1);
+        x1 ^= t1;
+        x4 ^= t2;
+        let a = x2 ^ t2;
+        x2 = x3 ^ t1;
+        x3 = a;
+        k += 6;
+    }
+    ops.int(10);
+    ops.read(4);
+    [
+        mul(x1, ks[k]),
+        x3.wrapping_add(ks[k + 1]),
+        x2.wrapping_add(ks[k + 2]),
+        mul(x4, ks[k + 3]),
+    ]
+}
+
+/// IDEA kernel: encrypt and decrypt a buffer, verifying the roundtrip.
+#[derive(Debug, Clone)]
+pub struct Idea {
+    /// Number of 64-bit blocks per run.
+    pub blocks: usize,
+    /// Seed for key and plaintext.
+    pub seed: u64,
+}
+
+impl Default for Idea {
+    fn default() -> Self {
+        Idea {
+            blocks: 60_000,
+            seed: 0x1dea,
+        }
+    }
+}
+
+impl Kernel for Idea {
+    fn name(&self) -> &'static str {
+        "idea"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let mut rng = SimRng::new(self.seed);
+        let key: [u16; 8] = std::array::from_fn(|_| rng.next_u32() as u16);
+        let enc = expand_key(key);
+        let dec = invert_key(&enc);
+        let mut checksum = 0u64;
+        for _ in 0..self.blocks {
+            let plain: [u16; 4] = std::array::from_fn(|_| rng.next_u32() as u16);
+            let cipher = crypt_block(plain, &enc, ops);
+            let back = crypt_block(cipher, &dec, ops);
+            debug_assert_eq!(back, plain);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(cipher.iter().fold(0u64, |a, &x| (a << 16) | x as u64));
+        }
+        checksum
+    }
+
+    fn working_set(&self) -> u64 {
+        4 * 1024 // key schedules + block in flight
+    }
+
+    fn locality(&self) -> f64 {
+        0.95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_group_properties() {
+        // 0 represents 2^16; identity is 1.
+        assert_eq!(mul(1, 5), 5);
+        assert_eq!(mul(5, 1), 5);
+        // Known: 2^16 * 2^16 mod (2^16+1) = 1 (since 2^16 = -1).
+        assert_eq!(mul(0, 0), 1);
+    }
+
+    #[test]
+    fn mul_inverse_is_inverse() {
+        for a in [1u16, 2, 3, 1000, 0xFFFF, 0] {
+            assert_eq!(mul(a, mul_inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn add_inverse_is_inverse() {
+        for a in [0u16, 1, 0x8000, 0xFFFF] {
+            assert_eq!(a.wrapping_add(add_inv(a)), 0);
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut ops = OpCounter::new();
+        let key = [1, 2, 3, 4, 5, 6, 7, 8];
+        let enc = expand_key(key);
+        let dec = invert_key(&enc);
+        for plain in [[0, 0, 0, 0], [1, 2, 3, 4], [0xFFFF; 4], [0x1234, 0x5678, 0x9ABC, 0xDEF0]] {
+            let cipher = crypt_block(plain, &enc, &mut ops);
+            assert_ne!(cipher, plain, "cipher must differ from plaintext");
+            assert_eq!(crypt_block(cipher, &dec, &mut ops), plain);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let mut ops = OpCounter::new();
+        let e1 = expand_key([1, 2, 3, 4, 5, 6, 7, 8]);
+        let e2 = expand_key([8, 7, 6, 5, 4, 3, 2, 1]);
+        let plain = [10, 20, 30, 40];
+        assert_ne!(
+            crypt_block(plain, &e1, &mut ops),
+            crypt_block(plain, &e2, &mut ops)
+        );
+    }
+
+    #[test]
+    fn key_schedule_length_and_rotation() {
+        let ks = expand_key([0xABCD, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(ks[0], 0xABCD);
+        // Rotation must produce nonzero variety beyond the first 8.
+        assert!(ks[8..].iter().any(|&k| k != 0));
+    }
+
+    #[test]
+    fn kernel_deterministic_and_int_heavy() {
+        let k = Idea {
+            blocks: 500,
+            seed: 3,
+        };
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+        assert_eq!(o1.fp_ops, 0);
+        assert!(o1.int_ops > 10_000);
+    }
+}

@@ -1,0 +1,293 @@
+//! LU decomposition (ByteMark's "LU decomposition"; FP index).
+//!
+//! Doolittle LU factorization with partial pivoting, plus
+//! forward/back-substitution solves. Correctness: the reconstructed
+//! product P·A matches L·U and solutions satisfy A·x = b to tight
+//! residual.
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Dimension (square).
+    pub n: usize,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Build from a generator function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { n, data }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+    #[inline]
+    fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// LU factorization result: combined LU storage plus the pivot
+/// permutation (row swaps applied).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// L (unit lower, below diagonal) and U (upper incl. diagonal) packed.
+    pub lu: Matrix,
+    /// Pivot row chosen at each elimination step.
+    pub pivots: Vec<usize>,
+}
+
+/// Factor `a` with partial pivoting. Returns `None` for a singular
+/// matrix.
+pub fn decompose(a: &Matrix, ops: &mut OpCounter) -> Option<Lu> {
+    let n = a.n;
+    let mut lu = a.clone();
+    let mut pivots = Vec::with_capacity(n);
+    for k in 0..n {
+        // Pivot: largest |value| in column k at/below the diagonal.
+        let mut p = k;
+        let mut best = lu.at(k, k).abs();
+        for i in k + 1..n {
+            let v = lu.at(i, k).abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        ops.read((n - k) as u64);
+        ops.fp((n - k) as u64);
+        ops.branch((n - k) as u64);
+        if best < 1e-12 {
+            return None;
+        }
+        pivots.push(p);
+        if p != k {
+            for j in 0..n {
+                let tmp = lu.at(k, j);
+                *lu.at_mut(k, j) = lu.at(p, j);
+                *lu.at_mut(p, j) = tmp;
+            }
+            ops.read(2 * n as u64);
+            ops.write(2 * n as u64);
+        }
+        let diag = lu.at(k, k);
+        for i in k + 1..n {
+            let factor = lu.at(i, k) / diag;
+            *lu.at_mut(i, k) = factor;
+            for j in k + 1..n {
+                let v = lu.at(i, j) - factor * lu.at(k, j);
+                *lu.at_mut(i, j) = v;
+            }
+            ops.fp(2 * (n - k) as u64 + 2);
+            ops.read(2 * (n - k) as u64);
+            ops.write((n - k) as u64);
+        }
+    }
+    Some(Lu { lu, pivots })
+}
+
+/// Solve A x = b given a factorization.
+pub fn solve(f: &Lu, b: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    let n = f.lu.n;
+    debug_assert_eq!(b.len(), n);
+    let mut x = b.to_vec();
+    // Apply pivots.
+    for (k, &p) in f.pivots.iter().enumerate() {
+        if p != k {
+            x.swap(k, p);
+        }
+    }
+    // Forward substitution (L has unit diagonal).
+    for i in 0..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= f.lu.at(i, j) * x[j];
+        }
+        x[i] = acc;
+        ops.fp(2 * i as u64 + 1);
+        ops.read(2 * i as u64);
+        ops.write(1);
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in i + 1..n {
+            acc -= f.lu.at(i, j) * x[j];
+        }
+        x[i] = acc / f.lu.at(i, i);
+        ops.fp(2 * (n - i) as u64 + 2);
+        ops.read(2 * (n - i) as u64);
+        ops.write(1);
+    }
+    x
+}
+
+/// LU kernel: factor and solve random well-conditioned systems.
+#[derive(Debug, Clone)]
+pub struct LuDecomp {
+    /// Matrix dimension (ByteMark uses 101).
+    pub n: usize,
+    /// Systems per run.
+    pub systems: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for LuDecomp {
+    fn default() -> Self {
+        LuDecomp {
+            n: 101,
+            systems: 4,
+            seed: 0x1u64,
+        }
+    }
+}
+
+impl Kernel for LuDecomp {
+    fn name(&self) -> &'static str {
+        "lu-decomposition"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let mut rng = SimRng::new(self.seed);
+        let mut checksum = 0u64;
+        for _ in 0..self.systems {
+            // Diagonally dominant => well-conditioned and non-singular.
+            let a = Matrix::from_fn(self.n, |i, j| {
+                if i == j {
+                    self.n as f64 + 1.0
+                } else {
+                    rng.range_f64(-1.0, 1.0)
+                }
+            });
+            let b: Vec<f64> = (0..self.n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
+            let f = decompose(&a, ops).expect("diagonally dominant is non-singular");
+            let x = solve(&f, &b, ops);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add((x[self.n / 2] * 1e6) as i64 as u64);
+        }
+        checksum
+    }
+
+    fn working_set(&self) -> u64 {
+        (self.n * self.n * 8) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let n = a.n;
+        (0..n)
+            .map(|i| {
+                let ax: f64 = (0..n).map(|j| a.at(i, j) * x[j]).sum();
+                (ax - b[i]).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let mut ops = OpCounter::new();
+        // [2 1; 1 3] x = [5; 10] -> x = [1, 3].
+        let a = Matrix {
+            n: 2,
+            data: vec![2.0, 1.0, 1.0, 3.0],
+        };
+        let f = decompose(&a, &mut ops).unwrap();
+        let x = solve(&f, &[5.0, 10.0], &mut ops);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_have_tiny_residuals() {
+        let mut rng = SimRng::new(9);
+        let mut ops = OpCounter::new();
+        for n in [3, 10, 40] {
+            let a = Matrix::from_fn(n, |i, j| {
+                if i == j {
+                    n as f64 + 2.0
+                } else {
+                    rng.range_f64(-1.0, 1.0)
+                }
+            });
+            let b: Vec<f64> = (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+            let f = decompose(&a, &mut ops).unwrap();
+            let x = solve(&f, &b, &mut ops);
+            let r = residual(&a, &x, &b);
+            assert!(r < 1e-9, "n={n} residual {r}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut ops = OpCounter::new();
+        let a = Matrix {
+            n: 2,
+            data: vec![0.0, 1.0, 1.0, 0.0],
+        };
+        let f = decompose(&a, &mut ops).expect("permutation matrix is non-singular");
+        let x = solve(&f, &[2.0, 3.0], &mut ops);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut ops = OpCounter::new();
+        let a = Matrix {
+            n: 2,
+            data: vec![1.0, 2.0, 2.0, 4.0],
+        };
+        assert!(decompose(&a, &mut ops).is_none());
+    }
+
+    #[test]
+    fn work_scales_cubically() {
+        let run = |n: usize| {
+            let mut ops = OpCounter::new();
+            LuDecomp {
+                n,
+                systems: 1,
+                seed: 1,
+            }
+            .run(&mut ops);
+            ops.fp_ops as f64
+        };
+        let r = run(80) / run(20);
+        assert!((30.0..90.0).contains(&r), "scaling ratio {r}");
+    }
+
+    #[test]
+    fn kernel_deterministic() {
+        let k = LuDecomp {
+            n: 20,
+            systems: 2,
+            seed: 4,
+        };
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+    }
+}

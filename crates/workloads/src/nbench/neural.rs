@@ -1,0 +1,244 @@
+//! Back-propagation neural network (ByteMark's "Neural net"; FP index).
+//!
+//! A small fully-connected 2-layer perceptron trained by gradient descent
+//! on a deterministic pattern-association task, as in the original
+//! benchmark (which trains on character bitmaps). Training must reduce
+//! the loss — that is the correctness property.
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+/// The network: input -> hidden (sigmoid) -> output (sigmoid).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    n_in: usize,
+    n_hid: usize,
+    n_out: usize,
+    w1: Vec<f64>, // n_hid x (n_in+1), bias folded in
+    w2: Vec<f64>, // n_out x (n_hid+1)
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Mlp {
+    /// Random small weights.
+    pub fn new(n_in: usize, n_hid: usize, n_out: usize, rng: &mut SimRng) -> Self {
+        let w1 = (0..n_hid * (n_in + 1))
+            .map(|_| rng.range_f64(-0.5, 0.5))
+            .collect();
+        let w2 = (0..n_out * (n_hid + 1))
+            .map(|_| rng.range_f64(-0.5, 0.5))
+            .collect();
+        Mlp {
+            n_in,
+            n_hid,
+            n_out,
+            w1,
+            w2,
+        }
+    }
+
+    /// Forward pass; returns (hidden activations, outputs).
+    pub fn forward(&self, x: &[f64], ops: &mut OpCounter) -> (Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(x.len(), self.n_in);
+        let mut hid = vec![0.0; self.n_hid];
+        for h in 0..self.n_hid {
+            let base = h * (self.n_in + 1);
+            let mut acc = self.w1[base + self.n_in]; // bias
+            for i in 0..self.n_in {
+                acc += self.w1[base + i] * x[i];
+            }
+            hid[h] = sigmoid(acc);
+        }
+        ops.fp(2 * (self.n_hid * self.n_in) as u64 + 8 * self.n_hid as u64);
+        ops.read((self.n_hid * (self.n_in + 1)) as u64);
+        ops.write(self.n_hid as u64);
+        let mut out = vec![0.0; self.n_out];
+        for o in 0..self.n_out {
+            let base = o * (self.n_hid + 1);
+            let mut acc = self.w2[base + self.n_hid];
+            for h in 0..self.n_hid {
+                acc += self.w2[base + h] * hid[h];
+            }
+            out[o] = sigmoid(acc);
+        }
+        ops.fp(2 * (self.n_out * self.n_hid) as u64 + 8 * self.n_out as u64);
+        ops.read((self.n_out * (self.n_hid + 1)) as u64);
+        ops.write(self.n_out as u64);
+        (hid, out)
+    }
+
+    /// One backprop step on (x, target); returns squared error before the
+    /// update.
+    pub fn train_step(&mut self, x: &[f64], target: &[f64], lr: f64, ops: &mut OpCounter) -> f64 {
+        let (hid, out) = self.forward(x, ops);
+        let mut err = 0.0;
+        let mut delta_out = vec![0.0; self.n_out];
+        for o in 0..self.n_out {
+            let e = target[o] - out[o];
+            err += e * e;
+            delta_out[o] = e * out[o] * (1.0 - out[o]);
+        }
+        ops.fp(6 * self.n_out as u64);
+        let mut delta_hid = vec![0.0; self.n_hid];
+        for h in 0..self.n_hid {
+            let mut acc = 0.0;
+            for o in 0..self.n_out {
+                acc += delta_out[o] * self.w2[o * (self.n_hid + 1) + h];
+            }
+            delta_hid[h] = acc * hid[h] * (1.0 - hid[h]);
+        }
+        ops.fp((2 * self.n_hid * self.n_out + 3 * self.n_hid) as u64);
+        ops.read((self.n_hid * self.n_out) as u64);
+        // Weight updates.
+        for o in 0..self.n_out {
+            let base = o * (self.n_hid + 1);
+            for h in 0..self.n_hid {
+                self.w2[base + h] += lr * delta_out[o] * hid[h];
+            }
+            self.w2[base + self.n_hid] += lr * delta_out[o];
+        }
+        for h in 0..self.n_hid {
+            let base = h * (self.n_in + 1);
+            for i in 0..self.n_in {
+                self.w1[base + i] += lr * delta_hid[h] * x[i];
+            }
+            self.w1[base + self.n_in] += lr * delta_hid[h];
+        }
+        ops.fp((3 * (self.n_out * self.n_hid + self.n_hid * self.n_in)) as u64);
+        ops.write((self.n_out * self.n_hid + self.n_hid * self.n_in) as u64);
+        err
+    }
+}
+
+/// Deterministic training patterns: one-hot-ish input/target pairs.
+fn patterns(n_in: usize, n_out: usize, count: usize, rng: &mut SimRng) -> Vec<(Vec<f64>, Vec<f64>)> {
+    (0..count)
+        .map(|i| {
+            let x: Vec<f64> = (0..n_in).map(|_| f64::from(rng.chance(0.5))).collect();
+            let mut t = vec![0.1; n_out];
+            t[i % n_out] = 0.9;
+            (x, t)
+        })
+        .collect()
+}
+
+/// Neural-net kernel.
+#[derive(Debug, Clone)]
+pub struct NeuralNet {
+    /// Input units (ByteMark uses 5x7 bitmaps = 35).
+    pub n_in: usize,
+    /// Hidden units.
+    pub n_hid: usize,
+    /// Output units.
+    pub n_out: usize,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for NeuralNet {
+    fn default() -> Self {
+        NeuralNet {
+            n_in: 35,
+            n_hid: 16,
+            n_out: 8,
+            epochs: 120,
+            seed: 0x2e47,
+        }
+    }
+}
+
+impl Kernel for NeuralNet {
+    fn name(&self) -> &'static str {
+        "neural-net"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let mut rng = SimRng::new(self.seed);
+        let mut net = Mlp::new(self.n_in, self.n_hid, self.n_out, &mut rng);
+        let pats = patterns(self.n_in, self.n_out, 16, &mut rng);
+        let mut final_err = 0.0;
+        for _ in 0..self.epochs {
+            final_err = 0.0;
+            for (x, t) in &pats {
+                final_err += net.train_step(x, t, 0.4, ops);
+            }
+        }
+        (final_err * 1e9) as u64
+    }
+
+    fn working_set(&self) -> u64 {
+        ((self.n_hid * (self.n_in + 1) + self.n_out * (self.n_hid + 1)) * 8) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        0.95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_reduces_error() {
+        let mut rng = SimRng::new(1);
+        let mut ops = OpCounter::new();
+        let mut net = Mlp::new(8, 6, 3, &mut rng);
+        let pats = patterns(8, 3, 6, &mut rng);
+        let first: f64 = pats
+            .iter()
+            .map(|(x, t)| net.train_step(x, t, 0.5, &mut ops))
+            .sum();
+        for _ in 0..300 {
+            for (x, t) in &pats {
+                net.train_step(x, t, 0.5, &mut ops);
+            }
+        }
+        let last: f64 = pats
+            .iter()
+            .map(|(x, t)| net.train_step(x, t, 0.5, &mut ops))
+            .sum();
+        assert!(
+            last < first * 0.5,
+            "training failed to learn: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn forward_output_in_unit_interval() {
+        let mut rng = SimRng::new(3);
+        let mut ops = OpCounter::new();
+        let net = Mlp::new(4, 5, 2, &mut rng);
+        let (_, out) = net.forward(&[1.0, 0.0, 1.0, 0.5], &mut ops);
+        assert!(out.iter().all(|&o| (0.0..=1.0).contains(&o)));
+    }
+
+    #[test]
+    fn kernel_is_fp_dominated() {
+        let k = NeuralNet {
+            epochs: 5,
+            ..Default::default()
+        };
+        let mut ops = OpCounter::new();
+        k.run(&mut ops);
+        assert!(ops.fp_ops > ops.int_ops);
+        assert!(ops.fp_ops > 100_000);
+    }
+
+    #[test]
+    fn kernel_deterministic() {
+        let k = NeuralNet {
+            epochs: 3,
+            ..Default::default()
+        };
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+    }
+}

@@ -1,0 +1,162 @@
+//! Numeric sort: heapsort of 32-bit integer arrays (ByteMark's
+//! "Numeric sort" test; INT index).
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+/// Heapsort of `arrays` arrays of `len` i32s each.
+#[derive(Debug, Clone)]
+pub struct NumericSort {
+    /// Number of independent arrays sorted per run.
+    pub arrays: usize,
+    /// Elements per array (ByteMark default is 8111).
+    pub len: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for NumericSort {
+    fn default() -> Self {
+        NumericSort {
+            arrays: 4,
+            len: 8111,
+            seed: 0x5027,
+        }
+    }
+}
+
+fn sift_down(a: &mut [i32], mut root: usize, end: usize, ops: &mut OpCounter) {
+    loop {
+        let child = 2 * root + 1;
+        if child > end {
+            break;
+        }
+        let mut swap = root;
+        ops.read(2);
+        ops.branch(2);
+        ops.int(4);
+        if a[swap] < a[child] {
+            swap = child;
+        }
+        if child < end {
+            ops.read(2);
+            ops.branch(1);
+            if a[swap] < a[child + 1] {
+                swap = child + 1;
+            }
+        }
+        if swap == root {
+            break;
+        }
+        a.swap(root, swap);
+        ops.read(2);
+        ops.write(2);
+        root = swap;
+    }
+}
+
+/// In-place heapsort with op counting.
+pub fn heapsort(a: &mut [i32], ops: &mut OpCounter) {
+    if a.len() < 2 {
+        return;
+    }
+    let end = a.len() - 1;
+    for start in (0..=(end - 1) / 2).rev() {
+        sift_down(a, start, end, ops);
+    }
+    for e in (1..=end).rev() {
+        a.swap(0, e);
+        ops.read(2);
+        ops.write(2);
+        sift_down(a, 0, e - 1, ops);
+    }
+}
+
+impl Kernel for NumericSort {
+    fn name(&self) -> &'static str {
+        "numeric-sort"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let mut rng = SimRng::new(self.seed);
+        let mut checksum = 0u64;
+        for _ in 0..self.arrays {
+            let mut a: Vec<i32> = (0..self.len).map(|_| rng.next_u32() as i32).collect();
+            heapsort(&mut a, ops);
+            debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+            checksum = checksum
+                .wrapping_mul(1_000_003)
+                .wrapping_add(a[self.len / 2] as u32 as u64);
+        }
+        checksum
+    }
+
+    fn working_set(&self) -> u64 {
+        (self.len * 4) as u64
+    }
+
+    fn locality(&self) -> f64 {
+        // Heapsort jumps around the heap but the upper levels stay hot.
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_correctly() {
+        let mut ops = OpCounter::new();
+        let mut a = vec![5, -3, 9, 0, 2, 2, -7, 100, 1];
+        heapsort(&mut a, &mut ops);
+        assert_eq!(a, vec![-7, -3, 0, 1, 2, 2, 5, 9, 100]);
+    }
+
+    #[test]
+    fn sorts_edge_cases() {
+        let mut ops = OpCounter::new();
+        let mut empty: Vec<i32> = vec![];
+        heapsort(&mut empty, &mut ops);
+        let mut one = vec![42];
+        heapsort(&mut one, &mut ops);
+        assert_eq!(one, vec![42]);
+        let mut sorted: Vec<i32> = (0..100).collect();
+        heapsort(&mut sorted, &mut ops);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut rev: Vec<i32> = (0..100).rev().collect();
+        heapsort(&mut rev, &mut ops);
+        assert!(rev.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let k = NumericSort::default();
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn work_is_n_log_n_ish() {
+        let small = NumericSort {
+            arrays: 1,
+            len: 1000,
+            seed: 1,
+        };
+        let large = NumericSort {
+            arrays: 1,
+            len: 8000,
+            seed: 1,
+        };
+        let mut os = OpCounter::new();
+        let mut ol = OpCounter::new();
+        small.run(&mut os);
+        large.run(&mut ol);
+        let ratio = ol.total() as f64 / os.total() as f64;
+        // 8x elements: n log n predicts ~10.4x.
+        assert!((8.0..14.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,207 @@
+//! String sort: merge sort of variable-length byte strings (ByteMark's
+//! "String sort"; MEM index — it streams string bodies through memory).
+
+use crate::counter::OpCounter;
+use crate::kernel::Kernel;
+use vgrid_simcore::SimRng;
+
+/// Merge sort of a pool of random strings.
+#[derive(Debug, Clone)]
+pub struct StringSort {
+    /// Number of strings.
+    pub count: usize,
+    /// Minimum string length.
+    pub min_len: usize,
+    /// Maximum string length.
+    pub max_len: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for StringSort {
+    fn default() -> Self {
+        // ~3.8 MB of string data: just inside the full 4 MB L2, so the
+        // test runs from cache solo but spills to DRAM when a cache-
+        // hungry sibling (the VM's vCPU) shrinks its share — the shared-
+        // L2 collision mechanism the paper names for the MEM index.
+        StringSort {
+            count: 51_000,
+            min_len: 20,
+            max_len: 80,
+            seed: 0x57a7,
+        }
+    }
+}
+
+/// Compare two byte strings, counting the comparison work.
+fn cmp_counted(a: &[u8], b: &[u8], ops: &mut OpCounter) -> std::cmp::Ordering {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    ops.read(2 * (i as u64 + 1));
+    ops.int(i as u64 + 2);
+    ops.branch(i as u64 + 1);
+    if i < n {
+        a[i].cmp(&b[i])
+    } else {
+        a.len().cmp(&b.len())
+    }
+}
+
+/// Bottom-up merge sort over string indices (stable), counting work.
+pub fn merge_sort_strings(pool: &[Vec<u8>], ops: &mut OpCounter) -> Vec<u32> {
+    let n = pool.len();
+    let mut src: Vec<u32> = (0..n as u32).collect();
+    if n < 2 {
+        return src;
+    }
+    let mut dst: Vec<u32> = vec![0; n];
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                ops.read(2);
+                ops.write(1);
+                ops.int(4);
+                ops.branch(1);
+                if cmp_counted(
+                    &pool[src[i] as usize],
+                    &pool[src[j] as usize],
+                    ops,
+                ) != std::cmp::Ordering::Greater
+                {
+                    dst[k] = src[i];
+                    i += 1;
+                } else {
+                    dst[k] = src[j];
+                    j += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                dst[k] = src[i];
+                i += 1;
+                k += 1;
+                ops.read(1);
+                ops.write(1);
+            }
+            while j < hi {
+                dst[k] = src[j];
+                j += 1;
+                k += 1;
+                ops.read(1);
+                ops.write(1);
+            }
+            lo = hi;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    src
+}
+
+impl StringSort {
+    fn make_pool(&self) -> Vec<Vec<u8>> {
+        let mut rng = SimRng::new(self.seed);
+        (0..self.count)
+            .map(|_| {
+                let len = rng.range_inclusive(self.min_len as u64, self.max_len as u64) as usize;
+                let mut s = vec![0u8; len];
+                for b in s.iter_mut() {
+                    *b = b'a' + rng.next_below(26) as u8;
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl Kernel for StringSort {
+    fn name(&self) -> &'static str {
+        "string-sort"
+    }
+
+    fn run(&self, ops: &mut OpCounter) -> u64 {
+        let pool = self.make_pool();
+        let order = merge_sort_strings(&pool, ops);
+        debug_assert!(order
+            .windows(2)
+            .all(|w| pool[w[0] as usize] <= pool[w[1] as usize]));
+        // Checksum over the sorted order.
+        order
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &idx)| {
+                acc.wrapping_mul(31).wrapping_add((idx as u64) ^ i as u64)
+            })
+    }
+
+    fn working_set(&self) -> u64 {
+        let avg = (self.min_len + self.max_len) / 2;
+        (self.count * (avg + 24)) as u64 // bodies + Vec headers/indices
+    }
+
+    fn locality(&self) -> f64 {
+        // Index-indirected accesses over a large pool: cache-hostile.
+        0.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_small_pool() {
+        let mut ops = OpCounter::new();
+        let pool: Vec<Vec<u8>> = ["pear", "apple", "fig", "apple", "banana"]
+            .iter()
+            .map(|s| s.as_bytes().to_vec())
+            .collect();
+        let order = merge_sort_strings(&pool, &mut ops);
+        let sorted: Vec<&[u8]> = order.iter().map(|&i| pool[i as usize].as_slice()).collect();
+        assert_eq!(sorted, vec![b"apple".as_slice(), b"apple", b"banana", b"fig", b"pear"]);
+    }
+
+    #[test]
+    fn stable_for_equal_keys() {
+        let mut ops = OpCounter::new();
+        let pool: Vec<Vec<u8>> = vec![b"same".to_vec(), b"same".to_vec(), b"aaa".to_vec()];
+        let order = merge_sort_strings(&pool, &mut ops);
+        assert_eq!(order, vec![2, 0, 1], "equal keys keep insertion order");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut ops = OpCounter::new();
+        assert!(merge_sort_strings(&[], &mut ops).is_empty());
+        assert_eq!(merge_sort_strings(&[b"x".to_vec()], &mut ops), vec![0]);
+    }
+
+    #[test]
+    fn kernel_runs_and_is_deterministic() {
+        let k = StringSort {
+            count: 500,
+            min_len: 5,
+            max_len: 20,
+            seed: 3,
+        };
+        let mut o1 = OpCounter::new();
+        let mut o2 = OpCounter::new();
+        assert_eq!(k.run(&mut o1), k.run(&mut o2));
+        assert!(o1.mem_reads > 1000);
+    }
+
+    #[test]
+    fn default_working_set_sits_just_inside_the_l2() {
+        let ws = StringSort::default().working_set();
+        assert!(ws > 3 << 20, "ws {ws}");
+        assert!(ws < 4 << 20, "ws {ws}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the real benchmark kernels.
+
+use proptest::prelude::*;
+use vgrid_workloads::counter::OpCounter;
+use vgrid_workloads::einstein::fft;
+use vgrid_workloads::nbench::assignment;
+use vgrid_workloads::nbench::emfloat::SoftFloat;
+use vgrid_workloads::nbench::lu;
+use vgrid_workloads::nbench::strsort::merge_sort_strings;
+
+proptest! {
+    /// Soft-float arithmetic tracks hardware doubles within format
+    /// precision, for arbitrary inputs away from the extremes.
+    #[test]
+    fn softfloat_tracks_hardware(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        let mut ops = OpCounter::new();
+        let (sa, sb) = (SoftFloat::from_f64(a), SoftFloat::from_f64(b));
+        let tol = |x: f64| 1e-6 * (1.0 + x.abs());
+        prop_assert!((sa.add(sb, &mut ops).to_f64() - (a + b)).abs() <= tol(a + b));
+        prop_assert!((sa.sub(sb, &mut ops).to_f64() - (a - b)).abs() <= tol(a - b));
+        prop_assert!((sa.mul(sb, &mut ops).to_f64() - (a * b)).abs() <= tol(a * b).max(1e-6 * (a * b).abs()));
+        if b.abs() > 1e-6 {
+            prop_assert!((sa.div(sb, &mut ops).to_f64() - (a / b)).abs() <= tol(a / b));
+        }
+    }
+
+    /// FFT then inverse-FFT-by-conjugation returns the input.
+    #[test]
+    fn fft_inverts(xs in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+        // Build a power-of-two signal from the seed values.
+        let n = 64usize;
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| xs[i % xs.len()] * ((i as f64) * 0.1).cos())
+            .collect();
+        let orig = re.clone();
+        let mut im = vec![0.0; n];
+        let mut ops = OpCounter::new();
+        fft(&mut re, &mut im, &mut ops);
+        // Inverse via conjugation: conj -> fft -> conj -> /n.
+        for v in im.iter_mut() { *v = -*v; }
+        fft(&mut re, &mut im, &mut ops);
+        for k in 0..n {
+            let back = re[k] / n as f64;
+            prop_assert!((back - orig[k]).abs() < 1e-9, "k={} {} vs {}", k, back, orig[k]);
+        }
+    }
+
+    /// Parseval: the FFT preserves total energy (scaled by n).
+    #[test]
+    fn fft_preserves_energy(seed in any::<u64>()) {
+        use vgrid_simcore::SimRng;
+        let mut rng = SimRng::new(seed);
+        let n = 128usize;
+        let re0: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let im0: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        let mut ops = OpCounter::new();
+        fft(&mut re, &mut im, &mut ops);
+        let e_time: f64 = re0.iter().zip(&im0).map(|(r, i)| r * r + i * i).sum();
+        let e_freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+        prop_assert!((e_freq - n as f64 * e_time).abs() < 1e-6 * (1.0 + e_freq.abs()));
+    }
+
+    /// The Hungarian solver's result is never beaten by a random
+    /// permutation.
+    #[test]
+    fn assignment_beats_random_permutations(
+        n in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        use vgrid_simcore::SimRng;
+        let mut rng = SimRng::new(seed);
+        let costs: Vec<Vec<i64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.next_below(1000) as i64).collect())
+            .collect();
+        let mut ops = OpCounter::new();
+        let (_, best) = assignment::solve(&costs, &mut ops);
+        #[allow(clippy::needless_range_loop)]
+        for _ in 0..20 {
+            // Fisher-Yates a random permutation.
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                perm.swap(i, j);
+            }
+            let cost: i64 = perm.iter().enumerate().map(|(i, &j)| costs[i][j]).sum();
+            prop_assert!(best <= cost, "solver {} beaten by {}", best, cost);
+        }
+    }
+
+    /// LU solves satisfy A x = b for arbitrary diagonally-dominant A.
+    #[test]
+    fn lu_residuals_are_tiny(n in 2usize..20, seed in any::<u64>()) {
+        use vgrid_simcore::SimRng;
+        let mut rng = SimRng::new(seed);
+        let a = lu::Matrix::from_fn(n, |i, j| {
+            if i == j { n as f64 + 1.5 } else { rng.range_f64(-1.0, 1.0) }
+        });
+        let b: Vec<f64> = (0..n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
+        let mut ops = OpCounter::new();
+        let f = lu::decompose(&a, &mut ops).expect("non-singular");
+        let x = lu::solve(&f, &b, &mut ops);
+        for (i, &bi) in b.iter().enumerate() {
+            let ax: f64 = (0..n).map(|j| a.data[i * n + j] * x[j]).sum();
+            prop_assert!((ax - bi).abs() < 1e-8);
+        }
+    }
+
+    /// String merge sort produces a sorted permutation for arbitrary
+    /// string pools.
+    #[test]
+    fn strsort_sorts_arbitrary_pools(
+        pool in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..20), 0..60)
+    ) {
+        let mut ops = OpCounter::new();
+        let order = merge_sort_strings(&pool, &mut ops);
+        prop_assert_eq!(order.len(), pool.len());
+        let mut seen = vec![false; pool.len()];
+        for &i in &order {
+            prop_assert!(!seen[i as usize], "permutation");
+            seen[i as usize] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert!(pool[w[0] as usize] <= pool[w[1] as usize]);
+        }
+    }
+}

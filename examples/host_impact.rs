@@ -1,0 +1,34 @@
+//! Host-side intrusiveness: reproduce Figures 5-8 and the memory table.
+//!
+//! ```sh
+//! cargo run --release --example host_impact            # fast fidelity
+//! cargo run --release --example host_impact -- --paper # paper sizes
+//! ```
+//!
+//! Measures what a VM computing an Einstein@home task at 100 % virtual
+//! CPU costs applications on the *host*: the NBench MEM/INT/FP indexes
+//! (Figures 5-6 plus the plot the paper omits), 7z's available %CPU and
+//! MIPS in 1- and 2-thread mode (Figures 7-8), and the committed-memory
+//! table of Section 4.2.1.
+
+use vgrid::core::{experiments, Fidelity};
+
+fn main() {
+    let fidelity = if std::env::args().any(|a| a == "--paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Fast
+    };
+    println!("fidelity: {fidelity:?}\n");
+
+    let (fig5, fig6, figfp) = experiments::fig56::run(fidelity);
+    println!("{}", fig5.render());
+    println!("{}", fig6.render());
+    println!("{}", figfp.render());
+
+    let (fig7, fig8) = experiments::fig78::run(fidelity);
+    println!("{}", fig7.render());
+    println!("{}", fig8.render());
+
+    println!("{}", experiments::memfoot::run().render());
+}

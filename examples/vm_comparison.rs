@@ -1,0 +1,30 @@
+//! Guest-side performance comparison: reproduce Figures 1-4.
+//!
+//! ```sh
+//! cargo run --release --example vm_comparison            # fast fidelity
+//! cargo run --release --example vm_comparison -- --paper # paper sizes
+//! ```
+//!
+//! Runs the four guest benchmarks (7z, Matrix, IOBench, NetBench) under
+//! every monitor and prints each figure with the paper's reported values
+//! alongside.
+
+use vgrid::core::{experiments, Fidelity};
+
+fn main() {
+    let fidelity = if std::env::args().any(|a| a == "--paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Fast
+    };
+    println!("fidelity: {fidelity:?}\n");
+
+    for fig in [
+        experiments::fig1::run(fidelity),
+        experiments::fig2::run(fidelity),
+        experiments::fig3::run(fidelity),
+        experiments::fig4::run(fidelity),
+    ] {
+        println!("{}", fig.render());
+    }
+}

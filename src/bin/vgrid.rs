@@ -1,0 +1,161 @@
+//! The `vgrid` command-line interface.
+//!
+//! ```text
+//! vgrid list                         # all experiment ids with titles
+//! vgrid run fig1 [--paper] [--json]  # run one experiment
+//! vgrid suite [--paper]              # the whole paper, rendered
+//! vgrid campaign [--volunteers N] [--days D] [--vm <monitor>|native]
+//!                [--image-mb M] [--migrate]
+//! ```
+//!
+//! Everything the CLI does is a thin veneer over `vgrid_core` /
+//! `vgrid_grid`; argument parsing is hand-rolled (no CLI dependency).
+
+use std::process::ExitCode;
+use vgrid::core::{experiments, Fidelity};
+use vgrid::grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid::simcore::SimTime;
+use vgrid::vmm::VmmProfile;
+
+fn fidelity(args: &[String]) -> Fidelity {
+    if args.iter().any(|a| a == "--paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Fast
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vgrid <command>\n\
+         \n\
+         commands:\n\
+           list                          list experiment ids\n\
+           run <id> [--paper] [--json]   run one experiment\n\
+           suite [--paper]               run the full paper suite\n\
+           campaign [--volunteers N] [--days D]\n\
+                    [--vm vmplayer|qemu|virtualbox|virtualpc|native]\n\
+                    [--image-mb M] [--migrate]\n"
+    );
+    ExitCode::FAILURE
+}
+
+fn profile_by_name(name: &str) -> Option<VmmProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "vmplayer" | "vmware" | "vmwareplayer" => Some(VmmProfile::vmplayer()),
+        "qemu" => Some(VmmProfile::qemu()),
+        "virtualbox" | "vbox" => Some(VmmProfile::virtualbox()),
+        "virtualpc" | "vpc" => Some(VmmProfile::virtualpc()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            use std::io::Write;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for id in experiments::experiment_ids() {
+                // Ignore broken pipes (e.g. `vgrid list | head`).
+                if writeln!(out, "{id}").is_err() {
+                    break;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(id) = args.get(1) else {
+                return usage();
+            };
+            let fid = fidelity(&args);
+            let Some(fig) = experiments::run_by_id(id, fid) else {
+                eprintln!("unknown experiment id '{id}'; try `vgrid list`");
+                return ExitCode::FAILURE;
+            };
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", fig.to_json());
+            } else {
+                print!("{}", fig.render());
+            }
+            ExitCode::SUCCESS
+        }
+        "suite" => {
+            let fid = fidelity(&args);
+            for fig in experiments::run_paper_suite(fid) {
+                println!("{}", fig.render());
+            }
+            ExitCode::SUCCESS
+        }
+        "campaign" => {
+            let volunteers: u32 = flag_value(&args, "--volunteers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100);
+            let days: u64 = flag_value(&args, "--days")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(14);
+            let image_mb: u64 = flag_value(&args, "--image-mb")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1400);
+            let mode = flag_value(&args, "--vm").unwrap_or_else(|| "native".to_string());
+            let mut deploy = if mode == "native" {
+                DeployConfig::native()
+            } else {
+                match profile_by_name(&mode) {
+                    Some(p) => DeployConfig::vm(p, image_mb << 20),
+                    None => {
+                        eprintln!("unknown monitor '{mode}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            if args.iter().any(|a| a == "--migrate") {
+                deploy = deploy.with_migration();
+            }
+            let project = ProjectConfig {
+                workunits: 100_000, // never work-limited
+                ..Default::default()
+            };
+            let pool = PoolConfig {
+                volunteers,
+                ..Default::default()
+            };
+            let r = run_campaign(
+                &project,
+                &pool,
+                &deploy,
+                0xc11,
+                SimTime::from_secs(days * 24 * 3600),
+            );
+            println!(
+                "{} deployment, {volunteers} volunteers, {days} days:",
+                r.mode
+            );
+            println!("  validated work units : {}", r.validated_wus);
+            println!("  results returned     : {}", r.results_returned);
+            println!("  bad results          : {}", r.bad_results);
+            println!("  cpu spent            : {:.1} h", r.cpu_secs_spent / 3600.0);
+            println!("  cpu lost to churn    : {:.1} h", r.cpu_secs_lost / 3600.0);
+            println!(
+                "  image transfer       : {:.1} h",
+                r.image_transfer_secs / 3600.0
+            );
+            println!("  hosts excluded (RAM) : {}", r.hosts_excluded_ram);
+            println!("  migrations           : {}", r.migrations);
+            println!("  efficiency           : {:.3}", r.efficiency);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,113 @@
+//! Whole-stack determinism: every simulation is a pure function of
+//! (config, seed). These tests re-run representative experiments end to
+//! end and demand bit-identical results.
+
+use vgrid::core::{experiments, Fidelity};
+use vgrid::machine::ops::OpBlock;
+use vgrid::os::{Priority, System, SystemConfig, ThreadState};
+use vgrid::simcore::SimTime;
+use vgrid::vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile};
+use vgrid::workloads::iobench::{IoBenchBody, IoBenchConfig};
+
+fn fig_values(fig: &vgrid::core::FigureResult) -> Vec<(String, u64)> {
+    fig.rows
+        .iter()
+        .map(|r| (r.label.clone(), r.value.to_bits()))
+        .collect()
+}
+
+#[test]
+fn figure_experiments_are_bit_identical_across_runs() {
+    let a = experiments::fig1::run(Fidelity::Fast);
+    let b = experiments::fig1::run(Fidelity::Fast);
+    assert_eq!(fig_values(&a), fig_values(&b));
+
+    let a = experiments::fig4::run(Fidelity::Fast);
+    let b = experiments::fig4::run(Fidelity::Fast);
+    assert_eq!(fig_values(&a), fig_values(&b));
+}
+
+#[test]
+fn host_system_replay_is_exact() {
+    let run = || {
+        let mut sys = System::new(SystemConfig::testbed(99));
+        #[derive(Debug)]
+        struct Burn(u32);
+        impl vgrid::os::ThreadBody for Burn {
+            fn next(
+                &mut self,
+                _ctx: &mut vgrid::os::ThreadCtx<'_>,
+            ) -> vgrid::os::Action {
+                if self.0 == 0 {
+                    return vgrid::os::Action::Exit;
+                }
+                self.0 -= 1;
+                vgrid::os::Action::Compute(OpBlock::mem_stream(2_000_000, 16 << 20))
+            }
+        }
+        let a = sys.spawn("a", Priority::Normal, Box::new(Burn(50)));
+        let b = sys.spawn("b", Priority::Idle, Box::new(Burn(50)));
+        sys.run_until(SimTime::from_secs(5));
+        (
+            sys.thread_stats(a).cpu_time.as_picos(),
+            sys.thread_stats(b).cpu_time.as_picos(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn guest_io_replay_is_exact() {
+    let run = || {
+        let mut sys = System::new(SystemConfig::testbed(7));
+        let mut guest = GuestVm::new(
+            GuestConfig::new(VmmProfile::virtualbox()),
+            sys.machine(),
+        );
+        let (body, report) = IoBenchBody::new(IoBenchConfig {
+            max_size: 1 << 20,
+            ..Default::default()
+        });
+        guest.spawn("iobench", Box::new(body));
+        let vm = Vm::install(&mut sys, VmConfig::new("d", Priority::Normal), guest);
+        while !vm.halted() && sys.now() < SimTime::from_secs(600) {
+            let t = sys.now() + vgrid::simcore::SimDuration::from_secs(1);
+            sys.run_until(t);
+        }
+        assert!(vm.halted());
+        let r = report.borrow();
+        (
+            r.results.len(),
+            r.score_bps().to_bits(),
+            sys.thread_stats(vm.vcpu).cpu_time.as_picos(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_only_what_randomness_touches() {
+    // Pure CPU pipelines have no randomness: identical across seeds.
+    let run = |seed| {
+        let mut sys = System::new(SystemConfig::testbed(seed));
+        #[derive(Debug)]
+        struct Burn(u32);
+        impl vgrid::os::ThreadBody for Burn {
+            fn next(
+                &mut self,
+                _ctx: &mut vgrid::os::ThreadCtx<'_>,
+            ) -> vgrid::os::Action {
+                if self.0 == 0 {
+                    return vgrid::os::Action::Exit;
+                }
+                self.0 -= 1;
+                vgrid::os::Action::Compute(OpBlock::int_alu(24_000_000))
+            }
+        }
+        let t = sys.spawn("t", Priority::Normal, Box::new(Burn(10)));
+        sys.run_until(SimTime::from_secs(2));
+        assert_eq!(sys.thread_stats(t).state, ThreadState::Exited);
+        sys.thread_stats(t).cpu_time.as_picos()
+    };
+    assert_eq!(run(1), run(2));
+}

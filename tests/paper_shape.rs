@@ -1,0 +1,129 @@
+//! The acceptance test of the reproduction: run the paper's entire
+//! evaluation at test fidelity and assert the qualitative *shape* of
+//! every figure — orderings, rough factors, crossovers — exactly as
+//! DESIGN.md §5 commits to.
+
+use vgrid::core::{calibration, experiments, Fidelity};
+
+#[test]
+fn whole_paper_reproduces_in_shape() {
+    let figures = experiments::run_paper_suite(Fidelity::Fast);
+    assert_eq!(figures.len(), 10, "fig1-8 + figfp + tab-mem");
+
+    let get = |id: &str| {
+        figures
+            .iter()
+            .find(|f| f.id == id)
+            .unwrap_or_else(|| panic!("missing {id}"))
+    };
+    let v = |id: &str, label: &str| {
+        get(id)
+            .value_of(label)
+            .unwrap_or_else(|| panic!("{id} missing row {label}"))
+    };
+
+    // --- Figure 1: 7z guest slowdown ---
+    // "VmPlayer was the best performer ... QEMU was clearly the worst
+    //  performer, being more than twice slower than the native
+    //  environment."
+    assert!(v("fig1", "VMwarePlayer") < v("fig1", "VirtualBox"));
+    assert!(v("fig1", "VirtualBox") < v("fig1", "VirtualPC"));
+    assert!(v("fig1", "VirtualPC") < v("fig1", "QEMU"));
+    assert!(v("fig1", "QEMU") > 1.9);
+    assert!(v("fig1", "VMwarePlayer") < 1.3);
+
+    // --- Figure 2: Matrix (FP) hurt less than 7z (INT) per monitor ---
+    // "floating-point performance is only marginally deteriorated"
+    for m in ["VMwarePlayer", "QEMU", "VirtualBox", "VirtualPC"] {
+        assert!(
+            v("fig2", m) < v("fig1", m),
+            "{m}: fig2 {} !< fig1 {}",
+            v("fig2", m),
+            v("fig1", m)
+        );
+    }
+    assert!(v("fig2", "QEMU") < 1.6, "QEMU matrix ~1.3x in the paper");
+
+    // --- Figure 3: disk I/O hit much harder than CPU ---
+    for m in ["VMwarePlayer", "QEMU", "VirtualBox", "VirtualPC"] {
+        assert!(
+            v("fig3", m) > v("fig2", m),
+            "{m}: I/O should be hit harder than FP"
+        );
+    }
+    assert!(v("fig3", "QEMU") > 3.5, "QEMU nearly 5x slower on disk");
+    assert!(v("fig3", "VMwarePlayer") < 1.6, "VmPlayer ~1.3x on disk");
+
+    // --- Figure 4: network ordering and the NAT cliff ---
+    let native = v("fig4", "native");
+    assert!((native - 97.6).abs() < 3.0);
+    assert!(v("fig4", "VmPlayer-bridged") > 0.95 * native);
+    assert!(v("fig4", "QEMU") > v("fig4", "VirtualPC"));
+    assert!(v("fig4", "VirtualPC") > v("fig4", "VmPlayer-NAT"));
+    assert!(v("fig4", "VmPlayer-NAT") > v("fig4", "VirtualBox"));
+    assert!(
+        native / v("fig4", "VirtualBox") > 40.0,
+        "VirtualBox NAT is dozens of times slower than native"
+    );
+
+    // --- Figures 5/6/fp: host overhead small; MEM worst, FP nil ---
+    for row in &get("fig5").rows {
+        assert!(row.value < 8.0, "MEM overhead {}: {}", row.label, row.value);
+    }
+    for row in &get("fig6").rows {
+        assert!(row.value < 5.0, "INT overhead {}: {}", row.label, row.value);
+    }
+    for row in &get("figfp").rows {
+        assert!(
+            row.value.abs() < 2.0,
+            "FP overhead {}: {}",
+            row.label,
+            row.value
+        );
+    }
+
+    // --- Figure 7: the intrusiveness headline ---
+    assert!((170.0..195.0).contains(&v("fig7", "no VM (2t)")));
+    assert!((110.0..135.0).contains(&v("fig7", "VMwarePlayer (2t)")));
+    for m in ["QEMU (2t)", "VirtualBox (2t)", "VirtualPC (2t)"] {
+        assert!((145.0..175.0).contains(&v("fig7", m)), "{m}: {}", v("fig7", m));
+    }
+    // Single-threaded host work is essentially unimpacted.
+    for m in [
+        "no VM (1t)",
+        "VMwarePlayer (1t)",
+        "QEMU (1t)",
+        "VirtualBox (1t)",
+        "VirtualPC (1t)",
+    ] {
+        assert!(v("fig7", m) > 92.0, "{m}: {}", v("fig7", m));
+    }
+
+    // --- Figure 8: MIPS ratios ---
+    assert!((0.60..0.80).contains(&v("fig8", "VMwarePlayer (2t)")));
+    for m in ["QEMU (2t)", "VirtualBox (2t)", "VirtualPC (2t)"] {
+        assert!((0.80..0.98).contains(&v("fig8", m)), "{m}: {}", v("fig8", m));
+    }
+
+    // --- The paper's closing observation: fastest guest = most
+    //     intrusive host. ---
+    assert!(
+        v("fig1", "VMwarePlayer") < v("fig1", "VirtualBox")
+            && v("fig7", "VMwarePlayer (2t)") < v("fig7", "VirtualBox (2t)"),
+        "VmPlayer: fastest in the guest AND heaviest on the host"
+    );
+
+    // --- Memory table ---
+    for row in &get("tab-mem").rows {
+        assert_eq!(row.value, 300.0, "{}", row.label);
+    }
+
+    // --- Calibration: overall health of the fit ---
+    let entries = calibration::collect(&figures);
+    assert!(entries.len() >= 25, "comparable rows: {}", entries.len());
+    let median = calibration::median_relative_error(&entries);
+    assert!(
+        median < 0.15,
+        "median deviation from paper values too high: {median:.3}"
+    );
+}

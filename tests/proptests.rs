@@ -1,0 +1,144 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the whole workspace.
+
+use proptest::prelude::*;
+use vgrid::machine::ops::OpBlock;
+use vgrid::machine::{ContentionModel, MachineSpec};
+use vgrid::simcore::{OnlineStats, SimDuration, SimRng, SimTime};
+use vgrid::workloads::counter::OpCounter;
+use vgrid::workloads::lzma::{compress, decompress, LzmaConfig};
+use vgrid::workloads::nbench::huffman;
+use vgrid::workloads::nbench::idea;
+use vgrid::workloads::nbench::numsort::heapsort;
+
+proptest! {
+    /// The LZMA-style compressor round-trips arbitrary byte strings.
+    #[test]
+    fn lzma_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut ops = OpCounter::new();
+        let packed = compress(&data, LzmaConfig { depth: 8, window: 1 << 16 }, &mut ops);
+        let restored = decompress(&packed, data.len(), &mut ops);
+        prop_assert_eq!(restored, data);
+    }
+
+    /// ...including highly repetitive inputs (overlap-copy paths).
+    #[test]
+    fn lzma_roundtrips_repetitive_bytes(
+        pattern in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..400,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * reps).collect();
+        let mut ops = OpCounter::new();
+        let packed = compress(&data, LzmaConfig::default(), &mut ops);
+        let restored = decompress(&packed, data.len(), &mut ops);
+        prop_assert_eq!(restored, data);
+    }
+
+    /// Huffman round-trips arbitrary non-empty inputs.
+    #[test]
+    fn huffman_roundtrips(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let mut ops = OpCounter::new();
+        let (tree, bits, _) = huffman::encode(&data, &mut ops).expect("non-empty");
+        let back = huffman::decode(&tree, &bits, data.len(), &mut ops);
+        prop_assert_eq!(back, data);
+    }
+
+    /// IDEA decrypts what it encrypts, for arbitrary keys and blocks.
+    #[test]
+    fn idea_roundtrips(key in any::<[u16; 8]>(), block in any::<[u16; 4]>()) {
+        let mut ops = OpCounter::new();
+        let enc = idea::expand_key(key);
+        let dec = idea::invert_key(&enc);
+        let cipher = idea::crypt_block(block, &enc, &mut ops);
+        prop_assert_eq!(idea::crypt_block(cipher, &dec, &mut ops), block);
+    }
+
+    /// Heapsort sorts and is a permutation.
+    #[test]
+    fn heapsort_sorts(mut v in proptest::collection::vec(any::<i32>(), 0..512)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut ops = OpCounter::new();
+        heapsort(&mut v, &mut ops);
+        prop_assert_eq!(v, expected);
+    }
+
+    /// OpBlock::split_off conserves total work for any fraction.
+    #[test]
+    fn split_off_conserves_ops(n in 1u64..1_000_000, frac in 0.0f64..1.0) {
+        let mut block = OpBlock::mem_stream(n, 1 << 20);
+        let total = block.counts.total();
+        let piece = block.split_off(frac);
+        prop_assert_eq!(piece.counts.total() + block.counts.total(), total);
+    }
+
+    /// Contention slowdowns are always >= 1 and finite.
+    #[test]
+    fn contention_slowdowns_bounded(
+        a_ops in 1u64..5_000_000,
+        a_ws in 1u64..(64 << 20),
+        b_ops in 1u64..5_000_000,
+        b_ws in 1u64..(64 << 20),
+    ) {
+        let cm: ContentionModel = MachineSpec::core2_duo_6600().contention_model();
+        let a = OpBlock::mem_stream(a_ops, a_ws);
+        let b = OpBlock::mem_stream(b_ops, b_ws);
+        let s = cm.slowdown_against(&a, &[&b]);
+        prop_assert!(s >= 1.0, "slowdown {}", s);
+        prop_assert!(s < 10.0, "implausible slowdown {}", s);
+    }
+
+    /// SimTime/SimDuration arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_picos(t);
+        let d = SimDuration::from_picos(d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).since(t), d);
+    }
+
+    /// Welford merge equals sequential accumulation, any split point.
+    #[test]
+    fn stats_merge_is_order_insensitive(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-3 * (1.0 + whole.variance()));
+    }
+
+    /// The deterministic RNG honours range bounds.
+    #[test]
+    fn rng_ranges_hold(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let v = rng.range_inclusive(lo, lo + width);
+            prop_assert!(v >= lo && v <= lo + width);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Forked RNG streams never depend on parent consumption order.
+    #[test]
+    fn rng_forks_stable(seed in any::<u64>(), id in any::<u64>(), burn in 0usize..32) {
+        let parent = SimRng::new(seed);
+        let mut probe = parent.clone();
+        for _ in 0..burn { probe.next_u64(); }
+        let mut f1 = parent.fork(id);
+        let mut f2 = parent.fork(id);
+        for _ in 0..16 {
+            prop_assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+}
