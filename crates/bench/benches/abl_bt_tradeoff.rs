@@ -8,7 +8,9 @@ use vgrid_bench::bench_figure;
 use vgrid_core::{experiments, Fidelity};
 
 fn bench(c: &mut Criterion) {
-    bench_figure(c, "abl_bt_tradeoff", || experiments::ablations::bt_tradeoff(Fidelity::Fast));
+    bench_figure(c, "abl_bt_tradeoff", || {
+        experiments::ablations::bt_tradeoff(Fidelity::Fast)
+    });
 }
 
 criterion_group!(benches, bench);

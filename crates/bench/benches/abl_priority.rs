@@ -8,7 +8,9 @@ use vgrid_bench::bench_figure;
 use vgrid_core::{experiments, Fidelity};
 
 fn bench(c: &mut Criterion) {
-    bench_figure(c, "abl_priority", || experiments::ablations::priority_sweep(Fidelity::Fast));
+    bench_figure(c, "abl_priority", || {
+        experiments::ablations::priority_sweep(Fidelity::Fast)
+    });
 }
 
 criterion_group!(benches, bench);

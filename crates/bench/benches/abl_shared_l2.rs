@@ -8,7 +8,9 @@ use vgrid_bench::bench_figure;
 use vgrid_core::{experiments, Fidelity};
 
 fn bench(c: &mut Criterion) {
-    bench_figure(c, "abl_shared_l2", || experiments::ablations::shared_l2(Fidelity::Fast));
+    bench_figure(c, "abl_shared_l2", || {
+        experiments::ablations::shared_l2(Fidelity::Fast)
+    });
 }
 
 criterion_group!(benches, bench);

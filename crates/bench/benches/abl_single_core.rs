@@ -8,7 +8,9 @@ use vgrid_bench::bench_figure;
 use vgrid_core::{experiments, Fidelity};
 
 fn bench(c: &mut Criterion) {
-    bench_figure(c, "abl_single_core", || experiments::ablations::single_core(Fidelity::Fast));
+    bench_figure(c, "abl_single_core", || {
+        experiments::ablations::single_core(Fidelity::Fast)
+    });
 }
 
 criterion_group!(benches, bench);

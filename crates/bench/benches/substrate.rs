@@ -9,16 +9,16 @@ use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
 use vgrid_simcore::SimTime;
+use vgrid_workloads::corpus;
 use vgrid_workloads::counter::OpCounter;
 use vgrid_workloads::einstein::fft;
 use vgrid_workloads::lzma::{compress, decompress, LzmaConfig};
-use vgrid_workloads::corpus;
 
 #[derive(Debug)]
 struct Hog;
 impl ThreadBody for Hog {
     fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-        Action::Compute(OpBlock::mem_stream(1_000_000, 8 << 20))
+        Action::compute(OpBlock::mem_stream(1_000_000, 8 << 20))
     }
 }
 

@@ -8,7 +8,9 @@ use vgrid_bench::bench_figure;
 use vgrid_core::{experiments, Fidelity};
 
 fn bench(c: &mut Criterion) {
-    bench_figure(c, "timing_method", || experiments::timing::run(Fidelity::Fast));
+    bench_figure(c, "timing_method", || {
+        experiments::timing::run(Fidelity::Fast)
+    });
 }
 
 criterion_group!(benches, bench);

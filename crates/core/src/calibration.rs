@@ -6,10 +6,9 @@
 //! crossovers), not absolute 2006 numbers — see DESIGN.md §5.
 
 use crate::figures::FigureResult;
-use serde::{Deserialize, Serialize};
 
 /// One paper-vs-measured comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CalibrationEntry {
     /// Figure id.
     pub figure: String,

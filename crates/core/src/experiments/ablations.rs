@@ -10,86 +10,92 @@
 //!   with private per-core L2.
 //! * `abl-bt` — the paper's closing observation: "the higher the
 //!   performance [of a VMM], the higher is the overhead [on the host]".
+//!
+//! Every ablation is phrased as engine trial specs; where a spec
+//! coincides with one of the paper figures (the no-VM NBench baseline,
+//! the 2-thread host 7z runs) the engine cache reuses the figure's
+//! simulation instead of repeating it.
 
-use crate::experiments::fig56::nbench_run;
-use crate::experiments::fig78::sevenz_on_host;
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
+use crate::experiments::{fig56, fig78};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{
-    host_system, install_einstein_vm, paper_profiles, run_guest_loop, run_native_loop, Fidelity,
-};
+use crate::testbed::{paper_profiles, Fidelity};
 use vgrid_machine::MachineSpec;
-use vgrid_os::{Priority, System, SystemConfig};
-use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_os::Priority;
+use vgrid_simcore::SimDuration;
 use vgrid_vmm::VmmProfile;
-use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchSuite};
 use vgrid_workloads::sevenz::{SevenZConfig, SevenZKernel};
+
+/// MEM-index overhead (%) of `trial` vs `baseline`.
+fn mem_overhead_pct(
+    trial: &crate::engine::TrialResult,
+    baseline: &crate::engine::TrialResult,
+) -> f64 {
+    (1.0 - trial.metric("mem_index").mean / baseline.metric("mem_index").mean) * 100.0
+}
 
 /// `abl-prio`: MEM-index overhead for every VM priority class
 /// (VmPlayer guest).
-pub fn priority_sweep(fidelity: Fidelity) -> FigureResult {
-    let suite = NBenchSuite::small();
-    let baseline = nbench_run(None, fidelity, &suite);
-    let profile = VmmProfile::vmplayer();
-    let mut fig = FigureResult::new(
-        "abl-prio",
-        "MEM-index overhead vs VM priority class (VmPlayer)",
-        "% overhead vs no-VM run",
-    );
-    for (prio, label) in [
+pub fn priority_sweep_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let classes = [
         (Priority::Idle, "Idle"),
         (Priority::BelowNormal, "BelowNormal"),
         (Priority::Normal, "Normal"),
         (Priority::AboveNormal, "AboveNormal"),
         (Priority::High, "High"),
-    ] {
-        let rep = nbench_run(Some((&profile, prio)), fidelity, &suite);
-        let overhead = (1.0 - rep.index_vs(&baseline, IndexGroup::Memory)) * 100.0;
-        fig.push(FigureRow::new(label, overhead));
+    ];
+    let mut specs = vec![fig56::nbench_spec("no VM", None, fidelity)];
+    for (prio, label) in classes {
+        specs.push(fig56::nbench_spec(
+            label,
+            Some((VmmProfile::vmplayer(), prio)),
+            fidelity,
+        ));
     }
-    fig.note("the dual core absorbs the VM at every class except when the vCPU outranks the benchmark");
+    let results = engine.run_trials(&specs);
+    let baseline = &results[0];
+
+    let mut fig = FigureResult::new(
+        "abl-prio",
+        "MEM-index overhead vs VM priority class (VmPlayer)",
+        "% overhead vs no-VM run",
+    );
+    for trial in &results[1..] {
+        fig.push(FigureRow::new(
+            &trial.label,
+            mem_overhead_pct(trial, baseline),
+        ));
+    }
+    fig.note(
+        "the dual core absorbs the VM at every class except when the vCPU outranks the benchmark",
+    );
     fig
+}
+
+/// Run `abl-prio` on the process-wide engine.
+pub fn priority_sweep(fidelity: Fidelity) -> FigureResult {
+    priority_sweep_with(Engine::global(), fidelity)
 }
 
 /// NBench MEM overhead on an arbitrary machine spec, with and without an
 /// einstein VM (helper for the machine ablations).
-fn mem_overhead_on(machine: MachineSpec, fidelity: Fidelity) -> f64 {
-    let suite = match fidelity {
-        Fidelity::Fast => NBenchSuite::small(),
-        Fidelity::Paper => NBenchSuite::standard(),
-    };
-    let mk = |with_vm: bool| {
-        let mut sys = System::new(SystemConfig {
-            machine: machine.clone(),
-            ..SystemConfig::testbed(0xab1)
-        });
-        if with_vm {
-            install_einstein_vm(&mut sys, &VmmProfile::vmplayer(), Priority::Idle, fidelity);
-            sys.run_until(SimTime::from_millis(200));
-        }
-        let per_test = fidelity.pick(
-            SimDuration::from_millis(30),
-            SimDuration::from_millis(500),
+fn mem_overhead_on(engine: &Engine, machine: MachineSpec, fidelity: Fidelity) -> f64 {
+    let spec = |label: &str, with_vm: bool| {
+        let base = fig56::nbench_spec(
+            label,
+            with_vm.then(|| (VmmProfile::vmplayer(), Priority::Idle)),
+            fidelity,
         );
-        let (body, report) = NBenchBody::new(suite.clone(), per_test);
-        sys.spawn("nbench", Priority::Normal, Box::new(body));
-        let deadline = SimTime::from_secs(3600);
-        while !report.borrow().complete && sys.now() < deadline {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        let r = report.borrow().clone();
-        assert!(r.complete);
-        r
+        base.seed(0xab1).on_machine(machine.clone())
     };
-    let base = mk(false);
-    let with_vm = mk(true);
-    (1.0 - with_vm.index_vs(&base, IndexGroup::Memory)) * 100.0
+    let results = engine.run_trials(&[spec("no VM", false), spec("with VM", true)]);
+    mem_overhead_pct(&results[1], &results[0])
 }
 
 /// `abl-cores`: the dual-core claim, counterfactually.
-pub fn single_core(fidelity: Fidelity) -> FigureResult {
-    let dual = mem_overhead_on(MachineSpec::core2_duo_6600(), fidelity);
-    let solo = mem_overhead_on(MachineSpec::core2_duo_6600().core2_solo(), fidelity);
+pub fn single_core_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let dual = mem_overhead_on(engine, MachineSpec::core2_duo_6600(), fidelity);
+    let solo = mem_overhead_on(engine, MachineSpec::core2_duo_6600().core2_solo(), fidelity);
     let mut fig = FigureResult::new(
         "abl-cores",
         "MEM-index overhead: dual-core testbed vs single-core counterfactual",
@@ -101,10 +107,19 @@ pub fn single_core(fidelity: Fidelity) -> FigureResult {
     fig
 }
 
+/// Run `abl-cores` on the process-wide engine.
+pub fn single_core(fidelity: Fidelity) -> FigureResult {
+    single_core_with(Engine::global(), fidelity)
+}
+
 /// `abl-l2`: the shared-L2-collision hypothesis.
-pub fn shared_l2(fidelity: Fidelity) -> FigureResult {
-    let shared = mem_overhead_on(MachineSpec::core2_duo_6600(), fidelity);
-    let private = mem_overhead_on(MachineSpec::core2_duo_6600().with_private_l2(), fidelity);
+pub fn shared_l2_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let shared = mem_overhead_on(engine, MachineSpec::core2_duo_6600(), fidelity);
+    let private = mem_overhead_on(
+        engine,
+        MachineSpec::core2_duo_6600().with_private_l2(),
+        fidelity,
+    );
     let mut fig = FigureResult::new(
         "abl-l2",
         "MEM-index overhead: shared 4 MB L2 vs private 2x2 MB L2",
@@ -116,8 +131,13 @@ pub fn shared_l2(fidelity: Fidelity) -> FigureResult {
     fig
 }
 
+/// Run `abl-l2` on the process-wide engine.
+pub fn shared_l2(fidelity: Fidelity) -> FigureResult {
+    shared_l2_with(Engine::global(), fidelity)
+}
+
 /// `abl-bt`: guest speed vs host intrusiveness across monitors.
-pub fn bt_tradeoff(fidelity: Fidelity) -> FigureResult {
+pub fn bt_tradeoff_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
     let cfg = SevenZConfig {
         threads: 1,
         corpus_len: fidelity.pick(48 * 1024, 256 * 1024),
@@ -127,77 +147,117 @@ pub fn bt_tradeoff(fidelity: Fidelity) -> FigureResult {
     let kernel = SevenZKernel::characterize(&cfg);
     let iter_secs = kernel.ops_per_iter as f64 / 6.0e9;
     let iters = (fidelity.pick(0.3, 1.0) / iter_secs).ceil() as u64;
-    let native = run_native_loop(&kernel.block, iters, 7);
+    let loop_kernel = || KernelSpec::OpLoop {
+        block: kernel.block.clone(),
+        iters,
+    };
+
+    // Guest slowdown trials plus the matching host-intrusiveness trials
+    // (the latter are exactly Figure 7's 2-thread runs, so they come
+    // from the cache when the figures already ran).
+    let mut specs =
+        vec![TrialSpec::new("native", Environment::Native, loop_kernel(), fidelity).seed(7)];
+    for profile in paper_profiles() {
+        specs.push(
+            TrialSpec::new(
+                profile.name,
+                Environment::Guest {
+                    profile: profile.clone(),
+                    vnic: None,
+                },
+                loop_kernel(),
+                fidelity,
+            )
+            .seed(7),
+        );
+        specs.push(fig78::sevenz_spec(
+            format!("host-7z-{}", profile.name),
+            2,
+            Some(profile),
+            fidelity,
+        ));
+    }
+    let results = engine.run_trials(&specs);
+    let native = results[0].value();
 
     let mut fig = FigureResult::new(
         "abl-bt",
         "Guest speed vs host intrusiveness (the paper's closing observation)",
         "guest 7z slowdown (value) vs host 2-thread %CPU (detail)",
     );
-    for profile in paper_profiles() {
-        let guest = run_guest_loop(&profile, &kernel.block, iters, 7) / native;
-        let host = sevenz_on_host(2, Some(&profile), fidelity);
+    for pair in results[1..].chunks(2) {
+        let (guest, host) = (&pair[0], &pair[1]);
         fig.push(
-            FigureRow::new(profile.name, guest).with_detail(format!(
+            FigureRow::new(&guest.label, guest.value() / native).with_detail(format!(
                 "host 7z gets {:.0}% CPU while this VM runs",
-                host.cpu_usage_pct
+                host.metric("cpu_pct").mean
             )),
         );
     }
     fig.note("the fastest monitor (VmPlayer) is also the most intrusive on the host");
-    let _ = host_system(0); // keep the helper import exercised in Fast builds
     fig
+}
+
+/// Run `abl-bt` on the process-wide engine.
+pub fn bt_tradeoff(fidelity: Fidelity) -> FigureResult {
+    bt_tradeoff_with(Engine::global(), fidelity)
 }
 
 /// `abl-quad`: the paper's forward-looking claim, tested — "3 and 4 GB
 /// are becoming standard on new machines" and more cores make VM
 /// hosting even cheaper. Rerun the Figure 7 headline (host 7z, 2
 /// threads, VmPlayer VM at idle) on a quad-core testbed.
-pub fn quad_core(fidelity: Fidelity) -> FigureResult {
-    use vgrid_workloads::sevenz::{SevenZBody, SevenZReport};
-    let run = |machine: MachineSpec, with_vm: bool| -> SevenZReport {
-        let mut sys = System::new(SystemConfig {
-            machine,
-            ..SystemConfig::testbed(0xab4)
-        });
-        if with_vm {
-            install_einstein_vm(&mut sys, &VmmProfile::vmplayer(), Priority::Idle, fidelity);
-            sys.run_until(SimTime::from_millis(200));
-        }
-        let cfg = SevenZConfig {
-            threads: 2,
-            corpus_len: fidelity.pick(32 * 1024, 128 * 1024),
-            depth: fidelity.pick(8, 16),
-            duration: fidelity.pick(SimDuration::from_secs(2), SimDuration::from_secs(8)),
-            ..Default::default()
-        };
-        let (body, report) = SevenZBody::new(cfg, Priority::Normal);
-        sys.spawn("7z", Priority::Normal, Box::new(body));
-        let deadline = SimTime::from_secs(3600);
-        while !report.borrow().complete && sys.now() < deadline {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        let r = report.borrow().clone();
-        assert!(r.complete);
-        r
+pub fn quad_core_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let cfg = SevenZConfig {
+        threads: 2,
+        corpus_len: fidelity.pick(32 * 1024, 128 * 1024),
+        depth: fidelity.pick(8, 16),
+        duration: fidelity.pick(SimDuration::from_secs(2), SimDuration::from_secs(8)),
+        ..Default::default()
     };
+    let spec = |label: &str, machine: &MachineSpec, with_vm: bool| {
+        let env = if with_vm {
+            Environment::HostUnderVm {
+                profile: VmmProfile::vmplayer(),
+                priority: Priority::Idle,
+            }
+        } else {
+            Environment::Native
+        };
+        TrialSpec::new(label, env, KernelSpec::SevenZHost(cfg.clone()), fidelity)
+            .seed(0xab4)
+            .on_machine(machine.clone())
+    };
+    let machines = [
+        ("dual-core (paper)", MachineSpec::core2_duo_6600()),
+        (
+            "quad-core (counterfactual)",
+            MachineSpec::core2_duo_6600().core2_quad(),
+        ),
+    ];
+    let specs: Vec<TrialSpec> = machines
+        .iter()
+        .flat_map(|(label, machine)| {
+            [
+                spec(&format!("{label} base"), machine, false),
+                spec(label, machine, true),
+            ]
+        })
+        .collect();
+    let results = engine.run_trials(&specs);
+
     let mut fig = FigureResult::new(
         "abl-quad",
         "Figure 7's worst case (2-thread 7z vs VmPlayer) on a quad-core testbed",
         "% CPU available to 7z",
     );
-    for (label, machine) in [
-        ("dual-core (paper)", MachineSpec::core2_duo_6600()),
-        ("quad-core (counterfactual)", MachineSpec::core2_duo_6600().core2_quad()),
-    ] {
-        let base = run(machine.clone(), false);
-        let vm = run(machine, true);
+    for pair in results.chunks(2) {
+        let (base, vm) = (&pair[0], &pair[1]);
         fig.push(
-            FigureRow::new(label, vm.cpu_usage_pct).with_detail(format!(
+            FigureRow::new(&vm.label, vm.metric("cpu_pct").mean).with_detail(format!(
                 "{:.0}% without the VM; MIPS ratio {:.2}",
-                base.cpu_usage_pct,
-                vm.mips / base.mips
+                base.metric("cpu_pct").mean,
+                vm.metric("mips").mean / base.metric("mips").mean
             )),
         );
     }
@@ -205,22 +265,26 @@ pub fn quad_core(fidelity: Fidelity) -> FigureResult {
     fig
 }
 
+/// Run `abl-quad` on the process-wide engine.
+pub fn quad_core(fidelity: Fidelity) -> FigureResult {
+    quad_core_with(Engine::global(), fidelity)
+}
+
 /// `abl-lzma`: the compressor's own speed/ratio trade-off (7z's
 /// match-finder depth knob), run through the simulated native machine —
 /// a sanity anchor showing the benchmark kernel behaves like the tool it
 /// stands in for.
-pub fn lzma_depth_sweep(fidelity: Fidelity) -> FigureResult {
-    use vgrid_workloads::counter::OpCounter;
+pub fn lzma_depth_sweep_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
     use vgrid_workloads::corpus;
+    use vgrid_workloads::counter::OpCounter;
     use vgrid_workloads::lzma::{compress, LzmaConfig};
     let len = fidelity.pick(48 * 1024, 256 * 1024);
     let data = corpus::seven_zip_bench(len, 0x12a);
-    let mut fig = FigureResult::new(
-        "abl-lzma",
-        "LZMA match-finder depth: compression ratio vs simulated compression time",
-        "output bytes per input KB (lower = better ratio)",
-    );
-    for depth in [1u32, 4, 16, 64, 256] {
+    let depths = [1u32, 4, 16, 64, 256];
+
+    let mut ratios = Vec::new();
+    let mut specs = Vec::new();
+    for &depth in &depths {
         let mut ops = OpCounter::new();
         let packed = compress(
             &data,
@@ -230,23 +294,43 @@ pub fn lzma_depth_sweep(fidelity: Fidelity) -> FigureResult {
             },
             &mut ops,
         );
+        ratios.push(packed.len() as f64 / (len as f64 / 1024.0));
         let block = vgrid_machine::ops::OpBlock {
             label: format!("lzma-d{depth}"),
             counts: ops.to_counts(),
             working_set: (len * 9) as u64,
             locality: 0.9,
         };
-        let secs = run_native_loop(&block, 1, 1);
-        fig.push(
-            FigureRow::new(
+        specs.push(
+            TrialSpec::new(
                 format!("depth {depth}"),
-                packed.len() as f64 / (len as f64 / 1024.0),
+                Environment::Native,
+                KernelSpec::OpLoop { block, iters: 1 },
+                fidelity,
             )
-            .with_detail(format!("{:.1} ms simulated compression time", secs * 1e3)),
+            .seed(1),
         );
+    }
+    let results = engine.run_trials(&specs);
+
+    let mut fig = FigureResult::new(
+        "abl-lzma",
+        "LZMA match-finder depth: compression ratio vs simulated compression time",
+        "output bytes per input KB (lower = better ratio)",
+    );
+    for (trial, ratio) in results.iter().zip(&ratios) {
+        fig.push(FigureRow::new(&trial.label, *ratio).with_detail(format!(
+            "{:.1} ms simulated compression time",
+            trial.value() * 1e3
+        )));
     }
     fig.note("deeper chain search buys ratio with time — 7z's -mx knob in miniature");
     fig
+}
+
+/// Run `abl-lzma` on the process-wide engine.
+pub fn lzma_depth_sweep(fidelity: Fidelity) -> FigureResult {
+    lzma_depth_sweep_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]
@@ -263,7 +347,12 @@ mod tests {
         }
         // A High-priority vCPU outranks the benchmark and must hurt more
         // than the Idle case.
-        assert!(v("High") > v("Idle"), "High {} vs Idle {}", v("High"), v("Idle"));
+        assert!(
+            v("High") > v("Idle"),
+            "High {} vs Idle {}",
+            v("High"),
+            v("Idle")
+        );
     }
 
     #[test]

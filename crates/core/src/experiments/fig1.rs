@@ -4,9 +4,9 @@
 //! normalized against the native run (native = 1.0, larger = slower).
 //! Paper: VmPlayer ~1.15, VirtualBox ~1.20, VirtualPC ~1.36, QEMU >2x.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{paper_profiles, run_guest_loop, run_native_loop, Fidelity};
-use vgrid_simcore::{OnlineStats, RepetitionRunner};
+use crate::testbed::{paper_profiles, Fidelity};
 use vgrid_workloads::sevenz::{SevenZConfig, SevenZKernel};
 
 /// Paper-reported slowdowns for annotation.
@@ -20,8 +20,9 @@ fn paper_value(name: &str) -> f64 {
     }
 }
 
-/// Run the experiment.
-pub fn run(fidelity: Fidelity) -> FigureResult {
+/// The 7z kernel config and the iteration count sizing the loop to
+/// ~1 s of native execution.
+fn kernel_and_iters(fidelity: Fidelity) -> (SevenZConfig, SevenZKernel, u64) {
     let cfg = SevenZConfig {
         threads: 1,
         corpus_len: fidelity.pick(48 * 1024, 256 * 1024),
@@ -29,12 +30,45 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
         ..Default::default()
     };
     let kernel = SevenZKernel::characterize(&cfg);
-    // Size the loop to ~1 s of native execution.
     let iter_secs = kernel.ops_per_iter as f64 / 6.0e9;
     let iters = (fidelity.pick(0.3, 1.0) / iter_secs).ceil() as u64;
+    (cfg, kernel, iters)
+}
 
-    let reps = RepetitionRunner::new().repetitions(fidelity.repetitions());
-    let native = reps.run(|seed| run_native_loop(&kernel.block, iters, seed));
+/// Trial specs: the native baseline first, then one guest trial per
+/// monitor, all repeated per the fidelity's repetition count.
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let (_, kernel, iters) = kernel_and_iters(fidelity);
+    let loop_kernel = || KernelSpec::OpLoop {
+        block: kernel.block.clone(),
+        iters,
+    };
+    let mut specs = vec![
+        TrialSpec::new("native", Environment::Native, loop_kernel(), fidelity)
+            .repetitions(fidelity.repetitions()),
+    ];
+    for profile in paper_profiles() {
+        specs.push(
+            TrialSpec::new(
+                profile.name,
+                Environment::Guest {
+                    profile,
+                    vnic: None,
+                },
+                loop_kernel(),
+                fidelity,
+            )
+            .repetitions(fidelity.repetitions()),
+        );
+    }
+    specs
+}
+
+/// Run the experiment on the given engine.
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let (cfg, _, iters) = kernel_and_iters(fidelity);
+    let results = engine.run_trials(&specs(fidelity));
+    let native = results[0].summary().clone();
 
     let mut fig = FigureResult::new(
         "fig1",
@@ -42,16 +76,15 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
         "slowdown vs native (native = 1.0)",
     );
     fig.push(FigureRow::new("native", 1.0).with_paper(1.0));
-    for profile in paper_profiles() {
-        let mut stats = OnlineStats::new();
-        for rep in 0..fidelity.repetitions() {
-            let wall = run_guest_loop(&profile, &kernel.block, iters, reps.seed_for(rep));
-            stats.push(wall / native.mean);
-        }
+    for result in &results[1..] {
+        let wall = result.summary();
         fig.push(
-            FigureRow::new(profile.name, stats.mean())
-                .with_paper(paper_value(profile.name))
-                .with_detail(format!("±{:.3} (95% CI)", stats.ci95().half_width())),
+            FigureRow::new(&result.label, wall.mean / native.mean)
+                .with_paper(paper_value(&result.label))
+                .with_detail(format!(
+                    "±{:.3} (95% CI)",
+                    wall.ci95.half_width() / native.mean
+                )),
         );
     }
     fig.note(format!(
@@ -63,6 +96,11 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
     ));
     fig.note("measured with the external (host-side) time reference".to_string());
     fig
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]

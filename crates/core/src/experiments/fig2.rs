@@ -5,8 +5,9 @@
 //! finds floating point "only marginally deteriorated": everything below
 //! 1.20 except QEMU at ~1.30.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{paper_profiles, run_guest_loop, run_native_loop, Fidelity};
+use crate::testbed::{paper_profiles, Fidelity};
 use vgrid_simcore::OnlineStats;
 use vgrid_workloads::matrix::MatrixKernel;
 
@@ -20,19 +21,57 @@ fn paper_value(name: &str) -> f64 {
     }
 }
 
-/// Run the experiment for both paper sizes; the reported row value is the
-/// mean of the two sizes (the paper plots them side by side with nearly
-/// identical ratios).
-pub fn run(fidelity: Fidelity) -> FigureResult {
-    let sizes: Vec<usize> = fidelity.pick(vec![128, 256], vec![512, 1024]);
-    let blocks: Vec<_> = sizes
-        .iter()
-        .map(|&n| MatrixKernel { n, seed: 1 }.characterize_scaled())
+/// The paper's matrix sizes at this fidelity.
+fn sizes(fidelity: Fidelity) -> Vec<usize> {
+    fidelity.pick(vec![128, 256], vec![512, 1024])
+}
+
+/// Trial specs: one native trial per size, then one guest trial per
+/// (monitor, size), in that order.
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let blocks: Vec<_> = sizes(fidelity)
+        .into_iter()
+        .map(|n| (n, MatrixKernel { n, seed: 1 }.characterize_scaled()))
         .collect();
-    let natives: Vec<f64> = blocks
+    let loop_kernel = |block| KernelSpec::OpLoop { block, iters: 1 };
+    let mut specs: Vec<TrialSpec> = blocks
         .iter()
-        .map(|b| run_native_loop(b, 1, 1))
+        .map(|(n, block)| {
+            TrialSpec::new(
+                format!("native-{n}"),
+                Environment::Native,
+                loop_kernel(block.clone()),
+                fidelity,
+            )
+            .seed(1)
+        })
         .collect();
+    for profile in paper_profiles() {
+        for (n, block) in &blocks {
+            specs.push(
+                TrialSpec::new(
+                    format!("{}-{n}", profile.name),
+                    Environment::Guest {
+                        profile: profile.clone(),
+                        vnic: None,
+                    },
+                    loop_kernel(block.clone()),
+                    fidelity,
+                )
+                .seed(1),
+            );
+        }
+    }
+    specs
+}
+
+/// Run the experiment for both paper sizes on the given engine; the
+/// reported row value is the mean of the two sizes (the paper plots
+/// them side by side with nearly identical ratios).
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let sizes = sizes(fidelity);
+    let results = engine.run_trials(&specs(fidelity));
+    let (natives, guests) = results.split_at(sizes.len());
 
     let mut fig = FigureResult::new(
         "fig2",
@@ -40,11 +79,11 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
         "slowdown vs native (native = 1.0)",
     );
     fig.push(FigureRow::new("native", 1.0).with_paper(1.0));
-    for profile in paper_profiles() {
+    for (p, profile) in paper_profiles().iter().enumerate() {
         let mut stats = OnlineStats::new();
-        for (block, native) in blocks.iter().zip(&natives) {
-            let wall = run_guest_loop(&profile, block, 1, 1);
-            stats.push(wall / native);
+        for (s, native) in natives.iter().enumerate() {
+            let guest = &guests[p * sizes.len() + s];
+            stats.push(guest.value() / native.value());
         }
         fig.push(
             FigureRow::new(profile.name, stats.mean())
@@ -59,6 +98,11 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
     }
     fig.note(format!("naive i-j-k matmul of f64, sizes {sizes:?}"));
     fig
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]

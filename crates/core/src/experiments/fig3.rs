@@ -5,12 +5,10 @@
 //! host image file -> host disk). Paper: VmPlayer ~1.3x slower, VBox and
 //! VirtualPC roughly 2x, QEMU nearly 5x.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{host_system, paper_profiles, Fidelity};
-use vgrid_os::Priority;
-use vgrid_simcore::{SimDuration, SimTime};
-use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile};
-use vgrid_workloads::iobench::{IoBenchBody, IoBenchConfig, IoBenchReport};
+use crate::testbed::{paper_profiles, Fidelity};
+use vgrid_workloads::iobench::IoBenchConfig;
 
 fn paper_value(name: &str) -> f64 {
     match name {
@@ -30,45 +28,34 @@ fn bench_config(fidelity: Fidelity) -> IoBenchConfig {
     }
 }
 
-/// Native IOBench score (bytes/sec).
-pub fn native_score(fidelity: Fidelity) -> IoBenchReport {
-    let mut sys = host_system(0xf1);
-    let (body, report) = IoBenchBody::new(bench_config(fidelity));
-    sys.spawn("iobench", Priority::Normal, Box::new(body));
-    assert!(
-        sys.run_to_completion(SimTime::from_secs(3600)),
-        "native iobench did not finish"
-    );
-    let r = report.borrow().clone();
-    assert!(r.complete);
-    r
-}
-
-/// Guest IOBench score for one profile.
-pub fn guest_score(profile: &VmmProfile, fidelity: Fidelity) -> IoBenchReport {
-    let mut sys = host_system(0xf2);
-    let mut guest = GuestVm::new(GuestConfig::new(profile.clone()), sys.machine());
-    let (body, report) = IoBenchBody::new(bench_config(fidelity));
-    guest.spawn("iobench", Box::new(body));
-    let vm = Vm::install(
-        &mut sys,
-        VmConfig::new(format!("vm-{}", profile.name), Priority::Normal),
-        guest,
-    );
-    let deadline = SimTime::from_secs(3600);
-    while !vm.halted() && sys.now() < deadline {
-        let t = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(t);
+/// Trial specs: the native baseline first, then one guest trial per
+/// monitor. The native run and the guest runs pin the legacy seeds.
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let kernel = || KernelSpec::IoBench(bench_config(fidelity));
+    let mut specs =
+        vec![TrialSpec::new("native", Environment::Native, kernel(), fidelity).seed(0xf1)];
+    for profile in paper_profiles() {
+        specs.push(
+            TrialSpec::new(
+                profile.name,
+                Environment::Guest {
+                    profile,
+                    vnic: None,
+                },
+                kernel(),
+                fidelity,
+            )
+            .seed(0xf2),
+        );
     }
-    assert!(vm.halted(), "guest iobench did not finish");
-    let r = report.borrow().clone();
-    assert!(r.complete);
-    r
+    specs
 }
 
-/// Run the experiment.
-pub fn run(fidelity: Fidelity) -> FigureResult {
-    let native = native_score(fidelity);
+/// Run the experiment on the given engine.
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let results = engine.run_trials(&specs(fidelity));
+    let native = results[0].value();
+
     let mut fig = FigureResult::new(
         "fig3",
         "Relative performance of IOBench on virtual machines",
@@ -77,18 +64,14 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
     fig.push(
         FigureRow::new("native", 1.0)
             .with_paper(1.0)
-            .with_detail(format!(
-                "native score {:.1} MB/s",
-                native.score_bps() / 1e6
-            )),
+            .with_detail(format!("native score {:.1} MB/s", native / 1e6)),
     );
-    for profile in paper_profiles() {
-        let guest = guest_score(&profile, fidelity);
-        let rel = native.score_bps() / guest.score_bps();
+    for result in &results[1..] {
+        let guest = result.value();
         fig.push(
-            FigureRow::new(profile.name, rel)
-                .with_paper(paper_value(profile.name))
-                .with_detail(format!("guest score {:.1} MB/s", guest.score_bps() / 1e6)),
+            FigureRow::new(&result.label, native / guest)
+                .with_paper(paper_value(&result.label))
+                .with_detail(format!("guest score {:.1} MB/s", guest / 1e6)),
         );
     }
     fig.note(format!(
@@ -96,6 +79,11 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
         bench_config(fidelity).max_size >> 20
     ));
     fig
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]

@@ -5,12 +5,10 @@
 //! bridged 96.02, QEMU 65.91, VirtualPC 35.56, VmPlayer NAT 3.68,
 //! VirtualBox ~1.3 (nearly 75x slower than native).
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{fig4_environments, host_system, Fidelity};
-use vgrid_os::Priority;
-use vgrid_simcore::{SimDuration, SimTime};
-use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile, VnicMode};
-use vgrid_workloads::netbench::{NetBenchBody, NetBenchConfig};
+use crate::testbed::{fig4_environments, Fidelity};
+use vgrid_workloads::netbench::NetBenchConfig;
 
 fn paper_value(label: &str) -> f64 {
     match label {
@@ -31,61 +29,52 @@ fn bench_config(fidelity: Fidelity) -> NetBenchConfig {
     }
 }
 
-/// Native throughput in Mbps.
-pub fn native_mbps(fidelity: Fidelity) -> f64 {
-    let mut sys = host_system(0xf4);
-    let (body, report) = NetBenchBody::new(bench_config(fidelity));
-    sys.spawn("netbench", Priority::Normal, Box::new(body));
-    assert!(sys.run_to_completion(SimTime::from_secs(3600)));
-    let r = report.borrow();
-    assert!(r.complete);
-    r.mbps
-}
-
-/// Guest throughput in Mbps for one profile/mode.
-pub fn guest_mbps(profile: &VmmProfile, mode: VnicMode, fidelity: Fidelity) -> f64 {
-    let mut sys = host_system(0xf5);
-    let mut guest = GuestVm::new(
-        GuestConfig::new(profile.clone()).with_vnic(mode),
-        sys.machine(),
-    );
-    let (body, report) = NetBenchBody::new(bench_config(fidelity));
-    guest.spawn("netbench", Box::new(body));
-    let vm = Vm::install(
-        &mut sys,
-        VmConfig::new(format!("vm-{}", profile.name), Priority::Normal),
-        guest,
-    );
-    // VirtualBox NAT at ~1.3 Mbps needs over a minute of simulated time
-    // for 10 MB.
-    let deadline = SimTime::from_secs(7200);
-    while !vm.halted() && sys.now() < deadline {
-        let t = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(t);
+/// Trial specs: the native baseline first, then one guest trial per
+/// (monitor, vNIC mode) environment of Figure 4.
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let kernel = || KernelSpec::NetBench(bench_config(fidelity));
+    let mut specs =
+        vec![TrialSpec::new("native", Environment::Native, kernel(), fidelity).seed(0xf4)];
+    for (label, profile, mode) in fig4_environments() {
+        specs.push(
+            TrialSpec::new(
+                label,
+                Environment::Guest {
+                    profile,
+                    vnic: Some(mode),
+                },
+                kernel(),
+                fidelity,
+            )
+            .seed(0xf5),
+        );
     }
-    assert!(vm.halted(), "guest netbench did not finish");
-    let r = report.borrow();
-    assert!(r.complete);
-    r.mbps
+    specs
 }
 
-/// Run the experiment.
-pub fn run(fidelity: Fidelity) -> FigureResult {
+/// Run the experiment on the given engine.
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let results = engine.run_trials(&specs(fidelity));
     let mut fig = FigureResult::new(
         "fig4",
         "Absolute performance for NetBench on virtual machines",
         "Mbit/s (higher is better)",
     );
-    fig.push(FigureRow::new("native", native_mbps(fidelity)).with_paper(paper_value("native")));
-    for (label, profile, mode) in fig4_environments() {
-        let mbps = guest_mbps(&profile, mode, fidelity);
-        fig.push(FigureRow::new(&label, mbps).with_paper(paper_value(&label)));
+    for result in &results {
+        fig.push(
+            FigureRow::new(&result.label, result.value()).with_paper(paper_value(&result.label)),
+        );
     }
     fig.note(format!(
         "{} MB TCP stream to a LAN iperf server over 100 Mbps Fast Ethernet",
         bench_config(fidelity).total_bytes >> 20
     ));
     fig
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]
@@ -107,7 +96,11 @@ mod tests {
         assert!(v("VmPlayer-NAT") > v("VirtualBox"));
         // Rough magnitudes.
         assert!((50.0..80.0).contains(&v("QEMU")), "qemu {}", v("QEMU"));
-        assert!((2.0..6.0).contains(&v("VmPlayer-NAT")), "nat {}", v("VmPlayer-NAT"));
+        assert!(
+            (2.0..6.0).contains(&v("VmPlayer-NAT")),
+            "nat {}",
+            v("VmPlayer-NAT")
+        );
         assert!(v("VirtualBox") < 2.0, "vbox {}", v("VirtualBox"));
         // VirtualBox is dozens of times slower than native.
         assert!(v("native") / v("VirtualBox") > 40.0);

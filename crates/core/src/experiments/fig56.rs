@@ -7,54 +7,77 @@
 //! ~2 %, FP ~0 %; all four monitors similar; priority barely matters
 //! (the dual core absorbs the VM).
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{host_system, install_einstein_vm, paper_profiles, Fidelity};
+use crate::testbed::{paper_profiles, Fidelity};
 use vgrid_os::Priority;
-use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_simcore::SimDuration;
 use vgrid_vmm::VmmProfile;
-use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchReport, NBenchSuite};
+use vgrid_workloads::nbench::NBenchSuite;
 
-/// Run NBench on the host, optionally next to an Einstein VM.
-pub fn nbench_run(
-    vm: Option<(&VmmProfile, Priority)>,
-    fidelity: Fidelity,
-    suite: &NBenchSuite,
-) -> NBenchReport {
-    let mut sys = host_system(0x56);
-    if let Some((profile, prio)) = vm {
-        install_einstein_vm(&mut sys, profile, prio, fidelity);
-        // Let the VM reach steady state before benchmarking.
-        sys.run_until(SimTime::from_millis(200));
-    }
-    let per_test = fidelity.pick(
-        SimDuration::from_millis(30),
-        SimDuration::from_millis(500),
-    );
-    let (body, report) = NBenchBody::new(suite.clone(), per_test);
-    sys.spawn("nbench", Priority::Normal, Box::new(body));
-    let deadline = SimTime::from_secs(3600);
-    while !report.borrow().complete && sys.now() < deadline {
-        let t = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(t);
-    }
-    let r = report.borrow().clone();
-    assert!(r.complete, "nbench did not finish");
-    r
-}
-
-/// Percentage overhead of `report` vs `baseline` for one index group.
-fn overhead_pct(report: &NBenchReport, baseline: &NBenchReport, group: IndexGroup) -> f64 {
-    (1.0 - report.index_vs(baseline, group)) * 100.0
-}
-
-/// Run figures 5 (MEM), 6 (INT) and the FP companion; returns
-/// (fig5, fig6, fig_fp).
-pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult, FigureResult) {
-    let suite = match fidelity {
+/// The NBench suite used at this fidelity.
+pub fn suite(fidelity: Fidelity) -> NBenchSuite {
+    match fidelity {
         Fidelity::Fast => NBenchSuite::small(),
         Fidelity::Paper => NBenchSuite::standard(),
+    }
+}
+
+/// One host-side NBench trial spec, optionally beside an Einstein VM.
+/// Shared with the ablations so identical runs (e.g. the no-VM
+/// baseline) hit the engine cache instead of re-simulating.
+pub fn nbench_spec(
+    label: impl Into<String>,
+    vm: Option<(VmmProfile, Priority)>,
+    fidelity: Fidelity,
+) -> TrialSpec {
+    let per_test = fidelity.pick(SimDuration::from_millis(30), SimDuration::from_millis(500));
+    let env = match vm {
+        None => Environment::Native,
+        Some((profile, priority)) => Environment::HostUnderVm { profile, priority },
     };
-    let baseline = nbench_run(None, fidelity, &suite);
+    TrialSpec::new(
+        label,
+        env,
+        KernelSpec::NBench {
+            suite: suite(fidelity),
+            per_test,
+        },
+        fidelity,
+    )
+    .seed(0x56)
+}
+
+/// Trial specs: the no-VM baseline first, then each monitor at Normal
+/// and Idle priority.
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let mut specs = vec![nbench_spec("no VM", None, fidelity)];
+    for profile in paper_profiles() {
+        for (prio, tag) in [(Priority::Normal, "normal"), (Priority::Idle, "idle")] {
+            specs.push(nbench_spec(
+                format!("{}-{tag}", profile.name),
+                Some((profile.clone(), prio)),
+                fidelity,
+            ));
+        }
+    }
+    specs
+}
+
+/// Percentage overhead of `trial` vs `baseline` for one index metric.
+fn overhead_pct(
+    trial: &crate::engine::TrialResult,
+    baseline: &crate::engine::TrialResult,
+    metric: &str,
+) -> f64 {
+    (1.0 - trial.metric(metric).mean / baseline.metric(metric).mean) * 100.0
+}
+
+/// Run figures 5 (MEM), 6 (INT) and the FP companion on the given
+/// engine; returns (fig5, fig6, fig_fp).
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> (FigureResult, FigureResult, FigureResult) {
+    let results = engine.run_trials(&specs(fidelity));
+    let baseline = &results[0];
 
     let mut fig5 = FigureResult::new(
         "fig5",
@@ -71,23 +94,18 @@ pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult, FigureResult) {
         "Relative performance (FP index) on the host with an active VM (plot omitted in the paper)",
         "% overhead vs no-VM run (smaller is better)",
     );
-    for profile in paper_profiles() {
-        for (prio, tag) in [(Priority::Normal, "normal"), (Priority::Idle, "idle")] {
-            let rep = nbench_run(Some((&profile, prio)), fidelity, &suite);
-            let label = format!("{}-{}", profile.name, tag);
-            fig5.push(
-                FigureRow::new(&label, overhead_pct(&rep, &baseline, IndexGroup::Memory))
-                    .with_paper(3.5),
-            );
-            fig6.push(
-                FigureRow::new(&label, overhead_pct(&rep, &baseline, IndexGroup::Integer))
-                    .with_paper(2.0),
-            );
-            figfp.push(
-                FigureRow::new(&label, overhead_pct(&rep, &baseline, IndexGroup::Float))
-                    .with_paper(0.0),
-            );
-        }
+    for trial in &results[1..] {
+        fig5.push(
+            FigureRow::new(&trial.label, overhead_pct(trial, baseline, "mem_index"))
+                .with_paper(3.5),
+        );
+        fig6.push(
+            FigureRow::new(&trial.label, overhead_pct(trial, baseline, "int_index"))
+                .with_paper(2.0),
+        );
+        figfp.push(
+            FigureRow::new(&trial.label, overhead_pct(trial, baseline, "fp_index")).with_paper(0.0),
+        );
     }
     let note = "NBench on host (Normal), VM running Einstein@home at 100% vCPU";
     fig5.note(note);
@@ -97,6 +115,11 @@ pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult, FigureResult) {
     fig6.note("paper: INT overhead averages ~2%");
     figfp.note("paper: practically no FP overhead (plot omitted to conserve space)");
     (fig5, fig6, figfp)
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult, FigureResult) {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]
@@ -132,9 +155,8 @@ mod tests {
             );
         }
         // MEM is hit hardest on average (the shared-L2 mechanism).
-        let avg = |f: &FigureResult| {
-            f.rows.iter().map(|r| r.value).sum::<f64>() / f.rows.len() as f64
-        };
+        let avg =
+            |f: &FigureResult| f.rows.iter().map(|r| r.value).sum::<f64>() / f.rows.len() as f64;
         assert!(avg(&fig5) >= avg(&figfp));
         // Priority barely matters: normal vs idle within 3 points.
         for f in [&fig5, &fig6] {

@@ -9,25 +9,23 @@
 //! * Figure 8: 7z's MIPS relative to the no-VM run. Paper: VmPlayer
 //!   ~-30 %, others ~-10 %.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{host_system, install_einstein_vm, paper_profiles, Fidelity};
+use crate::testbed::{paper_profiles, Fidelity};
 use vgrid_os::Priority;
-use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_simcore::SimDuration;
 use vgrid_vmm::VmmProfile;
-use vgrid_workloads::sevenz::{SevenZBody, SevenZConfig, SevenZReport};
+use vgrid_workloads::sevenz::SevenZConfig;
 
-/// Run host-side 7z with `threads` workers, optionally next to an
-/// idle-priority Einstein VM.
-pub fn sevenz_on_host(
+/// One host-side 7z trial spec with `threads` workers, optionally
+/// beside an idle-priority Einstein VM. Shared with `abl-bt`, which
+/// reuses the 2-thread trials through the engine cache.
+pub fn sevenz_spec(
+    label: impl Into<String>,
     threads: u32,
-    vm: Option<&VmmProfile>,
+    vm: Option<VmmProfile>,
     fidelity: Fidelity,
-) -> SevenZReport {
-    let mut sys = host_system(0x78);
-    if let Some(profile) = vm {
-        install_einstein_vm(&mut sys, profile, Priority::Idle, fidelity);
-        sys.run_until(SimTime::from_millis(200));
-    }
+) -> TrialSpec {
     let cfg = SevenZConfig {
         threads,
         corpus_len: fidelity.pick(32 * 1024, 128 * 1024),
@@ -35,16 +33,37 @@ pub fn sevenz_on_host(
         duration: fidelity.pick(SimDuration::from_secs(2), SimDuration::from_secs(8)),
         ..Default::default()
     };
-    let (body, report) = SevenZBody::new(cfg, Priority::Normal);
-    sys.spawn("7z", Priority::Normal, Box::new(body));
-    let deadline = SimTime::from_secs(3600);
-    while !report.borrow().complete && sys.now() < deadline {
-        let t = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(t);
+    let env = match vm {
+        None => Environment::Native,
+        Some(profile) => Environment::HostUnderVm {
+            profile,
+            priority: Priority::Idle,
+        },
+    };
+    TrialSpec::new(label, env, KernelSpec::SevenZHost(cfg), fidelity).seed(0x78)
+}
+
+/// Trial specs, grouped per thread count: the no-VM baseline then the
+/// four monitors, first for 1 thread, then for 2.
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let mut specs = Vec::new();
+    for threads in [1u32, 2] {
+        specs.push(sevenz_spec(
+            format!("no VM ({threads}t)"),
+            threads,
+            None,
+            fidelity,
+        ));
+        for profile in paper_profiles() {
+            specs.push(sevenz_spec(
+                format!("{} ({threads}t)", profile.name),
+                threads,
+                Some(profile),
+                fidelity,
+            ));
+        }
     }
-    let r = report.borrow().clone();
-    assert!(r.complete, "7z did not finish");
-    r
+    specs
 }
 
 fn paper_cpu(label: &str) -> f64 {
@@ -68,8 +87,11 @@ fn paper_mips_ratio(label: &str) -> f64 {
     }
 }
 
-/// Run both figures; returns (fig7, fig8).
-pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult) {
+/// Run both figures on the given engine; returns (fig7, fig8).
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> (FigureResult, FigureResult) {
+    let results = engine.run_trials(&specs(fidelity));
+    let per_group = 1 + paper_profiles().len();
+
     let mut fig7 = FigureResult::new(
         "fig7",
         "Available %CPU for host OS when guest OS is running at 100%",
@@ -80,27 +102,28 @@ pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult) {
         "MIPS for 7z when guest OS is running at 100%",
         "MIPS ratio vs no-VM run (1.0 = unimpacted)",
     );
-    for threads in [1u32, 2] {
-        let base = sevenz_on_host(threads, None, fidelity);
-        let tag = format!("({threads}t)");
+    for group in results.chunks(per_group) {
+        let base = &group[0];
         fig7.push(
-            FigureRow::new(format!("no VM {tag}"), base.cpu_usage_pct)
-                .with_paper(paper_cpu(&format!("no VM {tag}"))),
+            FigureRow::new(&base.label, base.metric("cpu_pct").mean)
+                .with_paper(paper_cpu(&base.label)),
         );
         fig8.push(
-            FigureRow::new(format!("no VM {tag}"), 1.0)
-                .with_paper(paper_mips_ratio(&format!("no VM {tag}")))
-                .with_detail(format!("{:.0} MIPS absolute", base.mips)),
+            FigureRow::new(&base.label, 1.0)
+                .with_paper(paper_mips_ratio(&base.label))
+                .with_detail(format!("{:.0} MIPS absolute", base.metric("mips").mean)),
         );
-        for profile in paper_profiles() {
-            let rep = sevenz_on_host(threads, Some(&profile), fidelity);
-            let label = format!("{} {tag}", profile.name);
+        for trial in &group[1..] {
             fig7.push(
-                FigureRow::new(&label, rep.cpu_usage_pct).with_paper(paper_cpu(&label)),
+                FigureRow::new(&trial.label, trial.metric("cpu_pct").mean)
+                    .with_paper(paper_cpu(&trial.label)),
             );
             fig8.push(
-                FigureRow::new(&label, rep.mips / base.mips)
-                    .with_paper(paper_mips_ratio(&label)),
+                FigureRow::new(
+                    &trial.label,
+                    trial.metric("mips").mean / base.metric("mips").mean,
+                )
+                .with_paper(paper_mips_ratio(&trial.label)),
             );
         }
     }
@@ -109,6 +132,11 @@ pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult) {
     fig7.note(note);
     fig8.note(note);
     (fig7, fig8)
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> (FigureResult, FigureResult) {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]
@@ -131,7 +159,11 @@ mod tests {
             assert!(v(label) <= 102.0, "{label}: {}", v(label));
         }
         // Two threads, no VM: ~180 % (not 200: hardware contention).
-        assert!((170.0..195.0).contains(&v("no VM (2t)")), "{}", v("no VM (2t)"));
+        assert!(
+            (170.0..195.0).contains(&v("no VM (2t)")),
+            "{}",
+            v("no VM (2t)")
+        );
         // VmPlayer costs ~60 points; the others ~20.
         assert!(
             (110.0..135.0).contains(&v("VMwarePlayer (2t)")),

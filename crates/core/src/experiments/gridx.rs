@@ -7,11 +7,12 @@
 //! VM-RAM checkpoints and the 300 MB committed-memory host exclusion —
 //! quantifying the trade the paper's conclusion weighs qualitatively.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
 use crate::testbed::Fidelity;
-use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
 #[allow(unused_imports)]
 use vgrid_grid::ExecutionMode;
+use vgrid_grid::{DeployConfig, PoolConfig, ProjectConfig};
 use vgrid_simcore::SimTime;
 use vgrid_vmm::VmmProfile;
 
@@ -33,17 +34,35 @@ fn pool(fidelity: Fidelity) -> PoolConfig {
     }
 }
 
-/// Run the campaign comparison.
-pub fn run(fidelity: Fidelity) -> FigureResult {
+/// A campaign trial spec. Campaign kernels carry their own deployment,
+/// so the environment is `Native` by convention.
+fn campaign_spec(
+    label: impl Into<String>,
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: DeployConfig,
+    horizon: SimTime,
+    fidelity: Fidelity,
+) -> TrialSpec {
+    TrialSpec::new(
+        label,
+        Environment::Native,
+        KernelSpec::Campaign {
+            project: project.clone(),
+            pool: pool.clone(),
+            deploy,
+            horizon,
+        },
+        fidelity,
+    )
+}
+
+/// Run the campaign comparison on the given engine.
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
     let horizon = SimTime::from_secs(fidelity.pick(7, 30) * 24 * 3600);
     let project = project(fidelity);
     let pool = pool(fidelity);
 
-    let mut fig = FigureResult::new(
-        "grid-tradeoff",
-        "Volunteer-project throughput: native vs VM-sandboxed deployment",
-        "work units validated within the horizon (higher is better)",
-    );
     let mut deployments = vec![("native".to_string(), DeployConfig::native())];
     for profile in VmmProfile::all() {
         deployments.push((
@@ -51,26 +70,33 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
             DeployConfig::vm(profile, 1_400 << 20),
         ));
     }
-    for (label, deploy) in deployments {
-        // Average over seeds: individual churn trajectories carry a few
-        // percent of noise, below the dilation signal but not by much
-        // for the fastest monitor.
-        let seeds = [0x6e1d_u64, 0x6e1e, 0x6e1f];
-        let mut validated = 0.0;
-        let mut detail = String::new();
-        for &seed in &seeds {
-            let r = run_campaign(&project, &pool, &deploy, seed, horizon);
-            validated += r.validated_wus as f64 / seeds.len() as f64;
-            if detail.is_empty() {
-                detail = format!(
-                    "efficiency {:.2}, {} hosts excluded (RAM), {:.0} h image transfer",
-                    r.efficiency,
-                    r.hosts_excluded_ram,
-                    r.image_transfer_secs / 3600.0
-                );
-            }
-        }
-        fig.push(FigureRow::new(&label, validated).with_detail(detail));
+    // Averaged over seeds: individual churn trajectories carry a few
+    // percent of noise, below the dilation signal but not by much for
+    // the fastest monitor.
+    let specs: Vec<TrialSpec> = deployments
+        .into_iter()
+        .map(|(label, deploy)| {
+            campaign_spec(label, &project, &pool, deploy, horizon, fidelity)
+                .seed(0x6e1d)
+                .repetitions(3)
+        })
+        .collect();
+    let results = engine.run_trials(&specs);
+
+    let mut fig = FigureResult::new(
+        "grid-tradeoff",
+        "Volunteer-project throughput: native vs VM-sandboxed deployment",
+        "work units validated within the horizon (higher is better)",
+    );
+    for trial in &results {
+        fig.push(
+            FigureRow::new(&trial.label, trial.metric("validated_wus").mean).with_detail(format!(
+                "efficiency {:.2}, {:.0} hosts excluded (RAM), {:.0} h image transfer",
+                trial.metric("efficiency").mean,
+                trial.metric("hosts_excluded_ram").mean,
+                trial.metric("image_transfer_secs").mean / 3600.0
+            )),
+        );
     }
     fig.note(format!(
         "{} work units x {:.1} h reference CPU, {} volunteers, quorum {}",
@@ -83,12 +109,17 @@ pub fn run(fidelity: Fidelity) -> FigureResult {
     fig
 }
 
+/// Run the campaign comparison on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
+}
+
 /// `grid-image` — Section 1's image-size concern, quantified: "To
 /// contain the size of the virtual machine image, one can choose a small
 /// footprint distribution, such as ttylinux. However, this will always
 /// impose a download that might not be affordable for all the would-be
 /// volunteers."
-pub fn image_size_sweep(fidelity: Fidelity) -> FigureResult {
+pub fn image_size_sweep_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
     // Short horizon + abundant work: the one-time image download is a
     // meaningful share of each volunteer's early uptime.
     let horizon = SimTime::from_secs(fidelity.pick(2, 7) * 24 * 3600);
@@ -98,44 +129,56 @@ pub fn image_size_sweep(fidelity: Fidelity) -> FigureResult {
         ..project(fidelity)
     };
     let pool = pool(fidelity);
+    let images = [
+        ("ttylinux-ish (50 MB)", 50u64 << 20),
+        ("small distro (300 MB)", 300 << 20),
+        ("full distro (1.4 GB)", 1_400 << 20),
+        ("DVD image (4 GB)", 4_096 << 20),
+    ];
+    // Seed-averaged: the one-time download is ~10 % of early uptime at
+    // the largest size, comparable to single-trajectory noise.
+    let specs: Vec<TrialSpec> = images
+        .iter()
+        .map(|&(label, bytes)| {
+            campaign_spec(
+                label,
+                &project,
+                &pool,
+                DeployConfig::vm(VmmProfile::vmplayer(), bytes),
+                horizon,
+                fidelity,
+            )
+            .seed(0x113a)
+            .repetitions(5)
+        })
+        .collect();
+    let results = engine.run_trials(&specs);
+
     let mut fig = FigureResult::new(
         "grid-image",
         "VM image size vs volunteer-project throughput (ttylinux vs full distro)",
         "work units validated within the horizon",
     );
-    for (label, bytes) in [
-        ("ttylinux-ish (50 MB)", 50u64 << 20),
-        ("small distro (300 MB)", 300 << 20),
-        ("full distro (1.4 GB)", 1_400 << 20),
-        ("DVD image (4 GB)", 4_096 << 20),
-    ] {
-        // Seed-averaged: the one-time download is ~10 % of early uptime
-        // at the largest size, comparable to single-trajectory noise.
-        let seeds = [0x113a_u64, 0x113b, 0x113c, 0x113d, 0x113e];
-        let mut validated = 0.0;
-        let mut transfer_h = 0.0;
-        for &seed in &seeds {
-            let r = run_campaign(
-                &project,
-                &pool,
-                &DeployConfig::vm(VmmProfile::vmplayer(), bytes),
-                seed,
-                horizon,
-            );
-            validated += r.validated_wus as f64 / seeds.len() as f64;
-            transfer_h += r.image_transfer_secs / 3600.0 / seeds.len() as f64;
-        }
-        fig.push(FigureRow::new(label, validated).with_detail(format!(
-            "{transfer_h:.0} h of pool time spent on image transfer"
-        )));
+    for trial in &results {
+        fig.push(
+            FigureRow::new(&trial.label, trial.metric("validated_wus").mean).with_detail(format!(
+                "{:.0} h of pool time spent on image transfer",
+                trial.metric("image_transfer_secs").mean / 3600.0
+            )),
+        );
     }
     fig.note("one-time initialization-workunit download per volunteer (Gonzalez et al.)");
     fig
 }
 
+/// Run `grid-image` on the process-wide engine.
+pub fn image_size_sweep(fidelity: Fidelity) -> FigureResult {
+    image_size_sweep_with(Engine::global(), fidelity)
+}
+
 /// `grid-migration` — the checkpoint/migration feature's payoff under
 /// churn (Section 1 motivates exportable VM state).
-pub fn migration_comparison(fidelity: Fidelity) -> FigureResult {
+pub fn migration_comparison_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
     // Migration is a *straggler* remedy: it pays when work is scarce and
     // long tasks camp on flaky hosts (capacity-bound campaigns gain
     // nothing from shipping state — a fresh copy uses the same cycles).
@@ -150,33 +193,54 @@ pub fn migration_comparison(fidelity: Fidelity) -> FigureResult {
         mean_downtime_secs: 20.0 * 3600.0,
         ..pool(fidelity)
     };
+    let base = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
+    let specs = [
+        campaign_spec(
+            "resume on original host",
+            &project,
+            &pool,
+            base.clone(),
+            horizon,
+            fidelity,
+        )
+        .seed(0x317e),
+        campaign_spec(
+            "migrate checkpointed state",
+            &project,
+            &pool,
+            base.with_migration(),
+            horizon,
+            fidelity,
+        )
+        .seed(0x317e),
+    ];
+    let results = engine.run_trials(&specs);
+
     let mut fig = FigureResult::new(
         "grid-migration",
         "Churn migration of checkpointed VM state: throughput with long tasks on flaky hosts",
         "work units validated within the horizon",
     );
-    let base = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
-    let stay = run_campaign(&project, &pool, &base, 0x317e, horizon);
-    let migrate = run_campaign(
-        &project,
-        &pool,
-        &base.clone().with_migration(),
-        0x317e,
-        horizon,
+    fig.push(
+        FigureRow::new(&results[0].label, results[0].metric("validated_wus").mean).with_detail(
+            format!("{:.0} migrations", results[0].metric("migrations").mean),
+        ),
     );
     fig.push(
-        FigureRow::new("resume on original host", stay.validated_wus as f64)
-            .with_detail(format!("{} migrations", stay.migrations)),
-    );
-    fig.push(
-        FigureRow::new("migrate checkpointed state", migrate.validated_wus as f64)
-            .with_detail(format!(
-                "{} migrations of 300 MB state each",
-                migrate.migrations
-            )),
+        FigureRow::new(&results[1].label, results[1].metric("validated_wus").mean).with_detail(
+            format!(
+                "{:.0} migrations of 300 MB state each",
+                results[1].metric("migrations").mean
+            ),
+        ),
     );
     fig.note("tasks outlive host uptime spans; migration ships the VM checkpoint via the server");
     fig
+}
+
+/// Run `grid-migration` on the process-wide engine.
+pub fn migration_comparison(fidelity: Fidelity) -> FigureResult {
+    migration_comparison_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]

@@ -6,30 +6,43 @@
 //! monitor's committed memory (300 MB in the paper's setup) and the
 //! fraction of the host's RAM that represents.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{host_system, paper_profiles};
-use vgrid_os::Priority;
-use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig};
+use crate::testbed::{paper_profiles, Fidelity};
+use vgrid_machine::MachineSpec;
 
-/// Run the memory-footprint accounting.
-pub fn run() -> FigureResult {
+/// Trial specs: one powered-on idle guest per monitor.
+pub fn specs() -> Vec<TrialSpec> {
+    paper_profiles()
+        .into_iter()
+        .map(|profile| {
+            TrialSpec::new(
+                profile.name,
+                Environment::Guest {
+                    profile,
+                    vnic: None,
+                },
+                KernelSpec::Footprint,
+                Fidelity::Fast,
+            )
+            .seed(0xfeed)
+        })
+        .collect()
+}
+
+/// Run the memory-footprint accounting on the given engine.
+pub fn run_with(engine: &Engine) -> FigureResult {
+    let results = engine.run_trials(&specs());
+    let host_mb = MachineSpec::core2_duo_6600().mem.total_bytes as f64 / (1024.0 * 1024.0);
     let mut fig = FigureResult::new(
         "tab-mem",
         "Committed memory of a powered-on VM (Section 4.2.1)",
         "MB committed",
     );
-    for profile in paper_profiles() {
-        let mut sys = host_system(0xfeed);
-        let guest = GuestVm::new(GuestConfig::new(profile.clone()), sys.machine());
-        let vm = Vm::install(
-            &mut sys,
-            VmConfig::new(format!("vm-{}", profile.name), Priority::Normal),
-            guest,
-        );
-        let committed_mb = vm.committed_memory as f64 / (1024.0 * 1024.0);
-        let host_mb = sys.machine().mem.total_bytes as f64 / (1024.0 * 1024.0);
+    for result in &results {
+        let committed_mb = result.value();
         fig.push(
-            FigureRow::new(profile.name, committed_mb)
+            FigureRow::new(&result.label, committed_mb)
                 .with_paper(300.0)
                 .with_detail(format!(
                     "{:.0}% of the host's {host_mb:.0} MB",
@@ -39,6 +52,11 @@ pub fn run() -> FigureResult {
     }
     fig.note("constant and known in advance: volunteers know exactly how much RAM they donate");
     fig
+}
+
+/// Run the accounting on the process-wide engine.
+pub fn run() -> FigureResult {
+    run_with(Engine::global())
 }
 
 #[cfg(test)]

@@ -12,6 +12,12 @@
 //! | abl-* | prose-claim ablations | [`ablations`] |
 //! | grid-tradeoff | deployment-scale extension | [`gridx`] |
 //! | timing-method | guest-clock methodology | [`timing`] |
+//!
+//! Every experiment expresses its measurements as [`crate::engine`]
+//! trial specs; the figure modules only translate specs and results to
+//! `FigureResult`s. Multi-figure experiments (fig5/fig6/figfp,
+//! fig7/fig8) share their simulations through the engine cache, as do
+//! ablations that reuse a figure's baseline.
 
 pub mod ablations;
 pub mod fig1;
@@ -66,42 +72,65 @@ pub fn run_extension_suite(fidelity: Fidelity) -> Vec<FigureResult> {
     ]
 }
 
+type Runner = fn(Fidelity) -> FigureResult;
+
+fn run_fig5(fidelity: Fidelity) -> FigureResult {
+    fig56::run(fidelity).0
+}
+fn run_fig6(fidelity: Fidelity) -> FigureResult {
+    fig56::run(fidelity).1
+}
+fn run_figfp(fidelity: Fidelity) -> FigureResult {
+    fig56::run(fidelity).2
+}
+fn run_fig7(fidelity: Fidelity) -> FigureResult {
+    fig78::run(fidelity).0
+}
+fn run_fig8(fidelity: Fidelity) -> FigureResult {
+    fig78::run(fidelity).1
+}
+fn run_tab_mem(_fidelity: Fidelity) -> FigureResult {
+    memfoot::run()
+}
+
+/// The single source of truth for the experiment registry: `(id,
+/// runner)` in presentation order. [`experiment_ids`] and [`run_by_id`]
+/// both derive from this table, so they cannot drift apart.
+const REGISTRY: &[(&str, Runner)] = &[
+    ("fig1", fig1::run),
+    ("fig2", fig2::run),
+    ("fig3", fig3::run),
+    ("fig4", fig4::run),
+    ("fig5", run_fig5),
+    ("fig6", run_fig6),
+    ("figfp", run_figfp),
+    ("fig7", run_fig7),
+    ("fig8", run_fig8),
+    ("tab-mem", run_tab_mem),
+    ("abl-prio", ablations::priority_sweep),
+    ("abl-cores", ablations::single_core),
+    ("abl-l2", ablations::shared_l2),
+    ("abl-bt", ablations::bt_tradeoff),
+    ("abl-lzma", ablations::lzma_depth_sweep),
+    ("abl-quad", ablations::quad_core),
+    ("grid-tradeoff", gridx::run),
+    ("grid-image", gridx::image_size_sweep),
+    ("grid-migration", gridx::migration_comparison),
+    ("timing-method", timing::run),
+];
+
 /// Every experiment id the registry knows, in presentation order.
 pub fn experiment_ids() -> Vec<&'static str> {
-    vec![
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "figfp", "fig7", "fig8", "tab-mem",
-        "abl-prio", "abl-cores", "abl-l2", "abl-bt", "abl-lzma", "abl-quad", "grid-tradeoff",
-        "grid-image",
-        "grid-migration", "timing-method",
-    ]
+    REGISTRY.iter().map(|(id, _)| *id).collect()
 }
 
 /// Run one experiment by id. Multi-figure experiments return the single
 /// requested figure. Returns `None` for an unknown id.
 pub fn run_by_id(id: &str, fidelity: Fidelity) -> Option<FigureResult> {
-    Some(match id {
-        "fig1" => fig1::run(fidelity),
-        "fig2" => fig2::run(fidelity),
-        "fig3" => fig3::run(fidelity),
-        "fig4" => fig4::run(fidelity),
-        "fig5" => fig56::run(fidelity).0,
-        "fig6" => fig56::run(fidelity).1,
-        "figfp" => fig56::run(fidelity).2,
-        "fig7" => fig78::run(fidelity).0,
-        "fig8" => fig78::run(fidelity).1,
-        "tab-mem" => memfoot::run(),
-        "abl-prio" => ablations::priority_sweep(fidelity),
-        "abl-cores" => ablations::single_core(fidelity),
-        "abl-l2" => ablations::shared_l2(fidelity),
-        "abl-bt" => ablations::bt_tradeoff(fidelity),
-        "abl-lzma" => ablations::lzma_depth_sweep(fidelity),
-        "abl-quad" => ablations::quad_core(fidelity),
-        "grid-tradeoff" => gridx::run(fidelity),
-        "grid-image" => gridx::image_size_sweep(fidelity),
-        "grid-migration" => gridx::migration_comparison(fidelity),
-        "timing-method" => timing::run(fidelity),
-        _ => return None,
-    })
+    REGISTRY
+        .iter()
+        .find(|(known, _)| *known == id)
+        .map(|(_, runner)| runner(fidelity))
 }
 
 #[cfg(test)]
@@ -111,18 +140,26 @@ mod registry_tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run_by_id("fig99", Fidelity::Fast).is_none());
+        assert!(run_by_id("", Fidelity::Fast).is_none());
     }
 
     #[test]
     fn every_listed_id_resolves_and_matches() {
-        // Run the cheapest one end-to-end; resolve the rest lazily by
-        // checking a few spot ids (running all would duplicate the
-        // suite tests).
-        let fig = run_by_id("tab-mem", Fidelity::Fast).expect("known id");
-        assert_eq!(fig.id, "tab-mem");
-        for id in experiment_ids() {
-            // ids are unique
-            assert_eq!(experiment_ids().iter().filter(|&&x| x == id).count(), 1);
+        let ids = experiment_ids();
+        // Ids are unique...
+        for id in &ids {
+            assert_eq!(ids.iter().filter(|x| x == &id).count(), 1, "duplicate {id}");
         }
+        // ...every listed id runs through `run_by_id` and produces the
+        // figure it names (cheap in one test process: the engine cache
+        // already holds most trials from the per-module tests)...
+        for id in &ids {
+            let fig = run_by_id(id, Fidelity::Fast).expect("listed id must resolve");
+            assert_eq!(fig.id, *id, "runner for {id} produced {}", fig.id);
+        }
+        // ...and `run_by_id` knows no ids beyond the listed ones: both
+        // derive from REGISTRY, whose length pins the experiment count.
+        assert_eq!(ids.len(), REGISTRY.len());
+        assert_eq!(ids.len(), 20);
     }
 }

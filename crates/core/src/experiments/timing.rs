@@ -12,54 +12,69 @@
 //! normal-priority load (starving the idle-priority vCPU), and we report
 //! how far the guest's clock falls behind the external reference.
 
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
 use crate::figures::{FigureResult, FigureRow};
-use crate::testbed::{host_system, install_einstein_vm, paper_profiles, Fidelity};
-use vgrid_machine::ops::OpBlock;
-use vgrid_os::{Action, Priority, ThreadBody, ThreadCtx};
+use crate::testbed::{paper_profiles, Fidelity};
+use vgrid_os::Priority;
 use vgrid_simcore::SimTime;
 
-/// Infinite CPU hog used to starve the vCPU.
-#[derive(Debug)]
-struct Hog;
-impl ThreadBody for Hog {
-    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-        Action::Compute(OpBlock::int_alu(10_000_000))
-    }
+/// Trial specs: one clock-lag measurement per monitor, vCPU at Idle
+/// priority under a saturated host (the paper's worst case).
+pub fn specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let wall = fidelity.pick(SimTime::from_secs(20), SimTime::from_secs(120));
+    paper_profiles()
+        .into_iter()
+        .map(|profile| {
+            TrialSpec::new(
+                profile.name,
+                Environment::HostUnderVm {
+                    profile,
+                    priority: Priority::Idle,
+                },
+                KernelSpec::ClockLag { wall },
+                fidelity,
+            )
+            .seed(0x7131)
+        })
+        .collect()
 }
 
-/// Run the experiment: guest clock error per monitor under host load.
-pub fn run(fidelity: Fidelity) -> FigureResult {
+/// Run the experiment on the given engine: guest clock error per
+/// monitor under host load.
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
     let wall = fidelity.pick(SimTime::from_secs(20), SimTime::from_secs(120));
+    let results = engine.run_trials(&specs(fidelity));
+
     let mut fig = FigureResult::new(
         "timing-method",
         "Guest clock error under host load (why the paper uses a UDP time server)",
         "% of wall time lost by the guest clock",
     );
-    for profile in paper_profiles() {
-        let mut sys = host_system(0x7131);
-        let vm = install_einstein_vm(&mut sys, &profile, Priority::Idle, fidelity);
-        // Saturate both cores so the idle-priority vCPU starves.
-        sys.spawn("hog1", Priority::Normal, Box::new(Hog));
-        sys.spawn("hog2", Priority::Normal, Box::new(Hog));
-        sys.run_until(wall);
-        let lag = vm.control.borrow().guest_clock_lag_secs;
-        let loss_events = vm.control.borrow().guest_clock_loss_events;
+    for trial in &results {
+        let lag = trial.metric("lag_secs").mean;
+        let loss_events = trial.metric("loss_events").mean;
         let pct = 100.0 * lag / wall.as_secs_f64();
-        fig.push(
-            FigureRow::new(profile.name, pct).with_detail(format!(
-                "{lag:.1}s behind after {:.0}s wall, {loss_events} tick-loss events",
-                wall.as_secs_f64()
-            )),
-        );
+        fig.push(FigureRow::new(&trial.label, pct).with_detail(format!(
+            "{lag:.1}s behind after {:.0}s wall, {loss_events:.0} tick-loss events",
+            wall.as_secs_f64()
+        )));
     }
     fig.note("vCPU at Idle priority, both host cores saturated (the paper's worst case)");
-    fig.note("the external UDP reference stays accurate to tens of microseconds (see vgrid-timeref)");
+    fig.note(
+        "the external UDP reference stays accurate to tens of microseconds (see vgrid-timeref)",
+    );
     fig
+}
+
+/// Run the experiment on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testbed::{host_system, install_einstein_vm};
 
     #[test]
     fn starved_guests_lose_wall_time() {

@@ -27,16 +27,20 @@
 //! * [`experiments`] — one module per paper artifact (fig1..fig8,
 //!   tab-mem), plus ablations of the paper's prose claims and extension
 //!   experiments (grid deployment, guest-clock methodology).
+//! * [`engine`] — the unified experiment engine: declarative trial
+//!   specs, one parallel repetition path, cached shared baselines.
 //! * [`testbed`] — fidelity levels and native/guest run helpers.
 //! * [`figures`] — result containers, ASCII rendering, JSON.
 //! * [`calibration`] — the paper-vs-measured comparison table.
-//! * [`parallel`] — Rayon-parallel repetition sweeps.
+//! * [`parallel`] — deterministic scoped-thread repetition sweeps.
 
 pub mod calibration;
+pub mod engine;
 pub mod experiments;
 pub mod figures;
 pub mod parallel;
 pub mod testbed;
 
+pub use engine::{Engine, Environment, KernelSpec, TrialResult, TrialSpec};
 pub use figures::{FigureResult, FigureRow};
 pub use testbed::Fidelity;

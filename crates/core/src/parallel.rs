@@ -3,32 +3,68 @@
 //! The paper repeats every measurement at least 50 times. Repetitions of
 //! a deterministic simulation are embarrassingly parallel — each builds
 //! its own `System` from `(config, seed)` — so the paper-fidelity suite
-//! fans them out over Rayon. Determinism is preserved: each repetition's
-//! seed is a pure function of `(base_seed, index)` and the accumulator
-//! merge is order-insensitive for the statistics we report (Welford
-//! merge; the tiny float non-associativity is far below measurement
-//! granularity, and tests pin mean equality against the sequential path
-//! within 1e-9).
+//! fans them out over a scoped thread pool. Determinism is preserved:
+//! each repetition's seed is a pure function of `(base_seed, index)`,
+//! per-repetition results land in an index-addressed slot vector, and
+//! the Welford fold always runs in index order — so the statistics are
+//! bit-identical to the sequential path regardless of thread scheduling.
 
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use vgrid_simcore::{OnlineStats, RepetitionRunner, Summary};
+
+/// Map `f` over `0..n` on a scoped worker pool, returning results in
+/// index order. Work is claimed through an atomic cursor so uneven job
+/// costs balance across workers; output order is fixed by index, not by
+/// completion order, keeping downstream folds deterministic.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().unwrap() = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
 
 /// Run `f(seed)` for each repetition in parallel and summarize.
 pub fn run_parallel<F>(runner: &RepetitionRunner, f: F) -> Summary
 where
     F: Fn(u64) -> f64 + Sync,
 {
-    let stats = (0..runner.count())
-        .into_par_iter()
-        .map(|rep| {
-            let mut acc = OnlineStats::new();
-            acc.push(f(runner.seed_for(rep)));
-            acc
-        })
-        .reduce(OnlineStats::new, |mut a, b| {
-            a.merge(&b);
-            a
-        });
+    let values = parallel_map(
+        runner.count() as usize,
+        |rep| f(runner.seed_for(rep as u32)),
+    );
+    let mut stats = OnlineStats::new();
+    for v in values {
+        stats.push(v);
+    }
     stats.summary()
 }
 
@@ -56,6 +92,15 @@ mod tests {
         let a = run_parallel(&runner, f);
         let b = run_parallel(&runner, f);
         assert_eq!(a.mean, b.mean);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(257, |i| i * 3);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use vgrid_machine::ops::OpBlock;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
-use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_simcore::SimTime;
 use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmHandle, VmmProfile, VnicMode};
 
 /// How faithfully to reproduce the paper's configuration.
@@ -43,7 +43,9 @@ pub type SpanCell = Rc<RefCell<Option<(SimTime, SimTime)>>>;
 /// span into a shared cell, then exits.
 #[derive(Debug)]
 pub struct KernelLoop {
-    block: OpBlock,
+    /// Shared handle to the block; re-issued (not deep-copied) per
+    /// iteration.
+    block: Rc<OpBlock>,
     iters: u64,
     done: u64,
     started: Option<SimTime>,
@@ -57,7 +59,7 @@ impl KernelLoop {
         let span = Rc::new(RefCell::new(None));
         (
             KernelLoop {
-                block,
+                block: Rc::new(block),
                 iters: iters.max(1),
                 done: 0,
                 started: None,
@@ -120,12 +122,10 @@ pub fn run_guest_loop(profile: &VmmProfile, block: &OpBlock, iters: u64, seed: u
         VmConfig::new(format!("vm-{}", profile.name), Priority::Normal),
         guest,
     );
-    let deadline = SimTime::from_secs(3600);
-    while !vm.halted() && sys.now() < deadline {
-        let next = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(next);
-    }
-    assert!(vm.halted(), "guest loop did not finish");
+    assert!(
+        vm.run_until_halted(&mut sys, SimTime::from_secs(3600)),
+        "guest loop did not finish"
+    );
     let (t0, t1) = span.borrow().expect("loop finished");
     t1.since(t0).as_secs_f64()
 }

@@ -1,0 +1,55 @@
+//! Pins the engine's parallel repetition path to the sequential path:
+//! same specs, same seeds, same Welford fold order — the statistics must
+//! agree to the bit (asserted here at 1e-9), and repeated same-seed runs
+//! must produce identical figures.
+
+use vgrid_core::experiments::{fig1, fig56};
+use vgrid_core::{Engine, Fidelity, TrialResult};
+
+fn assert_trials_match(parallel: &[TrialResult], sequential: &[TrialResult]) {
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(sequential) {
+        assert_eq!(p.label, s.label);
+        assert_eq!(p.metrics.len(), s.metrics.len());
+        for ((pn, pm), (sn, sm)) in p.metrics.iter().zip(&s.metrics) {
+            assert_eq!(pn, sn);
+            assert_eq!(pm.n, sm.n, "{}: {pn} n", p.label);
+            assert!((pm.mean - sm.mean).abs() < 1e-9, "{}: {pn} mean", p.label);
+            assert!(
+                (pm.stddev - sm.stddev).abs() < 1e-9,
+                "{}: {pn} stddev",
+                p.label
+            );
+            assert!((pm.min - sm.min).abs() < 1e-9, "{}: {pn} min", p.label);
+            assert!((pm.max - sm.max).abs() < 1e-9, "{}: {pn} max", p.label);
+        }
+    }
+}
+
+#[test]
+fn fig1_parallel_matches_sequential() {
+    let specs = fig1::specs(Fidelity::Fast);
+    let parallel = Engine::new().run_trials(&specs);
+    let sequential = Engine::new().run_trials_seq(&specs);
+    assert_trials_match(&parallel, &sequential);
+}
+
+#[test]
+fn fig5_parallel_matches_sequential() {
+    let specs = fig56::specs(Fidelity::Fast);
+    let parallel = Engine::new().run_trials(&specs);
+    let sequential = Engine::new().run_trials_seq(&specs);
+    assert_trials_match(&parallel, &sequential);
+}
+
+#[test]
+fn same_seed_runs_produce_identical_figures() {
+    let a = fig1::run_with(&Engine::new(), Fidelity::Fast);
+    let b = fig1::run_with(&Engine::new(), Fidelity::Fast);
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.label, rb.label);
+        assert_eq!(ra.value, rb.value, "{}", ra.label);
+        assert_eq!(ra.detail, rb.detail, "{}", ra.label);
+    }
+}

@@ -51,6 +51,8 @@ enum Phase {
 #[derive(Debug)]
 pub struct BoincClientBody {
     spec: ClientWorkSpec,
+    /// Shared handle to the per-chunk block, cloned per compute step.
+    chunk: Rc<OpBlock>,
     server: RemoteHost,
     /// Stop after this many work units (`None`: run forever).
     wu_limit: Option<u64>,
@@ -63,13 +65,11 @@ pub struct BoincClientBody {
 impl BoincClientBody {
     /// Build the body and its shared stats cell. The server is modeled
     /// as a LAN/WAN peer able to both supply inputs and absorb results.
-    pub fn new(
-        spec: ClientWorkSpec,
-        wu_limit: Option<u64>,
-    ) -> (Self, Rc<RefCell<ClientStats>>) {
+    pub fn new(spec: ClientWorkSpec, wu_limit: Option<u64>) -> (Self, Rc<RefCell<ClientStats>>) {
         let stats = Rc::new(RefCell::new(ClientStats::default()));
         (
             BoincClientBody {
+                chunk: Rc::new(spec.chunk.clone()),
                 spec,
                 server: RemoteHost::lan_source(),
                 wu_limit,
@@ -127,7 +127,7 @@ impl ThreadBody for BoincClientBody {
                     }
                     self.chunks_left -= 1;
                     self.stats.borrow_mut().chunks_done += 1;
-                    return Action::Compute(self.spec.chunk.clone());
+                    return Action::Compute(self.chunk.clone());
                 }
                 Phase::Upload => {
                     if let ActionResult::Sent { bytes } = ctx.result {

@@ -9,7 +9,6 @@
 //! a 1.4 GB image), VM checkpoint overhead, and the paper's committed-
 //! memory constraint.
 
-use serde::{Deserialize, Serialize};
 use vgrid_simcore::SimDuration;
 use vgrid_vmm::VmmProfile;
 
@@ -34,7 +33,7 @@ impl ExecutionMode {
 }
 
 /// A project's work-generation parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProjectConfig {
     /// Work units to produce (the campaign size).
     pub workunits: u32,
@@ -72,7 +71,7 @@ impl Default for ProjectConfig {
 }
 
 /// Volunteer-pool parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Number of volunteer hosts.
     pub volunteers: u32,
@@ -167,7 +166,7 @@ impl DeployConfig {
 }
 
 /// Campaign outcome statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GridReport {
     /// Execution-mode name.
     pub mode: String,

@@ -55,12 +55,28 @@ pub fn vm_cpu_factor(mode: &ExecutionMode) -> f64 {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Activity {
-    ImageDl { remaining: f64 },
-    InputDl { remaining: f64, task: usize },
+    ImageDl {
+        remaining: f64,
+    },
+    InputDl {
+        remaining: f64,
+        task: usize,
+    },
     /// Downloading a migrated task's checkpointed state.
-    StateDl { remaining: f64, task: usize, remaining_ref: f64 },
-    Compute { task: usize, remaining_ref: f64, progress_ref: f64 },
-    Upload { remaining: f64, task: usize },
+    StateDl {
+        remaining: f64,
+        task: usize,
+        remaining_ref: f64,
+    },
+    Compute {
+        task: usize,
+        remaining_ref: f64,
+        progress_ref: f64,
+    },
+    Upload {
+        remaining: f64,
+        task: usize,
+    },
 }
 
 /// A queue entry: fresh work, or a migrated task resuming elsewhere.
@@ -122,8 +138,8 @@ pub fn run_campaign(
     };
     // Checkpoint overhead: fraction of host time spent writing state.
     let disk_write_bw = 55.0e6;
-    let ckpt_frac = (ckpt_bytes as f64 / disk_write_bw)
-        / deploy.checkpoint_interval.as_secs_f64().max(1.0);
+    let ckpt_frac =
+        (ckpt_bytes as f64 / disk_write_bw) / deploy.checkpoint_interval.as_secs_f64().max(1.0);
 
     let mut report = GridReport {
         mode: deploy.mode.name(),
@@ -135,10 +151,8 @@ pub fn run_campaign(
         .map(|i| {
             let mut hrng = rng.fork(1000 + i as u64);
             let speed = hrng.range_f64(pool.speed_range.0, pool.speed_range.1);
-            let ram = pool.ram_range.0
-                + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
-            let excluded =
-                guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
+            let ram = pool.ram_range.0 + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
+            let excluded = guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
             Host {
                 speed,
                 excluded,
@@ -207,8 +221,18 @@ pub fn run_campaign(
                 q.schedule(now + SimDuration::from_secs_f64(span), Ev::Down { h, gen });
                 // Resume or acquire work.
                 start_next_activity(
-                    h, now, &mut hosts, &mut queue, &copies, project, pool, deploy, &mut q,
-                    vm_factor, ckpt_frac, &mut report,
+                    h,
+                    now,
+                    &mut hosts,
+                    &mut queue,
+                    &copies,
+                    project,
+                    pool,
+                    deploy,
+                    &mut q,
+                    vm_factor,
+                    ckpt_frac,
+                    &mut report,
                 );
             }
             Ev::Down { h, gen } => {
@@ -218,11 +242,22 @@ pub fn run_campaign(
                 hosts[h].up = false;
                 hosts[h].uptime_total += now.since(hosts[h].up_since).as_secs_f64();
                 // Interrupt the activity, preserving resumable progress.
-                accrue_activity(h, now, &mut hosts, pool, deploy, vm_factor, ckpt_frac, &mut report);
+                accrue_activity(
+                    h,
+                    now,
+                    &mut hosts,
+                    pool,
+                    deploy,
+                    vm_factor,
+                    ckpt_frac,
+                    &mut report,
+                );
                 hosts[h].act_gen += 1; // cancel any pending ActDone
                 if deploy.migrate_on_churn {
                     if let Some(Activity::Compute {
-                        task, remaining_ref, ..
+                        task,
+                        remaining_ref,
+                        ..
                     }) = hosts[h].activity
                     {
                         // Ship the checkpointed state back through the
@@ -237,8 +272,17 @@ pub fn run_campaign(
                         });
                         report.migrations += 1;
                         kick_idle_hosts(
-                            now, &mut hosts, &mut queue, &copies, project, pool, deploy,
-                            &mut q, vm_factor, ckpt_frac, &mut report,
+                            now,
+                            &mut hosts,
+                            &mut queue,
+                            &copies,
+                            project,
+                            pool,
+                            deploy,
+                            &mut q,
+                            vm_factor,
+                            ckpt_frac,
+                            &mut report,
                         );
                     }
                 }
@@ -262,11 +306,12 @@ pub fn run_campaign(
                 match act {
                     Activity::ImageDl { .. } => {
                         hosts[h].has_image = true;
-                        report.image_transfer_secs +=
-                            now.since(hosts[h].act_started).as_secs_f64();
+                        report.image_transfer_secs += now.since(hosts[h].act_started).as_secs_f64();
                     }
                     Activity::StateDl {
-                        task, remaining_ref, ..
+                        task,
+                        remaining_ref,
+                        ..
                     } => {
                         hosts[h].activity = Some(Activity::Compute {
                             task,
@@ -302,7 +347,11 @@ pub fn run_campaign(
                         let _ = wu;
                         continue;
                     }
-                    Activity::Compute { task, remaining_ref, progress_ref } => {
+                    Activity::Compute {
+                        task,
+                        remaining_ref,
+                        progress_ref,
+                    } => {
                         // Account the CPU time of the final stretch.
                         let elapsed = now.since(hosts[h].act_started).as_secs_f64();
                         report.cpu_secs_spent += elapsed;
@@ -347,16 +396,35 @@ pub fn run_campaign(
                             queue.push_back(Work::Fresh(copies.len() - 1));
                             wus[wu_idx].issued += 1;
                             kick_idle_hosts(
-                                now, &mut hosts, &mut queue, &copies, project, pool,
-                                deploy, &mut q, vm_factor, ckpt_frac, &mut report,
+                                now,
+                                &mut hosts,
+                                &mut queue,
+                                &copies,
+                                project,
+                                pool,
+                                deploy,
+                                &mut q,
+                                vm_factor,
+                                ckpt_frac,
+                                &mut report,
                             );
                         }
                     }
                 }
                 // Acquire the next piece of work.
                 start_next_activity(
-                    h, now, &mut hosts, &mut queue, &copies, project, pool, deploy, &mut q,
-                    vm_factor, ckpt_frac, &mut report,
+                    h,
+                    now,
+                    &mut hosts,
+                    &mut queue,
+                    &copies,
+                    project,
+                    pool,
+                    deploy,
+                    &mut q,
+                    vm_factor,
+                    ckpt_frac,
+                    &mut report,
                 );
             }
             Ev::Deadline { copy } => {
@@ -369,8 +437,17 @@ pub fn run_campaign(
                     queue.push_back(Work::Fresh(copies.len() - 1));
                     wus[wu].issued += 1;
                     kick_idle_hosts(
-                        now, &mut hosts, &mut queue, &copies, project, pool, deploy,
-                        &mut q, vm_factor, ckpt_frac, &mut report,
+                        now,
+                        &mut hosts,
+                        &mut queue,
+                        &copies,
+                        project,
+                        pool,
+                        deploy,
+                        &mut q,
+                        vm_factor,
+                        ckpt_frac,
+                        &mut report,
                     );
                 }
             }
@@ -524,9 +601,7 @@ fn start_next_activity(
                     // Fetch the migrated checkpoint: the VM's committed
                     // RAM (or the small app-level state when native).
                     let state_bytes = match &deploy.mode {
-                        crate::model::ExecutionMode::Native => {
-                            deploy.native_checkpoint_bytes
-                        }
+                        crate::model::ExecutionMode::Native => deploy.native_checkpoint_bytes,
                         crate::model::ExecutionMode::Vm(p) => p.guest_ram,
                     };
                     hosts[h].activity = Some(Activity::StateDl {
@@ -551,7 +626,10 @@ fn start_next_activity(
     };
     hosts[h].act_gen += 1;
     let gen = hosts[h].act_gen;
-    q.schedule(now + SimDuration::from_secs_f64(secs.max(1e-6)), Ev::ActDone { h, gen });
+    q.schedule(
+        now + SimDuration::from_secs_f64(secs.max(1e-6)),
+        Ev::ActDone { h, gen },
+    );
 }
 
 #[cfg(test)]
@@ -651,7 +729,13 @@ mod tests {
             horizon(),
         );
         assert!(vm.hosts_excluded_ram > 0, "{:?}", vm.hosts_excluded_ram);
-        let native = run_campaign(&small_project(), &pool, &DeployConfig::native(), 3, horizon());
+        let native = run_campaign(
+            &small_project(),
+            &pool,
+            &DeployConfig::native(),
+            3,
+            horizon(),
+        );
         assert_eq!(native.hosts_excluded_ram, 0);
     }
 
@@ -678,7 +762,13 @@ mod tests {
             error_rate: 0.3,
             ..small_project()
         };
-        let r = run_campaign(&project, &stable_pool(), &DeployConfig::native(), 7, horizon());
+        let r = run_campaign(
+            &project,
+            &stable_pool(),
+            &DeployConfig::native(),
+            7,
+            horizon(),
+        );
         assert!(r.bad_results > 0);
         assert!(r.finished, "quorum should still be reached: {r:?}");
     }
@@ -702,10 +792,7 @@ mod tests {
             ..small_project()
         };
         let r = run_campaign(&project, &flaky, &DeployConfig::native(), 13, horizon());
-        assert!(
-            r.finished,
-            "reissue must rescue stranded work units: {r:?}"
-        );
+        assert!(r.finished, "reissue must rescue stranded work units: {r:?}");
         // Attrition really happened (some copies never came back).
         assert!(
             r.results_returned as u32 >= project.workunits * project.quorum,

@@ -10,10 +10,8 @@
 //! MEM-index interference in Figure 5 is driven by *which fraction of the
 //! shared L2 each core effectively owns*, not by particular addresses.
 
-use serde::{Deserialize, Serialize};
-
 /// Cache hierarchy parameters (per core for L1; L2 may be shared).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// L1 data capacity per core, bytes.
     pub l1_bytes: u64,
@@ -33,7 +31,7 @@ pub struct CacheConfig {
 }
 
 /// Result of evaluating a block's memory behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryEstimate {
     /// Expected stall cycles attributable to the memory hierarchy.
     pub stall_cycles: f64,
@@ -149,7 +147,11 @@ mod tests {
     fn small_ws_stays_in_l1() {
         let e = cfg().evaluate(1_000_000, 8 * 1024, 0.0, 4 << 20, 1.0);
         // Nearly all L1 hits: ~3 cycles/access.
-        assert!(e.stall_cycles < 3.5 * 1_000_000.0, "stalls {}", e.stall_cycles);
+        assert!(
+            e.stall_cycles < 3.5 * 1_000_000.0,
+            "stalls {}",
+            e.stall_cycles
+        );
         assert!(e.mem_traffic_bytes < 0.01 * 64.0 * 1_000_000.0);
     }
 
@@ -167,7 +169,11 @@ mod tests {
     #[test]
     fn huge_ws_goes_to_memory() {
         let e = cfg().evaluate(1_000_000, 64 << 20, 0.0, 4 << 20, 1.0);
-        assert!(e.stall_cycles > 80.0 * 1_000_000.0, "stalls {}", e.stall_cycles);
+        assert!(
+            e.stall_cycles > 80.0 * 1_000_000.0,
+            "stalls {}",
+            e.stall_cycles
+        );
         assert!(e.mem_traffic_bytes > 0.3 * 64.0 * 1_000_000.0);
     }
 

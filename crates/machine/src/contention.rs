@@ -71,11 +71,7 @@ impl ContentionModel {
             .collect();
 
         // Aggregate bus demand from solo profiles.
-        let total_demand: f64 = solo
-            .iter()
-            .flatten()
-            .map(|e| e.profile.mem_bw_demand)
-            .sum();
+        let total_demand: f64 = solo.iter().flatten().map(|e| e.profile.mem_bw_demand).sum();
         let bus_factor = (total_demand / self.mem.bus_bandwidth).max(1.0);
 
         // Pass 2: contended estimates.

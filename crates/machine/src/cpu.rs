@@ -9,11 +9,10 @@
 use crate::cache::MemoryEstimate;
 use crate::ops::OpBlock;
 use crate::spec::CpuSpec;
-use serde::{Deserialize, Serialize};
 use vgrid_simcore::SimDuration;
 
 /// Compact execution characteristics of a block, for contention purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecProfile {
     /// Memory-bus bandwidth demand while the block runs solo, bytes/sec.
     pub mem_bw_demand: f64,
@@ -40,7 +39,7 @@ impl ExecProfile {
 }
 
 /// Estimated execution of one block on one core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecEstimate {
     /// Wall time of the block on one core at this context.
     pub duration: SimDuration,
@@ -182,7 +181,11 @@ mod tests {
     fn memory_bound_block_has_high_stall_frac() {
         let m = model();
         let est = m.solo_estimate(&OpBlock::mem_stream(10_000_000, 64 << 20));
-        assert!(est.profile.mem_stall_frac > 0.8, "{}", est.profile.mem_stall_frac);
+        assert!(
+            est.profile.mem_stall_frac > 0.8,
+            "{}",
+            est.profile.mem_stall_frac
+        );
         assert!(est.profile.mem_bw_demand > 1e8);
     }
 

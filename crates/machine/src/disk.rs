@@ -7,11 +7,10 @@
 //! IOBench's large sequential files exercise.
 
 use crate::spec::DiskSpec;
-use serde::{Deserialize, Serialize};
 use vgrid_simcore::SimDuration;
 
 /// Kind of disk request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiskRequestKind {
     /// Read from the device.
     Read,
@@ -20,7 +19,7 @@ pub enum DiskRequestKind {
 }
 
 /// One request presented to the device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskRequest {
     /// Read or write.
     pub kind: DiskRequestKind,

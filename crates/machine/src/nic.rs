@@ -9,11 +9,10 @@
 //! until it, not the wire, becomes the bottleneck (Figure 4).
 
 use crate::spec::NicSpec;
-use serde::{Deserialize, Serialize};
 use vgrid_simcore::SimDuration;
 
 /// Pure link-serialization model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkModel {
     /// Link rate, bits/second.
     pub rate_bps: f64,
@@ -43,7 +42,7 @@ impl LinkModel {
 }
 
 /// NIC model: link plus per-frame host CPU cost.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NicModel {
     /// The link behind the NIC.
     pub link: LinkModel,

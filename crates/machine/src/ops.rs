@@ -17,10 +17,8 @@
 //!   run near-native — which is exactly the paper's headline contrast
 //!   between CPU-bound and I/O-bound guests.
 
-use serde::{Deserialize, Serialize};
-
 /// Operation counts by class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpClassCounts {
     /// User-mode integer ALU operations.
     pub int_ops: u64,
@@ -40,7 +38,11 @@ pub struct OpClassCounts {
 impl OpClassCounts {
     /// Total operation count across all classes.
     pub fn total(&self) -> u64 {
-        self.int_ops + self.fp_ops + self.mem_reads + self.mem_writes + self.branches
+        self.int_ops
+            + self.fp_ops
+            + self.mem_reads
+            + self.mem_writes
+            + self.branches
             + self.kernel_ops
     }
 
@@ -77,7 +79,7 @@ impl OpClassCounts {
 }
 
 /// A block of CPU work with uniform characteristics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpBlock {
     /// Debug label (workload + phase).
     pub label: String,

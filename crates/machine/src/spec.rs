@@ -12,10 +12,9 @@ use crate::contention::ContentionModel;
 use crate::cpu::CpuModel;
 use crate::disk::DiskModel;
 use crate::nic::NicModel;
-use serde::{Deserialize, Serialize};
 
 /// CPU core and cache parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     /// Number of physical cores.
     pub cores: u32,
@@ -40,7 +39,7 @@ pub struct CpuSpec {
 }
 
 /// Memory system parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemSpec {
     /// Installed RAM in bytes.
     pub total_bytes: u64,
@@ -51,7 +50,7 @@ pub struct MemSpec {
 }
 
 /// Disk parameters (2006-era 7200 rpm SATA).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskSpec {
     /// Sequential read bandwidth, bytes/second.
     pub seq_read_bw: f64,
@@ -64,7 +63,7 @@ pub struct DiskSpec {
 }
 
 /// Network interface parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NicSpec {
     /// Link rate in bits/second.
     pub link_rate_bps: f64,
@@ -81,7 +80,7 @@ pub struct NicSpec {
 }
 
 /// Complete machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Human-readable model name.
     pub name: String,

@@ -10,13 +10,12 @@
 //! stable generators, and explicit states keep each workload's phase
 //! structure visible and testable.
 
-use serde::{Deserialize, Serialize};
 use vgrid_machine::ops::OpBlock;
 use vgrid_simcore::{SimDuration, SimRng, SimTime};
 
 /// Scheduling priority classes, modeled on Windows XP's priority classes
 /// (the paper runs VMs at both `Normal` and `Idle`, Section 4.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Priority {
     /// Lowest: runs only when nothing else is runnable.
     Idle = 0,
@@ -33,19 +32,19 @@ pub enum Priority {
 }
 
 /// Identifies a thread within one `System` (or one guest kernel).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 /// Identifies an open file within one kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(pub u32);
 
 /// Identifies a network connection within one kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConnId(pub u32);
 
 /// Errors surfaced to thread bodies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OsError {
     /// Path not found.
     NotFound,
@@ -60,7 +59,7 @@ pub enum OsError {
 /// A simulated remote peer, used by network actions. The peer is modeled,
 /// not simulated: it responds ideally at its link's speed (the paper's
 /// iperf server on the LAN is exactly such a peer).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RemoteHost {
     /// One-way propagation delay to the peer.
     pub one_way_delay: SimDuration,
@@ -69,7 +68,7 @@ pub struct RemoteHost {
 }
 
 /// Behaviour of a remote peer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RemoteKind {
     /// Discards everything it receives (iperf server).
     Sink,
@@ -97,8 +96,10 @@ impl RemoteHost {
 /// What a thread asks the kernel to do next.
 #[derive(Debug)]
 pub enum Action {
-    /// Execute CPU work described by the block.
-    Compute(OpBlock),
+    /// Execute CPU work described by the block. Reference-counted so
+    /// bodies that re-issue the same block every quantum (kernel loops,
+    /// service duty cycles) share it instead of deep-copying per step.
+    Compute(std::rc::Rc<OpBlock>),
     /// Open (and possibly create/truncate) a file by path.
     FileOpen {
         /// Path within the kernel's single namespace.
@@ -198,8 +199,17 @@ pub enum Action {
     Exit,
 }
 
+impl Action {
+    /// Wrap a freshly-built block as a compute action. Bodies that
+    /// re-issue one block repeatedly should instead hold an
+    /// `Rc<OpBlock>` and clone the handle.
+    pub fn compute(block: OpBlock) -> Self {
+        Action::Compute(std::rc::Rc::new(block))
+    }
+}
+
 /// Result of the previous action, delivered with the next `next()` call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ActionResult {
     /// First activation, or the previous action has no payload
     /// (Compute/Sleep/Yield completed).

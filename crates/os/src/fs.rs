@@ -201,7 +201,10 @@ impl FileSystem {
             // shrink the prefix (dirty tail follows the model's "dirty is
             // the suffix" invariant only when dirty == cached after
             // eviction -- acceptable approximation).
-            let drop = clean.min(self.cache_used + incoming - limit).max(4096).min(clean);
+            let drop = clean
+                .min(self.cache_used + incoming - limit)
+                .max(4096)
+                .min(clean);
             f.cached -= drop;
             if f.dirty > f.cached {
                 f.dirty = f.cached;

@@ -20,7 +20,7 @@
 //! impl ThreadBody for OneShot {
 //!     fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
 //!         if ctx.cpu_time.is_zero() {
-//!             Action::Compute(OpBlock::int_alu(240_000_000))
+//!             Action::compute(OpBlock::int_alu(240_000_000))
 //!         } else {
 //!             Action::Exit
 //!         }

@@ -226,7 +226,12 @@ mod tests {
         // 10 MB at ~97.6 Mbps -> ~0.86 s of wire time.
         let w = plan.wire.as_secs_f64();
         assert!((0.8..0.9).contains(&w), "wire {w}");
-        assert_eq!(plan.result, ActionResult::Sent { bytes: 10 * 1024 * 1024 });
+        assert_eq!(
+            plan.result,
+            ActionResult::Sent {
+                bytes: 10 * 1024 * 1024
+            }
+        );
     }
 
     #[test]
@@ -242,7 +247,10 @@ mod tests {
     fn recv_requires_source_peer() {
         let mut s = stack();
         let sink = connect(&mut s);
-        assert_eq!(s.recv(sink, 100).result, ActionResult::Err(OsError::Invalid));
+        assert_eq!(
+            s.recv(sink, 100).result,
+            ActionResult::Err(OsError::Invalid)
+        );
         let src = match s.connect(RemoteHost::lan_source()).result {
             ActionResult::Connected(id) => id,
             other => panic!("{other:?}"),

@@ -19,18 +19,14 @@
 //!   idle-priority VM is slowed to a crawl by host load but never fully
 //!   frozen (as on real XP).
 
-use crate::action::{
-    Action, ActionResult, Priority, ThreadBody, ThreadCtx, ThreadId,
-};
+use crate::action::{Action, ActionResult, Priority, ThreadBody, ThreadCtx, ThreadId};
 use crate::fs::{FileSystem, FsConfig, IoPlan};
 use crate::net::{NetConfig, NetPlan, NetStack};
 use crate::sched::ReadyQueues;
 use std::collections::VecDeque;
 use vgrid_machine::ops::OpBlock;
 use vgrid_machine::{ContentionModel, CoreLoad, CpuModel, DiskModel, DiskRequest, MachineSpec};
-use vgrid_simcore::{
-    EventQueue, SimDuration, SimRng, SimTime, TraceCategory, TraceSink,
-};
+use vgrid_simcore::{EventQueue, SimDuration, SimRng, SimTime, TraceCategory, TraceSink};
 
 /// Residual solo work below which a compute block counts as finished.
 const WORK_EPS: f64 = 1e-10;
@@ -99,7 +95,7 @@ enum Cont {
 
 #[derive(Debug)]
 struct ExecState {
-    block: OpBlock,
+    block: std::rc::Rc<OpBlock>,
     /// Solo-execution seconds of work remaining in the block.
     remaining: f64,
     cont: Cont,
@@ -236,8 +232,7 @@ impl System {
         let fs = FileSystem::new(FsConfig::for_ram(cfg.machine.mem.total_bytes));
         // Convert the NIC's per-frame CPU seconds into kernel ops so the
         // cost flows through the same CPU model as everything else.
-        let kernel_ops_per_frame = (cfg.machine.nic.per_frame_cpu
-            * cfg.machine.cpu.freq_hz as f64
+        let kernel_ops_per_frame = (cfg.machine.nic.per_frame_cpu * cfg.machine.cpu.freq_hz as f64
             / cfg.machine.cpu.kernel_op_cycles)
             .round()
             .max(1.0) as u64;
@@ -328,7 +323,8 @@ impl System {
             spawned_at: self.now,
             exited_at: None,
         });
-        self.ready.push_back(tid, self.threads[tid.0 as usize].eff_prio());
+        self.ready
+            .push_back(tid, self.threads[tid.0 as usize].eff_prio());
         tid
     }
 
@@ -415,6 +411,33 @@ impl System {
         if self.now < deadline {
             self.now = deadline;
         }
+    }
+
+    /// Run until `done()` holds or `deadline` passes, checking the
+    /// predicate after every handled event instead of polling on a wall
+    /// clock grid. Returns true if the predicate became true. Time is
+    /// left at the event that satisfied the predicate (or at `deadline`
+    /// on timeout), so callers observe completion at event resolution.
+    pub fn run_until_event(&mut self, deadline: SimTime, mut done: impl FnMut() -> bool) -> bool {
+        self.settle();
+        if done() {
+            return true;
+        }
+        while let Some(te) = self.queue.peek_time() {
+            if te > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.handle(ev);
+            if done() {
+                return true;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        done()
     }
 
     /// Run until every thread has exited or `deadline` passes. Returns
@@ -542,8 +565,11 @@ impl System {
             let p = th.eff_prio();
             self.ready.push_back(job.tid, p);
         }
-        self.trace
-            .emit(self.now, TraceCategory::Io, format!("io done t{}", job.tid.0));
+        self.trace.emit(
+            self.now,
+            TraceCategory::Io,
+            format!("io done t{}", job.tid.0),
+        );
         self.disk_start_next();
     }
 
@@ -576,8 +602,11 @@ impl System {
         th.pending = job.result;
         self.queue
             .schedule(self.now + job.extra, Ev::Wake { tid: job.tid });
-        self.trace
-            .emit(self.now, TraceCategory::Net, format!("nic free t{}", job.tid.0));
+        self.trace.emit(
+            self.now,
+            TraceCategory::Net,
+            format!("nic free t{}", job.tid.0),
+        );
         self.nic_start_next();
     }
 
@@ -610,9 +639,7 @@ impl System {
             .iter()
             .filter(|&tid| {
                 let th = &self.threads[tid.0 as usize];
-                !th.boosted
-                    && th.prio < Priority::Normal
-                    && self.now.since(th.last_ran) > bi
+                !th.boosted && th.prio < Priority::Normal && self.now.since(th.last_ran) > bi
             })
             .collect();
         for tid in starving {
@@ -661,7 +688,10 @@ impl System {
                 .iter()
                 .map(|c| {
                     c.running.and_then(|tid| {
-                        self.threads[tid.0 as usize].exec.as_ref().map(|e| &e.block)
+                        self.threads[tid.0 as usize]
+                            .exec
+                            .as_ref()
+                            .map(|e| &*e.block)
                     })
                 })
                 .collect();
@@ -680,14 +710,23 @@ impl System {
                 continue;
             };
             let th = &self.threads[tid.0 as usize];
-            let Some(exec) = th.exec.as_ref() else { continue };
+            let Some(exec) = th.exec.as_ref() else {
+                continue;
+            };
             let slow = slowdowns[i].max(1.0);
             self.cores[i].rate = 1.0 / slow;
             self.cores[i].slice_start = self.now;
             let to_finish = SimDuration::from_secs_f64(exec.remaining * slow);
-            let wall = to_finish.min(th.quantum_left).max(SimDuration::from_picos(1));
-            self.queue
-                .schedule(self.now + wall, Ev::SliceEnd { core: i, gen: self.gen });
+            let wall = to_finish
+                .min(th.quantum_left)
+                .max(SimDuration::from_picos(1));
+            self.queue.schedule(
+                self.now + wall,
+                Ev::SliceEnd {
+                    core: i,
+                    gen: self.gen,
+                },
+            );
         }
     }
 
@@ -723,9 +762,9 @@ impl System {
                 break;
             };
             let target = {
-                let buddy_core = self.threads[tid.0 as usize].buddy.and_then(|b| {
-                    self.cores.iter().position(|c| c.running == Some(b))
-                });
+                let buddy_core = self.threads[tid.0 as usize]
+                    .buddy
+                    .and_then(|b| self.cores.iter().position(|c| c.running == Some(b)));
                 let preemptible = |i: usize| {
                     self.cores[i]
                         .running
@@ -980,7 +1019,7 @@ impl System {
             }
         };
         self.threads[tid.0 as usize].exec = Some(ExecState {
-            block: cpu,
+            block: std::rc::Rc::new(cpu),
             remaining: est.duration.as_secs_f64().max(1e-12),
             cont,
         });
@@ -1005,7 +1044,7 @@ impl System {
             }
         };
         self.threads[tid.0 as usize].exec = Some(ExecState {
-            block: cpu,
+            block: std::rc::Rc::new(cpu),
             remaining: est.duration.as_secs_f64().max(1e-12),
             cont,
         });
@@ -1059,7 +1098,7 @@ mod tests {
                 return Action::Exit;
             }
             self.iters -= 1;
-            Action::Compute(OpBlock::int_alu(self.ops))
+            Action::compute(OpBlock::int_alu(self.ops))
         }
     }
 
@@ -1068,7 +1107,7 @@ mod tests {
     struct MemHog;
     impl ThreadBody for MemHog {
         fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-            Action::Compute(OpBlock::mem_stream(10_000_000, 32 << 20))
+            Action::compute(OpBlock::mem_stream(10_000_000, 32 << 20))
         }
     }
 
@@ -1462,13 +1501,7 @@ mod tests {
         // one does alone.
         let solo_end = {
             let mut s = sys();
-            let t = s.spawn(
-                "solo",
-                Priority::Normal,
-                Box::new(Burner2 {
-                    iters: 20,
-                }),
-            );
+            let t = s.spawn("solo", Priority::Normal, Box::new(Burner2 { iters: 20 }));
             assert!(s.run_to_completion(SimTime::from_secs(60)));
             s.thread_stats(t).exited_at.unwrap().as_secs_f64()
         };
@@ -1497,7 +1530,7 @@ mod tests {
                 return Action::Exit;
             }
             self.iters -= 1;
-            Action::Compute(OpBlock::mem_stream(5_000_000, 32 << 20))
+            Action::compute(OpBlock::mem_stream(5_000_000, 32 << 20))
         }
     }
 

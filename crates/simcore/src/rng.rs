@@ -14,8 +14,6 @@
 //! stream so that adding randomness consumption in one component does not
 //! perturb any other.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 step; used for seeding and stream derivation.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -26,7 +24,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Deterministic xoshiro256++ PRNG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
 }
@@ -49,7 +47,8 @@ impl SimRng {
     /// Children with different ids produce statistically independent
     /// sequences; the parent is not advanced.
     pub fn fork(&self, stream_id: u64) -> SimRng {
-        let mut sm = self.s[0] ^ self.s[3].rotate_left(17) ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[3].rotate_left(17) ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),

@@ -6,10 +6,8 @@
 //! normal-approximation confidence intervals, and a repetition runner that
 //! executes a seeded experiment closure N times and summarizes.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford online accumulator for mean and variance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -141,7 +139,7 @@ impl OnlineStats {
 }
 
 /// A two-sided confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Lower bound.
     pub lo: f64,
@@ -161,7 +159,7 @@ impl ConfidenceInterval {
 }
 
 /// Frozen summary of a set of observations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     /// Number of observations.
     pub n: u64,

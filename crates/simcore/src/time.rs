@@ -8,7 +8,6 @@
 //! rates (one cycle at 2.4 GHz is ~417 ps), which keeps cycle accounting
 //! honest without floating-point time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -22,15 +21,11 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
 /// An absolute instant in simulated time (picoseconds since t=0).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time (picoseconds).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

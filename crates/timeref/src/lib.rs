@@ -31,11 +31,10 @@
 //! assert!(clock.total_lag() > SimDuration::from_millis(300));
 //! ```
 
-use serde::{Deserialize, Serialize};
 use vgrid_simcore::{SimDuration, SimRng, SimTime};
 
 /// Guest clock behaviour parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GuestClockConfig {
     /// Guest timer interrupt rate (2.6-era Linux: 1000 Hz).
     pub tick_hz: f64,
@@ -63,7 +62,7 @@ impl Default for GuestClockConfig {
 /// Call [`GuestClock::observe`] with the host time whenever the vCPU
 /// actually runs; the clock advances fully across continuously-scheduled
 /// spans but loses ticks across descheduled gaps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GuestClock {
     cfg: GuestClockConfig,
     guest_now: SimTime,

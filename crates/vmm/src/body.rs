@@ -117,6 +117,14 @@ impl VmHandle {
     pub fn halted(&self) -> bool {
         self.control.borrow().halted
     }
+
+    /// Run `sys` until the guest halts or `deadline` passes, waking at
+    /// event resolution rather than polling a wall-clock grid. Returns
+    /// true if the guest halted in time.
+    pub fn run_until_halted(&self, sys: &mut System, deadline: SimTime) -> bool {
+        let control = self.control.clone();
+        sys.run_until_event(deadline, || control.borrow().halted)
+    }
 }
 
 /// The VM facade.
@@ -141,8 +149,7 @@ impl Vm {
             );
         }
         let n_vcpus = guest.vcpu_count();
-        let ops_per_sec =
-            sys.machine().cpu.freq_hz as f64 * sys.machine().cpu.int_ops_per_cycle;
+        let ops_per_sec = sys.machine().cpu.freq_hz as f64 * sys.machine().cpu.int_ops_per_cycle;
         let guest = Rc::new(RefCell::new(guest));
         let vcpus: Vec<ThreadId> = (0..n_vcpus)
             .map(|v| {
@@ -205,10 +212,21 @@ enum VPhase {
 
 #[derive(Debug)]
 enum NetOpKind {
-    Connect { guest_conn: ConnId, remote: RemoteHost },
-    Send { guest_conn: ConnId, bytes: u64 },
-    Recv { guest_conn: ConnId, bytes: u64 },
-    Close { guest_conn: ConnId },
+    Connect {
+        guest_conn: ConnId,
+        remote: RemoteHost,
+    },
+    Send {
+        guest_conn: ConnId,
+        bytes: u64,
+    },
+    Recv {
+        guest_conn: ConnId,
+        bytes: u64,
+    },
+    Close {
+        guest_conn: ConnId,
+    },
 }
 
 /// The vCPU host thread body. SMP guests spawn one per virtual CPU, all
@@ -293,7 +311,7 @@ impl ThreadBody for VcpuBody {
                     match step {
                         GuestStep::Compute(block) => {
                             self.phase = VPhase::Computing;
-                            return Action::Compute(block);
+                            return Action::compute(block);
                         }
                         GuestStep::DiskIo {
                             kind,
@@ -306,7 +324,7 @@ impl ThreadBody for VcpuBody {
                                 offset,
                                 bytes,
                             };
-                            return Action::Compute(overhead);
+                            return Action::compute(overhead);
                         }
                         GuestStep::Net(op) => {
                             let (kind, overhead) = match op {
@@ -331,7 +349,7 @@ impl ThreadBody for VcpuBody {
                                 } => (NetOpKind::Close { guest_conn }, overhead),
                             };
                             self.phase = VPhase::NetOverhead(kind);
-                            return Action::Compute(overhead);
+                            return Action::compute(overhead);
                         }
                         GuestStep::Idle { until } => {
                             let dt = match until {
@@ -495,7 +513,7 @@ impl ThreadBody for VcpuBody {
 /// The monitor's service thread: a fixed duty cycle of emulation work.
 #[derive(Debug)]
 pub struct ServiceBody {
-    duty_block: OpBlock,
+    duty_block: std::rc::Rc<OpBlock>,
     sleep: SimDuration,
     control: Rc<RefCell<VmControl>>,
     busy_phase: bool,
@@ -517,7 +535,7 @@ impl ServiceBody {
             locality: 0.7,
         };
         ServiceBody {
-            duty_block,
+            duty_block: std::rc::Rc::new(duty_block),
             sleep,
             control,
             busy_phase: true,
@@ -559,7 +577,7 @@ mod tests {
                 return Action::Exit;
             }
             self.iters -= 1;
-            Action::Compute(OB::int_alu(60_000_000)) // 10 ms guest
+            Action::compute(OB::int_alu(60_000_000)) // 10 ms guest
         }
     }
 
@@ -571,10 +589,7 @@ mod tests {
     fn vm_executes_guest_work_with_dilation() {
         let mut sys = testbed();
         // 100 x 10 ms = 1 s of guest work under VmPlayer.
-        let mut guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::vmplayer()),
-            sys.machine(),
-        );
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
         guest.spawn("burn", Box::new(GuestBurn { iters: 100 }));
         let vm = Vm::install(&mut sys, VmConfig::new("vm0", Priority::Normal), guest);
         sys.run_until(SimTime::from_secs(10));
@@ -595,16 +610,16 @@ mod tests {
         assert!(vm.halted());
         let vcpu_cpu = sys.thread_stats(vm.vcpu).cpu_time.as_secs_f64();
         // QEMU int dilation 2.95: 0.5 s of guest int work costs ~1.5 s.
-        assert!((1.3..1.7).contains(&vcpu_cpu), "vcpu cpu {vcpu_cpu} for 0.5 s guest");
+        assert!(
+            (1.3..1.7).contains(&vcpu_cpu),
+            "vcpu cpu {vcpu_cpu} for 0.5 s guest"
+        );
     }
 
     #[test]
     fn service_thread_burns_its_duty() {
         let mut sys = testbed();
-        let mut guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::vmplayer()),
-            sys.machine(),
-        );
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
         guest.spawn("burn", Box::new(GuestBurn { iters: u32::MAX }));
         let vm = Vm::install(&mut sys, VmConfig::new("vm0", Priority::Normal), guest);
         sys.run_until(SimTime::from_secs(4));
@@ -616,10 +631,7 @@ mod tests {
     #[test]
     fn committed_memory_is_the_configured_300mb() {
         let mut sys = testbed();
-        let guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::virtualbox()),
-            sys.machine(),
-        );
+        let guest = GuestVm::new(GuestConfig::new(VmmProfile::virtualbox()), sys.machine());
         let vm = Vm::install(&mut sys, VmConfig::new("vmb", Priority::Normal), guest);
         assert_eq!(vm.committed_memory, 300 * 1024 * 1024);
     }
@@ -627,10 +639,7 @@ mod tests {
     #[test]
     fn checkpoint_writes_guest_ram_and_takes_disk_time() {
         let mut sys = testbed();
-        let mut guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::vmplayer()),
-            sys.machine(),
-        );
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
         guest.spawn("burn", Box::new(GuestBurn { iters: u32::MAX }));
         let vm = Vm::install(&mut sys, VmConfig::new("vm0", Priority::Normal), guest);
         sys.run_until(SimTime::from_millis(100));
@@ -650,10 +659,7 @@ mod tests {
         // fit, the third does not.
         let mut sys = testbed();
         for i in 0..3 {
-            let guest = GuestVm::new(
-                GuestConfig::new(VmmProfile::vmplayer()),
-                sys.machine(),
-            );
+            let guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
             Vm::install(
                 &mut sys,
                 VmConfig::new(format!("vm{i}"), Priority::Normal),
@@ -665,10 +671,7 @@ mod tests {
     #[test]
     fn power_off_stops_both_threads() {
         let mut sys = testbed();
-        let mut guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::virtualpc()),
-            sys.machine(),
-        );
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::virtualpc()), sys.machine());
         guest.spawn("burn", Box::new(GuestBurn { iters: u32::MAX }));
         let vm = Vm::install(&mut sys, VmConfig::new("vmp", Priority::Normal), guest);
         sys.run_until(SimTime::from_millis(500));
@@ -684,10 +687,7 @@ mod tests {
             boost_interval: None,
             ..SystemConfig::testbed(11)
         });
-        let mut guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::virtualbox()),
-            sys.machine(),
-        );
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::virtualbox()), sys.machine());
         guest.spawn("burn", Box::new(GuestBurn { iters: u32::MAX }));
         let vm = Vm::install(&mut sys, VmConfig::new("vmi", Priority::Idle), guest);
         // Two host hogs occupy both cores.
@@ -695,7 +695,7 @@ mod tests {
         struct Hog;
         impl ThreadBody for Hog {
             fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-                Action::Compute(OB::int_alu(10_000_000))
+                Action::compute(OB::int_alu(10_000_000))
             }
         }
         sys.spawn("hog1", Priority::Normal, Box::new(Hog));

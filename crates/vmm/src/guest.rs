@@ -170,10 +170,24 @@ enum GCont {
 
 #[derive(Debug)]
 enum NetKind {
-    Connect { remote: RemoteHost, result: ActionResult },
-    Send { conn: ConnId, bytes: u64, result: ActionResult },
-    Recv { conn: ConnId, bytes: u64, result: ActionResult },
-    Close { conn: ConnId, result: ActionResult },
+    Connect {
+        remote: RemoteHost,
+        result: ActionResult,
+    },
+    Send {
+        conn: ConnId,
+        bytes: u64,
+        result: ActionResult,
+    },
+    Recv {
+        conn: ConnId,
+        bytes: u64,
+        result: ActionResult,
+    },
+    Close {
+        conn: ConnId,
+        result: ActionResult,
+    },
 }
 
 #[derive(Debug)]
@@ -265,7 +279,9 @@ impl GuestVm {
             ..Default::default()
         });
         let rng = SimRng::new(cfg.seed);
-        let vcpus = (0..cfg.vcpus.max(1)).map(|_| VcpuState::default()).collect();
+        let vcpus = (0..cfg.vcpus.max(1))
+            .map(|_| VcpuState::default())
+            .collect();
         GuestVm {
             cfg,
             cpu,
@@ -449,6 +465,9 @@ impl GuestVm {
                         self.threads[idx].pending = ActionResult::None;
                         continue;
                     }
+                    // The guest mutates its copy as it slices work off,
+                    // so unshare the body's handle here.
+                    let block = std::rc::Rc::unwrap_or_clone(block);
                     self.threads[idx].exec = Some(GExec {
                         block,
                         in_flight: None,
@@ -698,7 +717,10 @@ impl GuestVm {
                 GuestNetOp::Connect {
                     guest_conn: *c,
                     remote: *remote,
-                    overhead: self.cfg.profile.net_overhead_block(2, mode, self.ops_per_sec),
+                    overhead: self
+                        .cfg
+                        .profile
+                        .net_overhead_block(2, mode, self.ops_per_sec),
                 }
             }
             NetKind::Send { conn, bytes, .. } => GuestNetOp::Send {
@@ -721,7 +743,10 @@ impl GuestVm {
             },
             NetKind::Close { conn, .. } => GuestNetOp::Close {
                 guest_conn: *conn,
-                overhead: self.cfg.profile.net_overhead_block(1, mode, self.ops_per_sec),
+                overhead: self
+                    .cfg
+                    .profile
+                    .net_overhead_block(1, mode, self.ops_per_sec),
             },
         }
     }
@@ -730,8 +755,7 @@ impl GuestVm {
     /// I/O service gaps are fully serviced (the monitor keeps delivering
     /// ticks while the guest waits for its own devices).
     pub fn complete_io(&mut self, v: usize, host_now: SimTime) {
-        self.clock
-            .observe_with_service(host_now, SimDuration::MAX);
+        self.clock.observe_with_service(host_now, SimDuration::MAX);
         match self.vcpus[v].pending_host.take() {
             Some(PendingHost::Disk {
                 tid,
@@ -807,15 +831,12 @@ mod tests {
                 return Action::Exit;
             }
             self.iters -= 1;
-            Action::Compute(OB::int_alu(24_000_000)) // 4 ms guest
+            Action::compute(OB::int_alu(24_000_000)) // 4 ms guest
         }
     }
 
     fn guest(profile: VmmProfile) -> GuestVm {
-        GuestVm::new(
-            GuestConfig::new(profile),
-            &MachineSpec::core2_duo_6600(),
-        )
+        GuestVm::new(GuestConfig::new(profile), &MachineSpec::core2_duo_6600())
     }
 
     #[test]
@@ -842,7 +863,7 @@ mod tests {
         impl ThreadBody for Big {
             fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
                 if ctx.cpu_time.is_zero() {
-                    Action::Compute(OB::int_alu(600_000_000)) // 100 ms guest
+                    Action::compute(OB::int_alu(600_000_000)) // 100 ms guest
                 } else {
                     Action::Exit
                 }
@@ -932,10 +953,13 @@ mod tests {
     #[test]
     fn guest_file_sync_escapes_to_host_disk_io() {
         let mut g = guest(VmmProfile::vmplayer());
-        g.spawn("writer", Box::new(GuestWriter {
-            phase: 0,
-            file: None,
-        }));
+        g.spawn(
+            "writer",
+            Box::new(GuestWriter {
+                phase: 0,
+                file: None,
+            }),
+        );
         let mut host = SimTime::ZERO;
         let mut saw_disk_io = false;
         for _ in 0..200 {
@@ -944,7 +968,12 @@ mod tests {
                     host += SimDuration::from_millis(2);
                     g.complete_compute(0, host, SimDuration::MAX);
                 }
-                GuestStep::DiskIo { kind, bytes, overhead, .. } => {
+                GuestStep::DiskIo {
+                    kind,
+                    bytes,
+                    overhead,
+                    ..
+                } => {
                     saw_disk_io = true;
                     assert_eq!(kind, DiskRequestKind::Write);
                     assert_eq!(bytes, 1 << 20);

@@ -27,7 +27,7 @@
 //!     fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
 //!         if self.0 == 0 { return Action::Exit; }
 //!         self.0 -= 1;
-//!         Action::Compute(OpBlock::int_alu(60_000_000)) // 10 ms guest
+//!         Action::compute(OpBlock::int_alu(60_000_000)) // 10 ms guest
 //!     }
 //! }
 //!

@@ -12,13 +12,12 @@
 //! The mechanisms are real: changing one constant moves every figure that
 //! depends on it coherently.
 
-use serde::{Deserialize, Serialize};
 use vgrid_machine::ops::{OpBlock, OpClassCounts};
 use vgrid_simcore::SimDuration;
 
 /// Virtual NIC attachment mode (the paper measures VmPlayer in both;
 /// Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VnicMode {
     /// Bridged to the physical LAN: frames pass nearly untranslated.
     Bridged,
@@ -27,7 +26,7 @@ pub enum VnicMode {
 }
 
 /// Calibrated description of one VMM product.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VmmProfile {
     /// Product name as the paper uses it.
     pub name: &'static str,
@@ -241,7 +240,10 @@ mod tests {
     fn four_products_in_paper_order() {
         let all = VmmProfile::all();
         let names: Vec<_> = all.iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["VMwarePlayer", "QEMU", "VirtualBox", "VirtualPC"]);
+        assert_eq!(
+            names,
+            vec!["VMwarePlayer", "QEMU", "VirtualBox", "VirtualPC"]
+        );
     }
 
     #[test]

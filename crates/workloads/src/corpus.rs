@@ -11,10 +11,40 @@ use vgrid_simcore::SimRng;
 /// decent LZ).
 pub fn text(len: usize, seed: u64) -> Vec<u8> {
     const WORDS: &[&str] = &[
-        "the", "of", "virtual", "machine", "desktop", "grid", "computing", "performance",
-        "overhead", "benchmark", "guest", "host", "volunteer", "project", "cpu", "disk",
-        "network", "memory", "cache", "thread", "core", "time", "measure", "result", "and",
-        "for", "with", "that", "this", "runs", "slow", "fast", "native", "environment",
+        "the",
+        "of",
+        "virtual",
+        "machine",
+        "desktop",
+        "grid",
+        "computing",
+        "performance",
+        "overhead",
+        "benchmark",
+        "guest",
+        "host",
+        "volunteer",
+        "project",
+        "cpu",
+        "disk",
+        "network",
+        "memory",
+        "cache",
+        "thread",
+        "core",
+        "time",
+        "measure",
+        "result",
+        "and",
+        "for",
+        "with",
+        "that",
+        "this",
+        "runs",
+        "slow",
+        "fast",
+        "native",
+        "environment",
     ];
     let mut rng = SimRng::new(seed ^ 0x7e87);
     let mut out = Vec::with_capacity(len + 16);

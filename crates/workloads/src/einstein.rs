@@ -183,7 +183,7 @@ pub struct EinsteinProgress {
 /// checkpoint path is configured.
 #[derive(Debug)]
 pub struct EinsteinBody {
-    block: OpBlock,
+    block: Rc<OpBlock>,
     checkpoint_every: u64,
     checkpoint_bytes: u64,
     checkpoint_path: Option<String>,
@@ -218,7 +218,7 @@ impl EinsteinBody {
         let progress = Rc::new(RefCell::new(EinsteinProgress::default()));
         (
             EinsteinBody {
-                block,
+                block: Rc::new(block),
                 checkpoint_every: 10,
                 checkpoint_bytes: 64 * 1024,
                 checkpoint_path,

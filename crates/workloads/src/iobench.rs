@@ -134,7 +134,10 @@ impl ThreadBody for IoBenchBody {
     fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
         // Any error aborts loudly: benchmarks must not limp.
         if let ActionResult::Err(e) = ctx.result {
-            panic!("iobench: unexpected OS error {e:?} in phase {:?}", self.phase);
+            panic!(
+                "iobench: unexpected OS error {e:?} in phase {:?}",
+                self.phase
+            );
         }
         loop {
             match self.phase {

@@ -37,8 +37,8 @@
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the published algorithms
 
-pub mod counter;
 pub mod corpus;
+pub mod counter;
 pub mod einstein;
 pub mod iobench;
 pub mod kernel;

@@ -12,9 +12,9 @@ pub mod lz77;
 pub mod rangecoder;
 
 use crate::counter::OpCounter;
-use lz77::{MatchFinder, MIN_MATCH};
 #[cfg(test)]
 use lz77::MAX_MATCH;
+use lz77::{MatchFinder, MIN_MATCH};
 use rangecoder::{BitModel, RangeDecoder, RangeEncoder};
 
 /// Number of literal contexts (previous byte's top 3 bits).
@@ -183,14 +183,12 @@ pub fn compress(data: &[u8], cfg: LzmaConfig, ops: &mut OpCounter) -> Vec<u8> {
             }
             _ => {
                 enc.encode_bit(&mut m.is_match, 0, ops);
-                let ctx = if pos == 0 { 0 } else { (data[pos - 1] >> 5) as usize };
-                tree_encode(
-                    &mut enc,
-                    &mut m.literals[ctx],
-                    8,
-                    data[pos] as u32,
-                    ops,
-                );
+                let ctx = if pos == 0 {
+                    0
+                } else {
+                    (data[pos - 1] >> 5) as usize
+                };
+                tree_encode(&mut enc, &mut m.literals[ctx], 8, data[pos] as u32, ops);
                 mf.insert(pos, ops);
                 pos += 1;
             }

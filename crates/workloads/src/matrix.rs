@@ -119,7 +119,7 @@ pub struct MatrixReport {
 /// ThreadBody running one scaled multiplication.
 #[derive(Debug)]
 pub struct MatrixBody {
-    block: OpBlock,
+    block: Rc<OpBlock>,
     report: Rc<RefCell<MatrixReport>>,
     started: Option<SimTime>,
 }
@@ -130,7 +130,7 @@ impl MatrixBody {
         let report = Rc::new(RefCell::new(MatrixReport::default()));
         (
             MatrixBody {
-                block: kernel.characterize_scaled(),
+                block: Rc::new(kernel.characterize_scaled()),
                 report: report.clone(),
                 started: None,
             },
@@ -180,12 +180,7 @@ mod tests {
     fn multiply_known_product() {
         let mut ops = OpCounter::new();
         // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
-        let c = multiply(
-            2,
-            &[1.0, 2.0, 3.0, 4.0],
-            &[5.0, 6.0, 7.0, 8.0],
-            &mut ops,
-        );
+        let c = multiply(2, &[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], &mut ops);
         assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
     }
 
@@ -211,7 +206,9 @@ mod tests {
         let scaled = MatrixKernel { n: 96, seed: 1 }.characterize_scaled().counts;
         assert_eq!(direct.fp_ops, scaled.fp_ops);
         // ...and the 192 extrapolation is exactly 8x.
-        let big = MatrixKernel { n: 192, seed: 1 }.characterize_scaled().counts;
+        let big = MatrixKernel { n: 192, seed: 1 }
+            .characterize_scaled()
+            .counts;
         assert_eq!(big.fp_ops, direct.fp_ops * 8);
     }
 
@@ -224,6 +221,10 @@ mod tests {
         let r = report.borrow();
         assert!(r.complete);
         // 256^3 * 2 = 33.5 MF; at ~1-2 GF/s effective this is tens of ms.
-        assert!(r.wall_secs > 0.005 && r.wall_secs < 1.0, "wall {}", r.wall_secs);
+        assert!(
+            r.wall_secs > 0.005 && r.wall_secs < 1.0,
+            "wall {}",
+            r.wall_secs
+        );
     }
 }

@@ -230,7 +230,13 @@ mod tests {
     #[test]
     fn add_matches_hardware() {
         let mut ops = OpCounter::new();
-        for (a, b) in [(1.5, 2.25), (-3.0, 1.0), (100.0, -100.0), (1e6, 1e-3), (0.0, 5.0)] {
+        for (a, b) in [
+            (1.5, 2.25),
+            (-3.0, 1.0),
+            (100.0, -100.0),
+            (1e6, 1e-3),
+            (0.0, 5.0),
+        ] {
             let r = SoftFloat::from_f64(a).add(SoftFloat::from_f64(b), &mut ops);
             assert!(close(r.to_f64(), a + b), "{a}+{b} = {}", r.to_f64());
         }
@@ -248,7 +254,13 @@ mod tests {
     #[test]
     fn mul_matches_hardware() {
         let mut ops = OpCounter::new();
-        for (a, b) in [(1.5, 2.0), (-3.0, 1.25), (0.0, 5.0), (1e5, 1e-5), (-2.0, -4.0)] {
+        for (a, b) in [
+            (1.5, 2.0),
+            (-3.0, 1.25),
+            (0.0, 5.0),
+            (1e5, 1e-5),
+            (-2.0, -4.0),
+        ] {
             let r = SoftFloat::from_f64(a).mul(SoftFloat::from_f64(b), &mut ops);
             assert!(close(r.to_f64(), a * b), "{a}*{b} = {}", r.to_f64());
         }

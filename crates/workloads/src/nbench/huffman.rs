@@ -4,9 +4,9 @@
 //! a binary heap, bit-level encode and tree-walking decode, verified by
 //! roundtrip.
 
+use crate::corpus;
 use crate::counter::OpCounter;
 use crate::kernel::Kernel;
-use crate::corpus;
 
 /// Huffman tree node.
 #[derive(Debug, Clone)]

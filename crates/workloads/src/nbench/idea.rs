@@ -218,7 +218,12 @@ mod tests {
         let key = [1, 2, 3, 4, 5, 6, 7, 8];
         let enc = expand_key(key);
         let dec = invert_key(&enc);
-        for plain in [[0, 0, 0, 0], [1, 2, 3, 4], [0xFFFF; 4], [0x1234, 0x5678, 0x9ABC, 0xDEF0]] {
+        for plain in [
+            [0, 0, 0, 0],
+            [1, 2, 3, 4],
+            [0xFFFF; 4],
+            [0x1234, 0x5678, 0x9ABC, 0xDEF0],
+        ] {
             let cipher = crypt_block(plain, &enc, &mut ops);
             assert_ne!(cipher, plain, "cipher must differ from plaintext");
             assert_eq!(crypt_block(cipher, &dec, &mut ops), plain);

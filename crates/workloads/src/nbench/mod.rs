@@ -215,6 +215,8 @@ impl NBenchReport {
 #[derive(Debug)]
 pub struct NBenchBody {
     suite: NBenchSuite,
+    /// Shared per-test blocks, cloned as handles each iteration.
+    blocks: Vec<Rc<OpBlock>>,
     per_test: SimDuration,
     report: Rc<RefCell<NBenchReport>>,
     test_idx: usize,
@@ -226,9 +228,15 @@ impl NBenchBody {
     /// Create a body and the shared report it will fill.
     pub fn new(suite: NBenchSuite, per_test: SimDuration) -> (Self, Rc<RefCell<NBenchReport>>) {
         let report = Rc::new(RefCell::new(NBenchReport::default()));
+        let blocks = suite
+            .tests
+            .iter()
+            .map(|t| Rc::new(t.block.clone()))
+            .collect();
         (
             NBenchBody {
                 suite,
+                blocks,
                 per_test,
                 report: report.clone(),
                 test_idx: 0,
@@ -251,7 +259,7 @@ impl ThreadBody for NBenchBody {
                 None => {
                     self.started_at = Some(ctx.now);
                     self.iters = 0;
-                    return Action::Compute(test.block.clone());
+                    return Action::Compute(self.blocks[self.test_idx].clone());
                 }
                 Some(start) => {
                     self.iters += 1;
@@ -266,7 +274,7 @@ impl ThreadBody for NBenchBody {
                         self.started_at = None;
                         continue; // next test
                     }
-                    return Action::Compute(test.block.clone());
+                    return Action::Compute(self.blocks[self.test_idx].clone());
                 }
             }
         }
@@ -308,11 +316,7 @@ mod tests {
                     );
                 }
                 IndexGroup::Integer => {
-                    assert_eq!(
-                        t.block.counts.fp_ops, 0,
-                        "{} must be integer-only",
-                        t.name
-                    );
+                    assert_eq!(t.block.counts.fp_ops, 0, "{} must be integer-only", t.name);
                 }
             }
         }

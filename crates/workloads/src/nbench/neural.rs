@@ -115,7 +115,12 @@ impl Mlp {
 }
 
 /// Deterministic training patterns: one-hot-ish input/target pairs.
-fn patterns(n_in: usize, n_out: usize, count: usize, rng: &mut SimRng) -> Vec<(Vec<f64>, Vec<f64>)> {
+fn patterns(
+    n_in: usize,
+    n_out: usize,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
     (0..count)
         .map(|i| {
             let x: Vec<f64> = (0..n_in).map(|_| f64::from(rng.chance(0.5))).collect();

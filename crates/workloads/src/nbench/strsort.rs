@@ -70,11 +70,8 @@ pub fn merge_sort_strings(pool: &[Vec<u8>], ops: &mut OpCounter) -> Vec<u32> {
                 ops.write(1);
                 ops.int(4);
                 ops.branch(1);
-                if cmp_counted(
-                    &pool[src[i] as usize],
-                    &pool[src[j] as usize],
-                    ops,
-                ) != std::cmp::Ordering::Greater
+                if cmp_counted(&pool[src[i] as usize], &pool[src[j] as usize], ops)
+                    != std::cmp::Ordering::Greater
                 {
                     dst[k] = src[i];
                     i += 1;
@@ -134,12 +131,9 @@ impl Kernel for StringSort {
             .windows(2)
             .all(|w| pool[w[0] as usize] <= pool[w[1] as usize]));
         // Checksum over the sorted order.
-        order
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &idx)| {
-                acc.wrapping_mul(31).wrapping_add((idx as u64) ^ i as u64)
-            })
+        order.iter().enumerate().fold(0u64, |acc, (i, &idx)| {
+            acc.wrapping_mul(31).wrapping_add((idx as u64) ^ i as u64)
+        })
     }
 
     fn working_set(&self) -> u64 {
@@ -166,7 +160,10 @@ mod tests {
             .collect();
         let order = merge_sort_strings(&pool, &mut ops);
         let sorted: Vec<&[u8]> = order.iter().map(|&i| pool[i as usize].as_slice()).collect();
-        assert_eq!(sorted, vec![b"apple".as_slice(), b"apple", b"banana", b"fig", b"pear"]);
+        assert_eq!(
+            sorted,
+            vec![b"apple".as_slice(), b"apple", b"banana", b"fig", b"pear"]
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! the simulated machine with the measured instruction mix and computes
 //! the same two metrics from simulated time.
 
-use crate::counter::OpCounter;
 use crate::corpus;
+use crate::counter::OpCounter;
 use crate::lzma::{self, LzmaConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -135,7 +135,7 @@ const MT_SYNC_FRACTION: f64 = 0.105;
 /// Worker: loops the kernel block until its deadline, then reports.
 #[derive(Debug)]
 struct SevenZWorker {
-    block: OpBlock,
+    block: Rc<OpBlock>,
     deadline: SimTime,
     shared: Rc<RefCell<Shared>>,
     started: bool,
@@ -186,10 +186,7 @@ pub struct SevenZBody {
 impl SevenZBody {
     /// Create the coordinator body and its shared report. `worker_prio`
     /// is the scheduling class of the worker threads.
-    pub fn new(
-        cfg: SevenZConfig,
-        worker_prio: Priority,
-    ) -> (Self, Rc<RefCell<SevenZReport>>) {
+    pub fn new(cfg: SevenZConfig, worker_prio: Priority) -> (Self, Rc<RefCell<SevenZReport>>) {
         let kernel = SevenZKernel::characterize(&cfg);
         let report = Rc::new(RefCell::new(SevenZReport::default()));
         (
@@ -238,7 +235,7 @@ impl ThreadBody for SevenZBody {
                         name: format!("7z-w{}", self.spawned.len()),
                         prio: self.worker_prio,
                         body: Box::new(SevenZWorker {
-                            block: self.kernel.block.clone(),
+                            block: Rc::new(self.kernel.block.clone()),
                             deadline,
                             shared: self.shared.clone(),
                             started: false,

@@ -27,10 +27,7 @@ fn main() {
         seed: 1,
     };
     let (body, progress) = EinsteinBody::new(&kernel, None);
-    let mut guest = GuestVm::new(
-        GuestConfig::new(VmmProfile::vmplayer()),
-        sys.machine(),
-    );
+    let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
     guest.spawn("einstein", Box::new(body));
     let vm = Vm::install(&mut sys, VmConfig::new("worker", Priority::Normal), guest);
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything here must pass offline, with no
+# network access, using only the vendored/in-repo dependencies.
+#
+#   ./scripts/verify.sh
+#
+# Runs the same three gates as CI: formatting, lints (warnings are
+# errors) and the test suite for the default workspace members. The
+# bench crate and the in-repo criterion/proptest shims are outside the
+# default members and are exercised by `cargo build --workspace`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (default members, -D warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --workspace (includes bench crate + shims)"
+cargo build -q --workspace --examples --tests --benches
+
+echo "==> cargo test (default members)"
+cargo test -q
+
+echo "verify: OK"

@@ -145,7 +145,10 @@ fn main() -> ExitCode {
             println!("  validated work units : {}", r.validated_wus);
             println!("  results returned     : {}", r.results_returned);
             println!("  bad results          : {}", r.bad_results);
-            println!("  cpu spent            : {:.1} h", r.cpu_secs_spent / 3600.0);
+            println!(
+                "  cpu spent            : {:.1} h",
+                r.cpu_secs_spent / 3600.0
+            );
             println!("  cpu lost to churn    : {:.1} h", r.cpu_secs_lost / 3600.0);
             println!(
                 "  image transfer       : {:.1} h",

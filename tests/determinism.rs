@@ -34,15 +34,12 @@ fn host_system_replay_is_exact() {
         #[derive(Debug)]
         struct Burn(u32);
         impl vgrid::os::ThreadBody for Burn {
-            fn next(
-                &mut self,
-                _ctx: &mut vgrid::os::ThreadCtx<'_>,
-            ) -> vgrid::os::Action {
+            fn next(&mut self, _ctx: &mut vgrid::os::ThreadCtx<'_>) -> vgrid::os::Action {
                 if self.0 == 0 {
                     return vgrid::os::Action::Exit;
                 }
                 self.0 -= 1;
-                vgrid::os::Action::Compute(OpBlock::mem_stream(2_000_000, 16 << 20))
+                vgrid::os::Action::compute(OpBlock::mem_stream(2_000_000, 16 << 20))
             }
         }
         let a = sys.spawn("a", Priority::Normal, Box::new(Burn(50)));
@@ -60,21 +57,14 @@ fn host_system_replay_is_exact() {
 fn guest_io_replay_is_exact() {
     let run = || {
         let mut sys = System::new(SystemConfig::testbed(7));
-        let mut guest = GuestVm::new(
-            GuestConfig::new(VmmProfile::virtualbox()),
-            sys.machine(),
-        );
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::virtualbox()), sys.machine());
         let (body, report) = IoBenchBody::new(IoBenchConfig {
             max_size: 1 << 20,
             ..Default::default()
         });
         guest.spawn("iobench", Box::new(body));
         let vm = Vm::install(&mut sys, VmConfig::new("d", Priority::Normal), guest);
-        while !vm.halted() && sys.now() < SimTime::from_secs(600) {
-            let t = sys.now() + vgrid::simcore::SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        assert!(vm.halted());
+        assert!(vm.run_until_halted(&mut sys, SimTime::from_secs(600)));
         let r = report.borrow();
         (
             r.results.len(),
@@ -93,15 +83,12 @@ fn different_seeds_change_only_what_randomness_touches() {
         #[derive(Debug)]
         struct Burn(u32);
         impl vgrid::os::ThreadBody for Burn {
-            fn next(
-                &mut self,
-                _ctx: &mut vgrid::os::ThreadCtx<'_>,
-            ) -> vgrid::os::Action {
+            fn next(&mut self, _ctx: &mut vgrid::os::ThreadCtx<'_>) -> vgrid::os::Action {
                 if self.0 == 0 {
                     return vgrid::os::Action::Exit;
                 }
                 self.0 -= 1;
-                vgrid::os::Action::Compute(OpBlock::int_alu(24_000_000))
+                vgrid::os::Action::compute(OpBlock::int_alu(24_000_000))
             }
         }
         let t = sys.spawn("t", Priority::Normal, Box::new(Burn(10)));

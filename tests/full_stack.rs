@@ -7,14 +7,14 @@ use vgrid::os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
 use vgrid::simcore::{SimDuration, SimTime, TraceCategory};
 use vgrid::vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile, VnicMode};
 use vgrid::workloads::iobench::{IoBenchBody, IoBenchConfig};
-use vgrid::workloads::netbench::{NetBenchBody, NetBenchConfig};
 use vgrid::workloads::nbench::{NBenchBody, NBenchSuite};
+use vgrid::workloads::netbench::{NetBenchBody, NetBenchConfig};
 
 #[derive(Debug)]
 struct Hog;
 impl ThreadBody for Hog {
     fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-        Action::Compute(OpBlock::int_alu(10_000_000))
+        Action::compute(OpBlock::int_alu(10_000_000))
     }
 }
 
@@ -31,11 +31,7 @@ fn guest_io_reaches_the_host_disk_through_the_image_file() {
     });
     guest.spawn("iobench", Box::new(body));
     let vm = Vm::install(&mut sys, VmConfig::new("io", Priority::Normal), guest);
-    while !vm.halted() && sys.now() < SimTime::from_secs(300) {
-        let t = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(t);
-    }
-    assert!(vm.halted());
+    assert!(vm.run_until_halted(&mut sys, SimTime::from_secs(300)));
     assert!(report.borrow().complete);
     // The host image file exists and grew to hold the guest's writes.
     let image = sys.fs.size_of("/vm/io.img").expect("image file exists");
@@ -61,11 +57,7 @@ fn vnic_mode_alone_explains_the_nat_cliff() {
         });
         guest.spawn("netbench", Box::new(body));
         let vm = Vm::install(&mut sys, VmConfig::new("net", Priority::Normal), guest);
-        while !vm.halted() && sys.now() < SimTime::from_secs(600) {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        assert!(vm.halted());
+        assert!(vm.run_until_halted(&mut sys, SimTime::from_secs(600)));
         let mbps = report.borrow().mbps;
         let vcpu_cpu = sys.thread_stats(vm.vcpu).cpu_time.as_secs_f64();
         (mbps, vcpu_cpu)
@@ -95,7 +87,7 @@ fn checkpoint_under_host_load() {
     struct Busy;
     impl ThreadBody for Busy {
         fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-            Action::Compute(OpBlock::fp_alu(10_000_000))
+            Action::compute(OpBlock::fp_alu(10_000_000))
         }
     }
     guest.spawn("science", Box::new(Busy));
@@ -125,13 +117,12 @@ fn two_vms_compound_host_intrusion() {
     let run = |vms: usize| {
         let mut sys = System::new(SystemConfig::testbed(4));
         for i in 0..vms {
-            let mut guest =
-                GuestVm::new(GuestConfig::new(VmmProfile::virtualbox()), sys.machine());
+            let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::virtualbox()), sys.machine());
             #[derive(Debug)]
             struct Busy;
             impl ThreadBody for Busy {
                 fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
-                    Action::Compute(OpBlock::fp_alu(10_000_000))
+                    Action::compute(OpBlock::fp_alu(10_000_000))
                 }
             }
             guest.spawn("science", Box::new(Busy));
@@ -143,11 +134,10 @@ fn two_vms_compound_host_intrusion() {
         }
         let (body, report) = NBenchBody::new(suite.clone(), SimDuration::from_millis(20));
         sys.spawn("nbench", Priority::Normal, Box::new(body));
-        while !report.borrow().complete && sys.now() < SimTime::from_secs(600) {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        assert!(report.borrow().complete, "nbench finished with {vms} VMs");
+        assert!(
+            sys.run_until_event(SimTime::from_secs(600), || report.borrow().complete),
+            "nbench finished with {vms} VMs"
+        );
         let total: f64 = report.borrow().rates.iter().map(|&(_, _, r)| r).sum();
         total
     };
@@ -212,16 +202,15 @@ fn guest_page_cache_absorbs_rereads() {
     }
     let mut sys = System::new(SystemConfig::testbed(5));
     let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::qemu()), sys.machine());
-    guest.spawn("reread", Box::new(ReRead {
-        phase: 0,
-        file: None,
-    }));
+    guest.spawn(
+        "reread",
+        Box::new(ReRead {
+            phase: 0,
+            file: None,
+        }),
+    );
     let vm = Vm::install(&mut sys, VmConfig::new("cache", Priority::Normal), guest);
-    while !vm.halted() && sys.now() < SimTime::from_secs(60) {
-        let t = sys.now() + SimDuration::from_secs(1);
-        sys.run_until(t);
-    }
-    assert!(vm.halted());
+    assert!(vm.run_until_halted(&mut sys, SimTime::from_secs(60)));
     // The dirty data was never synced and never re-read from the device:
     // the host image file never materialized any bytes.
     assert_eq!(sys.fs.size_of("/vm/cache.img"), Some(0));
@@ -257,11 +246,10 @@ fn boinc_client_runs_inside_the_guest() {
         let (body, stats) = BoincClientBody::new(spec, Some(5));
         guest.spawn("boinc", Box::new(body));
         let vm = Vm::install(&mut sys, VmConfig::new("wrap", Priority::Normal), guest);
-        while !vm.halted() && sys.now() < SimTime::from_secs(3600) {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        assert!(vm.halted(), "guest client finished");
+        assert!(
+            vm.run_until_halted(&mut sys, SimTime::from_secs(3600)),
+            "guest client finished"
+        );
         assert_eq!(stats.borrow().wus_completed, 5);
         assert_eq!(stats.borrow().bytes_down, 5 * 512 * 1024);
         sys.now()
@@ -293,11 +281,7 @@ fn guest_multithreading_is_serialized_by_the_single_vcpu() {
         let (body, report) = SevenZBody::new(cfg, Priority::Normal);
         guest.spawn("7z", Box::new(body));
         let vm = Vm::install(&mut sys, VmConfig::new("mt", Priority::Normal), guest);
-        while !vm.halted() && sys.now() < SimTime::from_secs(120) {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        assert!(vm.halted());
+        assert!(vm.run_until_halted(&mut sys, SimTime::from_secs(120)));
         let r = report.borrow().clone();
         assert!(r.complete);
         r.mips
@@ -340,11 +324,7 @@ fn two_vcpus_parallelize_guest_work_on_a_big_host() {
         guest.spawn("7z", Box::new(body));
         let vm = Vm::install(&mut sys, VmConfig::new("smp", Priority::Normal), guest);
         assert_eq!(vm.vcpus.len(), vcpus as usize);
-        while !vm.halted() && sys.now() < SimTime::from_secs(120) {
-            let t = sys.now() + SimDuration::from_secs(1);
-            sys.run_until(t);
-        }
-        assert!(vm.halted());
+        assert!(vm.run_until_halted(&mut sys, SimTime::from_secs(120)));
         let r = report.borrow().clone();
         assert!(r.complete);
         r.mips

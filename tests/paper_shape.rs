@@ -86,7 +86,11 @@ fn whole_paper_reproduces_in_shape() {
     assert!((170.0..195.0).contains(&v("fig7", "no VM (2t)")));
     assert!((110.0..135.0).contains(&v("fig7", "VMwarePlayer (2t)")));
     for m in ["QEMU (2t)", "VirtualBox (2t)", "VirtualPC (2t)"] {
-        assert!((145.0..175.0).contains(&v("fig7", m)), "{m}: {}", v("fig7", m));
+        assert!(
+            (145.0..175.0).contains(&v("fig7", m)),
+            "{m}: {}",
+            v("fig7", m)
+        );
     }
     // Single-threaded host work is essentially unimpacted.
     for m in [
@@ -102,7 +106,11 @@ fn whole_paper_reproduces_in_shape() {
     // --- Figure 8: MIPS ratios ---
     assert!((0.60..0.80).contains(&v("fig8", "VMwarePlayer (2t)")));
     for m in ["QEMU (2t)", "VirtualBox (2t)", "VirtualPC (2t)"] {
-        assert!((0.80..0.98).contains(&v("fig8", m)), "{m}: {}", v("fig8", m));
+        assert!(
+            (0.80..0.98).contains(&v("fig8", m)),
+            "{m}: {}",
+            v("fig8", m)
+        );
     }
 
     // --- The paper's closing observation: fastest guest = most
