@@ -4,7 +4,9 @@
 //! characteristics (events/second, kernel throughput), independent of
 //! any paper figure.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, report_metric, Criterion, Throughput};
 use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
@@ -19,6 +21,89 @@ struct Hog;
 impl ThreadBody for Hog {
     fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
         Action::compute(OpBlock::mem_stream(1_000_000, 8 << 20))
+    }
+}
+
+/// Infinite loop re-issuing one shared block — the shape of a compute
+/// kernel's inner loop (7z passes, Einstein FFT chunks).
+#[derive(Debug)]
+struct BlockLoop(Rc<OpBlock>);
+impl ThreadBody for BlockLoop {
+    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        Action::Compute(Rc::clone(&self.0))
+    }
+}
+
+/// Figure 1's scheduling substrate: one compute-bound kernel, solo on a
+/// single core, long (~0.25 s) blocks — the no-VM native baseline every
+/// guest figure divides by. No device model, so every event is the
+/// scheduler's own.
+fn fig1_substrate(coalesce: bool) -> System {
+    let mut sys = System::new(SystemConfig {
+        machine: MachineSpec::core2_duo_6600().core2_solo(),
+        coalesce,
+        ..SystemConfig::testbed(3)
+    });
+    // 1.5 G int ops = 0.25 s = 12.5 quanta per block.
+    let block = Rc::new(OpBlock::int_alu(1_500_000_000));
+    sys.spawn("7z", Priority::Normal, Box::new(BlockLoop(block)));
+    sys.run_until(SimTime::from_secs(30));
+    sys
+}
+
+/// Figure 7's scheduling substrate: a Normal compute kernel against an
+/// Idle memory hog on both cores — contention retiming plus priority
+/// separation, again without the VMM device model.
+fn fig7_substrate(coalesce: bool) -> System {
+    let mut sys = System::new(SystemConfig {
+        coalesce,
+        ..SystemConfig::testbed(7)
+    });
+    let kernel = Rc::new(OpBlock::int_alu(1_500_000_000));
+    let hog = Rc::new(OpBlock::mem_stream(50_000_000, 32 << 20));
+    sys.spawn("7z", Priority::Normal, Box::new(BlockLoop(kernel)));
+    sys.spawn("hog", Priority::Idle, Box::new(BlockLoop(hog)));
+    sys.run_until(SimTime::from_secs(4));
+    sys
+}
+
+fn bench_substrate_coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.bench_function("fig1_substrate_fast", |b| {
+        b.iter(|| fig1_substrate(true).now())
+    });
+    group.bench_function("fig1_substrate_reference", |b| {
+        b.iter(|| fig1_substrate(false).now())
+    });
+    group.bench_function("fig7_substrate_fast", |b| {
+        b.iter(|| fig7_substrate(true).now())
+    });
+    group.bench_function("fig7_substrate_reference", |b| {
+        b.iter(|| fig7_substrate(false).now())
+    });
+    group.finish();
+    // Event counts are deterministic simulation outputs, not timings:
+    // report them once so regression checks can gate on exact ratios.
+    for (id, run) in [
+        ("fig1_substrate", fig1_substrate as fn(bool) -> System),
+        ("fig7_substrate", fig7_substrate),
+    ] {
+        let fast = run(true).loop_stats();
+        let reference = run(false).loop_stats();
+        report_metric("substrate", id, "events_fast", fast.events_handled as f64);
+        report_metric(
+            "substrate",
+            id,
+            "events_reference",
+            reference.events_handled as f64,
+        );
+        report_metric(
+            "substrate",
+            id,
+            "events_coalesced",
+            fast.events_coalesced() as f64,
+        );
     }
 }
 
@@ -94,6 +179,7 @@ fn bench_fft(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_loop,
+    bench_substrate_coalescing,
     bench_contention_solver,
     bench_lzma,
     bench_fft

@@ -32,7 +32,7 @@ use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
-use vgrid_simcore::{OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary};
+use vgrid_simcore::{EventLoopStats, OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary};
 use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile, VnicMode};
 use vgrid_workloads::iobench::{IoBenchBody, IoBenchConfig};
 use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchSuite};
@@ -219,13 +219,41 @@ impl TrialSpec {
         }
     }
 
-    /// Cache identity: everything but the display label.
+    /// Cache identity: everything but the display label. The scheduler
+    /// execution mode is part of the identity — a result computed under
+    /// the per-quantum reference must not be served to a fast-path run
+    /// of the same spec (they are bit-identical by contract, but the
+    /// equivalence suite is exactly the place that must not assume so).
     fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{}|{:#x}|{:?}",
-            self.env, self.kernel, self.machine, self.repetitions, self.base_seed, self.fidelity
+            "{:?}|{:?}|{:?}|{}|{:#x}|{:?}|ref={}",
+            self.env,
+            self.kernel,
+            self.machine,
+            self.repetitions,
+            self.base_seed,
+            self.fidelity,
+            vgrid_os::per_quantum_reference_forced(),
         )
     }
+}
+
+/// Event-loop counters accumulated across every `System`-backed trial
+/// this process has run (grid `Campaign` trials run on the desktop-grid
+/// simulator, not `vgrid_os::System`, and are not counted).
+static LOOP_TOTALS: Mutex<Option<EventLoopStats>> = Mutex::new(None);
+
+/// Snapshot of the process-wide event-loop totals; zeroes before any
+/// trial has completed.
+pub fn loop_totals() -> EventLoopStats {
+    LOOP_TOTALS.lock().unwrap().unwrap_or_default()
+}
+
+fn record_loop_stats(sys: &System) {
+    let mut totals = LOOP_TOTALS.lock().unwrap();
+    totals
+        .get_or_insert_with(EventLoopStats::default)
+        .merge(&sys.loop_stats());
 }
 
 /// Per-metric summaries of one completed trial.
@@ -464,6 +492,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                     );
                 }
             }
+            record_loop_stats(&sys);
             let (t0, t1) = span.borrow().expect("loop finished");
             vec![t1.since(t0).as_secs_f64()]
         }
@@ -471,6 +500,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             let mut sys = system_for(spec, seed);
             let (body, report) = IoBenchBody::new(cfg.clone());
             run_bench_in_env(&mut sys, &spec.env, "iobench", Box::new(body));
+            record_loop_stats(&sys);
             let r = report.borrow();
             assert!(r.complete, "iobench did not finish");
             vec![r.score_bps()]
@@ -479,6 +509,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             let mut sys = system_for(spec, seed);
             let (body, report) = NetBenchBody::new(cfg.clone());
             run_bench_in_env(&mut sys, &spec.env, "netbench", Box::new(body));
+            record_loop_stats(&sys);
             let r = report.borrow();
             assert!(r.complete, "netbench did not finish");
             vec![r.mbps]
@@ -493,6 +524,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 sys.run_until_event(SimTime::from_secs(3600), || done.borrow().complete),
                 "nbench did not finish"
             );
+            record_loop_stats(&sys);
             let r = report.borrow();
             vec![
                 r.group_rate(IndexGroup::Memory),
@@ -510,6 +542,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 sys.run_until_event(SimTime::from_secs(3600), || done.borrow().complete),
                 "7z did not finish"
             );
+            record_loop_stats(&sys);
             let r = report.borrow();
             vec![r.cpu_usage_pct, r.mips]
         }
@@ -524,6 +557,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 VmConfig::new(format!("vm-{}", profile.name), Priority::Normal),
                 guest,
             );
+            record_loop_stats(&sys);
             vec![vm.committed_memory as f64 / (1024.0 * 1024.0)]
         }
         KernelSpec::ClockLag { wall } => {
@@ -536,6 +570,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             sys.spawn("hog1", Priority::Normal, Box::new(Hog));
             sys.spawn("hog2", Priority::Normal, Box::new(Hog));
             sys.run_until(*wall);
+            record_loop_stats(&sys);
             let control = vm.control.borrow();
             vec![
                 control.guest_clock_lag_secs,

@@ -41,6 +41,6 @@ pub mod figures;
 pub mod parallel;
 pub mod testbed;
 
-pub use engine::{Engine, Environment, KernelSpec, TrialResult, TrialSpec};
+pub use engine::{loop_totals, Engine, Environment, KernelSpec, TrialResult, TrialSpec};
 pub use figures::{FigureResult, FigureRow};
 pub use testbed::Fidelity;

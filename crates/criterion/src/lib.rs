@@ -6,9 +6,20 @@
 //! `[[bench]]` target compiling and producing useful wall-clock numbers:
 //! `benchmark_group` / `sample_size` / `throughput` / `bench_function` /
 //! `Bencher::iter` plus the `criterion_group!` / `criterion_main!`
-//! macros. Reporting is a simple mean/min/max over the sampled
+//! macros. Reporting is a simple mean/median/min/max over the sampled
 //! iterations — no statistical regression analysis or HTML output.
+//!
+//! Two environment variables extend the surface for scripted use
+//! (`scripts/bench.sh`):
+//!
+//! * `VGRID_BENCH_JSON=<path>` — append one JSON object per benchmark
+//!   (`{"type":"bench","group":…,"id":…,"mean_ns":…,"median_ns":…,
+//!   "min_ns":…,"max_ns":…,"n":…}`) and per reported metric
+//!   (`{"type":"metric","group":…,"id":…,"metric":…,"value":…}`);
+//! * `VGRID_BENCH_QUICK=1` — clamp every group's sample size to 3 for
+//!   smoke runs.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group.
@@ -45,9 +56,13 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of timed samples per benchmark (minimum 1).
+    /// Number of timed samples per benchmark (minimum 1; clamped to 3
+    /// when `VGRID_BENCH_QUICK=1`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        if quick_mode() {
+            self.sample_size = self.sample_size.min(3);
+        }
         self
     }
 
@@ -97,6 +112,64 @@ impl Bencher {
     }
 }
 
+/// Report a named scalar alongside a group's timings — deterministic
+/// simulation outputs (event counts, ratios) that regression checks can
+/// gate on without timing noise. Mirrored to stdout and, when
+/// `VGRID_BENCH_JSON` is set, to the JSON-lines file.
+pub fn report_metric(group: &str, id: &str, metric: &str, value: f64) {
+    println!("{group}/{id}: {metric} = {value}");
+    write_json_line(&format!(
+        "{{\"type\":\"metric\",\"group\":{},\"id\":{},\"metric\":{},\"value\":{}}}",
+        json_str(group),
+        json_str(id),
+        json_str(metric),
+        value,
+    ));
+}
+
+fn quick_mode() -> bool {
+    std::env::var("VGRID_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn json_str(s: &str) -> String {
+    let escaped: String = s
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect();
+    format!("\"{escaped}\"")
+}
+
+fn write_json_line(line: &str) {
+    let Ok(path) = std::env::var("VGRID_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
 fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{group}/{id}: no samples");
@@ -104,8 +177,21 @@ fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throug
     }
     let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
     let mean = secs.iter().sum::<f64>() / secs.len() as f64;
-    let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = secs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sorted = secs.clone();
+    sorted.sort_by(f64::total_cmp);
+    let med = median(&sorted);
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    write_json_line(&format!(
+        "{{\"type\":\"bench\",\"group\":{},\"id\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"n\":{}}}",
+        json_str(group),
+        json_str(id),
+        mean * 1e9,
+        med * 1e9,
+        min * 1e9,
+        max * 1e9,
+        secs.len(),
+    ));
     let rate = match throughput {
         Some(Throughput::Bytes(b)) if mean > 0.0 => {
             format!("  {:.1} MiB/s", b as f64 / mean / (1 << 20) as f64)
@@ -116,8 +202,9 @@ fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throug
         _ => String::new(),
     };
     println!(
-        "{group}/{id}: mean {} (min {}, max {}, n={}){rate}",
+        "{group}/{id}: mean {} median {} (min {}, max {}, n={}){rate}",
         fmt_time(mean),
+        fmt_time(med),
         fmt_time(min),
         fmt_time(max),
         secs.len(),
@@ -175,6 +262,19 @@ mod tests {
         group.finish();
         // 1 warm-up + 5 samples.
         assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn median_splits_samples() {
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 9.0]), 2.5);
+        assert_eq!(median(&[4.0]), 4.0);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
     }
 
     #[test]

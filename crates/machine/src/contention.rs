@@ -16,6 +16,7 @@
 use crate::cpu::CpuModel;
 use crate::ops::OpBlock;
 use crate::spec::{CpuSpec, MemSpec};
+use std::rc::Rc;
 
 /// What one core is currently executing.
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +118,90 @@ impl ContentionModel {
     }
 }
 
+/// Memoization cache for [`ContentionModel::slowdowns`], keyed on the
+/// per-core set of running blocks.
+///
+/// The OS event loop re-solves contention whenever a core's load changes,
+/// but real schedules cycle through a small set of load combinations
+/// (thread A solo, A + B, B solo, all idle, ...). Keys are
+/// `Vec<Option<Rc<OpBlock>>>` — one entry per core, `None` for idle — and
+/// equality is checked pointer-first (`Rc::ptr_eq`, the common case when a
+/// kernel loop re-issues the same block each iteration) with a content
+/// comparison as fallback, so distinct-but-equal blocks still hit.
+///
+/// Entries are kept in most-recently-used order in a small Vec (capacity
+/// [`ContentionCache::CAPACITY`]); lookup is a linear scan, which for the
+/// handful of combinations a schedule exercises beats any hashing scheme
+/// and allocates nothing on a hit.
+#[derive(Debug, Default)]
+pub struct ContentionCache {
+    entries: Vec<CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+/// One memoized combination: per-core running blocks → solved slowdowns.
+type CacheEntry = (Vec<Option<Rc<OpBlock>>>, Vec<f64>);
+
+impl ContentionCache {
+    /// Maximum number of load combinations retained (LRU eviction).
+    pub const CAPACITY: usize = 16;
+
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-core slowdowns for `key` (one entry per core, `None` = idle),
+    /// computed by `model` on a miss and memoized.
+    pub fn slowdowns(&mut self, model: &ContentionModel, key: &[Option<Rc<OpBlock>>]) -> &[f64] {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| Self::key_eq(k, key)) {
+            self.hits += 1;
+            // Move to front so hot combinations survive eviction.
+            self.entries[..=pos].rotate_right(1);
+            return &self.entries[0].1;
+        }
+        self.misses += 1;
+        let loads: Vec<CoreLoad<'_>> = key
+            .iter()
+            .map(|b| match b {
+                Some(rc) => CoreLoad::busy(rc),
+                None => CoreLoad::idle(),
+            })
+            .collect();
+        let slow = model.slowdowns(&loads);
+        if self.entries.len() >= Self::CAPACITY {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (key.to_vec(), slow));
+        &self.entries[0].1
+    }
+
+    fn key_eq(a: &[Option<Rc<OpBlock>>], b: &[Option<Rc<OpBlock>>]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                (None, None) => true,
+                (Some(x), Some(y)) => Rc::ptr_eq(x, y) || x == y,
+                _ => false,
+            })
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the full solver.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all memoized entries (counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +282,54 @@ mod tests {
         let m = model();
         let a = OpBlock::int_alu(10);
         let _ = m.slowdowns(&[CoreLoad::busy(&a)]);
+    }
+
+    #[test]
+    fn cache_hits_on_pointer_and_content() {
+        let m = model();
+        let mut cache = ContentionCache::new();
+        let a = Rc::new(OpBlock::mem_stream(10_000_000, 16 << 20));
+        let key = vec![Some(a.clone()), Some(a.clone())];
+        let direct = m.slowdowns(&[CoreLoad::busy(&a), CoreLoad::busy(&a)]);
+        let first = cache.slowdowns(&m, &key).to_vec();
+        assert_eq!(first, direct);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        // Same Rc pointers: hit.
+        let again = cache.slowdowns(&m, &key).to_vec();
+        assert_eq!(again, first);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Distinct Rc, equal content: still a hit.
+        let a2 = Rc::new(OpBlock::mem_stream(10_000_000, 16 << 20));
+        let key2 = vec![Some(a2.clone()), Some(a2)];
+        assert_eq!(cache.slowdowns(&m, &key2).to_vec(), first);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+
+        // Different load set: miss.
+        let key3 = vec![Some(a), None];
+        let solo = cache.slowdowns(&m, &key3).to_vec();
+        assert_eq!(solo[1], 1.0);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let m = model();
+        let mut cache = ContentionCache::new();
+        let blocks: Vec<Rc<OpBlock>> = (0..=ContentionCache::CAPACITY)
+            .map(|i| Rc::new(OpBlock::int_alu(1_000 + i as u64)))
+            .collect();
+        // Fill to capacity, then keep entry 0 hot.
+        for b in &blocks[..ContentionCache::CAPACITY] {
+            cache.slowdowns(&m, &[Some(b.clone()), None]);
+        }
+        cache.slowdowns(&m, &[Some(blocks[0].clone()), None]);
+        assert_eq!(cache.hits(), 1);
+        // One more distinct key evicts the LRU entry (not entry 0).
+        cache.slowdowns(&m, &[Some(blocks[ContentionCache::CAPACITY].clone()), None]);
+        cache.slowdowns(&m, &[Some(blocks[0].clone()), None]);
+        assert_eq!(cache.hits(), 2, "hot entry must survive eviction");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod ops;
 pub mod spec;
 
 pub use cache::{CacheConfig, MemoryEstimate};
-pub use contention::{ContentionModel, CoreLoad};
+pub use contention::{ContentionCache, ContentionModel, CoreLoad};
 pub use cpu::{CpuModel, ExecEstimate, ExecProfile};
 pub use disk::{DiskModel, DiskRequest, DiskRequestKind};
 pub use nic::{LinkModel, NicModel};

@@ -18,15 +18,49 @@
 //!   long-starved low-priority threads one quantum at `Normal`, so an
 //!   idle-priority VM is slowed to a crawl by host load but never fully
 //!   frozen (as on real XP).
+//!
+//! ## Slice-coalescing fast path
+//!
+//! A naive implementation fires one `SliceEnd` event per 20 ms quantum,
+//! so a minutes-long compute burst costs thousands of events in which
+//! nothing observable changes. This system instead splits slice
+//! accounting in two:
+//!
+//! * **Integer accounting** (`cpu_time`, `quantum_left`, the `boosted`
+//!   flag) accrues 1:1 with wall time and crosses quantum boundaries
+//!   *analytically* in [`System::account_all`] — it can be brought
+//!   current at any instant with identical results regardless of how
+//!   often it runs.
+//! * **Floating-point work folding** (`remaining -= elapsed * rate`) is
+//!   rounding-sensitive to *where* it is evaluated, so it is folded only
+//!   at points that exist in every execution mode: rate changes,
+//!   finishes, rotations and preemptions.
+//!
+//! When a core's running thread cannot be rotated (no same-or-higher
+//! priority thread is ready), consecutive quanta are coalesced into a
+//! single `SliceEnd` at the block's projected finish time; otherwise the
+//! next quantum boundary is materialized as a real event. Because both
+//! decisions are re-evaluated after every handled event, and because
+//! same-instant events pop in a mode-independent order (externals first,
+//! then slice ends in core order — see `EventQueue::schedule_ranked`),
+//! the coalesced schedule is bit-identical to the per-quantum reference
+//! schedule that [`force_per_quantum_reference`] switches back on.
 
 use crate::action::{Action, ActionResult, Priority, ThreadBody, ThreadCtx, ThreadId};
 use crate::fs::{FileSystem, FsConfig, IoPlan};
 use crate::net::{NetConfig, NetPlan, NetStack};
 use crate::sched::ReadyQueues;
 use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use vgrid_machine::ops::OpBlock;
-use vgrid_machine::{ContentionModel, CoreLoad, CpuModel, DiskModel, DiskRequest, MachineSpec};
-use vgrid_simcore::{EventQueue, SimDuration, SimRng, SimTime, TraceCategory, TraceSink};
+use vgrid_machine::{
+    ContentionCache, ContentionModel, CpuModel, DiskModel, DiskRequest, MachineSpec,
+};
+use vgrid_simcore::{
+    EventLoopStats, EventQueue, EventQueueStats, SimDuration, SimRng, SimTime, TraceCategory,
+    TraceSink,
+};
 
 /// Residual solo work below which a compute block counts as finished.
 const WORK_EPS: f64 = 1e-10;
@@ -35,6 +69,25 @@ const QUANTUM_EPS: SimDuration = SimDuration::from_nanos(1);
 /// Maximum zero-time actions per activation before we declare the body
 /// broken.
 const ACTIVATION_FUSE: u32 = 10_000;
+
+/// Process-wide override that forces every subsequently-built [`System`]
+/// into the per-quantum reference mode (see [`force_per_quantum_reference`]).
+static FORCE_REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Force (or release) the per-quantum reference mode for every
+/// [`SystemConfig::testbed`]-derived system built after this call. The
+/// equivalence suite uses this to rerun whole experiments without the
+/// slice-coalescing fast path and pin bit-identical output.
+pub fn force_per_quantum_reference(on: bool) {
+    FORCE_REFERENCE.store(on, Ordering::SeqCst);
+}
+
+/// True when the per-quantum reference mode is forced, either via
+/// [`force_per_quantum_reference`] or the `per-quantum-reference` cargo
+/// feature.
+pub fn per_quantum_reference_forced() -> bool {
+    cfg!(feature = "per-quantum-reference") || FORCE_REFERENCE.load(Ordering::SeqCst)
+}
 
 /// System construction parameters.
 #[derive(Debug, Clone)]
@@ -47,6 +100,10 @@ pub struct SystemConfig {
     pub boost_interval: Option<SimDuration>,
     /// Base seed for all per-thread random streams.
     pub seed: u64,
+    /// Enable the slice-coalescing fast path (default). `false` forces
+    /// the per-quantum reference mode, which materializes every quantum
+    /// boundary as a real event and must produce bit-identical results.
+    pub coalesce: bool,
 }
 
 impl SystemConfig {
@@ -57,6 +114,7 @@ impl SystemConfig {
             quantum: SimDuration::from_millis(20),
             boost_interval: Some(SimDuration::from_secs(3)),
             seed,
+            coalesce: !per_quantum_reference_forced(),
         }
     }
 }
@@ -137,12 +195,51 @@ impl Thread {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// What a core's pending `SliceEnd` event means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceKind {
+    /// The running block's projected completion.
+    Finish,
+    /// A materialized quantum boundary (rotation check point).
+    Quantum,
+}
+
+#[derive(Debug, Clone)]
 struct Core {
     running: Option<ThreadId>,
+    /// Integer-accounting anchor: `cpu_time`/`quantum_left` are current
+    /// up to this instant.
     slice_start: SimTime,
+    /// Floating-point work anchor: `exec.remaining` is current up to
+    /// this instant. Advanced only at mode-shared fold points.
+    work_anchor: SimTime,
     /// Solo-work seconds accrued per wall second (1/slowdown).
     rate: f64,
+    /// Absolute projected completion of the running block (valid while
+    /// `running` is some and `dirty` is false).
+    finish_at: SimTime,
+    /// Load changed since the last retime; contention must be re-solved.
+    dirty: bool,
+    /// Generation of the currently valid `SliceEnd` event; events
+    /// carrying an older generation are stale and ignored.
+    gen: u64,
+    /// The in-flight `SliceEnd` for this core, if any.
+    sched: Option<(SimTime, SliceKind)>,
+}
+
+impl Core {
+    fn idle() -> Self {
+        Core {
+            running: None,
+            slice_start: SimTime::ZERO,
+            work_anchor: SimTime::ZERO,
+            rate: 1.0,
+            finish_at: SimTime::ZERO,
+            dirty: false,
+            gen: 0,
+            sched: None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -203,10 +300,20 @@ pub struct System {
     ready: ReadyQueues,
     threads: Vec<Thread>,
     cores: Vec<Core>,
-    gen: u64,
-    /// Set when the running set or any in-flight block changed, meaning
-    /// contention must be re-evaluated and slices re-timed.
-    dirty: bool,
+    /// Memoized contention solutions keyed on the per-core block set.
+    cm_cache: ContentionCache,
+    /// Scratch: per-core running-block key for the contention cache.
+    load_key: Vec<Option<Rc<OpBlock>>>,
+    /// Scratch: per-core slowdowns copied out of the cache.
+    slow_scratch: Vec<f64>,
+    /// Scratch: starving-thread collection for the boost scan.
+    boost_scratch: Vec<ThreadId>,
+    /// Events popped and handled.
+    events_handled: u64,
+    /// Quantum boundaries crossed (analytically or via events).
+    quanta_crossed: u64,
+    /// Quantum boundaries materialized as real events.
+    quantum_events: u64,
     /// Bytes of RAM committed by long-lived reservations (VM guests).
     committed: u64,
     rng: SimRng,
@@ -244,14 +351,8 @@ impl System {
             cfg.machine.nic_model(),
         );
         let disk = cfg.machine.disk_model();
-        let cores = vec![
-            Core {
-                running: None,
-                slice_start: SimTime::ZERO,
-                rate: 1.0,
-            };
-            cfg.machine.cpu.cores as usize
-        ];
+        let n_cores = cfg.machine.cpu.cores as usize;
+        let cores = vec![Core::idle(); n_cores];
         let rng = SimRng::new(cfg.seed);
         let mut queue = EventQueue::new();
         if let Some(bi) = cfg.boost_interval {
@@ -272,8 +373,13 @@ impl System {
             ready: ReadyQueues::new(),
             threads: Vec::new(),
             cores,
-            gen: 0,
-            dirty: false,
+            cm_cache: ContentionCache::new(),
+            load_key: Vec::with_capacity(n_cores),
+            slow_scratch: Vec::with_capacity(n_cores),
+            boost_scratch: Vec::new(),
+            events_handled: 0,
+            quanta_crossed: 0,
+            quantum_events: 0,
             committed: 0,
             rng,
             trace: TraceSink::default(),
@@ -387,12 +493,40 @@ impl System {
         self.threads.iter().all(|t| t.state == ThreadState::Exited)
     }
 
-    /// Assign cores and re-time slices if anything changed.
+    /// Event-loop counters for this system's run so far.
+    pub fn loop_stats(&self) -> EventLoopStats {
+        EventLoopStats {
+            events_handled: self.events_handled,
+            quanta_crossed: self.quanta_crossed,
+            quantum_events: self.quantum_events,
+            clamped_events: self.queue.stats().clamped,
+            memo_hits: self.cm_cache.hits(),
+            memo_misses: self.cm_cache.misses(),
+            sim_seconds: self.now.as_secs_f64(),
+        }
+    }
+
+    /// Raw event-queue counters (total scheduled, past-time clamps).
+    pub fn queue_stats(&self) -> EventQueueStats {
+        self.queue.stats()
+    }
+
+    /// Bring the whole system to a consistent state at `now`: integer
+    /// accounting, core assignment, contention re-timing, and slice-event
+    /// horizons, in that order.
     fn settle(&mut self) {
+        self.account_all();
         self.dispatch();
-        if self.dirty {
-            self.dirty = false;
-            self.retime();
+        self.retime_dirty();
+        self.refresh_horizons();
+    }
+
+    /// Emit a one-line loop summary through the trace sink (Sched
+    /// category), if enabled.
+    fn emit_loop_summary(&mut self) {
+        if self.trace.is_enabled(TraceCategory::Sched) {
+            let line = self.loop_stats().render();
+            self.trace.emit(self.now, TraceCategory::Sched, line);
         }
     }
 
@@ -411,6 +545,7 @@ impl System {
         if self.now < deadline {
             self.now = deadline;
         }
+        self.emit_loop_summary();
     }
 
     /// Run until `done()` holds or `deadline` passes, checking the
@@ -431,12 +566,14 @@ impl System {
             self.now = t;
             self.handle(ev);
             if done() {
+                self.emit_loop_summary();
                 return true;
             }
         }
         if self.now < deadline {
             self.now = deadline;
         }
+        self.emit_loop_summary();
         done()
     }
 
@@ -455,12 +592,14 @@ impl System {
             self.now = t;
             self.handle(ev);
         }
+        self.emit_loop_summary();
         self.all_exited()
     }
 
     // ----- event handling -----
 
     fn handle(&mut self, ev: Ev) {
+        self.events_handled += 1;
         match ev {
             Ev::SliceEnd { core, gen } => self.on_slice_end(core, gen),
             Ev::DiskDone => self.on_disk_done(),
@@ -472,76 +611,107 @@ impl System {
     }
 
     fn on_slice_end(&mut self, core: usize, gen: u64) {
-        if gen != self.gen {
+        if gen != self.cores[core].gen {
             return; // stale
         }
-        self.dirty = true;
-        self.accrue_all();
+        let Some((due, kind)) = self.cores[core].sched.take() else {
+            return;
+        };
+        debug_assert_eq!(due, self.now, "slice event fired off schedule");
+        // Bring integer accounting current; for this core that crosses
+        // the quantum boundary (Quantum) or the residue up to the finish
+        // instant (Finish).
+        self.account_all();
         let Some(tid) = self.cores[core].running else {
             return;
         };
-        let th = &mut self.threads[tid.0 as usize];
-        let finished = th
-            .exec
-            .as_ref()
-            .map(|e| e.remaining <= WORK_EPS)
-            .unwrap_or(false);
-        if finished {
-            let exec = th.exec.take().expect("checked");
-            match exec.cont {
-                Cont::Resume => {
-                    th.pending = ActionResult::None;
-                    self.activate(core);
-                }
-                Cont::Deliver(r) => {
-                    th.pending = r;
-                    self.activate(core);
-                }
-                Cont::Disk { reqs, result } => {
-                    th.state = ThreadState::Blocked;
-                    self.cores[core].running = None;
-                    self.disk_q.push_back(DiskJob { tid, reqs, result });
-                    self.disk_start_next();
-                }
-                Cont::Net {
-                    wire,
-                    extra,
-                    result,
-                } => {
-                    th.state = ThreadState::Blocked;
-                    self.cores[core].running = None;
-                    if wire.is_zero() {
-                        th.pending = result;
-                        self.queue.schedule(self.now + extra, Ev::Wake { tid });
-                    } else {
-                        self.nic_q.push_back(NicJob {
-                            tid,
-                            wire,
-                            extra,
-                            result,
-                        });
-                        self.nic_start_next();
+        match kind {
+            SliceKind::Finish => {
+                // Shared fold point: materialize the (≈ zero) remaining
+                // work exactly as the reference schedule would.
+                self.fold_work(core);
+                let th = &mut self.threads[tid.0 as usize];
+                debug_assert!(
+                    th.exec
+                        .as_ref()
+                        .map(|e| e.remaining <= WORK_EPS)
+                        .unwrap_or(false),
+                    "finish event fired with work left"
+                );
+                let exec = th.exec.take().expect("running thread has exec");
+                match exec.cont {
+                    Cont::Resume => {
+                        th.pending = ActionResult::None;
+                        self.activate(core);
+                    }
+                    Cont::Deliver(r) => {
+                        th.pending = r;
+                        self.activate(core);
+                    }
+                    Cont::Disk { reqs, result } => {
+                        th.state = ThreadState::Blocked;
+                        self.clear_core(core);
+                        self.disk_q.push_back(DiskJob { tid, reqs, result });
+                        self.disk_start_next();
+                    }
+                    Cont::Net {
+                        wire,
+                        extra,
+                        result,
+                    } => {
+                        th.state = ThreadState::Blocked;
+                        self.clear_core(core);
+                        if wire.is_zero() {
+                            self.threads[tid.0 as usize].pending = result;
+                            self.queue.schedule(self.now + extra, Ev::Wake { tid });
+                        } else {
+                            self.nic_q.push_back(NicJob {
+                                tid,
+                                wire,
+                                extra,
+                                result,
+                            });
+                            self.nic_start_next();
+                        }
                     }
                 }
             }
-        } else if th.quantum_left <= QUANTUM_EPS {
-            // Quantum expired: rotate if a peer (same or higher class)
-            // waits; otherwise keep the core and refresh.
-            th.quantum_left = self.cfg.quantum;
-            th.boosted = false;
-            let should_rotate = self
-                .ready
-                .best_priority()
-                .map(|p| p >= th.eff_prio())
-                .unwrap_or(false);
-            if should_rotate {
-                th.state = ThreadState::Ready;
-                let p = th.eff_prio();
-                th.last_ran = self.now;
-                self.ready.push_back(tid, p);
-                self.cores[core].running = None;
-                self.trace
-                    .emit(self.now, TraceCategory::Sched, format!("rotate t{}", tid.0));
+            SliceKind::Quantum => {
+                self.quantum_events += 1;
+                // account_all() parked `quantum_left` at exactly zero
+                // (on-boundary is not an analytic crossing); this event
+                // IS the boundary: refresh the quantum, consume any
+                // boost, then rotate if a peer (same or higher class)
+                // waits; otherwise the thread keeps the core.
+                let th = &mut self.threads[tid.0 as usize];
+                debug_assert!(
+                    th.quantum_left.is_zero(),
+                    "quantum event fired off its boundary"
+                );
+                th.quantum_left = self.cfg.quantum;
+                th.boosted = false;
+                self.quanta_crossed += 1;
+                let th = &self.threads[tid.0 as usize];
+                let should_rotate = self
+                    .ready
+                    .best_priority()
+                    .map(|p| p >= th.eff_prio())
+                    .unwrap_or(false);
+                if should_rotate {
+                    self.fold_work(core);
+                    let th = &mut self.threads[tid.0 as usize];
+                    th.state = ThreadState::Ready;
+                    let p = th.eff_prio();
+                    self.ready.push_back(tid, p);
+                    self.clear_core(core);
+                    if self.trace.is_enabled(TraceCategory::Sched) {
+                        self.trace.emit(
+                            self.now,
+                            TraceCategory::Sched,
+                            format!("rotate t{}", tid.0),
+                        );
+                    }
+                }
             }
         }
         // dispatch() in handle() retimes and reassigns.
@@ -565,11 +735,13 @@ impl System {
             let p = th.eff_prio();
             self.ready.push_back(job.tid, p);
         }
-        self.trace.emit(
-            self.now,
-            TraceCategory::Io,
-            format!("io done t{}", job.tid.0),
-        );
+        if self.trace.is_enabled(TraceCategory::Io) {
+            self.trace.emit(
+                self.now,
+                TraceCategory::Io,
+                format!("io done t{}", job.tid.0),
+            );
+        }
         self.disk_start_next();
     }
 
@@ -602,11 +774,13 @@ impl System {
         th.pending = job.result;
         self.queue
             .schedule(self.now + job.extra, Ev::Wake { tid: job.tid });
-        self.trace.emit(
-            self.now,
-            TraceCategory::Net,
-            format!("nic free t{}", job.tid.0),
-        );
+        if self.trace.is_enabled(TraceCategory::Net) {
+            self.trace.emit(
+                self.now,
+                TraceCategory::Net,
+                format!("nic free t{}", job.tid.0),
+            );
+        }
         self.nic_start_next();
     }
 
@@ -634,99 +808,204 @@ impl System {
         let Some(bi) = self.cfg.boost_interval else {
             return;
         };
-        let starving: Vec<ThreadId> = self
-            .ready
-            .iter()
-            .filter(|&tid| {
-                let th = &self.threads[tid.0 as usize];
-                !th.boosted && th.prio < Priority::Normal && self.now.since(th.last_ran) > bi
-            })
-            .collect();
-        for tid in starving {
+        let mut starving = std::mem::take(&mut self.boost_scratch);
+        starving.clear();
+        starving.extend(self.ready.iter().filter(|&tid| {
+            let th = &self.threads[tid.0 as usize];
+            !th.boosted && th.prio < Priority::Normal && self.now.since(th.last_ran) > bi
+        }));
+        for &tid in &starving {
             self.ready.remove(tid);
             let th = &mut self.threads[tid.0 as usize];
             th.boosted = true;
             // One quantum at Normal, like the XP balance-set manager.
             th.quantum_left = self.cfg.quantum;
             self.ready.push_back(tid, th.eff_prio());
-            self.trace
-                .emit(self.now, TraceCategory::Sched, format!("boost t{}", tid.0));
+            if self.trace.is_enabled(TraceCategory::Sched) {
+                self.trace
+                    .emit(self.now, TraceCategory::Sched, format!("boost t{}", tid.0));
+            }
         }
+        self.boost_scratch = starving;
         self.queue.schedule(self.now + bi, Ev::Boost);
     }
 
     // ----- scheduling core -----
 
-    /// Account the in-flight slice progress of every running core up to
-    /// `now`.
-    fn accrue_all(&mut self) {
+    /// Bring the integer slice accounting (`cpu_time`, `quantum_left`,
+    /// `boosted`, `last_ran`) of every running core current, crossing any
+    /// quantum boundaries analytically. These quantities accrue 1:1 with
+    /// wall time, so this is exact no matter how many boundaries were
+    /// coalesced away — and calling it at every settle keeps dispatch
+    /// decisions (which consult `eff_prio`) mode-independent.
+    fn account_all(&mut self) {
+        let q = self.cfg.quantum;
         for core in &mut self.cores {
             let Some(tid) = core.running else { continue };
-            let th = &mut self.threads[tid.0 as usize];
             let elapsed = self.now.since(core.slice_start);
             if elapsed.is_zero() {
                 continue;
             }
             core.slice_start = self.now;
-            if let Some(exec) = th.exec.as_mut() {
-                exec.remaining = (exec.remaining - elapsed.as_secs_f64() * core.rate).max(0.0);
-            }
+            let th = &mut self.threads[tid.0 as usize];
             th.cpu_time += elapsed;
-            th.quantum_left = th.quantum_left.saturating_sub(elapsed);
             th.last_ran = self.now;
+            if elapsed > th.quantum_left {
+                // Moved *strictly past* one or more quantum boundaries:
+                // at each the quantum refreshes and any boost is
+                // consumed, exactly as a materialized boundary event
+                // would have done. Landing exactly ON a boundary is NOT
+                // a crossing: `quantum_left` parks at zero and the
+                // boundary resolves at this instant — through the
+                // materialized `Quantum` event on an ineligible core
+                // (which must still run its rotation check even when
+                // unrelated events share the instant), or analytically
+                // at the next settle on a coalescing core.
+                let over = elapsed.saturating_sub(th.quantum_left);
+                let crossed = over.0.div_ceil(q.0);
+                th.quantum_left = SimDuration(crossed * q.0 - over.0);
+                th.boosted = false;
+                self.quanta_crossed += crossed;
+            } else {
+                th.quantum_left = th.quantum_left.saturating_sub(elapsed);
+            }
         }
     }
 
-    /// Re-evaluate contention and reschedule every running core's slice
-    /// event.
-    fn retime(&mut self) {
-        self.accrue_all();
-        self.gen += 1;
-        let slowdowns = {
-            let blocks: Vec<Option<&OpBlock>> = self
-                .cores
-                .iter()
-                .map(|c| {
-                    c.running.and_then(|tid| {
-                        self.threads[tid.0 as usize]
-                            .exec
-                            .as_ref()
-                            .map(|e| &*e.block)
-                    })
-                })
-                .collect();
-            let loads: Vec<CoreLoad<'_>> = blocks
-                .iter()
-                .map(|b| match b {
-                    Some(block) => CoreLoad::busy(block),
-                    None => CoreLoad::idle(),
-                })
-                .collect();
-            self.cm.slowdowns(&loads)
-        };
-        #[allow(clippy::needless_range_loop)] // parallel indexing of cores + slowdowns
+    /// Fold the floating-point work progress of `core`'s running block up
+    /// to `now`. Unlike the integer accounting, the result of this fold
+    /// depends on *where* it is evaluated (f64 rounding), so it must only
+    /// be called at points shared by the coalesced and per-quantum
+    /// schedules: rate changes, finishes, rotations and preemptions.
+    fn fold_work(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        let Some(tid) = c.running else { return };
+        let elapsed = self.now.since(c.work_anchor);
+        c.work_anchor = self.now;
+        if elapsed.is_zero() {
+            return;
+        }
+        if let Some(exec) = self.threads[tid.0 as usize].exec.as_mut() {
+            exec.remaining = (exec.remaining - elapsed.as_secs_f64() * c.rate).max(0.0);
+        }
+    }
+
+    /// Unassign whatever runs on `core`, invalidating its in-flight slice
+    /// event and marking contention for re-evaluation.
+    fn clear_core(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        c.running = None;
+        c.dirty = true;
+        c.gen += 1;
+        c.sched = None;
+    }
+
+    /// If any core's load changed, re-solve contention (through the memo
+    /// cache) and re-time exactly the cores whose slowdown actually
+    /// changed. Cores with an unchanged rate keep their fold anchor and
+    /// projected finish — their f64 trajectory is untouched.
+    fn retime_dirty(&mut self) {
+        if !self.cores.iter().any(|c| c.dirty) {
+            return;
+        }
+        self.load_key.clear();
+        for c in &self.cores {
+            self.load_key.push(c.running.and_then(|tid| {
+                self.threads[tid.0 as usize]
+                    .exec
+                    .as_ref()
+                    .map(|e| e.block.clone())
+            }));
+        }
+        let mut slow = std::mem::take(&mut self.slow_scratch);
+        slow.clear();
+        slow.extend_from_slice(self.cm_cache.slowdowns(&self.cm, &self.load_key));
+        for (i, &raw) in slow.iter().enumerate() {
+            let slowdown = raw.max(1.0);
+            let rate = 1.0 / slowdown;
+            let needs = {
+                let c = &self.cores[i];
+                c.running.is_some() && (c.dirty || rate != c.rate)
+            };
+            if needs {
+                self.fold_work(i);
+                let tid = self.cores[i].running.expect("checked");
+                let remaining = self.threads[tid.0 as usize]
+                    .exec
+                    .as_ref()
+                    .map(|e| e.remaining)
+                    .unwrap_or(0.0);
+                let wall = SimDuration::from_secs_f64(remaining * slowdown)
+                    .max(SimDuration::from_picos(1));
+                let c = &mut self.cores[i];
+                c.rate = rate;
+                c.finish_at = self.now + wall;
+            }
+            self.cores[i].dirty = false;
+        }
+        self.slow_scratch = slow;
+    }
+
+    /// Ensure every busy core has the right `SliceEnd` in flight: the
+    /// projected finish when the core may coalesce (no same-or-higher
+    /// priority thread is ready to force a rotation), otherwise
+    /// `min(finish, next quantum boundary)`. Re-evaluated after every
+    /// event; only a *changed* horizon costs a new queue entry.
+    fn refresh_horizons(&mut self) {
+        let best = self.ready.best_priority();
         for i in 0..self.cores.len() {
             let Some(tid) = self.cores[i].running else {
                 continue;
             };
             let th = &self.threads[tid.0 as usize];
-            let Some(exec) = th.exec.as_ref() else {
-                continue;
+            debug_assert!(th.exec.is_some(), "running thread without exec");
+            // Base (not boosted) priority: once the running thread's
+            // boost quantum expires its class reverts, so coalescing is
+            // only safe against threads strictly below the base class.
+            let eligible = self.cfg.coalesce && best.map(|p| p < th.prio).unwrap_or(true);
+            let c = &self.cores[i];
+            let boundary = c.slice_start + th.quantum_left;
+            // A finish exactly ON the quantum boundary owes the rotation
+            // check first (the timer interrupt fires either way), so a
+            // tie always materializes the boundary — in *both* modes,
+            // which keeps the slice event stable when ready-queue churn
+            // flips `eligible` back and forth. The check is
+            // self-guarding: on a coalescing-eligible core nothing in
+            // the ready set can force a rotation, so the finish simply
+            // fires at the same instant.
+            let desired = if c.finish_at < boundary || (eligible && c.finish_at > boundary) {
+                (c.finish_at, SliceKind::Finish)
+            } else {
+                (boundary, SliceKind::Quantum)
             };
-            let slow = slowdowns[i].max(1.0);
-            self.cores[i].rate = 1.0 / slow;
-            self.cores[i].slice_start = self.now;
-            let to_finish = SimDuration::from_secs_f64(exec.remaining * slow);
-            let wall = to_finish
-                .min(th.quantum_left)
-                .max(SimDuration::from_picos(1));
-            self.queue.schedule(
-                self.now + wall,
-                Ev::SliceEnd {
-                    core: i,
-                    gen: self.gen,
-                },
-            );
+            if c.sched != Some(desired) {
+                // Lazy downgrade: when coalescing merely *became*
+                // allowed, keep the pending boundary event instead of
+                // rescheduling — churn-prone ready queues (a periodic
+                // high-priority waker) would otherwise flip the horizon
+                // on every event. The boundary fires, its rotation
+                // check no-ops (nothing ready can rotate an eligible
+                // core's thread), and the next refresh coalesces from
+                // there. Upgrades (finish → boundary) always
+                // reschedule: a due rotation check must materialize.
+                if let Some((due, SliceKind::Quantum)) = c.sched {
+                    if desired.1 == SliceKind::Finish && desired.0 > due {
+                        continue;
+                    }
+                }
+                let c = &mut self.cores[i];
+                c.gen += 1;
+                c.sched = Some(desired);
+                let gen = c.gen;
+                // Rank 1+core: at any instant, external events (rank 0)
+                // resolve before slice ends, and slice ends resolve in
+                // core order — the same order in every execution mode.
+                self.queue.schedule_ranked(
+                    desired.0,
+                    (i as u8).saturating_add(1),
+                    Ev::SliceEnd { core: i, gen },
+                );
+            }
         }
     }
 
@@ -740,7 +1019,9 @@ impl System {
     ///    preempt: preferentially the core running its buddy thread
     ///    (if that core's class is lower), else the lowest-priority core.
     fn dispatch(&mut self) {
-        let mut changed = false;
+        // Integer accounting is already current (settle() runs
+        // account_all() first), and `now` does not advance inside this
+        // loop, so no further accrual is needed between assignments.
         loop {
             // Phase 1: fill idle cores with affinity preference.
             if let Some(core) = self.cores.iter().position(|c| c.running.is_none()) {
@@ -752,9 +1033,7 @@ impl System {
                     |c| cores[c].running.is_some(),
                 );
                 let Some((tid, _)) = picked else { break };
-                self.accrue_all();
                 self.assign(core, tid);
-                changed = true;
                 continue;
             }
             // Phase 2: preemption by the best ready thread.
@@ -787,8 +1066,11 @@ impl System {
                 }
             };
             let Some(core) = target else { break };
-            self.accrue_all();
-            let victim = self.cores[core].running.take().expect("busy core");
+            // Shared fold point: the victim's in-flight work must be
+            // materialized at the preemption instant.
+            self.fold_work(core);
+            let victim = self.cores[core].running.expect("busy core");
+            self.clear_core(core);
             {
                 let th = &mut self.threads[victim.0 as usize];
                 th.state = ThreadState::Ready;
@@ -796,20 +1078,18 @@ impl System {
                 // Preempted mid-quantum: run next among its class.
                 self.ready.push_front(victim, p);
             }
-            self.trace.emit(
-                self.now,
-                TraceCategory::Sched,
-                format!("preempt t{}", victim.0),
-            );
+            if self.trace.is_enabled(TraceCategory::Sched) {
+                self.trace.emit(
+                    self.now,
+                    TraceCategory::Sched,
+                    format!("preempt t{}", victim.0),
+                );
+            }
             assert!(
                 self.ready.pop_exact(tid, best),
                 "peeked thread must be poppable"
             );
             self.assign(core, tid);
-            changed = true;
-        }
-        if changed {
-            self.dirty = true;
         }
     }
 
@@ -822,11 +1102,14 @@ impl System {
         if th.quantum_left <= QUANTUM_EPS {
             th.quantum_left = self.cfg.quantum;
         }
-        self.cores[core] = Core {
-            running: Some(tid),
-            slice_start: self.now,
-            rate: 1.0,
-        };
+        let c = &mut self.cores[core];
+        c.running = Some(tid);
+        c.slice_start = self.now;
+        c.work_anchor = self.now;
+        c.rate = 1.0;
+        c.dirty = true;
+        c.gen += 1;
+        c.sched = None;
         self.activate(core);
     }
 
@@ -878,6 +1161,7 @@ impl System {
                         remaining: est.duration.as_secs_f64(),
                         cont: Cont::Resume,
                     });
+                    self.begin_exec(core);
                     return;
                 }
                 Action::FileOpen {
@@ -949,7 +1233,7 @@ impl System {
                     let th = &mut self.threads[idx];
                     th.pending = ActionResult::None;
                     th.state = ThreadState::Blocked;
-                    self.cores[core].running = None;
+                    self.clear_core(core);
                     self.queue.schedule(self.now + d, Ev::Wake { tid });
                     return;
                 }
@@ -961,7 +1245,7 @@ impl System {
                     th.boosted = false;
                     let p = th.eff_prio();
                     self.ready.push_back(tid, p);
-                    self.cores[core].running = None;
+                    self.clear_core(core);
                     return;
                 }
                 Action::Spawn { name, prio, body } => {
@@ -977,7 +1261,7 @@ impl System {
                     self.threads[thread.0 as usize].joiners.push(tid);
                     let th = &mut self.threads[idx];
                     th.state = ThreadState::Blocked;
-                    self.cores[core].running = None;
+                    self.clear_core(core);
                     return;
                 }
                 Action::Exit => {
@@ -988,7 +1272,7 @@ impl System {
                         th.exec = None;
                         std::mem::take(&mut th.joiners)
                     };
-                    self.cores[core].running = None;
+                    self.clear_core(core);
                     for j in joiners {
                         let jt = &mut self.threads[j.0 as usize];
                         if jt.state == ThreadState::Blocked {
@@ -998,16 +1282,26 @@ impl System {
                             self.ready.push_back(j, p);
                         }
                     }
-                    self.trace
-                        .emit(self.now, TraceCategory::Sched, format!("exit t{}", tid.0));
+                    if self.trace.is_enabled(TraceCategory::Sched) {
+                        self.trace
+                            .emit(self.now, TraceCategory::Sched, format!("exit t{}", tid.0));
+                    }
                     return;
                 }
             }
         }
     }
 
+    /// A new block just started executing on `core`: reset its work
+    /// anchor and mark contention for re-evaluation.
+    fn begin_exec(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        c.work_anchor = self.now;
+        c.dirty = true;
+    }
+
     /// Install a filesystem plan as the thread's execution state.
-    fn install_io(&mut self, _core: usize, tid: ThreadId, plan: IoPlan) {
+    fn install_io(&mut self, core: usize, tid: ThreadId, plan: IoPlan) {
         let IoPlan { cpu, disk, result } = plan;
         let est = self.cpu.solo_estimate(&cpu);
         let cont = if disk.is_empty() {
@@ -1019,14 +1313,15 @@ impl System {
             }
         };
         self.threads[tid.0 as usize].exec = Some(ExecState {
-            block: std::rc::Rc::new(cpu),
+            block: Rc::new(cpu),
             remaining: est.duration.as_secs_f64().max(1e-12),
             cont,
         });
+        self.begin_exec(core);
     }
 
     /// Install a network plan as the thread's execution state.
-    fn install_net(&mut self, _core: usize, tid: ThreadId, plan: NetPlan) {
+    fn install_net(&mut self, core: usize, tid: ThreadId, plan: NetPlan) {
         let NetPlan {
             cpu,
             wire,
@@ -1044,10 +1339,11 @@ impl System {
             }
         };
         self.threads[tid.0 as usize].exec = Some(ExecState {
-            block: std::rc::Rc::new(cpu),
+            block: Rc::new(cpu),
             remaining: est.duration.as_secs_f64().max(1e-12),
             cont,
         });
+        self.begin_exec(core);
     }
 }
 
@@ -1562,5 +1858,93 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// One long compute block on an otherwise idle machine: the fast path
+    /// must collapse every interior quantum boundary into the single
+    /// finish event, while the per-quantum reference materializes each.
+    #[test]
+    fn coalescing_cuts_slice_events() {
+        let run = |coalesce: bool| {
+            let mut s = System::new(SystemConfig {
+                coalesce,
+                ..SystemConfig::testbed(42)
+            });
+            // 4.8 G int ops: 0.8 s of work, i.e. 40 quanta.
+            let t = s.spawn(
+                "solo",
+                Priority::Normal,
+                Box::new(Burner {
+                    ops: 4_800_000_000,
+                    iters: 1,
+                }),
+            );
+            assert!(s.run_to_completion(SimTime::from_secs(5)));
+            (s.thread_stats(t).clone(), s.now(), s.loop_stats())
+        };
+        let (fast_th, fast_now, fast_ls) = run(true);
+        let (ref_th, ref_now, ref_ls) = run(false);
+        assert_eq!(fast_th.cpu_time, ref_th.cpu_time);
+        assert_eq!(fast_th.exited_at, ref_th.exited_at);
+        assert_eq!(fast_now, ref_now);
+        // The final boundary coincides with the finish; whether that tie
+        // registers as a crossing is a counter nuance, not a behavior.
+        assert!(fast_ls.quanta_crossed.abs_diff(ref_ls.quanta_crossed) <= 1);
+        assert!(
+            fast_ls.events_coalesced() >= 35,
+            "only {} boundaries coalesced",
+            fast_ls.events_coalesced()
+        );
+        assert!(
+            fast_ls.events_handled * 3 <= ref_ls.events_handled,
+            "fast {} vs reference {} events",
+            fast_ls.events_handled,
+            ref_ls.events_handled
+        );
+    }
+
+    /// A contended mix (rotations, boosts, an Idle straggler) must give
+    /// bit-identical thread statistics in both execution modes.
+    #[test]
+    fn fast_path_matches_reference_exactly() {
+        let run = |coalesce: bool| {
+            let mut s = System::new(SystemConfig {
+                coalesce,
+                ..SystemConfig::testbed(7)
+            });
+            let a = s.spawn("a", Priority::Normal, Box::new(Burner2 { iters: 12 }));
+            let b = s.spawn("b", Priority::Normal, Box::new(Burner2 { iters: 9 }));
+            let c = s.spawn("c", Priority::BelowNormal, Box::new(Burner2 { iters: 5 }));
+            let d = s.spawn("d", Priority::Idle, Box::new(Burner2 { iters: 2 }));
+            s.run_until(SimTime::from_secs(30));
+            let snap = |t: ThreadId| {
+                let st = s.thread_stats(t);
+                (st.cpu_time, st.exited_at)
+            };
+            (snap(a), snap(b), snap(c), snap(d), s.now())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// The event-loop counters are visible through the public surface.
+    #[test]
+    fn loop_stats_are_exposed() {
+        let mut s = sys();
+        s.spawn(
+            "t",
+            Priority::Normal,
+            Box::new(Burner {
+                ops: 2_400_000_000,
+                iters: 2,
+            }),
+        );
+        assert!(s.run_to_completion(SimTime::from_secs(5)));
+        let ls = s.loop_stats();
+        assert!(ls.events_handled > 0);
+        assert!(ls.sim_seconds > 0.0);
+        assert!(ls.events_per_sim_second() > 0.0);
+        assert_eq!(s.queue_stats().clamped, ls.clamped_events);
+        let text = ls.render();
+        assert!(text.contains("events=") && text.contains("coalesced="));
     }
 }

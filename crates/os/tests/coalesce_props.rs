@@ -1,0 +1,135 @@
+//! Property-based equivalence of the slice-coalescing fast path and the
+//! per-quantum reference scheduler: for arbitrary thread mixes the two
+//! execution modes must produce *bit-identical* completion times, CPU
+//! accounting and final clocks. Unlike the tolerance-window behavior
+//! tests, any divergence at all here is a bug — the fast path is an
+//! event-count optimization, not an approximation.
+
+use proptest::prelude::*;
+use vgrid_machine::ops::OpBlock;
+use vgrid_machine::MachineSpec;
+use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx, ThreadId};
+use vgrid_simcore::{SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Integer ALU burst of `ops` operations.
+    Int(u64),
+    /// Memory-streaming burst (contention-sensitive).
+    Mem(u64),
+    /// Block for the given microseconds.
+    Sleep(u64),
+    /// Give up the CPU, stay ready.
+    Yield,
+}
+
+#[derive(Debug)]
+struct Scripted {
+    steps: Vec<Step>,
+    at: usize,
+}
+
+impl ThreadBody for Scripted {
+    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        let Some(step) = self.steps.get(self.at) else {
+            return Action::Exit;
+        };
+        self.at += 1;
+        match *step {
+            Step::Int(ops) => Action::compute(OpBlock::int_alu(ops)),
+            Step::Mem(ops) => Action::compute(OpBlock::mem_stream(ops, 16 << 20)),
+            Step::Sleep(us) => Action::Sleep(SimDuration::from_micros(us)),
+            Step::Yield => Action::YieldCpu,
+        }
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        // 1 M..600 M int ops: sub-quantum fragments up to ~5 quanta.
+        (1_000_000u64..600_000_000).prop_map(Step::Int),
+        (100_000u64..30_000_000).prop_map(Step::Mem),
+        // Sleeps from 50 us to 50 ms straddle the quantum length.
+        (50u64..50_000).prop_map(Step::Sleep),
+        Just(Step::Yield),
+    ]
+}
+
+fn prio_strategy() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::Idle),
+        Just(Priority::BelowNormal),
+        Just(Priority::Normal),
+        Just(Priority::AboveNormal),
+        Just(Priority::High),
+    ]
+}
+
+prop_compose! {
+    fn thread_strategy()(
+        prio in prio_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+    ) -> (Priority, Vec<Step>) {
+        (prio, steps)
+    }
+}
+
+fn run_mix(
+    threads: &[(Priority, Vec<Step>)],
+    solo: bool,
+    boost_ms: u64,
+    coalesce: bool,
+) -> Vec<(SimDuration, Option<SimTime>)> {
+    let machine = if solo {
+        MachineSpec::core2_duo_6600().core2_solo()
+    } else {
+        MachineSpec::core2_duo_6600()
+    };
+    let mut sys = System::new(SystemConfig {
+        machine,
+        boost_interval: Some(SimDuration::from_millis(boost_ms)),
+        coalesce,
+        ..SystemConfig::testbed(99)
+    });
+    let tids: Vec<ThreadId> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, (prio, steps))| {
+            sys.spawn(
+                format!("t{i}"),
+                *prio,
+                Box::new(Scripted {
+                    steps: steps.clone(),
+                    at: 0,
+                }),
+            )
+        })
+        .collect();
+    // A bounded horizon, not run_to_completion: starved Idle threads may
+    // legitimately still be running, and equivalence must hold there too.
+    sys.run_until(SimTime::from_secs(20));
+    tids.iter()
+        .map(|&t| {
+            let st = sys.thread_stats(t);
+            (st.cpu_time, st.exited_at)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random priority/burst/sleep/yield mixes on one or two cores, with
+    /// an aggressively short boost interval to exercise the
+    /// boost-rotation machinery: fast and reference modes agree exactly.
+    #[test]
+    fn fast_path_is_bit_identical_to_reference(
+        threads in proptest::collection::vec(thread_strategy(), 1..6),
+        solo in prop_oneof![Just(true), Just(false)],
+        boost_ms in prop_oneof![Just(100u64), Just(500), Just(3000)],
+    ) {
+        let fast = run_mix(&threads, solo, boost_ms, true);
+        let reference = run_mix(&threads, solo, boost_ms, false);
+        prop_assert_eq!(fast, reference);
+    }
+}

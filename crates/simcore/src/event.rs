@@ -1,20 +1,29 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)`. The
-//! monotonically increasing sequence number guarantees FIFO order among
+//! A thin wrapper over a binary heap keyed by `(SimTime, rank, sequence)`.
+//! The monotonically increasing sequence number guarantees FIFO order among
 //! events scheduled for the same instant, which is what makes whole-system
-//! runs bit-for-bit reproducible.
+//! runs bit-for-bit reproducible. The rank is an optional coarse tie-break
+//! *above* the sequence number: same-time events pop in ascending rank
+//! first, FIFO within a rank. Ranks let a simulation give certain event
+//! kinds a stable relative order at an instant that does not depend on
+//! *when* each event happened to be scheduled — the property the OS layer
+//! relies on to keep its coalesced and per-quantum execution modes
+//! bit-identical.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An event with its due time and tie-breaking sequence number.
+/// An event with its due time and tie-breaking rank and sequence number.
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub time: SimTime,
-    /// Global insertion order; breaks ties among same-time events.
+    /// Coarse tie-break among same-time events (lower pops first).
+    pub rank: u8,
+    /// Global insertion order; breaks ties among same-time, same-rank
+    /// events.
     pub seq: u64,
     /// The payload.
     pub event: E,
@@ -22,7 +31,7 @@ pub struct ScheduledEvent<E> {
 
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.rank == other.rank && self.seq == other.seq
     }
 }
 impl<E> Eq for ScheduledEvent<E> {}
@@ -39,8 +48,21 @@ impl<E> Ord for ScheduledEvent<E> {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.rank.cmp(&self.rank))
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// Counters describing an [`EventQueue`]'s lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventQueueStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Events whose requested time lay in the past and were clamped to
+    /// the queue's "now". Always 0 in a healthy simulation: a nonzero
+    /// count means a component model produced a broken causal chain that
+    /// debug builds would have caught with a panic.
+    pub clamped: u64,
 }
 
 /// A deterministic future-event list.
@@ -54,6 +76,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     last_popped: SimTime,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,25 +92,51 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
+            clamped: 0,
         }
     }
 
-    /// Schedule `event` to fire at absolute time `time`.
+    /// Schedule `event` to fire at absolute time `time` with rank 0.
     ///
     /// Returns the sequence number assigned to the event, which can be used
     /// by callers implementing cancellation via generation counters.
     pub fn schedule(&mut self, time: SimTime, event: E) -> u64 {
+        self.schedule_ranked(time, 0, event)
+    }
+
+    /// Schedule `event` at `time` with an explicit same-instant rank:
+    /// among events due at the same time, lower ranks pop first, FIFO
+    /// within a rank.
+    pub fn schedule_ranked(&mut self, time: SimTime, rank: u8, event: E) -> u64 {
         debug_assert!(
             time >= self.last_popped,
             "event scheduled in the past: {} < {}",
             time,
             self.last_popped
         );
+        if time < self.last_popped {
+            self.clamped += 1;
+        }
         let time = time.max(self.last_popped);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        self.heap.push(ScheduledEvent {
+            time,
+            rank,
+            seq,
+            event,
+        });
         seq
+    }
+
+    /// Lifetime counters: how many events were scheduled, and how many of
+    /// those had to be clamped forward from the past (release builds
+    /// only; debug builds panic instead).
+    pub fn stats(&self) -> EventQueueStats {
+        EventQueueStats {
+            scheduled: self.next_seq,
+            clamped: self.clamped,
+        }
     }
 
     /// Remove and return the earliest event, advancing the queue's notion
@@ -194,5 +243,50 @@ mod tests {
         q.schedule(SimTime::from_secs(10), ());
         q.pop();
         q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn past_scheduling_is_counted_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.stats().clamped, 1);
+        // The clamped event fires at the queue's "now".
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn stats_count_scheduled_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), EventQueueStats::default());
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.stats().scheduled, 2);
+        assert_eq!(q.stats().clamped, 0);
+    }
+
+    #[test]
+    fn ranks_order_same_instant_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_ranked(t, 2, "slice-core1");
+        q.schedule_ranked(t, 0, "wake");
+        q.schedule_ranked(t, 1, "slice-core0");
+        q.schedule(t, "disk"); // rank 0, after "wake" by FIFO
+        assert_eq!(q.pop().unwrap().1, "wake");
+        assert_eq!(q.pop().unwrap().1, "disk");
+        assert_eq!(q.pop().unwrap().1, "slice-core0");
+        assert_eq!(q.pop().unwrap().1, "slice-core1");
+    }
+
+    #[test]
+    fn rank_does_not_override_time() {
+        let mut q = EventQueue::new();
+        q.schedule_ranked(SimTime::from_secs(2), 0, "later");
+        q.schedule_ranked(SimTime::from_secs(1), 9, "sooner");
+        assert_eq!(q.pop().unwrap().1, "sooner");
+        assert_eq!(q.pop().unwrap().1, "later");
     }
 }

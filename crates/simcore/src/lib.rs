@@ -40,11 +40,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, EventQueueStats, ScheduledEvent};
 pub use rng::SimRng;
 pub use stats::{
-    geometric_mean, percent_overhead, relative_slowdown, ConfidenceInterval, OnlineStats,
-    RepetitionRunner, Summary,
+    geometric_mean, percent_overhead, relative_slowdown, ConfidenceInterval, EventLoopStats,
+    OnlineStats, RepetitionRunner, Summary,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceCategory, TraceEvent, TraceSink};

@@ -138,6 +138,75 @@ impl OnlineStats {
     }
 }
 
+/// Counters describing a discrete-event loop's activity over one run.
+///
+/// Filled in by the OS layer's event loop and aggregated across trials by
+/// the experiment engine. The headline figure for the slice-coalescing
+/// fast path is [`EventLoopStats::events_coalesced`]: scheduler quanta
+/// that were accounted analytically instead of each costing a heap pop,
+/// a contention solve and a retime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventLoopStats {
+    /// Events popped from the queue and handled.
+    pub events_handled: u64,
+    /// Scheduler quantum boundaries crossed (analytically or via events).
+    pub quanta_crossed: u64,
+    /// Quantum boundaries that were materialized as actual `SliceEnd`
+    /// events (per-quantum reference mode makes every boundary one).
+    pub quantum_events: u64,
+    /// Past-scheduled events clamped forward by the queue (release builds
+    /// only; should always be 0).
+    pub clamped_events: u64,
+    /// Contention-model memoization hits.
+    pub memo_hits: u64,
+    /// Contention-model memoization misses (full solver runs).
+    pub memo_misses: u64,
+    /// Simulated seconds covered by the run.
+    pub sim_seconds: f64,
+}
+
+impl EventLoopStats {
+    /// Quantum boundaries that did *not* cost an event: crossed
+    /// analytically by the coalescing fast path.
+    pub fn events_coalesced(&self) -> u64 {
+        self.quanta_crossed.saturating_sub(self.quantum_events)
+    }
+
+    /// Events handled per simulated second; 0 for an empty run.
+    pub fn events_per_sim_second(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.events_handled as f64 / self.sim_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: &EventLoopStats) {
+        self.events_handled += other.events_handled;
+        self.quanta_crossed += other.quanta_crossed;
+        self.quantum_events += other.quantum_events;
+        self.clamped_events += other.clamped_events;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.sim_seconds += other.sim_seconds;
+    }
+
+    /// Human-readable one-line summary for verbose/trace output.
+    pub fn render(&self) -> String {
+        format!(
+            "events={} coalesced={} quanta={} ev/simsec={:.1} memo={}/{} clamped={}",
+            self.events_handled,
+            self.events_coalesced(),
+            self.quanta_crossed,
+            self.events_per_sim_second(),
+            self.memo_hits,
+            self.memo_hits + self.memo_misses,
+            self.clamped_events,
+        )
+    }
+}
+
 /// A two-sided confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
@@ -405,6 +474,35 @@ mod tests {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn event_loop_stats_derive_and_merge() {
+        let mut a = EventLoopStats {
+            events_handled: 10,
+            quanta_crossed: 100,
+            quantum_events: 4,
+            clamped_events: 0,
+            memo_hits: 8,
+            memo_misses: 2,
+            sim_seconds: 5.0,
+        };
+        assert_eq!(a.events_coalesced(), 96);
+        assert!((a.events_per_sim_second() - 2.0).abs() < 1e-12);
+        let b = EventLoopStats {
+            events_handled: 5,
+            quanta_crossed: 7,
+            quantum_events: 7,
+            sim_seconds: 5.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events_handled, 15);
+        assert_eq!(a.quanta_crossed, 107);
+        assert_eq!(a.events_coalesced(), 96);
+        assert!((a.sim_seconds - 10.0).abs() < 1e-12);
+        assert_eq!(EventLoopStats::default().events_per_sim_second(), 0.0);
+        assert!(a.render().contains("coalesced=96"));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Engine benchmark driver: runs the `substrate` criterion bench target
+# (event loop, slice coalescing, contention solver, LZMA/FFT kernels)
+# and captures machine-readable results in BENCH_engine.json — one JSON
+# object per line, written by the in-tree criterion shim when
+# VGRID_BENCH_JSON is set.
+#
+#   ./scripts/bench.sh             # quick run, rewrite BENCH_engine.json
+#   ./scripts/bench.sh --full      # full sample counts (slower, steadier)
+#   ./scripts/bench.sh --check     # quick run + enforce the coalescing
+#                                  # speedup floors and compare event
+#                                  # counts against the committed baseline
+#
+# --check gates on (a) the fast path handling >= 3x fewer events and
+# finishing >= 2x faster than the per-quantum reference on the fig1/fig7
+# substrate scenarios, and (b) deterministic event counts staying within
+# +20% of the committed BENCH_engine.json. Timings vs. the baseline are
+# reported but never gated — wall clock is machine-dependent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+MODE="write"
+QUICK=1
+for arg in "$@"; do
+  case "$arg" in
+    --check) MODE="check" ;;
+    --full) QUICK=0 ;;
+    *)
+      echo "usage: $0 [--full] [--check]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# cargo bench runs each bench with the crate dir as cwd, so the JSON
+# path handed to the shim must be absolute.
+BASELINE="$PWD/BENCH_engine.json"
+OUT="$BASELINE"
+if [[ "$MODE" == "check" ]]; then
+  OUT="$(mktemp -t vgrid-bench.XXXXXX.json)"
+  trap 'rm -f "$OUT"' EXIT
+fi
+
+rm -f "$OUT"
+echo "==> cargo bench -p vgrid-bench --bench substrate (quick=$QUICK)"
+VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
+  cargo bench -q -p vgrid-bench --bench substrate
+
+if [[ "$MODE" == "write" ]]; then
+  echo "bench: wrote $OUT"
+  exit 0
+fi
+
+python3 - "$OUT" "$BASELINE" <<'PY'
+import json
+import sys
+
+def load(path):
+    bench, metric = {}, {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            key = (row["group"], row["id"])
+            if row["type"] == "bench":
+                bench[key] = row
+            elif row["type"] == "metric":
+                metric[key + (row["metric"],)] = row["value"]
+    return bench, metric
+
+bench, metric = load(sys.argv[1])
+failures = []
+
+# Gate 1: coalescing floors on the substrate scenarios (ISSUE acceptance
+# criteria: >= 3x fewer events, >= 2x lower wall time).
+for fig in ("fig1_substrate", "fig7_substrate"):
+    ev_fast = metric[("substrate", fig, "events_fast")]
+    ev_ref = metric[("substrate", fig, "events_reference")]
+    if ev_fast * 3 > ev_ref:
+        failures.append(
+            f"{fig}: events_fast={ev_fast:.0f} not >=3x below reference={ev_ref:.0f}"
+        )
+    wall_fast = bench[("substrate", f"{fig}_fast")]["median_ns"]
+    wall_ref = bench[("substrate", f"{fig}_reference")]["median_ns"]
+    if wall_fast * 2 > wall_ref:
+        failures.append(
+            f"{fig}: median {wall_fast:.0f} ns not >=2x below reference {wall_ref:.0f} ns"
+        )
+    print(
+        f"{fig}: events {ev_ref:.0f} -> {ev_fast:.0f} "
+        f"({ev_ref / ev_fast:.1f}x), wall {wall_ref / wall_fast:.1f}x"
+    )
+
+# Gate 2: deterministic event counts within +20% of the committed
+# baseline (fewer events is always fine; more means lost coalescing).
+try:
+    _, base_metric = load(sys.argv[2])
+except FileNotFoundError:
+    base_metric = {}
+    print(f"note: no committed {sys.argv[2]}; skipping baseline comparison")
+for key, base in sorted(base_metric.items()):
+    if key[2] not in ("events_fast", "events_reference"):
+        continue
+    now = metric.get(key)
+    if now is None:
+        failures.append(f"{key}: metric missing from this run")
+    elif now > base * 1.2:
+        failures.append(f"{key}: {now:.0f} events vs baseline {base:.0f} (+20% budget)")
+    else:
+        print(f"{'/'.join(key)}: {now:.0f} (baseline {base:.0f}) ok")
+
+if failures:
+    print("bench check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  - {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench check: OK")
+PY

@@ -32,14 +32,23 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// With `--verbose`, print the process-wide event-loop totals to stderr
+/// (stdout stays clean for `--json` consumers).
+fn report_loop_totals(args: &[String]) {
+    if args.iter().any(|a| a == "--verbose" || a == "-v") {
+        eprintln!("event loop: {}", vgrid::core::loop_totals().render());
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vgrid <command>\n\
          \n\
          commands:\n\
            list                          list experiment ids\n\
-           run <id> [--paper] [--json]   run one experiment\n\
-           suite [--paper]               run the full paper suite\n\
+           run <id> [--paper] [--json] [--verbose]\n\
+                                         run one experiment\n\
+           suite [--paper] [--verbose]   run the full paper suite\n\
            campaign [--volunteers N] [--days D]\n\
                     [--vm vmplayer|qemu|virtualbox|virtualpc|native]\n\
                     [--image-mb M] [--migrate]\n"
@@ -89,6 +98,7 @@ fn main() -> ExitCode {
             } else {
                 print!("{}", fig.render());
             }
+            report_loop_totals(&args);
             ExitCode::SUCCESS
         }
         "suite" => {
@@ -96,6 +106,7 @@ fn main() -> ExitCode {
             for fig in experiments::run_paper_suite(fid) {
                 println!("{}", fig.render());
             }
+            report_loop_totals(&args);
             ExitCode::SUCCESS
         }
         "campaign" => {
