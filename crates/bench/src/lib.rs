@@ -14,6 +14,8 @@
 //! `benches/substrate.rs` additionally microbenchmarks the hot layers
 //! (event loop, LZMA kernel, contention solver).
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use vgrid_core::FigureResult;
 

@@ -23,7 +23,6 @@
 //! Figure modules translate specs and results into `FigureResult`s; the
 //! physics lives in the layers below.
 
-use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use crate::parallel::parallel_map;
@@ -32,7 +31,9 @@ use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
-use vgrid_simcore::{EventLoopStats, OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary};
+use vgrid_simcore::{
+    DetMap, EventLoopStats, OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary,
+};
 use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile, VnicMode};
 use vgrid_workloads::iobench::{IoBenchBody, IoBenchConfig};
 use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchSuite};
@@ -290,7 +291,7 @@ impl TrialResult {
 /// docs for the parallelism, caching and determinism contract.
 #[derive(Debug, Default)]
 pub struct Engine {
-    cache: Mutex<HashMap<String, TrialResult>>,
+    cache: Mutex<DetMap<String, TrialResult>>,
 }
 
 impl Engine {

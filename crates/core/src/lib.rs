@@ -34,6 +34,8 @@
 //! * [`calibration`] — the paper-vs-measured comparison table.
 //! * [`parallel`] — deterministic scoped-thread repetition sweeps.
 
+#![forbid(unsafe_code)]
+
 pub mod calibration;
 pub mod engine;
 pub mod experiments;

@@ -19,6 +19,8 @@
 //! * `VGRID_BENCH_QUICK=1` — clamp every group's sample size to 3 for
 //!   smoke runs.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::time::{Duration, Instant};
 

@@ -36,6 +36,8 @@
 //! assert!(native.validated_wus >= vm.validated_wus);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod model;
 pub mod sim;

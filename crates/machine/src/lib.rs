@@ -34,6 +34,8 @@
 //! assert!(cm.slowdown_against(&hog, &[&hog.clone()]) > 1.05);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod contention;
 pub mod cpu;

@@ -36,11 +36,11 @@ pub enum Priority {
 pub struct ThreadId(pub u32);
 
 /// Identifies an open file within one kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u32);
 
 /// Identifies a network connection within one kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnId(pub u32);
 
 /// Errors surfaced to thread bodies.

@@ -17,9 +17,9 @@
 //! of clean pages models cache pressure.
 
 use crate::action::{ActionResult, FileId, OsError};
-use std::collections::HashMap;
 use vgrid_machine::ops::{OpBlock, OpClassCounts};
 use vgrid_machine::{DiskRequest, DiskRequestKind};
+use vgrid_simcore::DetMap;
 
 /// Filesystem tuning parameters.
 #[derive(Debug, Clone)]
@@ -108,8 +108,8 @@ struct Handle {
 #[derive(Debug)]
 pub struct FileSystem {
     cfg: FsConfig,
-    files: HashMap<String, FileNode>,
-    handles: HashMap<FileId, Handle>,
+    files: DetMap<String, FileNode>,
+    handles: DetMap<FileId, Handle>,
     next_handle: u32,
     alloc_cursor: u64,
     touch_counter: u64,
@@ -151,8 +151,8 @@ impl FileSystem {
     pub fn new(cfg: FsConfig) -> Self {
         FileSystem {
             cfg,
-            files: HashMap::new(),
-            handles: HashMap::new(),
+            files: DetMap::new(),
+            handles: DetMap::new(),
             next_handle: 1,
             alloc_cursor: 0,
             touch_counter: 0,

@@ -35,6 +35,8 @@
 //! assert!((cpu - 40.0).abs() < 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod fs;
 pub mod net;

@@ -12,10 +12,9 @@
 //! and cross-traffic are out of scope (the paper's LAN had none).
 
 use crate::action::{ActionResult, ConnId, OsError, RemoteHost, RemoteKind};
-use std::collections::HashMap;
 use vgrid_machine::ops::{OpBlock, OpClassCounts};
 use vgrid_machine::NicModel;
-use vgrid_simcore::SimDuration;
+use vgrid_simcore::{DetMap, SimDuration};
 
 /// Stack tuning parameters.
 #[derive(Debug, Clone)]
@@ -76,7 +75,7 @@ struct Conn {
 pub struct NetStack {
     cfg: NetConfig,
     nic: NicModel,
-    conns: HashMap<ConnId, Conn>,
+    conns: DetMap<ConnId, Conn>,
     next_conn: u32,
 }
 
@@ -86,7 +85,7 @@ impl NetStack {
         NetStack {
             cfg,
             nic,
-            conns: HashMap::new(),
+            conns: DetMap::new(),
             next_conn: 1,
         }
     }

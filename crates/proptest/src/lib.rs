@@ -10,6 +10,8 @@
 //! sampling from a deterministic per-test RNG — there is no shrinking;
 //! a failing case panics with the ordinary assert message.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Deterministic generator state for one test case.
     pub struct TestRng {
@@ -406,6 +408,7 @@ mod tests {
             pick in prop_oneof![(0u8..4).prop_map(|x| x * 2), Just(9u8)],
         ) {
             prop_assert!(n >= 1 && n < 10);
+            // simlint: allow(unstable-sort) -- u8 keys are total; only sortedness is asserted
             v.sort_unstable();
             prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
             prop_assert!(pick == 9 || pick % 2 == 0);

@@ -34,12 +34,16 @@
 //! assert_eq!(t, SimTime::from_millis(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod detmap;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use detmap::{DetMap, DetSet};
 pub use event::{EventQueue, EventQueueStats, ScheduledEvent};
 pub use rng::SimRng;
 pub use stats::{

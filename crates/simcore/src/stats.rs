@@ -450,6 +450,7 @@ mod tests {
     fn repetition_seeds_are_distinct() {
         let runner = RepetitionRunner::new().repetitions(50);
         let mut seeds: Vec<u64> = (0..50).map(|r| runner.seed_for(r)).collect();
+        // simlint: allow(unstable-sort) -- u64 keys are total; order of equals unobservable
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 50);

@@ -1,0 +1,746 @@
+//! # simlint
+//!
+//! A rustc-`tidy`-style static-analysis pass that machine-checks the
+//! `vgrid` determinism contract (DESIGN.md §8). Every simulation run
+//! must be a pure function of (config, seed); this crate walks the
+//! workspace source tree and rejects the constructs that silently break
+//! that property:
+//!
+//! | rule id            | what it bans                                                  |
+//! |--------------------|---------------------------------------------------------------|
+//! | `hash-collections` | `HashMap`/`HashSet` in sim crates (iteration-order entropy)   |
+//! | `wall-clock`       | `Instant::now`/`SystemTime` outside the criterion/timeref shims |
+//! | `ambient-entropy`  | `thread_rng`/`OsRng`/`getrandom`/`from_entropy` outside `simcore::rng` |
+//! | `unstable-sort`    | `sort_unstable*` without an explicit key-totality pragma      |
+//! | `stray-file`       | unreferenced / non-`.rs` files under any `src/` directory     |
+//! | `forbid-unsafe`    | crate roots missing `#![forbid(unsafe_code)]`                 |
+//!
+//! A violation line can be sanctioned with a pragma comment, either
+//! trailing the line or on the line directly above it:
+//!
+//! ```text
+//! // simlint: allow(hash-collections) -- debug dump, order never observed
+//! ```
+//!
+//! The reason is mandatory: an allow without a justification is itself
+//! a diagnostic. Pragmas are only recognised inside comments — the
+//! scanner separates code, comments and string literals, so neither
+//! banned tokens in doc prose nor pragma look-alikes in string
+//! literals (e.g. this crate's own rule tables and test fixtures) ever
+//! fire or suppress anything.
+//!
+//! The library is pure — [`lint`] maps a set of in-memory
+//! [`SourceFile`]s to [`Diagnostic`]s — so the fixture tests run
+//! without touching the filesystem; the `simlint` binary glues
+//! [`collect_tree`] + [`lint`] to the real workspace and turns the
+//! outcome into a machine-readable exit code (0 clean, 1 violations,
+//! 2 I/O or usage error).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The crates whose source must be free of iteration-order and
+/// comparison nondeterminism (rules `hash-collections`,
+/// `unstable-sort`). Everything under `crates/<name>/`.
+pub const SIM_CRATES: &[&str] = &[
+    "simcore",
+    "os",
+    "machine",
+    "vmm",
+    "workloads",
+    "grid",
+    "core",
+];
+
+/// Crates allowed to read host wall-clock time: the in-repo criterion
+/// shim (benchmarks the simulator itself) and the external
+/// time-reference model.
+pub const WALL_CLOCK_SHIMS: &[&str] = &["criterion", "timeref"];
+
+/// The one file allowed to define entropy plumbing: the seedable
+/// simulation RNG.
+pub const ENTROPY_SHIM: &str = "crates/simcore/src/rng.rs";
+
+/// A determinism rule enforced by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in a sim crate.
+    HashCollections,
+    /// `Instant::now`/`SystemTime` outside the wall-clock shims.
+    WallClock,
+    /// Ambient entropy (`thread_rng` & co.) outside `simcore::rng`.
+    AmbientEntropy,
+    /// `sort_unstable*` without a key-totality pragma.
+    UnstableSort,
+    /// Unreferenced or non-`.rs` file under a `src/` directory.
+    StrayFile,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// Malformed or unknown allow-pragma.
+    BadPragma,
+}
+
+impl Rule {
+    /// The id used in pragmas and diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientEntropy => "ambient-entropy",
+            Rule::UnstableSort => "unstable-sort",
+            Rule::StrayFile => "stray-file",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// Parse a pragma rule id. Only line-scoped rules can be allowed,
+    /// so the file-scoped ones (`stray-file`, `forbid-unsafe`) and
+    /// `bad-pragma` itself are not recognised here.
+    pub fn from_pragma_id(id: &str) -> Option<Rule> {
+        match id {
+            "hash-collections" => Some(Rule::HashCollections),
+            "wall-clock" => Some(Rule::WallClock),
+            "ambient-entropy" => Some(Rule::AmbientEntropy),
+            "unstable-sort" => Some(Rule::UnstableSort),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, pointing at a workspace-relative `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number (1 for whole-file findings).
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// A file handed to [`lint`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// UTF-8 contents for `.rs` files; `None` for non-source files
+    /// (which only the `stray-file` rule looks at).
+    pub text: Option<String>,
+}
+
+impl SourceFile {
+    /// Convenience constructor for tests and callers.
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            text: Some(text.to_string()),
+        }
+    }
+}
+
+/// The two views of a source file the rules operate on: `code` has
+/// comments and string/char literals blanked out, `comments` has
+/// everything *except* comment bodies blanked out. Both preserve byte
+/// offsets and newlines, so line numbers line up with the original.
+#[derive(Debug)]
+pub struct Views {
+    /// Code with comments and literals replaced by spaces.
+    pub code: String,
+    /// Comment bodies with code and literals replaced by spaces.
+    pub comments: String,
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Split `text` into its code and comment views. Handles line and
+/// (nested) block comments, string/char/byte literals, raw strings
+/// with any hash depth, raw identifiers and lifetimes.
+pub fn scrub(text: &str) -> Views {
+    let b = text.as_bytes();
+    let n = b.len();
+    let mut code = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    for (i, &byte) in b.iter().enumerate() {
+        if byte == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+        }
+    }
+
+    let mut i = 0;
+    let mut prev_ident = false; // was the previous code byte identifier-ish?
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            i += 2;
+            while i < n && b[i] != b'\n' {
+                comments[i] = b[i];
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] != b'\n' {
+                        comments[i] = b[i];
+                    }
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw (byte) strings: r"…", r#"…"#, br#"…"#, and raw
+        // identifiers (r#ident), but only where `r`/`b` start a token.
+        let saw_r = c == b'r' || (c == b'b' && i + 1 < n && b[i + 1] == b'r');
+        if saw_r && !prev_ident {
+            let mut j = i + 1 + usize::from(c == b'b');
+            let mut hashes = 0usize;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' {
+                // Raw string: scan for `"` followed by `hashes` hashes.
+                i = j + 1;
+                'raw: while i < n {
+                    if b[i] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+            // `r#ident` (raw identifier) or a plain identifier starting
+            // with `r`/`b`: fall through to the default code path.
+        }
+        // Byte string / byte char: skip the `b` prefix and handle like
+        // the plain literal below.
+        let mut i2 = i;
+        if c == b'b' && !prev_ident && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+            i2 = i + 1;
+        }
+        let c = b[i2];
+        // String literal (escapes honoured).
+        if c == b'"' {
+            i = i2 + 1;
+            while i < n {
+                if b[i] == b'\\' {
+                    i += 2;
+                } else if b[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == b'\'' {
+            i = i2;
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char: quote, backslash, the escaped char,
+                // then anything up to the closing quote (covers
+                // `'\u{…}'` and `'\''`).
+                i += 3;
+                while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                    i += 1;
+                }
+                i += 1;
+                prev_ident = false;
+                continue;
+            }
+            if i + 1 < n {
+                let ch_len = utf8_len(b[i + 1]);
+                let close = i + 1 + ch_len;
+                if close < n && b[close] == b'\'' {
+                    i = close + 1; // char literal like 'x'
+                    prev_ident = false;
+                    continue;
+                }
+            }
+            // Lifetime: the quote itself is code.
+            code[i] = b'\'';
+            i += 1;
+            prev_ident = false;
+            continue;
+        }
+        code[i] = c;
+        prev_ident = c == b'_' || c.is_ascii_alphanumeric();
+        i += 1;
+    }
+
+    Views {
+        code: String::from_utf8(code).expect("blanked bytes are ASCII"),
+        comments: String::from_utf8(comments).expect("blanked bytes are ASCII"),
+    }
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Find `token` in `line` respecting identifier boundaries. With
+/// `prefix`, the token may continue as an identifier (used so
+/// `sort_unstable` also matches `sort_unstable_by_key`).
+fn has_token(line: &str, token: &str, prefix: bool) -> bool {
+    let lb = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(lb[at - 1]);
+        let end = at + token.len();
+        let after_ok = prefix || end >= lb.len() || !is_ident_byte(lb[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Per-file pragma table: line number -> rules allowed on that line
+/// and the next.
+type Allows = BTreeMap<usize, Vec<Rule>>;
+
+/// Parse allow-pragmas out of the comments view. Malformed pragmas
+/// become `bad-pragma` diagnostics.
+fn parse_pragmas(path: &str, comments: &str, diags: &mut Vec<Diagnostic>) -> Allows {
+    let mut allows: Allows = BTreeMap::new();
+    let marker = "simlint:";
+    for (lineno, line) in comments.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut cursor = 0;
+        while let Some(pos) = line[cursor..].find(marker) {
+            let after = &line[cursor + pos + marker.len()..];
+            cursor += pos + marker.len();
+            let after = after.trim_start();
+            let Some(rest) = after.strip_prefix("allow(") else {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::BadPragma,
+                    message: "expected `allow(<rule>) -- <reason>` after `simlint:`".into(),
+                });
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::BadPragma,
+                    message: "unclosed `allow(` pragma".into(),
+                });
+                continue;
+            };
+            let id = rest[..close].trim();
+            let tail = rest[close + 1..].trim_start();
+            let Some(rule) = Rule::from_pragma_id(id) else {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::BadPragma,
+                    message: format!("unknown or non-allowable rule `{id}` in pragma"),
+                });
+                continue;
+            };
+            let reason_ok = tail
+                .strip_prefix("--")
+                .map(|r| !r.trim().is_empty())
+                .unwrap_or(false);
+            if !reason_ok {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::BadPragma,
+                    message: format!("pragma `allow({id})` needs a justification: `-- <reason>`"),
+                });
+                continue;
+            }
+            allows.entry(lineno).or_default().push(rule);
+        }
+    }
+    allows
+}
+
+fn allowed(allows: &Allows, rule: Rule, line: usize) -> bool {
+    let on = |l: usize| allows.get(&l).map(|v| v.contains(&rule)).unwrap_or(false);
+    on(line) || (line > 0 && on(line - 1))
+}
+
+/// Does `path` live in one of the sim crates?
+fn in_sim_crate(path: &str) -> bool {
+    SIM_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
+fn in_wall_clock_shim(path: &str) -> bool {
+    WALL_CLOCK_SHIMS
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
+/// The top-level unit a path belongs to: `crates/<name>` or `""` for
+/// the root package. Module references only count within their unit.
+fn unit_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        match rest.find('/') {
+            Some(cut) => format!("crates/{}", &rest[..cut]),
+            None => String::new(),
+        }
+    } else {
+        String::new()
+    }
+}
+
+/// Is `path` a compilation root cargo discovers on its own (crate
+/// roots, bin/test/bench/example targets)?
+fn is_compilation_root(path: &str, unit: &str) -> bool {
+    let local = if unit.is_empty() {
+        path
+    } else {
+        match path.strip_prefix(&format!("{unit}/")) {
+            Some(l) => l,
+            None => return false,
+        }
+    };
+    local == "src/lib.rs"
+        || local == "src/main.rs"
+        || local == "build.rs"
+        || (local.starts_with("src/bin/") && local.ends_with(".rs"))
+        || (local.starts_with("tests/") && local.ends_with(".rs"))
+        || (local.starts_with("benches/") && local.ends_with(".rs"))
+        || (local.starts_with("examples/") && local.ends_with(".rs"))
+}
+
+/// Collect `mod name;` declarations from a code view.
+fn collect_mod_decls(code: &str, out: &mut Vec<String>) {
+    for line in code.lines() {
+        let lb = line.as_bytes();
+        let mut start = 0;
+        while let Some(pos) = line[start..].find("mod") {
+            let at = start + pos;
+            start = at + 3;
+            let before_ok = at == 0 || !is_ident_byte(lb[at - 1]);
+            let after = &line[at + 3..];
+            if !before_ok || !after.starts_with(|c: char| c.is_whitespace()) {
+                continue;
+            }
+            let after = after.trim_start();
+            let ident: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if ident.is_empty() {
+                continue;
+            }
+            if after[ident.len()..].trim_start().starts_with(';') {
+                out.push(ident);
+            }
+        }
+    }
+}
+
+struct TokenRule {
+    rule: Rule,
+    tokens: &'static [(&'static str, bool)], // (token, prefix-match)
+    message: &'static str,
+}
+
+const TOKEN_RULES: &[TokenRule] = &[
+    TokenRule {
+        rule: Rule::HashCollections,
+        tokens: &[("HashMap", false), ("HashSet", false)],
+        message: "hash collections iterate in RandomState order; use \
+                  `vgrid_simcore::DetMap`/`DetSet` in sim crates",
+    },
+    TokenRule {
+        rule: Rule::WallClock,
+        tokens: &[("Instant::now", false), ("SystemTime", false)],
+        message: "host wall-clock reads are banned outside the criterion/timeref shims; \
+                  simulated time comes from `vgrid_simcore::SimTime`",
+    },
+    TokenRule {
+        rule: Rule::AmbientEntropy,
+        tokens: &[
+            ("thread_rng", false),
+            ("from_entropy", false),
+            ("OsRng", false),
+            ("getrandom", false),
+        ],
+        message: "ambient entropy is banned outside `simcore::rng`; \
+                  fork a seeded `SimRng` stream instead",
+    },
+    TokenRule {
+        rule: Rule::UnstableSort,
+        tokens: &[("sort_unstable", true)],
+        message: "`sort_unstable*` reorders equal keys; prove the key is total and \
+                  annotate, or use a stable sort",
+    },
+];
+
+fn rule_applies(rule: Rule, path: &str) -> bool {
+    match rule {
+        Rule::HashCollections => in_sim_crate(path),
+        Rule::WallClock => !in_wall_clock_shim(path),
+        Rule::AmbientEntropy => path != ENTROPY_SHIM,
+        Rule::UnstableSort => true,
+        _ => false,
+    }
+}
+
+/// Run every rule over the given files. Paths are workspace-relative
+/// with `/` separators; diagnostics come back sorted by (path, line).
+pub fn lint(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    // Scrub once per file; collect per-unit module declarations for
+    // the stray-file rule along the way.
+    let mut mod_decls: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut prepared: Vec<(usize, Views)> = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        let Some(text) = &f.text else { continue };
+        let views = scrub(text);
+        collect_mod_decls(&views.code, mod_decls.entry(unit_of(&f.path)).or_default());
+        prepared.push((idx, views));
+    }
+
+    for (idx, views) in &prepared {
+        let f = &files[*idx];
+        let allows = parse_pragmas(&f.path, &views.comments, &mut diags);
+
+        // Token rules on the code view.
+        for tr in TOKEN_RULES {
+            if !rule_applies(tr.rule, &f.path) {
+                continue;
+            }
+            for (lineno, line) in views.code.lines().enumerate() {
+                let lineno = lineno + 1;
+                let hit = tr.tokens.iter().any(|(t, pfx)| has_token(line, t, *pfx));
+                if hit && !allowed(&allows, tr.rule, lineno) {
+                    diags.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: lineno,
+                        rule: tr.rule,
+                        message: tr.message.to_string(),
+                    });
+                }
+            }
+        }
+
+        // forbid-unsafe: crate roots must carry the attribute.
+        let is_crate_root = f.path == "src/lib.rs"
+            || (f.path.starts_with("crates/") && f.path.ends_with("/src/lib.rs"));
+        if is_crate_root && !views.code.contains("#![forbid(unsafe_code)]") {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: 1,
+                rule: Rule::ForbidUnsafe,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+
+    // stray-file: everything under a src/ directory must be a .rs file
+    // that cargo or a `mod` declaration actually references.
+    for f in files {
+        let under_src = f.path.starts_with("src/") || f.path.contains("/src/");
+        if !under_src {
+            continue;
+        }
+        if !f.path.ends_with(".rs") {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: 1,
+                rule: Rule::StrayFile,
+                message: "non-`.rs` file under src/; delete it or move it out of the \
+                          source tree"
+                    .to_string(),
+            });
+            continue;
+        }
+        let unit = unit_of(&f.path);
+        if is_compilation_root(&f.path, &unit) {
+            continue;
+        }
+        let file_name = f.path.rsplit('/').next().unwrap_or(&f.path);
+        let mod_name = if file_name == "mod.rs" {
+            let parent = f.path.rsplit('/').nth(1).unwrap_or("");
+            parent.to_string()
+        } else {
+            file_name.trim_end_matches(".rs").to_string()
+        };
+        let declared = mod_decls
+            .get(&unit)
+            .map(|v| v.contains(&mod_name))
+            .unwrap_or(false);
+        if !declared {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: 1,
+                rule: Rule::StrayFile,
+                message: format!(
+                    "unreferenced source file: no `mod {mod_name};` in {}",
+                    if unit.is_empty() {
+                        "the root package"
+                    } else {
+                        &unit
+                    }
+                ),
+            });
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "node_modules"];
+
+/// Walk the workspace at `root` and collect every `.rs` file plus
+/// every other file that sits under a `src/` directory (for the
+/// `stray-file` rule). Paths come back workspace-relative with `/`
+/// separators, sorted.
+pub fn collect_tree(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .expect("walk stays under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let is_rs = rel.ends_with(".rs");
+            let under_src = rel.starts_with("src/") || rel.contains("/src/");
+            if !is_rs && !under_src {
+                continue;
+            }
+            let text = if is_rs {
+                fs::read_to_string(&path).ok()
+            } else {
+                None
+            };
+            out.push(SourceFile { path: rel, text });
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_separates_code_comments_and_strings() {
+        let src = "let x = 1; // note: HashMap here\nlet s = \"HashMap\";\n";
+        let v = scrub(src);
+        assert!(v.code.contains("let x = 1;"));
+        assert!(!v.code.contains("HashMap"), "code view: {}", v.code);
+        assert!(v.comments.contains("note: HashMap here"));
+        assert!(!v.comments.contains("let x"));
+        // Line structure is preserved in both views.
+        assert_eq!(v.code.lines().count(), 2);
+        assert_eq!(v.comments.lines().count(), 2);
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"SystemTime\"#; let c = 'x'; }\n";
+        let v = scrub(src);
+        assert!(!v.code.contains("SystemTime"));
+        assert!(v.code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments() {
+        let src = "a /* one /* two */ still */ b\n";
+        let v = scrub(src);
+        assert!(v.code.contains('a') && v.code.contains('b'));
+        assert!(!v.code.contains("still"));
+        assert!(v.comments.contains("still"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token(
+            "use std::collections::HashMap;",
+            "HashMap",
+            false
+        ));
+        assert!(!has_token("struct MyHashMapLike;", "HashMap", false));
+        assert!(has_token(
+            "v.sort_unstable_by_key(|x| x.0);",
+            "sort_unstable",
+            true
+        ));
+        assert!(!has_token(
+            "v.sort_unstable_by_key(|x| x.0);",
+            "sort_unstable",
+            false
+        ));
+    }
+}

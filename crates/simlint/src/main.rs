@@ -1,0 +1,95 @@
+//! The `simlint` binary: `cargo run -p simlint`.
+//!
+//! Walks the workspace source tree and enforces the determinism
+//! contract (DESIGN.md §8). Exit codes are machine-readable so the
+//! verify script and CI can gate on them:
+//!
+//! * `0` — tree is lint-clean
+//! * `1` — violations found (one `path:line: [rule] message` per line)
+//! * `2` — usage or I/O error
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::{collect_tree, lint};
+
+const USAGE: &str = "usage: simlint [--root <path>] [--list-rules]";
+
+/// Walk up from the manifest (or current) directory to the directory
+/// whose Cargo.toml declares `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                println!("hash-collections  no HashMap/HashSet in sim crates");
+                println!("wall-clock        no Instant::now/SystemTime outside criterion/timeref");
+                println!("ambient-entropy   no thread_rng/OsRng/getrandom outside simcore::rng");
+                println!("unstable-sort     no sort_unstable* without a key-totality pragma");
+                println!("stray-file        no unreferenced or non-.rs files under src/");
+                println!("forbid-unsafe     crate roots must carry #![forbid(unsafe_code)]");
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root.or_else(workspace_root) else {
+        eprintln!("simlint: could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+    let files = match collect_tree(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("simlint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = lint(&files);
+    if diags.is_empty() {
+        println!("simlint: OK ({} files scanned)", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!("simlint: {} violation(s)", diags.len());
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,238 @@
+//! Fixture corpus: every rule must fire on a seeded violation and stay
+//! quiet when an allow-pragma (or an exempt path) sanctions it. The
+//! fixtures live in string literals, which the scanner blanks out —
+//! so this file itself stays lint-clean when simlint walks the repo.
+
+use simlint::{lint, Diagnostic, Rule, SourceFile};
+
+fn lint_one(path: &str, text: &str) -> Vec<Diagnostic> {
+    lint(&[SourceFile::new(path, text)])
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---- hash-collections -------------------------------------------------
+
+#[test]
+fn hash_collections_fires_in_sim_crate() {
+    let diags = lint_one(
+        "crates/os/tests/fix.rs",
+        r#"
+use std::collections::HashMap;
+fn f() -> HashSet<u32> { todo!() }
+"#,
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::HashCollections, Rule::HashCollections]
+    );
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[1].line, 3);
+}
+
+#[test]
+fn hash_collections_pragma_suppresses() {
+    let diags = lint_one(
+        "crates/os/tests/fix.rs",
+        r#"
+// simlint: allow(hash-collections) -- test-only tally, order never observed
+use std::collections::HashMap;
+let m = HashMap::new(); // simlint: allow(hash-collections) -- same tally
+"#,
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+#[test]
+fn hash_collections_ignores_non_sim_crates_and_prose() {
+    // Not a sim crate: the bench harness may hash freely.
+    let diags = lint_one(
+        "crates/bench/benches/fix.rs",
+        "use std::collections::HashMap;\n",
+    );
+    assert!(diags.is_empty());
+    // Comment prose and string literals never fire.
+    let diags = lint_one(
+        "crates/os/tests/fix.rs",
+        "// HashMap is banned here\nlet s = \"HashMap\";\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+// ---- wall-clock -------------------------------------------------------
+
+#[test]
+fn wall_clock_fires_everywhere_but_the_shims() {
+    let bad = "let t = std::time::Instant::now();\nlet s = SystemTime::now();\n";
+    let diags = lint_one("crates/machine/tests/fix.rs", bad);
+    assert_eq!(rules_of(&diags), vec![Rule::WallClock, Rule::WallClock]);
+    // The criterion and timeref shims are the sanctioned exceptions.
+    assert!(lint_one("crates/criterion/tests/fix.rs", bad).is_empty());
+    assert!(lint_one("crates/timeref/tests/fix.rs", bad).is_empty());
+}
+
+#[test]
+fn wall_clock_pragma_suppresses() {
+    let diags = lint_one(
+        "src/bin/fix.rs",
+        r#"
+// simlint: allow(wall-clock) -- CLI progress display only, not measurement
+let t = std::time::Instant::now();
+"#,
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+// ---- ambient-entropy --------------------------------------------------
+
+#[test]
+fn ambient_entropy_fires_outside_the_rng_shim() {
+    let diags = lint_one(
+        "tests/fix.rs",
+        "let x = rand::thread_rng();\nlet y = OsRng;\nlet z = getrandom();\n",
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec![
+            Rule::AmbientEntropy,
+            Rule::AmbientEntropy,
+            Rule::AmbientEntropy
+        ]
+    );
+}
+
+#[test]
+fn ambient_entropy_allows_the_rng_shim_itself() {
+    let files = [
+        SourceFile::new(
+            "crates/simcore/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod rng;\n",
+        ),
+        SourceFile::new(
+            "crates/simcore/src/rng.rs",
+            "// only the shim may even name thread_rng\nfn no_thread_rng_here() {}\n",
+        ),
+    ];
+    assert!(lint(&files).is_empty());
+}
+
+#[test]
+fn ambient_entropy_pragma_suppresses() {
+    let diags = lint_one(
+        "tests/fix.rs",
+        "let x = thread_rng(); // simlint: allow(ambient-entropy) -- doc example, never run\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+// ---- unstable-sort ----------------------------------------------------
+
+#[test]
+fn unstable_sort_fires_on_all_variants() {
+    let diags = lint_one(
+        "crates/simcore/tests/fix.rs",
+        "v.sort_unstable();\nv.sort_unstable_by(cmp);\nv.sort_unstable_by_key(|x| x.0);\n",
+    );
+    assert_eq!(diags.len(), 3);
+    assert!(diags.iter().all(|d| d.rule == Rule::UnstableSort));
+}
+
+#[test]
+fn unstable_sort_pragma_suppresses() {
+    let diags = lint_one(
+        "crates/simcore/tests/fix.rs",
+        "// simlint: allow(unstable-sort) -- u64 keys are total\nv.sort_unstable();\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+// ---- stray-file -------------------------------------------------------
+
+#[test]
+fn stray_file_catches_undeclared_and_non_rs_files() {
+    let files = [
+        SourceFile::new(
+            "crates/os/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod good;\n// mod dead;\n",
+        ),
+        SourceFile::new("crates/os/src/good.rs", "pub fn ok() {}\n"),
+        SourceFile::new("crates/os/src/dead.rs", "pub fn gone() {}\n"),
+        SourceFile {
+            path: "crates/os/src/system.rs.memtest".to_string(),
+            text: None,
+        },
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::StrayFile, Rule::StrayFile]);
+    // A commented-out `mod dead;` does not count as a reference.
+    assert_eq!(diags[0].path, "crates/os/src/dead.rs");
+    assert_eq!(diags[1].path, "crates/os/src/system.rs.memtest");
+}
+
+#[test]
+fn stray_file_understands_mod_rs_and_roots() {
+    let files = [
+        SourceFile::new(
+            "crates/workloads/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod nbench;\n",
+        ),
+        SourceFile::new("crates/workloads/src/nbench/mod.rs", "pub mod lu;\n"),
+        SourceFile::new("crates/workloads/src/nbench/lu.rs", "pub fn lu() {}\n"),
+        // Compilation roots cargo discovers on its own need no `mod`.
+        SourceFile::new("crates/workloads/src/main.rs", "fn main() {}\n"),
+        SourceFile::new("src/bin/tool.rs", "fn main() {}\n"),
+    ];
+    assert!(lint(&files).is_empty());
+}
+
+// ---- forbid-unsafe ----------------------------------------------------
+
+#[test]
+fn forbid_unsafe_requires_the_attribute_on_crate_roots() {
+    let diags = lint_one("crates/grid/src/lib.rs", "pub fn f() {}\n");
+    assert_eq!(rules_of(&diags), vec![Rule::ForbidUnsafe]);
+    let diags = lint_one(
+        "crates/grid/src/lib.rs",
+        "//! docs\n\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    assert!(diags.is_empty());
+    // Non-root files are not required to repeat it.
+    assert!(lint_one("crates/grid/tests/fix.rs", "pub fn f() {}\n").is_empty());
+}
+
+// ---- pragma hygiene ---------------------------------------------------
+
+#[test]
+fn malformed_pragmas_are_diagnosed() {
+    // Unknown rule id.
+    let diags = lint_one("tests/fix.rs", "// simlint: allow(nonsense) -- why\n");
+    assert_eq!(rules_of(&diags), vec![Rule::BadPragma]);
+    // File-scoped rules cannot be allowed per line.
+    let diags = lint_one("tests/fix.rs", "// simlint: allow(stray-file) -- nope\n");
+    assert_eq!(rules_of(&diags), vec![Rule::BadPragma]);
+    // Missing justification.
+    let diags = lint_one("tests/fix.rs", "// simlint: allow(unstable-sort)\n");
+    assert_eq!(rules_of(&diags), vec![Rule::BadPragma]);
+    // Missing justification does not suppress the violation either.
+    let diags = lint_one(
+        "crates/os/tests/fix.rs",
+        "// simlint: allow(unstable-sort)\nv.sort_unstable();\n",
+    );
+    assert_eq!(rules_of(&diags), vec![Rule::BadPragma, Rule::UnstableSort]);
+}
+
+#[test]
+fn pragma_only_reaches_its_own_and_next_line() {
+    let diags = lint_one(
+        "crates/os/tests/fix.rs",
+        r#"
+// simlint: allow(unstable-sort) -- only covers the next line
+v.sort_unstable();
+w.sort_unstable();
+"#,
+    );
+    assert_eq!(rules_of(&diags), vec![Rule::UnstableSort]);
+    assert_eq!(diags[0].line, 4);
+}

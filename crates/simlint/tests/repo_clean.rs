@@ -1,0 +1,26 @@
+//! The tree itself must satisfy the determinism contract: this is the
+//! same check `cargo run -p simlint` / `scripts/verify.sh` gate on,
+//! pinned as a test so `cargo test -q` catches regressions too.
+
+use std::path::PathBuf;
+
+#[test]
+fn repo_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = simlint::collect_tree(&root).expect("walk workspace tree");
+    assert!(
+        files.iter().any(|f| f.path == "crates/simlint/src/lib.rs"),
+        "tree walk should reach simlint itself; got {} files",
+        files.len()
+    );
+    let diags = simlint::lint(&files);
+    assert!(
+        diags.is_empty(),
+        "determinism lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -31,6 +31,8 @@
 //! assert!(clock.total_lag() > SimDuration::from_millis(300));
 //! ```
 
+#![forbid(unsafe_code)]
+
 use vgrid_simcore::{SimDuration, SimRng, SimTime};
 
 /// Guest clock behaviour parameters.

@@ -23,7 +23,6 @@
 use crate::guest::{GuestNetOp, GuestStep, GuestVm};
 use crate::profiles::VmmProfile;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use vgrid_machine::ops::{OpBlock, OpClassCounts};
 use vgrid_machine::DiskRequestKind;
@@ -31,7 +30,7 @@ use vgrid_os::{
     Action, ActionResult, ConnId, FileId, Priority, RemoteHost, System, ThreadBody, ThreadCtx,
     ThreadId,
 };
-use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_simcore::{DetMap, SimDuration, SimTime};
 
 /// Checkpoint write chunk.
 const CKPT_CHUNK: u64 = 16 * 1024 * 1024;
@@ -239,7 +238,7 @@ pub struct VcpuBody {
     image_path: String,
     image: Option<FileId>,
     ckpt_file: Option<FileId>,
-    conn_map: HashMap<ConnId, ConnId>,
+    conn_map: DetMap<ConnId, ConnId>,
     control: Rc<RefCell<VmControl>>,
     phase: VPhase,
     /// CPU time observed at the previous activation (for the serviced-
@@ -260,7 +259,7 @@ impl VcpuBody {
             image_path: cfg.image_path.clone(),
             image: None,
             ckpt_file: None,
-            conn_map: HashMap::new(),
+            conn_map: DetMap::new(),
             control,
             phase: VPhase::OpenImage,
             last_cpu: SimDuration::ZERO,

@@ -42,6 +42,8 @@
 //! assert!(host_cpu > 0.2 && host_cpu < 0.4, "host cpu {host_cpu}");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod body;
 pub mod guest;
 pub mod profiles;

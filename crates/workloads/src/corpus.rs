@@ -131,7 +131,7 @@ mod tests {
     fn random_fraction_controls_entropy() {
         // Crude entropy proxy: count distinct 2-grams.
         fn grams(data: &[u8]) -> usize {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = vgrid_simcore::DetSet::new();
             for w in data.windows(2) {
                 seen.insert([w[0], w[1]]);
             }

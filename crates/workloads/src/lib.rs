@@ -35,6 +35,7 @@
 //! assert!(ops.total() > 100_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the published algorithms
 
 pub mod corpus;

@@ -19,6 +19,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (default members, -D warnings)"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> simlint (determinism contract: exit 0 = clean, 1 = violations)"
+cargo run -q -p simlint
+
 echo "==> cargo build --workspace (includes bench crate + shims)"
 cargo build -q --workspace --examples --tests --benches
 

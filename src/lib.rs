@@ -22,6 +22,8 @@
 //! let _ = Fidelity::Fast;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use vgrid_core as core;
 pub use vgrid_grid as grid;
 pub use vgrid_machine as machine;
