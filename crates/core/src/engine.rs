@@ -27,7 +27,7 @@ use std::sync::{Mutex, OnceLock};
 
 use crate::parallel::parallel_map;
 use crate::testbed::{install_einstein_vm, Fidelity, KernelLoop};
-use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid_grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
@@ -108,7 +108,9 @@ pub enum KernelSpec {
     /// A volunteer-grid campaign (`vgrid-grid`); the deployment carries
     /// its own VM configuration, so [`Environment`] is ignored. Metrics
     /// `validated_wus`, `efficiency`, `hosts_excluded_ram`,
-    /// `image_transfer_secs`, `migrations`.
+    /// `image_transfer_secs`, `migrations`, plus the churn-robustness
+    /// set `goodput`, `wasted_cpu_secs`, `reissues`,
+    /// `makespan_inflation`, `owner_preemptions`, `vm_kills`.
     Campaign {
         /// Project parameters.
         project: ProjectConfig,
@@ -116,6 +118,9 @@ pub enum KernelSpec {
         pool: PoolConfig,
         /// Deployment mode (native or a specific monitor).
         deploy: DeployConfig,
+        /// Churn / fault-injection layers (`ChurnConfig::off()` for the
+        /// legacy availability-only model).
+        churn: ChurnConfig,
         /// Simulated campaign horizon.
         horizon: SimTime,
     },
@@ -139,6 +144,12 @@ impl KernelSpec {
                 "hosts_excluded_ram",
                 "image_transfer_secs",
                 "migrations",
+                "goodput",
+                "wasted_cpu_secs",
+                "reissues",
+                "makespan_inflation",
+                "owner_preemptions",
+                "vm_kills",
             ],
         }
     }
@@ -448,15 +459,33 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             project,
             pool,
             deploy,
+            churn,
             horizon,
         } => {
-            let r = run_campaign(project, pool, deploy, seed, *horizon);
+            // Repetitions are the engine's job: one rep, seed verbatim.
+            let result = CampaignSpec::new(&spec.label)
+                .project(project.clone())
+                .pool(pool.clone())
+                .deploy(deploy.clone())
+                .churn(churn.clone())
+                .seed(seed)
+                .horizon(*horizon)
+                .build()
+                .unwrap_or_else(|e| panic!("trial {:?}: {e}", spec.label))
+                .run_seq();
+            let r = &result.reports()[0];
             vec![
                 r.validated_wus as f64,
                 r.efficiency,
                 r.hosts_excluded_ram as f64,
                 r.image_transfer_secs,
                 r.migrations as f64,
+                r.goodput,
+                r.wasted_cpu_secs,
+                r.reissues as f64,
+                r.makespan_inflation,
+                r.owner_preemptions as f64,
+                r.vm_kills as f64,
             ]
         }
         KernelSpec::OpLoop { block, iters } => {

@@ -1,0 +1,167 @@
+//! `grid-churn` — churn robustness of volunteer campaigns (extension
+//! experiment).
+//!
+//! The paper's Section 1 argues VM sandboxes suit desktop grids partly
+//! because suspend/checkpoint absorbs the reality of volunteer machines:
+//! owners reclaim them, they reboot, sandboxes get killed. This
+//! experiment quantifies that claim with the fault-injection layers of
+//! `vgrid_grid::faults`: a churn-intensity sweep crossed with
+//! checkpointed and checkpoint-free deployments, measuring goodput
+//! (validated reference CPU seconds per wall second), wasted CPU and
+//! reissue traffic.
+
+use crate::engine::{Engine, Environment, KernelSpec, TrialSpec};
+use crate::figures::{FigureResult, FigureRow};
+use crate::testbed::Fidelity;
+use vgrid_grid::{ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid_simcore::{SimDuration, SimTime};
+use vgrid_vmm::VmmProfile;
+
+/// Churn-intensity levels swept (0 = the availability-only baseline).
+const LEVELS: [f64; 4] = [0.0, 1.0, 2.0, 4.0];
+
+fn project(fidelity: Fidelity) -> ProjectConfig {
+    ProjectConfig {
+        // More work than the horizon can finish: the metric is goodput
+        // at the horizon, not the luck of the last straggler.
+        workunits: 50_000,
+        // Long tasks: an interruption without a checkpoint loses hours.
+        wu_ref_secs: fidelity.pick(2.0 * 3600.0, 4.0 * 3600.0),
+        ..Default::default()
+    }
+}
+
+fn pool(fidelity: Fidelity) -> PoolConfig {
+    PoolConfig {
+        volunteers: fidelity.pick(40, 120),
+        // Keep RAM out of the way: this experiment isolates churn.
+        ram_range: (1 << 30, 2 << 30),
+        ..Default::default()
+    }
+}
+
+fn spec(
+    label: String,
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: DeployConfig,
+    churn: ChurnConfig,
+    horizon: SimTime,
+    fidelity: Fidelity,
+) -> TrialSpec {
+    TrialSpec::new(
+        label,
+        Environment::Native,
+        KernelSpec::Campaign {
+            project: project.clone(),
+            pool: pool.clone(),
+            deploy,
+            churn,
+            horizon,
+        },
+        fidelity,
+    )
+    .seed(0x2e99)
+    .repetitions(3)
+}
+
+/// Run the churn sweep on the given engine.
+pub fn run_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
+    let horizon = SimTime::from_secs(fidelity.pick(7, 21) * 24 * 3600);
+    let project = project(fidelity);
+    let pool = pool(fidelity);
+    let vm = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
+    let mut vm_no_ckpt = vm.clone();
+    vm_no_ckpt.checkpoint_interval = SimDuration::ZERO;
+    let deployments = [
+        ("native", DeployConfig::native()),
+        ("vm", vm),
+        ("vm no-ckpt", vm_no_ckpt),
+    ];
+
+    let mut specs = Vec::new();
+    for level in LEVELS {
+        for (tag, deploy) in &deployments {
+            specs.push(spec(
+                format!("{tag} churn {level:.0}"),
+                &project,
+                &pool,
+                deploy.clone(),
+                ChurnConfig::intensity(level),
+                horizon,
+                fidelity,
+            ));
+        }
+    }
+    let results = engine.run_trials(&specs);
+
+    let mut fig = FigureResult::new(
+        "grid-churn",
+        "Volunteer churn vs checkpoint robustness: goodput under fault injection",
+        "goodput: validated reference CPU seconds per wall second (higher is better)",
+    );
+    for trial in &results {
+        fig.push(
+            FigureRow::new(&trial.label, trial.metric("goodput").mean).with_detail(format!(
+                "{:.0} wus, {:.0} h CPU wasted, {:.0} preemptions, {:.0} kills",
+                trial.metric("validated_wus").mean,
+                trial.metric("wasted_cpu_secs").mean / 3600.0,
+                trial.metric("owner_preemptions").mean,
+                trial.metric("vm_kills").mean
+            )),
+        );
+    }
+    fig.note(format!(
+        "{} volunteers, {:.1} h tasks; churn level scales owner sessions, sandbox kills \
+         and Weibull-shaped uptime spans together",
+        pool.volunteers,
+        project.wu_ref_secs / 3600.0
+    ));
+    fig.note("'vm no-ckpt' disables checkpointing: every interruption restarts the task");
+    fig
+}
+
+/// Run the churn sweep on the process-wide engine.
+pub fn run(fidelity: Fidelity) -> FigureResult {
+    run_with(Engine::global(), fidelity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_degrades_monotonically_with_churn() {
+        let fig = run(Fidelity::Fast);
+        for tag in ["native", "vm"] {
+            let mut prev = f64::INFINITY;
+            for level in LEVELS {
+                let v = fig
+                    .value_of(&format!("{tag} churn {level:.0}"))
+                    .expect("row exists");
+                assert!(
+                    v < prev,
+                    "{tag}: goodput must fall as churn rises (level {level}: {v} vs {prev})"
+                );
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_retains_goodput_under_high_churn() {
+        let fig = run(Fidelity::Fast);
+        let ckpt = fig.value_of("vm churn 4").expect("row exists");
+        let raw = fig.value_of("vm no-ckpt churn 4").expect("row exists");
+        assert!(
+            ckpt >= 2.0 * raw,
+            "checkpointed VM must retain >= 2x goodput: {ckpt} vs {raw}"
+        );
+        // Without churn, skipping checkpoints is (weakly) cheaper.
+        let base_ckpt = fig.value_of("vm churn 0").expect("row exists");
+        assert!(
+            base_ckpt > ckpt,
+            "churn must cost goodput: {base_ckpt} vs {ckpt}"
+        );
+    }
+}

@@ -12,7 +12,7 @@ use crate::figures::{FigureResult, FigureRow};
 use crate::testbed::Fidelity;
 #[allow(unused_imports)]
 use vgrid_grid::ExecutionMode;
-use vgrid_grid::{DeployConfig, PoolConfig, ProjectConfig};
+use vgrid_grid::{ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid_simcore::SimTime;
 use vgrid_vmm::VmmProfile;
 
@@ -51,6 +51,7 @@ fn campaign_spec(
             project: project.clone(),
             pool: pool.clone(),
             deploy,
+            churn: ChurnConfig::off(),
             horizon,
         },
         fidelity,

@@ -11,6 +11,7 @@
 //! | tab-mem | Section 4.2.1 memory footprint | [`memfoot`] |
 //! | abl-* | prose-claim ablations | [`ablations`] |
 //! | grid-tradeoff | deployment-scale extension | [`gridx`] |
+//! | grid-churn | churn & checkpoint robustness extension | [`gridchurn`] |
 //! | timing-method | guest-clock methodology | [`timing`] |
 //!
 //! Every experiment expresses its measurements as [`crate::engine`]
@@ -26,6 +27,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig56;
 pub mod fig78;
+pub mod gridchurn;
 pub mod gridx;
 pub mod memfoot;
 pub mod timing;
@@ -116,6 +118,7 @@ const REGISTRY: &[(&str, Runner)] = &[
     ("grid-tradeoff", gridx::run),
     ("grid-image", gridx::image_size_sweep),
     ("grid-migration", gridx::migration_comparison),
+    ("grid-churn", gridchurn::run),
     ("timing-method", timing::run),
 ];
 
@@ -160,6 +163,6 @@ mod registry_tests {
         // ...and `run_by_id` knows no ids beyond the listed ones: both
         // derive from REGISTRY, whose length pins the experiment count.
         assert_eq!(ids.len(), REGISTRY.len());
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 }

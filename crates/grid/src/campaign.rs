@@ -1,0 +1,460 @@
+//! The campaign API: build → validate → run → summarize.
+//!
+//! [`CampaignSpec`] mirrors `vgrid-core`'s `TrialSpec` builder so grid
+//! campaigns and machine-level trials read the same way: a builder
+//! assembles the configuration, `build()` validates it into a
+//! [`Campaign`] (returning [`Error`] instead of panicking mid-run), and
+//! `run()` executes the repetitions — in parallel, with the same seeds
+//! and fold order as `run_seq()` — into a [`CampaignResult`] whose
+//! `metric(name)` / `metric_names()` accessors match `TrialResult`.
+//!
+//! ```
+//! use vgrid_grid::{CampaignSpec, ChurnConfig, PoolConfig, ProjectConfig};
+//!
+//! let result = CampaignSpec::new("demo")
+//!     .project(ProjectConfig { workunits: 10, wu_ref_secs: 600.0, ..Default::default() })
+//!     .pool(PoolConfig { volunteers: 20, ..Default::default() })
+//!     .churn(ChurnConfig::intensity(1.0))
+//!     .repetitions(2)
+//!     .build()
+//!     .expect("valid spec")
+//!     .run();
+//! assert!(result.metric("goodput").mean >= 0.0);
+//! ```
+
+use crate::checkpoint::write_overhead_frac;
+use crate::error::Error;
+use crate::faults::ChurnConfig;
+use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
+use crate::sim::{run_campaign_impl, vm_cpu_factor};
+use vgrid_simcore::{OnlineStats, RepetitionRunner, SimTime, Summary};
+
+/// Base seed used when the spec does not set one; matches the engine's
+/// default so unseeded campaigns and unseeded trials agree.
+pub const DEFAULT_SEED: u64 = 0xD0A1_57E5_7BED_5EED;
+
+/// Metric names exposed by [`CampaignResult`], in report order.
+pub const METRIC_NAMES: &[&str] = &[
+    "validated_wus",
+    "efficiency",
+    "hosts_excluded_ram",
+    "image_transfer_secs",
+    "migrations",
+    "goodput",
+    "wasted_cpu_secs",
+    "reissues",
+    "makespan_inflation",
+    "makespan_secs",
+    "cpu_secs_spent",
+    "cpu_secs_lost",
+    "results_returned",
+    "bad_results",
+    "owner_preemptions",
+    "vm_kills",
+];
+
+fn metric_values(r: &GridReport) -> [f64; 16] {
+    [
+        r.validated_wus as f64,
+        r.efficiency,
+        r.hosts_excluded_ram as f64,
+        r.image_transfer_secs,
+        r.migrations as f64,
+        r.goodput,
+        r.wasted_cpu_secs,
+        r.reissues as f64,
+        r.makespan_inflation,
+        r.makespan_secs,
+        r.cpu_secs_spent,
+        r.cpu_secs_lost,
+        r.results_returned as f64,
+        r.bad_results as f64,
+        r.owner_preemptions as f64,
+        r.vm_kills as f64,
+    ]
+}
+
+/// Declarative description of a volunteer campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Human-readable label, copied into the result.
+    pub label: String,
+    /// Work-generation parameters.
+    pub project: ProjectConfig,
+    /// Volunteer-pool parameters.
+    pub pool: PoolConfig,
+    /// Deployment mechanics (native vs VM, image, checkpoints).
+    pub deploy: DeployConfig,
+    /// Churn / fault-injection layers (default: off).
+    pub churn: ChurnConfig,
+    /// Base seed; repetition seeds derive from it.
+    pub seed: u64,
+    /// Independent repetitions to aggregate.
+    pub repetitions: u32,
+    /// Simulated-time horizon.
+    pub horizon: SimTime,
+}
+
+impl CampaignSpec {
+    /// A spec with default project/pool/native deployment, no churn,
+    /// one repetition and a 30-day horizon.
+    pub fn new(label: impl Into<String>) -> Self {
+        CampaignSpec {
+            label: label.into(),
+            project: ProjectConfig::default(),
+            pool: PoolConfig::default(),
+            deploy: DeployConfig::native(),
+            churn: ChurnConfig::default(),
+            seed: DEFAULT_SEED,
+            repetitions: 1,
+            horizon: SimTime::from_secs(30 * 24 * 3600),
+        }
+    }
+
+    /// Set the project configuration.
+    pub fn project(mut self, project: ProjectConfig) -> Self {
+        self.project = project;
+        self
+    }
+
+    /// Set the volunteer pool.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Set the deployment mechanics.
+    pub fn deploy(mut self, deploy: DeployConfig) -> Self {
+        self.deploy = deploy;
+        self
+    }
+
+    /// Set the churn / fault-injection configuration.
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the repetition count (0 is treated as 1).
+    pub fn repetitions(mut self, reps: u32) -> Self {
+        self.repetitions = reps;
+        self
+    }
+
+    /// Set the simulated-time horizon.
+    pub fn horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Validate the assembled configuration into a runnable
+    /// [`Campaign`].
+    pub fn build(self) -> Result<Campaign, Error> {
+        let invalid = |msg: String| Err(Error::InvalidConfig(msg));
+        let p = &self.project;
+        if p.workunits == 0 {
+            return invalid("workunits must be > 0".into());
+        }
+        if p.replication == 0 || p.quorum == 0 {
+            return invalid("replication and quorum must be > 0".into());
+        }
+        if p.quorum > p.replication {
+            return invalid(format!(
+                "quorum {} exceeds replication {}: no work unit could ever validate",
+                p.quorum, p.replication
+            ));
+        }
+        if !p.wu_ref_secs.is_finite() || p.wu_ref_secs <= 0.0 {
+            return invalid(format!(
+                "wu_ref_secs {} must be finite and > 0",
+                p.wu_ref_secs
+            ));
+        }
+        if !(0.0..1.0).contains(&p.error_rate) {
+            return invalid(format!("error_rate {} must be in [0, 1)", p.error_rate));
+        }
+        let pool = &self.pool;
+        if pool.volunteers == 0 {
+            return invalid("volunteers must be > 0".into());
+        }
+        if !pool.speed_range.0.is_finite()
+            || pool.speed_range.0 <= 0.0
+            || pool.speed_range.0 > pool.speed_range.1
+        {
+            return invalid(format!(
+                "speed_range {:?} must be positive and ordered",
+                pool.speed_range
+            ));
+        }
+        if pool.ram_range.0 > pool.ram_range.1 {
+            return invalid(format!("ram_range {:?} must be ordered", pool.ram_range));
+        }
+        if !pool.down_bw.is_finite()
+            || !pool.up_bw.is_finite()
+            || pool.down_bw <= 0.0
+            || pool.up_bw <= 0.0
+        {
+            return invalid("bandwidths must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&pool.permanent_failure_prob) {
+            return invalid(format!(
+                "permanent_failure_prob {} must be in [0, 1]",
+                pool.permanent_failure_prob
+            ));
+        }
+        if !pool.mean_uptime_secs.is_finite()
+            || !pool.mean_downtime_secs.is_finite()
+            || pool.mean_uptime_secs <= 0.0
+            || pool.mean_downtime_secs <= 0.0
+        {
+            return invalid("mean uptime/downtime must be > 0".into());
+        }
+        if self.horizon == SimTime::ZERO {
+            return invalid("horizon must be > 0".into());
+        }
+        self.churn.validate()?;
+
+        // The fastest possible host must be able to compute a work unit
+        // inside the reissue deadline, or every copy expires forever.
+        let vm_factor = vm_cpu_factor(&self.deploy.mode);
+        let state_bytes = match &self.deploy.mode {
+            ExecutionMode::Native => self.deploy.native_checkpoint_bytes,
+            ExecutionMode::Vm(vmm) => vmm.guest_ram,
+        };
+        let ckpt_frac = write_overhead_frac(state_bytes, self.deploy.checkpoint_interval);
+        let best_rate = pool.speed_range.1 / vm_factor * (1.0 - ckpt_frac).max(0.05);
+        let needed_secs = p.wu_ref_secs / best_rate;
+        let deadline_secs = p.deadline.as_secs_f64();
+        if deadline_secs < needed_secs {
+            return Err(Error::ImpossibleDeadline {
+                deadline_secs,
+                needed_secs,
+            });
+        }
+        let checkpoint_secs = self.deploy.checkpoint_interval.as_secs_f64();
+        if !self.deploy.checkpoint_interval.is_zero() && checkpoint_secs > deadline_secs {
+            return Err(Error::CheckpointExceedsDeadline {
+                checkpoint_secs,
+                deadline_secs,
+            });
+        }
+        Ok(Campaign { spec: self })
+    }
+}
+
+/// A validated, runnable campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: CampaignSpec,
+}
+
+impl Campaign {
+    /// The validated specification.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Seed of repetition `rep` — single repetitions use the base seed
+    /// verbatim; multi-rep campaigns derive per-rep seeds exactly like
+    /// the core engine's `TrialSpec`.
+    pub fn seed_for(&self, rep: u32) -> u64 {
+        let reps = self.spec.repetitions.max(1);
+        if reps <= 1 {
+            self.spec.seed
+        } else {
+            RepetitionRunner::new()
+                .repetitions(reps)
+                .base_seed(self.spec.seed)
+                .seed_for(rep)
+        }
+    }
+
+    fn run_rep(&self, rep: u32) -> GridReport {
+        run_campaign_impl(
+            &self.spec.project,
+            &self.spec.pool,
+            &self.spec.deploy,
+            &self.spec.churn,
+            self.seed_for(rep),
+            self.spec.horizon,
+        )
+    }
+
+    /// Run all repetitions on scoped threads; statistics fold in
+    /// repetition order, so the result is bit-identical to
+    /// [`Campaign::run_seq`].
+    pub fn run(&self) -> CampaignResult {
+        let reps = self.spec.repetitions.max(1);
+        if reps == 1 {
+            return self.run_seq();
+        }
+        let mut reports: Vec<Option<GridReport>> = (0..reps).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (rep, slot) in reports.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot = Some(self.run_rep(rep as u32));
+                });
+            }
+        });
+        self.fold(reports.into_iter().map(|r| r.expect("rep ran")).collect())
+    }
+
+    /// Run all repetitions on the calling thread.
+    pub fn run_seq(&self) -> CampaignResult {
+        let reps = self.spec.repetitions.max(1);
+        self.fold((0..reps).map(|rep| self.run_rep(rep)).collect())
+    }
+
+    fn fold(&self, reports: Vec<GridReport>) -> CampaignResult {
+        let mut stats: Vec<OnlineStats> = METRIC_NAMES.iter().map(|_| OnlineStats::new()).collect();
+        for report in &reports {
+            for (stat, value) in stats.iter_mut().zip(metric_values(report)) {
+                stat.push(value);
+            }
+        }
+        CampaignResult {
+            label: self.spec.label.clone(),
+            mode: self.spec.deploy.mode.to_string(),
+            metrics: METRIC_NAMES
+                .iter()
+                .zip(stats)
+                .map(|(name, stat)| (*name, stat.summary()))
+                .collect(),
+            reports,
+        }
+    }
+}
+
+/// Aggregated campaign outcome; the accessors mirror the core engine's
+/// `TrialResult`.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Label copied from the spec.
+    pub label: String,
+    /// Execution-mode name ("native", "vm-QEMU", ...).
+    pub mode: String,
+    /// `(metric name, summary)` in [`METRIC_NAMES`] order.
+    metrics: Vec<(&'static str, Summary)>,
+    reports: Vec<GridReport>,
+}
+
+impl CampaignResult {
+    /// Summary of the named metric; panics on an unknown name.
+    pub fn metric(&self, name: &str) -> &Summary {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("campaign {:?} has no metric {name:?}", self.label))
+    }
+
+    /// All metric names, in report order.
+    pub fn metric_names(&self) -> &'static [&'static str] {
+        METRIC_NAMES
+    }
+
+    /// Per-repetition reports, in repetition order.
+    pub fn reports(&self) -> &[GridReport] {
+        &self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgrid_simcore::SimDuration;
+    use vgrid_vmm::VmmProfile;
+
+    fn quick_spec() -> CampaignSpec {
+        CampaignSpec::new("t")
+            .project(ProjectConfig {
+                workunits: 10,
+                wu_ref_secs: 600.0,
+                ..Default::default()
+            })
+            .pool(PoolConfig {
+                volunteers: 20,
+                ..Default::default()
+            })
+            .horizon(SimTime::from_secs(14 * 24 * 3600))
+    }
+
+    #[test]
+    fn builder_validates_quorum() {
+        let err = quick_spec()
+            .project(ProjectConfig {
+                quorum: 3,
+                replication: 2,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_impossible_deadline() {
+        let err = quick_spec()
+            .project(ProjectConfig {
+                wu_ref_secs: 8.0 * 3600.0,
+                deadline: SimDuration::from_secs(60),
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::ImpossibleDeadline { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_checkpoint_beyond_deadline() {
+        let mut deploy = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
+        deploy.checkpoint_interval = SimDuration::from_secs(10 * 24 * 3600);
+        let err = quick_spec().deploy(deploy).build().unwrap_err();
+        assert!(
+            matches!(err, Error::CheckpointExceedsDeadline { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn result_mirrors_trial_result_accessors() {
+        let result = quick_spec().build().unwrap().run();
+        assert_eq!(result.metric_names(), METRIC_NAMES);
+        assert_eq!(
+            result.metric("validated_wus").mean,
+            result.reports()[0].validated_wus as f64
+        );
+        assert_eq!(result.mode, "native");
+        assert!(result.metric("goodput").mean > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_reps_agree_bitwise() {
+        let campaign = quick_spec()
+            .churn(ChurnConfig::intensity(2.0))
+            .repetitions(4)
+            .build()
+            .unwrap();
+        let par = campaign.run();
+        let seq = campaign.run_seq();
+        for name in METRIC_NAMES {
+            let (a, b) = (par.metric(name), seq.metric(name));
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{name}");
+            assert_eq!(a.stddev.to_bits(), b.stddev.to_bits(), "{name}");
+        }
+    }
+
+    #[test]
+    fn single_rep_uses_base_seed_verbatim() {
+        let campaign = quick_spec().seed(1234).build().unwrap();
+        assert_eq!(campaign.seed_for(0), 1234);
+        let multi = quick_spec().seed(1234).repetitions(3).build().unwrap();
+        assert_ne!(multi.seed_for(1), 1234);
+    }
+}

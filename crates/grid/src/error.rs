@@ -1,0 +1,77 @@
+//! Typed campaign-configuration errors.
+//!
+//! [`crate::CampaignSpec::build`] validates the assembled configuration
+//! and surfaces impossible setups as values instead of panicking deep
+//! inside the simulator.
+
+use std::fmt;
+
+/// Why a campaign specification cannot be run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter is out of its sane range (zero counts, probabilities
+    /// outside `[0, 1]`, inverted ranges, ...).
+    InvalidConfig(String),
+    /// No host in the pool can finish a work unit before its deadline:
+    /// every copy would expire and be reissued forever.
+    ImpossibleDeadline {
+        /// The configured reissue deadline, seconds.
+        deadline_secs: f64,
+        /// The compute time the fastest host needs, seconds.
+        needed_secs: f64,
+    },
+    /// The checkpoint interval exceeds the reissue deadline, so a task
+    /// interrupted after its first checkpoint could never both recover
+    /// and report in time.
+    CheckpointExceedsDeadline {
+        /// The configured checkpoint interval, seconds.
+        checkpoint_secs: f64,
+        /// The configured reissue deadline, seconds.
+        deadline_secs: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid campaign config: {msg}"),
+            Error::ImpossibleDeadline {
+                deadline_secs,
+                needed_secs,
+            } => write!(
+                f,
+                "impossible deadline: {deadline_secs:.0} s, but the fastest host \
+                 needs {needed_secs:.0} s per work unit"
+            ),
+            Error::CheckpointExceedsDeadline {
+                checkpoint_secs,
+                deadline_secs,
+            } => write!(
+                f,
+                "checkpoint interval {checkpoint_secs:.0} s exceeds the reissue \
+                 deadline {deadline_secs:.0} s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ImpossibleDeadline {
+            deadline_secs: 60.0,
+            needed_secs: 7200.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("60"), "{s}");
+        assert!(s.contains("7200"), "{s}");
+        assert!(Error::InvalidConfig("quorum 3 > replication 2".into())
+            .to_string()
+            .contains("quorum"));
+    }
+}

@@ -17,31 +17,55 @@
 //!   app-level state);
 //! * the committed-memory exclusion of small-RAM hosts (Section 4.2.1).
 //!
-//! See [`sim::run_campaign`] and the `volunteer_campaign` example.
+//! On top of the availability baseline, [`faults::ChurnConfig`] injects
+//! owner preemptions, hard sandbox kills and Weibull-shaped spans, and
+//! [`checkpoint`] provides the robustness layer (durable checkpoints,
+//! backoff refetch, quorum validation) that absorbs them.
+//!
+//! Campaigns are described with the [`CampaignSpec`] builder — the grid
+//! twin of `vgrid-core`'s `TrialSpec` — validated by
+//! [`CampaignSpec::build`] into a [`Campaign`], and run (sequentially
+//! or with bit-identical parallel repetitions) into a
+//! [`CampaignResult`]:
 //!
 //! ```
-//! use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+//! use vgrid_grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 //! use vgrid_simcore::SimTime;
 //! use vgrid_vmm::VmmProfile;
 //!
 //! let project = ProjectConfig { workunits: 10, wu_ref_secs: 600.0, ..Default::default() };
 //! let pool = PoolConfig { volunteers: 20, ..Default::default() };
-//! let horizon = SimTime::from_secs(14 * 24 * 3600);
-//! let native = run_campaign(&project, &pool, &DeployConfig::native(), 1, horizon);
-//! let vm = run_campaign(
-//!     &project, &pool,
-//!     &DeployConfig::vm(VmmProfile::vmplayer(), 700 << 20),
-//!     1, horizon,
-//! );
-//! assert!(native.validated_wus >= vm.validated_wus);
+//! let base = CampaignSpec::new("native")
+//!     .project(project)
+//!     .pool(pool)
+//!     .horizon(SimTime::from_secs(14 * 24 * 3600))
+//!     .seed(1);
+//! let native = base.clone().build().unwrap().run();
+//! let vm = base
+//!     .deploy(DeployConfig::vm(VmmProfile::vmplayer(), 700 << 20))
+//!     .churn(ChurnConfig::intensity(1.0))
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert!(native.metric("validated_wus").mean >= vm.metric("validated_wus").mean);
 //! ```
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
+pub mod checkpoint;
 pub mod client;
+pub mod error;
+pub mod faults;
 pub mod model;
 pub mod sim;
 
+pub use campaign::{Campaign, CampaignResult, CampaignSpec};
+pub use checkpoint::{BackoffPolicy, BackoffState, QuorumValidator, RecordOutcome};
 pub use client::{BoincClientBody, ClientStats, ClientWorkSpec};
+pub use error::Error;
+pub use faults::ChurnConfig;
 pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
-pub use sim::{run_campaign, vm_cpu_factor};
+#[allow(deprecated)]
+pub use sim::run_campaign;
+pub use sim::vm_cpu_factor;

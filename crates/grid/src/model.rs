@@ -24,11 +24,25 @@ pub enum ExecutionMode {
 
 impl ExecutionMode {
     /// Name for reports.
-    pub fn name(&self) -> String {
+    pub fn name(&self) -> &'static str {
         match self {
-            ExecutionMode::Native => "native".to_string(),
-            ExecutionMode::Vm(p) => format!("vm-{}", p.name),
+            ExecutionMode::Native => "native",
+            // The calibrated profiles all carry static names; resolve
+            // them to static composites so callers get `&'static str`.
+            ExecutionMode::Vm(p) => match p.name {
+                "VMwarePlayer" => "vm-VMwarePlayer",
+                "QEMU" => "vm-QEMU",
+                "VirtualBox" => "vm-VirtualBox",
+                "VirtualPC" => "vm-VirtualPC",
+                _ => "vm-custom",
+            },
         }
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -166,7 +180,7 @@ impl DeployConfig {
 }
 
 /// Campaign outcome statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GridReport {
     /// Execution-mode name.
     pub mode: String,
@@ -196,6 +210,23 @@ pub struct GridReport {
     /// Valid scientific throughput: reference CPU seconds of validated
     /// work per volunteer-uptime second.
     pub efficiency: f64,
+    /// Validated reference CPU seconds delivered per wall-clock second
+    /// of the campaign (unique science, replication excluded).
+    pub goodput: f64,
+    /// CPU seconds spent that produced no validated science: churn
+    /// losses, bad results, and redundant returns past quorum.
+    pub wasted_cpu_secs: f64,
+    /// Copies reissued because a deadline expired without a result.
+    pub reissues: u64,
+    /// Makespan relative to a fully-available, perfectly-scheduled
+    /// pool of the RAM-eligible hosts (>= 1 for finished campaigns;
+    /// 0 when no host is eligible).
+    pub makespan_inflation: f64,
+    /// Owner sessions that preempted (or tried to preempt) a host.
+    pub owner_preemptions: u64,
+    /// Sandbox kills applied to in-flight activities (owner escalations
+    /// plus spontaneous kills).
+    pub vm_kills: u64,
 }
 
 #[cfg(test)]
@@ -219,6 +250,9 @@ mod tests {
             ExecutionMode::Vm(VmmProfile::vmplayer()).name(),
             "vm-VMwarePlayer"
         );
+        // Display mirrors `name` and allocates only at the call site.
+        assert_eq!(ExecutionMode::Native.to_string(), "native");
+        assert_eq!(ExecutionMode::Vm(VmmProfile::qemu()).to_string(), "vm-QEMU");
     }
 
     #[test]

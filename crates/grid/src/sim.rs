@@ -1,11 +1,11 @@
 //! The desktop-grid campaign simulator.
 //!
 //! A coarse-grained DES over the volunteer pool: hosts churn between
-//! online/offline (exponential spans), download the VM image once
-//! (initialization workunit), then cycle through fetch -> download input
-//! -> compute (with periodic checkpoints) -> upload -> report. The
-//! per-task CPU dilation of VM execution is *derived from the calibrated
-//! monitor profiles* by dilating the Einstein@home surrogate's measured
+//! online/offline spans, download the VM image once (initialization
+//! workunit), then cycle through fetch -> download input -> compute
+//! (with periodic checkpoints) -> upload -> report. The per-task CPU
+//! dilation of VM execution is *derived from the calibrated monitor
+//! profiles* by dilating the Einstein@home surrogate's measured
 //! instruction mix through the machine model — the quantitative link
 //! from the paper's microbenchmarks to deployment-scale cost.
 //!
@@ -14,7 +14,18 @@
 //! per-instruction fidelity would add nothing — the VM overhead enters
 //! through the measured dilation factor, image transfers and checkpoint
 //! costs.
+//!
+//! On top of the availability baseline, [`crate::faults::ChurnConfig`]
+//! layers owner preemptions, hard sandbox kills and Weibull-shaped
+//! spans; [`crate::checkpoint`] provides the durability, backoff and
+//! quorum machinery that absorbs them. A fully disabled churn config
+//! reproduces the pre-churn simulator **byte for byte**: fault draws
+//! come from a forked per-host stream (forking never advances the
+//! parent), span draws collapse to the exact legacy `exponential`
+//! calls, and no fault event is ever scheduled.
 
+use crate::checkpoint::{durable_progress, write_overhead_frac, BackoffPolicy, BackoffState};
+use crate::faults::{self, ChurnConfig};
 use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
 use std::collections::VecDeque;
 use vgrid_machine::MachineSpec;
@@ -99,30 +110,73 @@ struct Host {
     up_since: SimTime,
     uptime_total: f64,
     rng: SimRng,
+    /// Fault stream: every churn-layer draw comes from here, so a
+    /// disabled churn config cannot perturb the legacy `rng` sequence.
+    frng: SimRng,
+    /// The owner is using the machine; the sandbox is preempted.
+    paused: bool,
+    /// A backoff refetch event is already in flight.
+    refetch_pending: bool,
+    backoff: BackoffState,
 }
 
 #[derive(Debug)]
 struct TaskCopy {
     wu: usize,
     returned: bool,
-}
-
-#[derive(Debug)]
-struct WorkUnit {
-    good: u32,
-    validated: bool,
-    issued: u32,
+    /// CPU seconds this copy has consumed (for goodput/waste accounting).
+    cpu_spent: f64,
 }
 
 #[derive(Debug, Clone)]
 enum Ev {
-    Up { h: usize, gen: u64 },
-    Down { h: usize, gen: u64 },
-    ActDone { h: usize, gen: u64 },
-    Deadline { copy: usize },
+    Up {
+        h: usize,
+        gen: u64,
+    },
+    Down {
+        h: usize,
+        gen: u64,
+    },
+    ActDone {
+        h: usize,
+        gen: u64,
+    },
+    Deadline {
+        copy: usize,
+    },
+    /// The machine's owner starts an interactive session (churn only).
+    OwnerArrive {
+        h: usize,
+        gen: u64,
+    },
+    /// The owner session ends; the sandbox may resume (churn only).
+    OwnerLeave {
+        h: usize,
+        gen: u64,
+    },
+    /// The sandbox is killed outright (churn only).
+    VmKill {
+        h: usize,
+        gen: u64,
+    },
+    /// Exponential-backoff work refetch by an idle client (churn only).
+    Refetch {
+        h: usize,
+    },
+}
+
+/// Churn context threaded through the helpers.
+struct FaultCtx<'a> {
+    churn: &'a ChurnConfig,
+    backoff: BackoffPolicy,
+    /// False when the churn config is fully inert: the simulator must
+    /// take exactly the legacy code paths.
+    on: bool,
 }
 
 /// Run one campaign; stops when all work units validate or at `horizon`.
+#[deprecated(note = "use `CampaignSpec::new(..).build()?.run()` (crate::campaign)")]
 pub fn run_campaign(
     project: &ProjectConfig,
     pool: &PoolConfig,
@@ -130,19 +184,34 @@ pub fn run_campaign(
     seed: u64,
     horizon: SimTime,
 ) -> GridReport {
+    run_campaign_impl(project, pool, deploy, &ChurnConfig::off(), seed, horizon)
+}
+
+/// Campaign simulator entry point used by [`crate::campaign::Campaign`].
+pub(crate) fn run_campaign_impl(
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    churn: &ChurnConfig,
+    seed: u64,
+    horizon: SimTime,
+) -> GridReport {
     let rng = SimRng::new(seed ^ 0x617d_517d);
+    let fctx = FaultCtx {
+        churn,
+        backoff: BackoffPolicy::default(),
+        on: !churn.is_off(),
+    };
     let vm_factor = vm_cpu_factor(&deploy.mode);
     let (guest_ram, ckpt_bytes) = match &deploy.mode {
         ExecutionMode::Native => (0u64, deploy.native_checkpoint_bytes),
         ExecutionMode::Vm(p) => (p.guest_ram, p.guest_ram),
     };
     // Checkpoint overhead: fraction of host time spent writing state.
-    let disk_write_bw = 55.0e6;
-    let ckpt_frac =
-        (ckpt_bytes as f64 / disk_write_bw) / deploy.checkpoint_interval.as_secs_f64().max(1.0);
+    let ckpt_frac = write_overhead_frac(ckpt_bytes, deploy.checkpoint_interval);
 
     let mut report = GridReport {
-        mode: deploy.mode.name(),
+        mode: deploy.mode.name().to_string(),
         ..Default::default()
     };
 
@@ -150,6 +219,9 @@ pub fn run_campaign(
     let mut hosts: Vec<Host> = (0..pool.volunteers)
         .map(|i| {
             let mut hrng = rng.fork(1000 + i as u64);
+            // Fork the fault stream *before* the legacy draws; forking
+            // never advances `hrng`, so speed/RAM draws are unchanged.
+            let frng = hrng.fork(77);
             let speed = hrng.range_f64(pool.speed_range.0, pool.speed_range.1);
             let ram = pool.ram_range.0 + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
             let excluded = guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
@@ -165,32 +237,37 @@ pub fn run_campaign(
                 up_since: SimTime::ZERO,
                 uptime_total: 0.0,
                 rng: hrng,
+                frng,
+                paused: false,
+                refetch_pending: false,
+                backoff: BackoffState::new(&fctx.backoff),
             }
         })
         .collect();
     report.hosts_excluded_ram = hosts.iter().filter(|h| h.excluded).count() as u32;
+    // Ideal-makespan denominator: the RAM-eligible pool's aggregate
+    // compute rate, as if always on and perfectly scheduled.
+    let eligible_rate: f64 = hosts
+        .iter()
+        .filter(|h| !h.excluded)
+        .map(|h| compute_rate(h, vm_factor, ckpt_frac))
+        .sum();
 
     // Server state.
-    let mut wus: Vec<WorkUnit> = (0..project.workunits)
-        .map(|_| WorkUnit {
-            good: 0,
-            validated: false,
-            issued: 0,
-        })
-        .collect();
+    let mut validator = crate::checkpoint::QuorumValidator::new(project.workunits, project.quorum);
     let mut copies: Vec<TaskCopy> = Vec::new();
     let mut queue: VecDeque<Work> = VecDeque::new();
-    for (wu_idx, wu) in wus.iter_mut().enumerate() {
+    for wu_idx in 0..project.workunits as usize {
         for _ in 0..project.replication {
             copies.push(TaskCopy {
                 wu: wu_idx,
                 returned: false,
+                cpu_spent: 0.0,
             });
             queue.push_back(Work::Fresh(copies.len() - 1));
-            wu.issued += 1;
+            validator.note_issued(wu_idx);
         }
     }
-    let mut validated_count = 0u32;
     let mut makespan: Option<SimTime> = None;
 
     let mut q: EventQueue<Ev> = EventQueue::new();
@@ -204,21 +281,47 @@ pub fn run_campaign(
     // imperative loop with inline logic. ---
     #[allow(clippy::needless_range_loop)] // hosts indexed by stable id
     while let Some(te) = q.peek_time() {
-        if te > horizon || (makespan.is_some() && validated_count >= project.workunits) {
+        if te > horizon || (makespan.is_some() && validator.validated_count() >= project.workunits)
+        {
             break;
         }
-        let (now, ev) = q.pop().expect("peeked");
+        let Some((now, ev)) = q.pop() else { break };
         match ev {
             Ev::Up { h, gen } => {
                 if gen != hosts[h].life_gen || hosts[h].excluded {
                     continue;
                 }
                 hosts[h].up = true;
+                hosts[h].paused = false;
                 hosts[h].up_since = now;
-                let span = hosts[h].rng.exponential(pool.mean_uptime_secs);
+                // `sample_span` with shape 1 *is* the legacy exponential
+                // call, and a unit uptime factor is an exact multiply.
+                let span = faults::sample_span(
+                    &mut hosts[h].rng,
+                    fctx.churn.availability_shape,
+                    pool.mean_uptime_secs * fctx.churn.uptime_factor,
+                );
                 hosts[h].life_gen += 1;
                 let gen = hosts[h].life_gen;
                 q.schedule(now + SimDuration::from_secs_f64(span), Ev::Down { h, gen });
+                // Arm this up-span's fault processes (never under zero
+                // churn: the event stream must stay byte-identical).
+                if fctx.churn.owner_arrival_mean_secs > 0.0 {
+                    let gap = hosts[h]
+                        .frng
+                        .exponential(fctx.churn.owner_arrival_mean_secs);
+                    q.schedule(
+                        now + SimDuration::from_secs_f64(gap),
+                        Ev::OwnerArrive { h, gen },
+                    );
+                }
+                if fctx.churn.vm_kill_mean_secs > 0.0 {
+                    let wait = hosts[h].frng.exponential(fctx.churn.vm_kill_mean_secs);
+                    q.schedule(
+                        now + SimDuration::from_secs_f64(wait),
+                        Ev::VmKill { h, gen },
+                    );
+                }
                 // Resume or acquire work.
                 start_next_activity(
                     h,
@@ -232,6 +335,7 @@ pub fn run_campaign(
                     &mut q,
                     vm_factor,
                     ckpt_frac,
+                    &fctx,
                     &mut report,
                 );
             }
@@ -242,16 +346,22 @@ pub fn run_campaign(
                 hosts[h].up = false;
                 hosts[h].uptime_total += now.since(hosts[h].up_since).as_secs_f64();
                 // Interrupt the activity, preserving resumable progress.
-                accrue_activity(
-                    h,
-                    now,
-                    &mut hosts,
-                    pool,
-                    deploy,
-                    vm_factor,
-                    ckpt_frac,
-                    &mut report,
-                );
+                // A paused host accrued everything at pause time.
+                if !hosts[h].paused {
+                    accrue_activity(
+                        h,
+                        now,
+                        &mut hosts,
+                        &mut copies,
+                        pool,
+                        deploy,
+                        vm_factor,
+                        ckpt_frac,
+                        false,
+                        &mut report,
+                    );
+                }
+                hosts[h].paused = false;
                 hosts[h].act_gen += 1; // cancel any pending ActDone
                 if deploy.migrate_on_churn {
                     if let Some(Activity::Compute {
@@ -282,6 +392,7 @@ pub fn run_campaign(
                             &mut q,
                             vm_factor,
                             ckpt_frac,
+                            &fctx,
                             &mut report,
                         );
                     }
@@ -292,7 +403,11 @@ pub fn run_campaign(
                     hosts[h].excluded = true;
                     continue;
                 }
-                let span = hosts[h].rng.exponential(pool.mean_downtime_secs);
+                let span = faults::sample_span(
+                    &mut hosts[h].rng,
+                    fctx.churn.availability_shape,
+                    pool.mean_downtime_secs,
+                );
                 hosts[h].life_gen += 1;
                 let gen = hosts[h].life_gen;
                 q.schedule(now + SimDuration::from_secs_f64(span), Ev::Up { h, gen });
@@ -302,7 +417,9 @@ pub fn run_campaign(
                     continue;
                 }
                 // Finish the current activity.
-                let act = hosts[h].activity.take().expect("activity in flight");
+                let Some(act) = hosts[h].activity.take() else {
+                    continue;
+                };
                 match act {
                     Activity::ImageDl { .. } => {
                         hosts[h].has_image = true;
@@ -355,6 +472,7 @@ pub fn run_campaign(
                         // Account the CPU time of the final stretch.
                         let elapsed = now.since(hosts[h].act_started).as_secs_f64();
                         report.cpu_secs_spent += elapsed;
+                        copies[task].cpu_spent += elapsed;
                         let _ = (remaining_ref, progress_ref);
                         hosts[h].activity = Some(Activity::Upload {
                             remaining: project.wu_output_bytes as f64,
@@ -377,37 +495,39 @@ pub fn run_campaign(
                         report.results_returned += 1;
                         let wu_idx = copies[task].wu;
                         let good = !hosts[h].rng.chance(project.error_rate);
-                        if good {
-                            wus[wu_idx].good += 1;
-                            if !wus[wu_idx].validated && wus[wu_idx].good >= project.quorum {
-                                wus[wu_idx].validated = true;
-                                validated_count += 1;
-                                if validated_count >= project.workunits {
+                        use crate::checkpoint::RecordOutcome;
+                        match validator.record(wu_idx, good, copies[task].cpu_spent) {
+                            RecordOutcome::NewlyValidated => {
+                                if validator.validated_count() >= project.workunits {
                                     makespan = Some(now);
                                 }
                             }
-                        } else {
-                            report.bad_results += 1;
-                            // Replace the bad copy.
-                            copies.push(TaskCopy {
-                                wu: wu_idx,
-                                returned: false,
-                            });
-                            queue.push_back(Work::Fresh(copies.len() - 1));
-                            wus[wu_idx].issued += 1;
-                            kick_idle_hosts(
-                                now,
-                                &mut hosts,
-                                &mut queue,
-                                &copies,
-                                project,
-                                pool,
-                                deploy,
-                                &mut q,
-                                vm_factor,
-                                ckpt_frac,
-                                &mut report,
-                            );
+                            RecordOutcome::Rejected => {
+                                report.bad_results += 1;
+                                // Replace the bad copy.
+                                copies.push(TaskCopy {
+                                    wu: wu_idx,
+                                    returned: false,
+                                    cpu_spent: 0.0,
+                                });
+                                queue.push_back(Work::Fresh(copies.len() - 1));
+                                validator.note_issued(wu_idx);
+                                kick_idle_hosts(
+                                    now,
+                                    &mut hosts,
+                                    &mut queue,
+                                    &copies,
+                                    project,
+                                    pool,
+                                    deploy,
+                                    &mut q,
+                                    vm_factor,
+                                    ckpt_frac,
+                                    &fctx,
+                                    &mut report,
+                                );
+                            }
+                            RecordOutcome::Counted | RecordOutcome::Late => {}
                         }
                     }
                 }
@@ -424,18 +544,21 @@ pub fn run_campaign(
                     &mut q,
                     vm_factor,
                     ckpt_frac,
+                    &fctx,
                     &mut report,
                 );
             }
             Ev::Deadline { copy } => {
-                if !copies[copy].returned && !wus[copies[copy].wu].validated {
+                if !copies[copy].returned && !validator.is_validated(copies[copy].wu) {
                     let wu = copies[copy].wu;
                     copies.push(TaskCopy {
                         wu,
                         returned: false,
+                        cpu_spent: 0.0,
                     });
                     queue.push_back(Work::Fresh(copies.len() - 1));
-                    wus[wu].issued += 1;
+                    validator.note_issued(wu);
+                    report.reissues += 1;
                     kick_idle_hosts(
                         now,
                         &mut hosts,
@@ -447,9 +570,153 @@ pub fn run_campaign(
                         &mut q,
                         vm_factor,
                         ckpt_frac,
+                        &fctx,
                         &mut report,
                     );
                 }
+            }
+            Ev::OwnerArrive { h, gen } => {
+                if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
+                    continue;
+                }
+                report.owner_preemptions += 1;
+                let kills = hosts[h].frng.chance(fctx.churn.preempt_kill_prob);
+                if !hosts[h].paused {
+                    if hosts[h].activity.is_some() {
+                        // VM sandboxes suspend in place (durable .vmss-style
+                        // state: nothing is lost); native apps are preempted
+                        // and roll back to their last checkpoint.
+                        let preserve = matches!(deploy.mode, ExecutionMode::Vm(_));
+                        accrue_activity(
+                            h,
+                            now,
+                            &mut hosts,
+                            &mut copies,
+                            pool,
+                            deploy,
+                            vm_factor,
+                            ckpt_frac,
+                            preserve,
+                            &mut report,
+                        );
+                        hosts[h].act_gen += 1; // cancel the pending ActDone
+                    }
+                    hosts[h].paused = true;
+                }
+                if kills {
+                    kill_task(
+                        h,
+                        now,
+                        &mut hosts,
+                        &mut copies,
+                        pool,
+                        deploy,
+                        vm_factor,
+                        ckpt_frac,
+                        &mut report,
+                    );
+                }
+                let session = hosts[h]
+                    .frng
+                    .exponential(fctx.churn.owner_session_mean_secs);
+                q.schedule(
+                    now + SimDuration::from_secs_f64(session),
+                    Ev::OwnerLeave { h, gen },
+                );
+            }
+            Ev::OwnerLeave { h, gen } => {
+                if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
+                    continue;
+                }
+                hosts[h].paused = false;
+                // Resume the preempted activity (or fetch fresh work).
+                start_next_activity(
+                    h,
+                    now,
+                    &mut hosts,
+                    &mut queue,
+                    &copies,
+                    project,
+                    pool,
+                    deploy,
+                    &mut q,
+                    vm_factor,
+                    ckpt_frac,
+                    &fctx,
+                    &mut report,
+                );
+                let gap = hosts[h]
+                    .frng
+                    .exponential(fctx.churn.owner_arrival_mean_secs);
+                q.schedule(
+                    now + SimDuration::from_secs_f64(gap),
+                    Ev::OwnerArrive { h, gen },
+                );
+            }
+            Ev::VmKill { h, gen } => {
+                if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
+                    continue;
+                }
+                if hosts[h].activity.is_some() {
+                    kill_task(
+                        h,
+                        now,
+                        &mut hosts,
+                        &mut copies,
+                        pool,
+                        deploy,
+                        vm_factor,
+                        ckpt_frac,
+                        &mut report,
+                    );
+                    // Restart from the rolled-back state (no-op while the
+                    // owner holds the machine: OwnerLeave resumes it).
+                    start_next_activity(
+                        h,
+                        now,
+                        &mut hosts,
+                        &mut queue,
+                        &copies,
+                        project,
+                        pool,
+                        deploy,
+                        &mut q,
+                        vm_factor,
+                        ckpt_frac,
+                        &fctx,
+                        &mut report,
+                    );
+                }
+                let wait = hosts[h].frng.exponential(fctx.churn.vm_kill_mean_secs);
+                q.schedule(
+                    now + SimDuration::from_secs_f64(wait),
+                    Ev::VmKill { h, gen },
+                );
+            }
+            Ev::Refetch { h } => {
+                hosts[h].refetch_pending = false;
+                if !hosts[h].up
+                    || hosts[h].excluded
+                    || hosts[h].paused
+                    || hosts[h].activity.is_some()
+                {
+                    continue;
+                }
+                start_next_activity(
+                    h,
+                    now,
+                    &mut hosts,
+                    &mut queue,
+                    &copies,
+                    project,
+                    pool,
+                    deploy,
+                    &mut q,
+                    vm_factor,
+                    ckpt_frac,
+                    &fctx,
+                    &mut report,
+                );
             }
         }
     }
@@ -461,13 +728,33 @@ pub fn run_campaign(
             host.uptime_total += end.since(host.up_since).as_secs_f64();
         }
     }
-    report.validated_wus = validated_count;
-    report.finished = validated_count >= project.workunits;
+    report.validated_wus = validator.validated_count();
+    report.finished = validator.validated_count() >= project.workunits;
     report.makespan_secs = end.as_secs_f64();
     let uptime: f64 = hosts.iter().map(|h| h.uptime_total).sum();
-    let validated_ref = validated_count as f64 * project.wu_ref_secs * project.quorum as f64;
+    let validated_ref =
+        validator.validated_count() as f64 * project.wu_ref_secs * project.quorum as f64;
     report.efficiency = if uptime > 0.0 {
         validated_ref / uptime
+    } else {
+        0.0
+    };
+    report.goodput = if report.makespan_secs > 0.0 {
+        validator.validated_count() as f64 * project.wu_ref_secs / report.makespan_secs
+    } else {
+        0.0
+    };
+    report.wasted_cpu_secs = (report.cpu_secs_spent - validator.useful_cpu_secs()).max(0.0);
+    // Makespan relative to a fully-available, perfectly-scheduled pool
+    // of the RAM-eligible hosts (a lower bound, so inflation >= 1 for
+    // any finished campaign).
+    let ideal_secs = if eligible_rate > 0.0 {
+        project.workunits as f64 * project.quorum as f64 * project.wu_ref_secs / eligible_rate
+    } else {
+        0.0
+    };
+    report.makespan_inflation = if ideal_secs > 0.0 {
+        report.makespan_secs / ideal_secs
     } else {
         0.0
     };
@@ -479,16 +766,21 @@ fn compute_rate(host: &Host, vm_factor: f64, ckpt_frac: f64) -> f64 {
     host.speed / vm_factor * (1.0 - ckpt_frac).max(0.05)
 }
 
-/// Accrue partial progress of the interrupted activity (host went down).
+/// Accrue partial progress of the interrupted activity. With `preserve`
+/// false (host went down, app preempted) compute progress rolls back to
+/// the last durable checkpoint; with `preserve` true (VM suspend) it is
+/// kept in full.
 #[allow(clippy::too_many_arguments)]
 fn accrue_activity(
     h: usize,
     now: SimTime,
     hosts: &mut [Host],
+    copies: &mut [TaskCopy],
     pool: &PoolConfig,
     deploy: &DeployConfig,
     vm_factor: f64,
     ckpt_frac: f64,
+    preserve: bool,
     report: &mut GridReport,
 ) {
     let elapsed = now.since(hosts[h].act_started).as_secs_f64();
@@ -509,28 +801,87 @@ fn accrue_activity(
             *remaining = (*remaining - elapsed * pool.up_bw).max(0.0);
         }
         Activity::Compute {
+            task,
             remaining_ref,
             progress_ref,
-            ..
         } => {
             report.cpu_secs_spent += elapsed;
             let advanced = elapsed * rate;
             let new_progress = *progress_ref + advanced;
-            // Roll back to the last checkpoint.
-            let quantum = deploy.checkpoint_interval.as_secs_f64() * rate;
-            let kept = (new_progress / quantum).floor() * quantum;
-            let kept = kept.max(*progress_ref); // never lose pre-existing checkpoints
-            report.cpu_secs_lost += (new_progress - kept) / rate;
-            *remaining_ref -= kept - *progress_ref;
-            *progress_ref = kept;
+            if preserve {
+                // Suspend-to-disk: every reference second survives.
+                copies[*task].cpu_spent += elapsed;
+                *remaining_ref -= advanced;
+                *progress_ref = new_progress;
+            } else {
+                // Roll back to the last checkpoint. Only the durable
+                // delta is attributed to the copy — rolled-back time is
+                // waste, never "useful" even if the copy validates.
+                let quantum = deploy.checkpoint_interval.as_secs_f64() * rate;
+                let kept = durable_progress(new_progress, *progress_ref, quantum);
+                report.cpu_secs_lost += (new_progress - kept) / rate;
+                copies[*task].cpu_spent += (kept - *progress_ref) / rate;
+                *remaining_ref -= kept - *progress_ref;
+                *progress_ref = kept;
+            }
         }
     }
+}
+
+/// Destroy the sandbox: in-flight work (and any suspended state) rolls
+/// back to the last durable checkpoint. The caller reschedules the
+/// restart.
+#[allow(clippy::too_many_arguments)]
+fn kill_task(
+    h: usize,
+    now: SimTime,
+    hosts: &mut [Host],
+    copies: &mut [TaskCopy],
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    vm_factor: f64,
+    ckpt_frac: f64,
+    report: &mut GridReport,
+) {
+    if hosts[h].activity.is_none() {
+        return;
+    }
+    if hosts[h].paused {
+        // The suspended image dies with the sandbox; only whole
+        // checkpoint quanta survive.
+        let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
+        if let Some(Activity::Compute {
+            task,
+            remaining_ref,
+            progress_ref,
+        }) = hosts[h].activity.as_mut()
+        {
+            let quantum = deploy.checkpoint_interval.as_secs_f64() * rate;
+            let kept = durable_progress(*progress_ref, 0.0, quantum);
+            let lost = *progress_ref - kept;
+            if lost > 0.0 {
+                report.cpu_secs_lost += lost / rate;
+                // Take the destroyed progress back out of the copy's
+                // attributable CPU (the suspend credited it in full).
+                copies[*task].cpu_spent = (copies[*task].cpu_spent - lost / rate).max(0.0);
+                *remaining_ref += lost;
+                *progress_ref = kept;
+            }
+        }
+    } else {
+        accrue_activity(
+            h, now, hosts, copies, pool, deploy, vm_factor, ckpt_frac, false, report,
+        );
+    }
+    hosts[h].act_gen += 1; // cancel the pending ActDone
+    report.vm_kills += 1;
 }
 
 /// Hand queued work to every idle online host (called whenever the
 /// queue gains entries after the initial distribution — migrations,
 /// deadline reissues, replacement copies). Hosts otherwise only ask for
-/// work at their own transitions.
+/// work at their own transitions. Under churn the server push is
+/// disabled: idle clients poll with exponential backoff instead.
 #[allow(clippy::too_many_arguments)]
 fn kick_idle_hosts(
     now: SimTime,
@@ -543,16 +894,20 @@ fn kick_idle_hosts(
     q: &mut EventQueue<Ev>,
     vm_factor: f64,
     ckpt_frac: f64,
+    fctx: &FaultCtx<'_>,
     report: &mut GridReport,
 ) {
+    if fctx.on {
+        return;
+    }
     #[allow(clippy::needless_range_loop)] // host ids index several tables
     for h in 0..hosts.len() {
         if queue.is_empty() {
             break;
         }
-        if hosts[h].up && !hosts[h].excluded && hosts[h].activity.is_none() {
+        if hosts[h].up && !hosts[h].excluded && !hosts[h].paused && hosts[h].activity.is_none() {
             start_next_activity(
-                h, now, hosts, queue, copies, project, pool, deploy, q, vm_factor, ckpt_frac,
+                h, now, hosts, queue, copies, project, pool, deploy, q, vm_factor, ckpt_frac, fctx,
                 report,
             );
         }
@@ -573,9 +928,10 @@ fn start_next_activity(
     q: &mut EventQueue<Ev>,
     vm_factor: f64,
     ckpt_frac: f64,
+    fctx: &FaultCtx<'_>,
     _report: &mut GridReport,
 ) {
-    if !hosts[h].up || hosts[h].excluded {
+    if !hosts[h].up || hosts[h].excluded || hosts[h].paused {
         return;
     }
     // Resume an interrupted activity if one exists; otherwise pick work.
@@ -584,7 +940,9 @@ fn start_next_activity(
             hosts[h].activity = Some(Activity::ImageDl {
                 remaining: deploy.image_bytes as f64,
             });
+            hosts[h].backoff.reset(&fctx.backoff);
         } else if let Some(work) = queue.pop_front() {
+            hosts[h].backoff.reset(&fctx.backoff);
             match work {
                 Work::Fresh(copy) => {
                     debug_assert!(!copies[copy].returned);
@@ -601,8 +959,8 @@ fn start_next_activity(
                     // Fetch the migrated checkpoint: the VM's committed
                     // RAM (or the small app-level state when native).
                     let state_bytes = match &deploy.mode {
-                        crate::model::ExecutionMode::Native => deploy.native_checkpoint_bytes,
-                        crate::model::ExecutionMode::Vm(p) => p.guest_ram,
+                        ExecutionMode::Native => deploy.native_checkpoint_bytes,
+                        ExecutionMode::Vm(p) => p.guest_ram,
                     };
                     hosts[h].activity = Some(Activity::StateDl {
                         remaining: state_bytes as f64,
@@ -612,12 +970,23 @@ fn start_next_activity(
                 }
             }
         } else {
-            return; // nothing to do
+            // Empty scheduler reply. Under churn the client retries with
+            // exponential backoff; the zero-churn path keeps the legacy
+            // server push (`kick_idle_hosts`) and schedules nothing.
+            if fctx.on && !hosts[h].refetch_pending {
+                let delay = hosts[h].backoff.next_delay(&fctx.backoff);
+                hosts[h].refetch_pending = true;
+                q.schedule(now + delay, Ev::Refetch { h });
+            }
+            return;
         }
     }
     hosts[h].act_started = now;
     let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
-    let secs = match hosts[h].activity.as_ref().expect("just set") {
+    let Some(act) = hosts[h].activity.as_ref() else {
+        return;
+    };
+    let secs = match act {
         Activity::ImageDl { remaining }
         | Activity::InputDl { remaining, .. }
         | Activity::StateDl { remaining, .. } => remaining / pool.down_bw,
@@ -636,6 +1005,17 @@ fn start_next_activity(
 mod tests {
     use super::*;
     use vgrid_vmm::VmmProfile;
+
+    /// Zero-churn entry point used by the legacy-behaviour tests.
+    fn run_legacy(
+        project: &ProjectConfig,
+        pool: &PoolConfig,
+        deploy: &DeployConfig,
+        seed: u64,
+        horizon: SimTime,
+    ) -> GridReport {
+        run_campaign_impl(project, pool, deploy, &ChurnConfig::off(), seed, horizon)
+    }
 
     fn small_project() -> ProjectConfig {
         ProjectConfig {
@@ -674,8 +1054,28 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_zero_churn_impl() {
+        let a = run_campaign(
+            &small_project(),
+            &stable_pool(),
+            &DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
+            9,
+            horizon(),
+        );
+        let b = run_legacy(
+            &small_project(),
+            &stable_pool(),
+            &DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
+            9,
+            horizon(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn native_campaign_completes() {
-        let r = run_campaign(
+        let r = run_legacy(
             &small_project(),
             &stable_pool(),
             &DeployConfig::native(),
@@ -686,18 +1086,20 @@ mod tests {
         assert_eq!(r.validated_wus, 20);
         assert!(r.cpu_secs_spent > 0.0);
         assert_eq!(r.hosts_excluded_ram, 0);
+        assert!(r.goodput > 0.0);
+        assert!(r.makespan_inflation >= 1.0, "{r:?}");
     }
 
     #[test]
     fn vm_campaign_is_slower_but_completes() {
-        let native = run_campaign(
+        let native = run_legacy(
             &small_project(),
             &stable_pool(),
             &DeployConfig::native(),
             1,
             horizon(),
         );
-        let vm = run_campaign(
+        let vm = run_legacy(
             &small_project(),
             &stable_pool(),
             &DeployConfig::vm(VmmProfile::qemu(), 1_400 << 20),
@@ -713,6 +1115,7 @@ mod tests {
         );
         assert!(vm.image_transfer_secs > 0.0);
         assert!(vm.efficiency < native.efficiency);
+        assert!(vm.goodput < native.goodput);
     }
 
     #[test]
@@ -721,7 +1124,7 @@ mod tests {
             ram_range: (128 << 20, 1 << 30),
             ..stable_pool()
         };
-        let vm = run_campaign(
+        let vm = run_legacy(
             &small_project(),
             &pool,
             &DeployConfig::vm(VmmProfile::vmplayer(), 700 << 20),
@@ -729,7 +1132,7 @@ mod tests {
             horizon(),
         );
         assert!(vm.hosts_excluded_ram > 0, "{:?}", vm.hosts_excluded_ram);
-        let native = run_campaign(
+        let native = run_legacy(
             &small_project(),
             &pool,
             &DeployConfig::native(),
@@ -751,9 +1154,10 @@ mod tests {
             workunits: 10,
             ..small_project()
         };
-        let r = run_campaign(&project, &churny, &DeployConfig::native(), 5, horizon());
+        let r = run_legacy(&project, &churny, &DeployConfig::native(), 5, horizon());
         assert!(r.cpu_secs_lost > 0.0, "expected lost work: {r:?}");
         assert!(r.cpu_secs_lost < r.cpu_secs_spent);
+        assert!(r.wasted_cpu_secs >= r.cpu_secs_lost * 0.99, "{r:?}");
     }
 
     #[test]
@@ -762,7 +1166,7 @@ mod tests {
             error_rate: 0.3,
             ..small_project()
         };
-        let r = run_campaign(
+        let r = run_legacy(
             &project,
             &stable_pool(),
             &DeployConfig::native(),
@@ -771,6 +1175,8 @@ mod tests {
         );
         assert!(r.bad_results > 0);
         assert!(r.finished, "quorum should still be reached: {r:?}");
+        // Bad results are CPU spent that produced no validated science.
+        assert!(r.wasted_cpu_secs > 0.0);
     }
 
     #[test]
@@ -791,13 +1197,14 @@ mod tests {
             deadline: vgrid_simcore::SimDuration::from_secs(24 * 3600),
             ..small_project()
         };
-        let r = run_campaign(&project, &flaky, &DeployConfig::native(), 13, horizon());
+        let r = run_legacy(&project, &flaky, &DeployConfig::native(), 13, horizon());
         assert!(r.finished, "reissue must rescue stranded work units: {r:?}");
         // Attrition really happened (some copies never came back).
         assert!(
             r.results_returned as u32 >= project.workunits * project.quorum,
             "{r:?}"
         );
+        assert!(r.reissues > 0, "{r:?}");
     }
 
     #[test]
@@ -816,14 +1223,14 @@ mod tests {
             wu_ref_secs: 3.0 * 3600.0,
             ..small_project()
         };
-        let without = run_campaign(
+        let without = run_legacy(
             &project,
             &churny,
             &DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20),
             21,
             horizon(),
         );
-        let with = run_campaign(
+        let with = run_legacy(
             &project,
             &churny,
             &DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20).with_migration(),
@@ -857,17 +1264,17 @@ mod tests {
             ..small_project()
         };
         let mut big_state = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20).with_migration();
-        if let crate::model::ExecutionMode::Vm(p) = &mut big_state.mode {
+        if let ExecutionMode::Vm(p) = &mut big_state.mode {
             p.guest_ram = 2 << 30; // 2 GB of state to ship per migration
         }
-        let small = run_campaign(
+        let small = run_legacy(
             &project,
             &churny,
             &DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20).with_migration(),
             22,
             horizon(),
         );
-        let big = run_campaign(&project, &churny, &big_state, 22, horizon());
+        let big = run_legacy(&project, &churny, &big_state, 22, horizon());
         assert!(
             big.validated_wus <= small.validated_wus,
             "shipping 2 GB per migration can't beat 300 MB: {} vs {}",
@@ -879,7 +1286,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let run = |seed| {
-            run_campaign(
+            run_legacy(
                 &small_project(),
                 &stable_pool(),
                 &DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
@@ -893,5 +1300,112 @@ mod tests {
         assert_eq!(a.results_returned, b.results_returned);
         let c = run(12);
         assert_ne!(a.makespan_secs, c.makespan_secs);
+    }
+
+    #[test]
+    fn churn_is_deterministic_too() {
+        let churn = ChurnConfig::intensity(2.0);
+        let run = |seed| {
+            run_campaign_impl(
+                &small_project(),
+                &stable_pool(),
+                &DeployConfig::native(),
+                &churn,
+                seed,
+                horizon(),
+            )
+        };
+        assert_eq!(run(31), run(31));
+        assert_ne!(run(31).makespan_secs, run(32).makespan_secs);
+    }
+
+    #[test]
+    fn owner_activity_preempts_and_kills() {
+        let churn = ChurnConfig {
+            owner_arrival_mean_secs: 2.0 * 3600.0,
+            owner_session_mean_secs: 1800.0,
+            preempt_kill_prob: 0.3,
+            ..ChurnConfig::off()
+        };
+        let r = run_campaign_impl(
+            &small_project(),
+            &stable_pool(),
+            &DeployConfig::native(),
+            &churn,
+            41,
+            horizon(),
+        );
+        assert!(r.owner_preemptions > 0, "{r:?}");
+        assert!(r.vm_kills > 0, "{r:?}");
+        assert!(r.finished, "{r:?}");
+    }
+
+    #[test]
+    fn vm_suspend_preserves_work_native_preemption_loses_it() {
+        // Frequent owner sessions + long tasks + sparse checkpoints:
+        // native preemptions roll back to the last checkpoint, VM
+        // suspends lose nothing.
+        let churn = ChurnConfig {
+            owner_arrival_mean_secs: 1800.0,
+            owner_session_mean_secs: 900.0,
+            ..ChurnConfig::off()
+        };
+        let project = ProjectConfig {
+            workunits: 10,
+            wu_ref_secs: 2.0 * 3600.0,
+            ..small_project()
+        };
+        let mut native_deploy = DeployConfig::native();
+        native_deploy.checkpoint_interval = SimDuration::from_secs(3600);
+        let native = run_campaign_impl(
+            &project,
+            &stable_pool(),
+            &native_deploy,
+            &churn,
+            43,
+            horizon(),
+        );
+        let mut vm_deploy = DeployConfig::vm(VmmProfile::vmplayer(), 0);
+        vm_deploy.checkpoint_interval = SimDuration::from_secs(3600);
+        let vm = run_campaign_impl(&project, &stable_pool(), &vm_deploy, &churn, 43, horizon());
+        assert!(native.cpu_secs_lost > 0.0, "{native:?}");
+        assert!(
+            vm.cpu_secs_lost < native.cpu_secs_lost,
+            "suspend must lose less than preemption: vm {} vs native {}",
+            vm.cpu_secs_lost,
+            native.cpu_secs_lost
+        );
+    }
+
+    #[test]
+    fn disabled_checkpointing_loses_everything_on_kill() {
+        let churn = ChurnConfig {
+            vm_kill_mean_secs: 2.0 * 3600.0,
+            ..ChurnConfig::off()
+        };
+        let project = ProjectConfig {
+            workunits: 10,
+            wu_ref_secs: 3.0 * 3600.0,
+            ..small_project()
+        };
+        let mut no_ckpt = DeployConfig::native();
+        no_ckpt.checkpoint_interval = SimDuration::ZERO;
+        let without = run_campaign_impl(&project, &stable_pool(), &no_ckpt, &churn, 47, horizon());
+        let with = run_campaign_impl(
+            &project,
+            &stable_pool(),
+            &DeployConfig::native(),
+            &churn,
+            47,
+            horizon(),
+        );
+        assert!(without.vm_kills > 0, "{without:?}");
+        assert!(
+            without.cpu_secs_lost > with.cpu_secs_lost,
+            "no checkpoints must lose more: {} vs {}",
+            without.cpu_secs_lost,
+            with.cpu_secs_lost
+        );
+        assert!(with.goodput >= without.goodput, "{with:?} vs {without:?}");
     }
 }

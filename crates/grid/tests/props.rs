@@ -1,7 +1,7 @@
 //! Property-based tests of campaign-level invariants.
 
 use proptest::prelude::*;
-use vgrid_grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid_grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid_simcore::SimTime;
 use vgrid_vmm::VmmProfile;
 
@@ -18,6 +18,7 @@ proptest! {
         uptime_h in 1u32..24,
         use_vm in any::<bool>(),
         migrate in any::<bool>(),
+        churn_level in 0u32..4,
     ) {
         let project = ProjectConfig {
             workunits: 25,
@@ -37,13 +38,24 @@ proptest! {
         } else {
             DeployConfig::native()
         };
-        let horizon = SimTime::from_secs(10 * 24 * 3600);
-        let a = run_campaign(&project, &pool, &deploy, seed, horizon);
+        let spec = CampaignSpec::new("props")
+            .project(project.clone())
+            .pool(pool)
+            .deploy(deploy)
+            .churn(ChurnConfig::intensity(churn_level as f64))
+            .seed(seed)
+            .horizon(SimTime::from_secs(10 * 24 * 3600));
+        let a = spec.clone().build().unwrap().run();
+        let a = &a.reports()[0];
         prop_assert!(a.validated_wus <= project.workunits);
         prop_assert!(a.cpu_secs_lost <= a.cpu_secs_spent + 1e-6);
         prop_assert!(a.efficiency >= 0.0);
         prop_assert!(a.efficiency <= 2.5, "efficiency {} (bounded by top speed)", a.efficiency);
         prop_assert!(a.bad_results <= a.results_returned);
+        prop_assert!(a.goodput >= 0.0);
+        prop_assert!(a.wasted_cpu_secs >= -1e-6);
+        prop_assert!(a.wasted_cpu_secs <= a.cpu_secs_spent + 1e-6);
+        prop_assert!(a.makespan_inflation >= 0.0);
         if !use_vm {
             prop_assert_eq!(a.hosts_excluded_ram, 0);
             prop_assert_eq!(a.image_transfer_secs, 0.0);
@@ -51,9 +63,64 @@ proptest! {
         if !migrate {
             prop_assert_eq!(a.migrations, 0);
         }
-        // Determinism.
-        let b = run_campaign(&project, &pool, &deploy, seed, horizon);
-        prop_assert_eq!(a.validated_wus, b.validated_wus);
-        prop_assert_eq!(a.cpu_secs_spent.to_bits(), b.cpu_secs_spent.to_bits());
+        if churn_level == 0 {
+            prop_assert_eq!(a.owner_preemptions, 0);
+            prop_assert_eq!(a.vm_kills, 0);
+        }
+        // Determinism: the fault schedule is a pure function of
+        // (config, seed), so a rebuilt campaign replays bit-identically.
+        let b = spec.build().unwrap().run();
+        let b = &b.reports()[0];
+        prop_assert_eq!(a, b);
+    }
+
+    /// Repetition fan-out is an implementation detail: for arbitrary
+    /// churn configurations the parallel runner folds the same
+    /// per-repetition reports, in the same order, as the sequential one.
+    #[test]
+    fn parallel_repetitions_match_sequential(
+        seed in any::<u64>(),
+        volunteers in 5u32..25,
+        shape_tenths in 5u32..15,
+        owner_arrival_h in 1u32..12,
+        kill_h in 6u32..72,
+        use_vm in any::<bool>(),
+    ) {
+        let churn = ChurnConfig {
+            availability_shape: shape_tenths as f64 / 10.0,
+            uptime_factor: 0.6,
+            owner_arrival_mean_secs: owner_arrival_h as f64 * 3600.0,
+            owner_session_mean_secs: 1800.0,
+            preempt_kill_prob: 0.2,
+            vm_kill_mean_secs: kill_h as f64 * 3600.0,
+        };
+        let deploy = if use_vm {
+            DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20)
+        } else {
+            DeployConfig::native()
+        };
+        let spec = CampaignSpec::new("par-vs-seq")
+            .project(ProjectConfig { workunits: 15, wu_ref_secs: 1800.0, ..Default::default() })
+            .pool(PoolConfig {
+                volunteers,
+                ram_range: (1 << 30, 2 << 30),
+                ..Default::default()
+            })
+            .deploy(deploy)
+            .churn(churn)
+            .seed(seed)
+            .repetitions(3)
+            .horizon(SimTime::from_secs(5 * 24 * 3600));
+        let par = spec.clone().build().unwrap().run();
+        let seq = spec.build().unwrap().run_seq();
+        prop_assert_eq!(par.reports(), seq.reports());
+        for name in par.metric_names() {
+            prop_assert_eq!(
+                par.metric(name).mean.to_bits(),
+                seq.metric(name).mean.to_bits(),
+                "metric {} diverged between parallel and sequential",
+                name
+            );
+        }
     }
 }

@@ -128,6 +128,9 @@ pub enum ThreadState {
     Running(usize),
     /// Waiting for I/O, a timer, or a join.
     Blocked,
+    /// Administratively frozen ([`System::suspend_thread`]); holds no
+    /// core and competes for nothing until resumed.
+    Suspended,
     /// Finished.
     Exited,
 }
@@ -183,6 +186,11 @@ struct Thread {
     joiners: Vec<ThreadId>,
     spawned_at: SimTime,
     exited_at: Option<SimTime>,
+    /// Administrative freeze requested. A `Blocked` thread keeps this
+    /// flag until its I/O completes, at which point it parks at
+    /// `Suspended` (result retained in `pending`) instead of re-entering
+    /// the ready queues.
+    suspended: bool,
 }
 
 impl Thread {
@@ -428,6 +436,7 @@ impl System {
             joiners: Vec::new(),
             spawned_at: self.now,
             exited_at: None,
+            suspended: false,
         });
         self.ready
             .push_back(tid, self.threads[tid.0 as usize].eff_prio());
@@ -457,6 +466,116 @@ impl System {
     /// Release a previous [`System::commit_memory`] reservation.
     pub fn release_memory(&mut self, bytes: u64) {
         self.committed = self.committed.saturating_sub(bytes);
+    }
+
+    /// Administratively freeze `tid` (fault injection: owner preemption,
+    /// VM pause). A running thread is folded off its core at the current
+    /// instant — a mode-shared fold point, since the caller invokes this
+    /// between `run_until` calls where both execution modes sit at the
+    /// same `now` — a ready thread leaves the ready queues, and a
+    /// blocked thread finishes its in-flight I/O but parks at
+    /// [`ThreadState::Suspended`] instead of waking. No work is lost;
+    /// [`System::resume_thread`] continues exactly where it stopped.
+    pub fn suspend_thread(&mut self, tid: ThreadId) {
+        let idx = tid.0 as usize;
+        match self.threads[idx].state {
+            ThreadState::Exited | ThreadState::Suspended => return,
+            ThreadState::Running(core) => {
+                self.account_all();
+                self.fold_work(core);
+                self.threads[idx].state = ThreadState::Suspended;
+                self.clear_core(core);
+            }
+            ThreadState::Ready => {
+                self.ready.remove(tid);
+                self.threads[idx].state = ThreadState::Suspended;
+            }
+            ThreadState::Blocked => {
+                // Park on I/O completion (see on_disk_done / on_wake /
+                // join delivery); only the flag is set here.
+            }
+        }
+        self.threads[idx].suspended = true;
+        if self.trace.is_enabled(TraceCategory::Fault) {
+            self.trace.emit(
+                self.now,
+                TraceCategory::Fault,
+                format!("suspend t{}", tid.0),
+            );
+        }
+    }
+
+    /// Undo [`System::suspend_thread`]: a parked thread re-enters the
+    /// ready queues (any retained I/O result is delivered when it next
+    /// runs); a still-blocked thread simply loses the parking flag.
+    pub fn resume_thread(&mut self, tid: ThreadId) {
+        let idx = tid.0 as usize;
+        if !self.threads[idx].suspended {
+            return;
+        }
+        self.threads[idx].suspended = false;
+        if self.threads[idx].state == ThreadState::Suspended {
+            let th = &mut self.threads[idx];
+            th.state = ThreadState::Ready;
+            let p = th.eff_prio();
+            self.ready.push_back(tid, p);
+        }
+        if self.trace.is_enabled(TraceCategory::Fault) {
+            self.trace
+                .emit(self.now, TraceCategory::Fault, format!("resume t{}", tid.0));
+        }
+    }
+
+    /// Kill `tid` outright (fault injection: hard VM kill, process
+    /// termination). Equivalent to the thread issuing `Action::Exit` at
+    /// the current instant: its core is released, joiners wake, and any
+    /// in-flight device work completes into the void. Idempotent.
+    pub fn kill_thread(&mut self, tid: ThreadId) {
+        let idx = tid.0 as usize;
+        match self.threads[idx].state {
+            ThreadState::Exited => return,
+            ThreadState::Running(core) => {
+                self.account_all();
+                self.fold_work(core);
+                self.clear_core(core);
+            }
+            ThreadState::Ready => {
+                self.ready.remove(tid);
+            }
+            ThreadState::Blocked | ThreadState::Suspended => {}
+        }
+        let joiners = {
+            let th = &mut self.threads[idx];
+            th.state = ThreadState::Exited;
+            th.exited_at = Some(self.now);
+            th.exec = None;
+            th.pending = ActionResult::None;
+            th.suspended = false;
+            std::mem::take(&mut th.joiners)
+        };
+        for j in joiners {
+            let jt = &mut self.threads[j.0 as usize];
+            if jt.state == ThreadState::Blocked {
+                jt.pending = ActionResult::Joined;
+                if jt.suspended {
+                    jt.state = ThreadState::Suspended;
+                } else {
+                    jt.state = ThreadState::Ready;
+                    let p = jt.eff_prio();
+                    self.ready.push_back(j, p);
+                }
+            }
+        }
+        if self.trace.is_enabled(TraceCategory::Fault) {
+            self.trace
+                .emit(self.now, TraceCategory::Fault, format!("kill t{}", tid.0));
+        }
+    }
+
+    /// True when `tid` is administratively suspended (including a
+    /// blocked thread that will park on I/O completion).
+    pub fn is_suspended(&self, tid: ThreadId) -> bool {
+        self.threads[tid.0 as usize].suspended
     }
 
     /// Bytes currently committed by reservations.
@@ -731,9 +850,13 @@ impl System {
         let th = &mut self.threads[job.tid.0 as usize];
         th.pending = std::mem::replace(&mut job.result, ActionResult::None);
         if th.state == ThreadState::Blocked {
-            th.state = ThreadState::Ready;
-            let p = th.eff_prio();
-            self.ready.push_back(job.tid, p);
+            if th.suspended {
+                th.state = ThreadState::Suspended;
+            } else {
+                th.state = ThreadState::Ready;
+                let p = th.eff_prio();
+                self.ready.push_back(job.tid, p);
+            }
         }
         if self.trace.is_enabled(TraceCategory::Io) {
             self.trace.emit(
@@ -798,9 +921,13 @@ impl System {
     fn on_wake(&mut self, tid: ThreadId) {
         let th = &mut self.threads[tid.0 as usize];
         if th.state == ThreadState::Blocked {
-            th.state = ThreadState::Ready;
-            let p = th.eff_prio();
-            self.ready.push_back(tid, p);
+            if th.suspended {
+                th.state = ThreadState::Suspended;
+            } else {
+                th.state = ThreadState::Ready;
+                let p = th.eff_prio();
+                self.ready.push_back(tid, p);
+            }
         }
     }
 
@@ -1277,9 +1404,13 @@ impl System {
                         let jt = &mut self.threads[j.0 as usize];
                         if jt.state == ThreadState::Blocked {
                             jt.pending = ActionResult::Joined;
-                            jt.state = ThreadState::Ready;
-                            let p = jt.eff_prio();
-                            self.ready.push_back(j, p);
+                            if jt.suspended {
+                                jt.state = ThreadState::Suspended;
+                            } else {
+                                jt.state = ThreadState::Ready;
+                                let p = jt.eff_prio();
+                                self.ready.push_back(j, p);
+                            }
                         }
                     }
                     if self.trace.is_enabled(TraceCategory::Sched) {

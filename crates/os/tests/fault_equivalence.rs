@@ -1,0 +1,117 @@
+//! Fault-injection hooks vs the slice-coalescing fast path: a suspend /
+//! resume / kill arriving *mid-coalesced-slice* (the scheduler has one
+//! far-future `SliceEnd` in flight and many quantum boundaries folded
+//! away) must leave the system bit-identical to the per-quantum
+//! reference schedule. The hooks fold work at the caller's instant —
+//! `run_until` parks `now` at the deadline in both modes, so the fold
+//! point is mode-shared by construction.
+
+use proptest::prelude::*;
+use vgrid_machine::ops::OpBlock;
+use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx, ThreadState};
+use vgrid_simcore::{SimDuration, SimTime};
+
+#[derive(Debug)]
+struct Burn {
+    blocks: u32,
+}
+
+impl ThreadBody for Burn {
+    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.blocks == 0 {
+            return Action::Exit;
+        }
+        self.blocks -= 1;
+        // ~500 ms of solo int work per block: many quanta per block, so
+        // the fast path coalesces aggressively.
+        Action::compute(OpBlock::int_alu(3_000_000_000))
+    }
+}
+
+#[derive(Debug)]
+struct SleepyIo {
+    rounds: u32,
+}
+
+impl ThreadBody for SleepyIo {
+    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.rounds == 0 {
+            return Action::Exit;
+        }
+        self.rounds -= 1;
+        if self.rounds.is_multiple_of(2) {
+            Action::compute(OpBlock::int_alu(40_000_000))
+        } else {
+            Action::Sleep(SimDuration::from_millis(7))
+        }
+    }
+}
+
+/// One scripted run: three threads, a suspension landing mid-slice, a
+/// resume, and a kill — all at instants chosen to fall inside coalesced
+/// slices (odd microsecond offsets, never on a 20 ms quantum boundary).
+fn faulted_run(
+    coalesce: bool,
+    suspend_at_us: u64,
+    resume_after_us: u64,
+) -> Vec<(SimDuration, ThreadState)> {
+    let mut sys = System::new(SystemConfig {
+        coalesce,
+        ..SystemConfig::testbed(7)
+    });
+    let a = sys.spawn("burn-a", Priority::Normal, Box::new(Burn { blocks: 8 }));
+    let b = sys.spawn("burn-b", Priority::Normal, Box::new(Burn { blocks: 8 }));
+    let c = sys.spawn(
+        "mixed-c",
+        Priority::Normal,
+        Box::new(SleepyIo { rounds: 40 }),
+    );
+    let t1 = SimTime::ZERO + SimDuration::from_micros(suspend_at_us);
+    sys.run_until(t1);
+    sys.suspend_thread(a);
+    sys.suspend_thread(c); // may be Blocked in a sleep: parks on wake
+    let t2 = t1 + SimDuration::from_micros(resume_after_us);
+    sys.run_until(t2);
+    sys.resume_thread(a);
+    sys.resume_thread(c);
+    let t3 = t2 + SimDuration::from_micros(777_777);
+    sys.run_until(t3);
+    sys.kill_thread(b);
+    sys.run_until(SimTime::from_secs(9));
+    [a, b, c]
+        .iter()
+        .map(|&t| {
+            let st = sys.thread_stats(t);
+            (st.cpu_time, st.state)
+        })
+        .collect()
+}
+
+#[test]
+fn suspension_mid_coalesced_slice_is_mode_identical() {
+    // 1.234567 s: mid-block, mid-quantum (not a multiple of 20 ms).
+    let fast = faulted_run(true, 1_234_567, 901_003);
+    let reference = faulted_run(false, 1_234_567, 901_003);
+    assert_eq!(fast, reference);
+    // The suspended-then-resumed thread must have been genuinely frozen:
+    // its CPU time is below an uninterrupted run's.
+    assert!(fast[0].0 < SimDuration::from_secs(5));
+    // The killed thread is exited in both modes.
+    assert_eq!(fast[1].1, ThreadState::Exited);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary fault instants — boundary-adjacent, mid-slice, early,
+    /// late — keep the two modes bit-identical.
+    #[test]
+    fn random_fault_instants_are_mode_identical(
+        suspend_at_us in 1_000u64..4_000_000,
+        resume_after_us in 1_000u64..2_000_000,
+    ) {
+        let fast = faulted_run(true, suspend_at_us, resume_after_us);
+        let reference = faulted_run(false, suspend_at_us, resume_after_us);
+        prop_assert_eq!(fast, reference);
+    }
+}

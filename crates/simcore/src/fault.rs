@@ -1,0 +1,102 @@
+//! Fault-event taxonomy shared by the fault-injection layers.
+//!
+//! The churn models in `vgrid-grid` and the suspend/kill hooks in
+//! `vgrid-os` / `vgrid-vmm` all describe what happened to a host or a
+//! guest with the same small vocabulary, so traces, metrics and tests
+//! can speak about faults uniformly. The taxonomy is deliberately
+//! mechanism-free: *what* happened, not *how* the simulator applied it.
+//! Fault schedules themselves are pure functions of `(config, seed)` —
+//! see DESIGN.md §10 for the determinism contract.
+
+use std::fmt;
+
+/// What kind of availability fault hit a host (or the guest it runs).
+///
+/// Ordered roughly by severity: a pause loses no work, a kill loses
+/// everything since the last checkpoint, a permanent departure loses
+/// the host itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// The host came (back) up and rejoined the pool.
+    HostUp,
+    /// The host went down (powered off, rebooted, network drop). Work
+    /// in flight is lost back to the last checkpoint.
+    HostDown,
+    /// The machine owner started using the console; volunteer work is
+    /// preempted (suspended, not lost) until the owner leaves.
+    OwnerArrive,
+    /// The owner went idle again; preempted work may resume.
+    OwnerLeave,
+    /// The VM (or the native science process) was killed outright —
+    /// e.g. the owner reclaimed memory — losing all unsaved guest
+    /// state. The disk image survives; compute restarts from the last
+    /// checkpoint.
+    VmKill,
+    /// The volunteer left the project for good; the host never
+    /// returns and its in-flight work must be reissued elsewhere.
+    PermanentLeave,
+}
+
+impl FaultKind {
+    /// Stable lowercase label, used in traces and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::HostUp => "host-up",
+            FaultKind::HostDown => "host-down",
+            FaultKind::OwnerArrive => "owner-arrive",
+            FaultKind::OwnerLeave => "owner-leave",
+            FaultKind::VmKill => "vm-kill",
+            FaultKind::PermanentLeave => "permanent-leave",
+        }
+    }
+
+    /// All kinds, in severity order (matches the enum declaration).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::HostUp,
+        FaultKind::HostDown,
+        FaultKind::OwnerArrive,
+        FaultKind::OwnerLeave,
+        FaultKind::VmKill,
+        FaultKind::PermanentLeave,
+    ];
+
+    /// True when the fault destroys uncheckpointed work (rather than
+    /// merely pausing it).
+    pub fn is_destructive(self) -> bool {
+        matches!(
+            self,
+            FaultKind::HostDown | FaultKind::VmKill | FaultKind::PermanentLeave
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let mut seen = crate::DetSet::new();
+        for k in FaultKind::ALL {
+            assert!(seen.insert(k.label()), "duplicate label {}", k.label());
+            assert_eq!(format!("{k}"), k.label());
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn destructiveness_partition() {
+        assert!(FaultKind::VmKill.is_destructive());
+        assert!(FaultKind::HostDown.is_destructive());
+        assert!(FaultKind::PermanentLeave.is_destructive());
+        assert!(!FaultKind::OwnerArrive.is_destructive());
+        assert!(!FaultKind::OwnerLeave.is_destructive());
+        assert!(!FaultKind::HostUp.is_destructive());
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod detmap;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -45,6 +46,7 @@ pub mod trace;
 
 pub use detmap::{DetMap, DetSet};
 pub use event::{EventQueue, EventQueueStats, ScheduledEvent};
+pub use fault::FaultKind;
 pub use rng::SimRng;
 pub use stats::{
     geometric_mean, percent_overhead, relative_slowdown, ConfidenceInterval, EventLoopStats,

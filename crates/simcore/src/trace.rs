@@ -29,10 +29,12 @@ pub enum TraceCategory {
     Grid,
     /// Clocks and timers.
     Clock,
+    /// Injected faults: churn transitions, preemptions, VM kills.
+    Fault,
 }
 
 impl TraceCategory {
-    const ALL: [TraceCategory; 7] = [
+    const ALL: [TraceCategory; 8] = [
         TraceCategory::Sched,
         TraceCategory::Io,
         TraceCategory::Net,
@@ -40,6 +42,7 @@ impl TraceCategory {
         TraceCategory::Workload,
         TraceCategory::Grid,
         TraceCategory::Clock,
+        TraceCategory::Fault,
     ];
 
     fn index(self) -> usize {
@@ -51,6 +54,7 @@ impl TraceCategory {
             TraceCategory::Workload => 4,
             TraceCategory::Grid => 5,
             TraceCategory::Clock => 6,
+            TraceCategory::Fault => 7,
         }
     }
 }
@@ -75,7 +79,7 @@ impl fmt::Display for TraceEvent {
 /// Bounded, category-filtered trace recorder.
 #[derive(Debug)]
 pub struct TraceSink {
-    enabled: [bool; 7],
+    enabled: [bool; 8],
     capacity: usize,
     events: VecDeque<TraceEvent>,
     dropped: u64,
@@ -91,7 +95,7 @@ impl TraceSink {
     /// Sink with the given ring capacity; all categories start disabled.
     pub fn new(capacity: usize) -> Self {
         TraceSink {
-            enabled: [false; 7],
+            enabled: [false; 8],
             capacity: capacity.max(1),
             events: VecDeque::new(),
             dropped: 0,

@@ -48,6 +48,9 @@ pub struct VmControl {
     pub halted: bool,
     /// Ask the VM to power off (vCPU and service threads exit).
     pub power_off: bool,
+    /// Set once the VM was hard-killed ([`VmHandle::kill`]); guards the
+    /// one-shot release of the committed guest RAM.
+    pub killed: bool,
     /// Live guest-clock lag behind host time, seconds (updated by the
     /// vCPU; the paper's timing-imprecision phenomenon, observable from
     /// outside the VM).
@@ -124,6 +127,49 @@ impl VmHandle {
         let control = self.control.clone();
         sys.run_until_event(deadline, || control.borrow().halted)
     }
+
+    /// Freeze the whole VM (owner-preemption fault: the monitor is
+    /// paused, not destroyed). Every vCPU and the service thread stop
+    /// consuming host CPU; guest state — RAM commitment included — is
+    /// retained, so [`VmHandle::resume`] continues without loss. This is
+    /// the paper's argued VM advantage over a native science process,
+    /// which would have to roll back to its last checkpoint instead.
+    pub fn suspend(&self, sys: &mut System) {
+        for &v in &self.vcpus {
+            sys.suspend_thread(v);
+        }
+        sys.suspend_thread(self.service);
+    }
+
+    /// Undo [`VmHandle::suspend`]: the VM's threads rejoin the ready
+    /// queues and the guest picks up exactly where it stopped.
+    pub fn resume(&self, sys: &mut System) {
+        for &v in &self.vcpus {
+            sys.resume_thread(v);
+        }
+        sys.resume_thread(self.service);
+    }
+
+    /// Hard-kill the VM (the owner reclaimed the machine): all VM
+    /// threads die at the current instant without any guest-side
+    /// shutdown, and the committed guest RAM is released back to the
+    /// host. Unsaved guest state is lost; only on-disk state (the image
+    /// file, any written checkpoints) survives. Idempotent.
+    pub fn kill(&self, sys: &mut System) {
+        {
+            let mut c = self.control.borrow_mut();
+            if c.killed {
+                return;
+            }
+            c.killed = true;
+            c.power_off = true;
+        }
+        for &v in &self.vcpus {
+            sys.kill_thread(v);
+        }
+        sys.kill_thread(self.service);
+        sys.release_memory(self.committed_memory);
+    }
 }
 
 /// The VM facade.
@@ -131,22 +177,32 @@ pub struct Vm;
 
 impl Vm {
     /// Install a VM: spawns one host thread per vCPU plus the service
-    /// thread in `sys`.
+    /// thread in `sys`. Panics if the host cannot commit the guest RAM;
+    /// use [`Vm::try_install`] to handle that case.
     pub fn install(sys: &mut System, cfg: VmConfig, guest: GuestVm) -> VmHandle {
+        let committed = guest.profile().guest_ram;
+        let name = cfg.name.clone();
+        match Vm::try_install(sys, cfg, guest) {
+            Ok(vm) => vm,
+            Err(available) => panic!(
+                "cannot power on {}: needs {} MB committed but only {} MB of RAM remain",
+                name,
+                committed >> 20,
+                available >> 20
+            ),
+        }
+    }
+
+    /// Install a VM, refusing (with the remaining RAM budget in bytes)
+    /// when the host cannot hold the guest's committed memory alongside
+    /// the OS working set — the practical limit the paper's
+    /// Section 4.2.1 discusses.
+    pub fn try_install(sys: &mut System, cfg: VmConfig, guest: GuestVm) -> Result<VmHandle, u64> {
         let control = Rc::new(RefCell::new(VmControl::default()));
         let profile = guest.profile().clone();
         let committed = profile.guest_ram;
-        // The monitor commits the configured guest RAM up front; a host
-        // that cannot hold it refuses to power the VM on (the practical
-        // limit the paper's Section 4.2.1 discusses).
-        if let Err(available) = sys.commit_memory(committed) {
-            panic!(
-                "cannot power on {}: needs {} MB committed but only {} MB of RAM remain",
-                cfg.name,
-                committed >> 20,
-                available >> 20
-            );
-        }
+        // The monitor commits the configured guest RAM up front.
+        sys.commit_memory(committed)?;
         let n_vcpus = guest.vcpu_count();
         let ops_per_sec = sys.machine().cpu.freq_hz as f64 * sys.machine().cpu.int_ops_per_cycle;
         let guest = Rc::new(RefCell::new(guest));
@@ -169,13 +225,13 @@ impl Vm {
         // steer it toward the vCPU's core so an otherwise-idle core is
         // not needlessly disturbed (Figure 5/6 behaviour).
         sys.set_buddy(service, vcpus[0]);
-        VmHandle {
+        Ok(VmHandle {
             vcpu: vcpus[0],
             vcpus,
             service,
             control,
             committed_memory: committed,
-        }
+        })
     }
 }
 
@@ -678,6 +734,64 @@ mod tests {
         sys.run_until(SimTime::from_secs(2));
         assert!(sys.is_exited(vm.vcpu));
         assert!(sys.is_exited(vm.service));
+    }
+
+    #[test]
+    fn suspend_freezes_guest_and_resume_continues_without_loss() {
+        let mut sys = testbed();
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
+        guest.spawn("burn", Box::new(GuestBurn { iters: u32::MAX }));
+        let vm = Vm::install(&mut sys, VmConfig::new("vms", Priority::Normal), guest);
+        sys.run_until(SimTime::from_secs(1));
+        let before = sys.thread_stats(vm.vcpu).cpu_time;
+        vm.suspend(&mut sys);
+        sys.run_until(SimTime::from_secs(3));
+        let frozen = sys.thread_stats(vm.vcpu).cpu_time;
+        // A suspended VM consumes no host CPU at all (vCPU or service).
+        assert_eq!(before, frozen, "suspended vCPU kept running");
+        assert_eq!(sys.committed_memory(), vm.committed_memory);
+        vm.resume(&mut sys);
+        sys.run_until(SimTime::from_secs(4));
+        let resumed = sys.thread_stats(vm.vcpu).cpu_time;
+        assert!(resumed > frozen, "resumed vCPU must make progress");
+    }
+
+    #[test]
+    fn kill_stops_threads_and_releases_committed_ram() {
+        let mut sys = testbed();
+        let mut guest = GuestVm::new(GuestConfig::new(VmmProfile::qemu()), sys.machine());
+        guest.spawn("burn", Box::new(GuestBurn { iters: u32::MAX }));
+        let vm = Vm::install(&mut sys, VmConfig::new("vmk", Priority::Normal), guest);
+        sys.run_until(SimTime::from_millis(500));
+        assert_eq!(sys.committed_memory(), vm.committed_memory);
+        vm.kill(&mut sys);
+        vm.kill(&mut sys); // idempotent: releases RAM once
+        assert!(sys.is_exited(vm.vcpu));
+        assert!(sys.is_exited(vm.service));
+        assert_eq!(sys.committed_memory(), 0);
+        sys.run_until(SimTime::from_secs(2));
+        let vcpu = sys.thread_stats(vm.vcpu).cpu_time;
+        sys.run_until(SimTime::from_secs(3));
+        assert_eq!(sys.thread_stats(vm.vcpu).cpu_time, vcpu);
+    }
+
+    #[test]
+    fn try_install_reports_remaining_budget_instead_of_panicking() {
+        let mut sys = testbed();
+        for i in 0..2 {
+            let guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
+            let r = Vm::try_install(
+                &mut sys,
+                VmConfig::new(format!("vm{i}"), Priority::Normal),
+                guest,
+            );
+            assert!(r.is_ok());
+        }
+        let guest = GuestVm::new(GuestConfig::new(VmmProfile::vmplayer()), sys.machine());
+        let err = Vm::try_install(&mut sys, VmConfig::new("vm2", Priority::Normal), guest)
+            .expect_err("third VM must not fit");
+        // 768 MB budget minus two 300 MB commitments = 168 MB left.
+        assert_eq!(err, 168 * 1024 * 1024);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! wall time and lost guest progress; then sweeps the checkpoint interval
 //! in a churning volunteer campaign to show the fault-tolerance payoff.
 
-use vgrid::grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid::grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid::os::{Priority, System, SystemConfig};
 use vgrid::simcore::{SimDuration, SimTime};
 use vgrid::vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile};
@@ -77,12 +77,25 @@ fn main() {
     for interval_mins in [5u64, 15, 60, 240] {
         let mut deploy = DeployConfig::vm(VmmProfile::vmplayer(), 700 << 20);
         deploy.checkpoint_interval = SimDuration::from_secs(interval_mins * 60);
-        let r = run_campaign(&project, &pool, &deploy, 9, horizon);
+        let result = CampaignSpec::new("checkpoint sweep")
+            .project(project.clone())
+            .pool(pool.clone())
+            .deploy(deploy)
+            .churn(ChurnConfig::intensity(1.0))
+            .seed(9)
+            .horizon(horizon)
+            .build()
+            .expect("valid campaign")
+            .run();
+        let r = &result.reports()[0];
         println!(
-            "  every {:>3} min: validated {:>4} WUs, lost {:>6.1} h of computation to churn",
+            "  every {:>3} min: validated {:>4} WUs, lost {:>6.1} h of computation to churn \
+             ({} owner preemptions, {} sandbox kills)",
             interval_mins,
             r.validated_wus,
-            r.cpu_secs_lost / 3600.0
+            r.cpu_secs_lost / 3600.0,
+            r.owner_preemptions,
+            r.vm_kills
         );
     }
     println!("\n(frequent checkpoints waste bandwidth on 300 MB state writes; rare ones waste computation)");

@@ -13,7 +13,7 @@
 //! time-server methodology.
 
 use vgrid::core::{experiments, Fidelity};
-use vgrid::grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid::grid::{CampaignSpec, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid::simcore::SimTime;
 use vgrid::vmm::VmmProfile;
 
@@ -42,7 +42,16 @@ fn main() {
         DeployConfig::vm(VmmProfile::vmplayer(), 1_400 << 20),
         DeployConfig::vm(VmmProfile::qemu(), 1_400 << 20),
     ] {
-        let r = run_campaign(&project, &pool, &deploy, 42, horizon);
+        let result = CampaignSpec::new("campaign detail")
+            .project(project.clone())
+            .pool(pool.clone())
+            .deploy(deploy)
+            .seed(42)
+            .horizon(horizon)
+            .build()
+            .expect("valid campaign")
+            .run();
+        let r = &result.reports()[0];
         println!(
             "  {:<16} validated {:>5}  cpu {:>9.0}s (lost {:>7.0}s)  images {:>6.0}s  excluded {}",
             r.mode,

@@ -4,10 +4,12 @@
 #
 #   ./scripts/verify.sh
 #
-# Runs the same three gates as CI: formatting, lints (warnings are
-# errors) and the test suite for the default workspace members. The
-# bench crate and the in-repo criterion/proptest shims are outside the
-# default members and are exercised by `cargo build --workspace`.
+# Runs the same gates as CI: formatting, lints (warnings are errors),
+# the determinism lint, the test suite for the default workspace
+# members, a fault-injection smoke run and the EXPERIMENTS.md
+# byte-identity check (zero churn must leave every figure untouched).
+# The bench crate and the in-repo criterion/proptest shims are outside
+# the default members and are exercised by `cargo build --workspace`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +29,12 @@ cargo build -q --workspace --examples --tests --benches
 
 echo "==> cargo test (default members)"
 cargo test -q
+
+echo "==> grid-churn quick run (fault-injection smoke)"
+cargo run -q --release --bin vgrid -- run grid-churn >/dev/null
+
+echo "==> EXPERIMENTS.md byte-identity (zero churn must not move any figure)"
+cargo run -q --release --bin vgrid-report -- --paper > target/EXPERIMENTS.regen.md
+cmp EXPERIMENTS.md target/EXPERIMENTS.regen.md
 
 echo "verify: OK"

@@ -5,7 +5,7 @@
 //! vgrid run fig1 [--paper] [--json]  # run one experiment
 //! vgrid suite [--paper]              # the whole paper, rendered
 //! vgrid campaign [--volunteers N] [--days D] [--vm <monitor>|native]
-//!                [--image-mb M] [--migrate]
+//!                [--image-mb M] [--migrate] [--churn L]
 //! ```
 //!
 //! Everything the CLI does is a thin veneer over `vgrid_core` /
@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 use vgrid::core::{experiments, Fidelity};
-use vgrid::grid::{run_campaign, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid::grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid::simcore::SimTime;
 use vgrid::vmm::VmmProfile;
 
@@ -51,7 +51,7 @@ fn usage() -> ExitCode {
            suite [--paper] [--verbose]   run the full paper suite\n\
            campaign [--volunteers N] [--days D]\n\
                     [--vm vmplayer|qemu|virtualbox|virtualpc|native]\n\
-                    [--image-mb M] [--migrate]\n"
+                    [--image-mb M] [--migrate] [--churn L]\n"
     );
     ExitCode::FAILURE
 }
@@ -134,6 +134,9 @@ fn main() -> ExitCode {
             if args.iter().any(|a| a == "--migrate") {
                 deploy = deploy.with_migration();
             }
+            let churn_level: f64 = flag_value(&args, "--churn")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
             let project = ProjectConfig {
                 workunits: 100_000, // never work-limited
                 ..Default::default()
@@ -142,15 +145,25 @@ fn main() -> ExitCode {
                 volunteers,
                 ..Default::default()
             };
-            let r = run_campaign(
-                &project,
-                &pool,
-                &deploy,
-                0xc11,
-                SimTime::from_secs(days * 24 * 3600),
-            );
+            let campaign = match CampaignSpec::new(&mode)
+                .project(project)
+                .pool(pool)
+                .deploy(deploy)
+                .churn(ChurnConfig::intensity(churn_level))
+                .seed(0xc11)
+                .horizon(SimTime::from_secs(days * 24 * 3600))
+                .build()
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid campaign: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let result = campaign.run();
+            let r = &result.reports()[0];
             println!(
-                "{} deployment, {volunteers} volunteers, {days} days:",
+                "{} deployment, {volunteers} volunteers, {days} days, churn {churn_level}:",
                 r.mode
             );
             println!("  validated work units : {}", r.validated_wus);
@@ -168,6 +181,14 @@ fn main() -> ExitCode {
             println!("  hosts excluded (RAM) : {}", r.hosts_excluded_ram);
             println!("  migrations           : {}", r.migrations);
             println!("  efficiency           : {:.3}", r.efficiency);
+            println!("  goodput              : {:.3} ref-CPU s/s", r.goodput);
+            println!(
+                "  cpu wasted           : {:.1} h",
+                r.wasted_cpu_secs / 3600.0
+            );
+            println!("  reissues             : {}", r.reissues);
+            println!("  owner preemptions    : {}", r.owner_preemptions);
+            println!("  sandbox kills        : {}", r.vm_kills);
             ExitCode::SUCCESS
         }
         _ => usage(),
