@@ -32,9 +32,9 @@ use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
 use vgrid_simcore::{
-    DetMap, EventLoopStats, OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary,
+    DetMap, EventLoopStats, OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary, TraceSink,
 };
-use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmmProfile, VnicMode};
+use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmHandle, VmmProfile, VnicMode};
 use vgrid_workloads::iobench::{IoBenchBody, IoBenchConfig};
 use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchSuite};
 use vgrid_workloads::netbench::{NetBenchBody, NetBenchConfig};
@@ -157,8 +157,9 @@ impl KernelSpec {
 
 /// Base seed used when a spec does not set one; equals
 /// `RepetitionRunner`'s default so engine trials reproduce the legacy
-/// repetition sweeps bit for bit.
-const DEFAULT_BASE_SEED: u64 = 0xD0A1_57E5_7BED_5EED;
+/// repetition sweeps bit for bit. Public because run manifests
+/// (`crate::obs`) record it as the run's seed stream anchor.
+pub const DEFAULT_BASE_SEED: u64 = 0xD0A1_57E5_7BED_5EED;
 
 /// A declarative experiment trial: kernel + environment + repetitions.
 #[derive(Debug, Clone)]
@@ -339,12 +340,19 @@ impl Engine {
     }
 
     fn run_impl(&self, specs: &[TrialSpec], parallel: bool) -> Vec<TrialResult> {
+        // Observed runs publish per-repetition telemetry as jobs
+        // complete; run them sequentially so publication order is the
+        // deterministic job order rather than thread-scheduling order.
+        let parallel = parallel && !crate::obs::capturing();
         let mut out: Vec<Option<TrialResult>> = Vec::with_capacity(specs.len());
         let mut todo: Vec<usize> = Vec::new();
         {
             let cache = self.cache.lock().unwrap();
             for (i, spec) in specs.iter().enumerate() {
-                match cache.get(&spec.cache_key()) {
+                let key = spec.cache_key();
+                let hit = cache.get(&key);
+                crate::obs::note_trial(&spec.label, &key, hit.is_some());
+                match hit {
                     Some(hit) => out.push(Some(TrialResult {
                         label: spec.label.clone(),
                         metrics: hit.metrics.clone(),
@@ -419,13 +427,21 @@ impl ThreadBody for Hog {
 }
 
 fn system_for(spec: &TrialSpec, seed: u64) -> System {
-    match &spec.machine {
+    let mut sys = match &spec.machine {
         Some(machine) => System::new(SystemConfig {
             machine: machine.clone(),
             ..SystemConfig::testbed(seed)
         }),
         None => System::new(SystemConfig::testbed(seed)),
+    };
+    // Observed runs record the full event stream; emission stays a
+    // single `is_enabled` branch everywhere else, so bench event
+    // counts with telemetry off are untouched.
+    if crate::obs::capturing() {
+        sys.trace = TraceSink::new(crate::obs::OBS_TRACE_CAPACITY);
+        sys.trace.enable_all();
     }
+    sys
 }
 
 fn guest_config(profile: &VmmProfile, vnic: Option<VnicMode>) -> GuestConfig {
@@ -436,13 +452,18 @@ fn guest_config(profile: &VmmProfile, vnic: Option<VnicMode>) -> GuestConfig {
     }
 }
 
-fn install_background_vm(sys: &mut System, env: &Environment, fidelity: Fidelity) {
+fn install_background_vm(
+    sys: &mut System,
+    env: &Environment,
+    fidelity: Fidelity,
+) -> Option<VmHandle> {
     match env {
-        Environment::Native => {}
+        Environment::Native => None,
         Environment::HostUnderVm { profile, priority } => {
-            install_einstein_vm(sys, profile, *priority, fidelity);
+            let vm = install_einstein_vm(sys, profile, *priority, fidelity);
             // Let the VM reach steady state before benchmarking.
             sys.run_until(SimTime::from_millis(200));
+            Some(vm)
         }
         Environment::Guest { .. } => panic!("host-side kernel cannot run inside a guest"),
     }
@@ -474,6 +495,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 .unwrap_or_else(|e| panic!("trial {:?}: {e}", spec.label))
                 .run_seq();
             let r = &result.reports()[0];
+            crate::obs::observe_campaign_run(&spec.label, seed, r);
             vec![
                 r.validated_wus as f64,
                 r.efficiency,
@@ -491,13 +513,14 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
         KernelSpec::OpLoop { block, iters } => {
             let mut sys = system_for(spec, seed);
             let (body, span) = KernelLoop::new(block.clone(), *iters);
-            match &spec.env {
+            let vm = match &spec.env {
                 Environment::Native => {
                     sys.spawn("bench", Priority::Normal, Box::new(body));
                     assert!(
                         sys.run_to_completion(SimTime::from_secs(3600)),
                         "native loop did not finish"
                     );
+                    None
                 }
                 Environment::Guest { profile, vnic } => {
                     let mut guest = GuestVm::new(guest_config(profile, *vnic), sys.machine());
@@ -511,26 +534,30 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                         vm.run_until_halted(&mut sys, SimTime::from_secs(3600)),
                         "guest loop did not finish"
                     );
+                    Some(vm)
                 }
                 Environment::HostUnderVm { .. } => {
-                    install_background_vm(&mut sys, &spec.env, fidelity);
+                    let vm = install_background_vm(&mut sys, &spec.env, fidelity);
                     sys.spawn("bench", Priority::Normal, Box::new(body));
                     let done = span.clone();
                     assert!(
                         sys.run_until_event(SimTime::from_secs(3600), || done.borrow().is_some()),
                         "host loop did not finish"
                     );
+                    vm
                 }
-            }
+            };
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, vm.as_ref());
             let (t0, t1) = span.borrow().expect("loop finished");
             vec![t1.since(t0).as_secs_f64()]
         }
         KernelSpec::IoBench(cfg) => {
             let mut sys = system_for(spec, seed);
             let (body, report) = IoBenchBody::new(cfg.clone());
-            run_bench_in_env(&mut sys, &spec.env, "iobench", Box::new(body));
+            let vm = run_bench_in_env(&mut sys, &spec.env, "iobench", Box::new(body));
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, vm.as_ref());
             let r = report.borrow();
             assert!(r.complete, "iobench did not finish");
             vec![r.score_bps()]
@@ -538,15 +565,16 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
         KernelSpec::NetBench(cfg) => {
             let mut sys = system_for(spec, seed);
             let (body, report) = NetBenchBody::new(cfg.clone());
-            run_bench_in_env(&mut sys, &spec.env, "netbench", Box::new(body));
+            let vm = run_bench_in_env(&mut sys, &spec.env, "netbench", Box::new(body));
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, vm.as_ref());
             let r = report.borrow();
             assert!(r.complete, "netbench did not finish");
             vec![r.mbps]
         }
         KernelSpec::NBench { suite, per_test } => {
             let mut sys = system_for(spec, seed);
-            install_background_vm(&mut sys, &spec.env, fidelity);
+            let vm = install_background_vm(&mut sys, &spec.env, fidelity);
             let (body, report) = NBenchBody::new(suite.clone(), *per_test);
             sys.spawn("nbench", Priority::Normal, Box::new(body));
             let done = report.clone();
@@ -555,6 +583,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 "nbench did not finish"
             );
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, vm.as_ref());
             let r = report.borrow();
             vec![
                 r.group_rate(IndexGroup::Memory),
@@ -564,7 +593,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
         }
         KernelSpec::SevenZHost(cfg) => {
             let mut sys = system_for(spec, seed);
-            install_background_vm(&mut sys, &spec.env, fidelity);
+            let vm = install_background_vm(&mut sys, &spec.env, fidelity);
             let (body, report) = SevenZBody::new(cfg.clone(), Priority::Normal);
             sys.spawn("7z", Priority::Normal, Box::new(body));
             let done = report.clone();
@@ -573,6 +602,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 "7z did not finish"
             );
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, vm.as_ref());
             let r = report.borrow();
             vec![r.cpu_usage_pct, r.mips]
         }
@@ -588,6 +618,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 guest,
             );
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, Some(&vm));
             vec![vm.committed_memory as f64 / (1024.0 * 1024.0)]
         }
         KernelSpec::ClockLag { wall } => {
@@ -601,6 +632,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             sys.spawn("hog2", Priority::Normal, Box::new(Hog));
             sys.run_until(*wall);
             record_loop_stats(&sys);
+            crate::obs::observe_system_run(&spec.label, seed, &sys, Some(&vm));
             let control = vm.control.borrow();
             vec![
                 control.guest_clock_lag_secs,
@@ -611,8 +643,14 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
 }
 
 /// Run a self-terminating benchmark body natively or inside a guest,
-/// waiting event-driven for completion.
-fn run_bench_in_env(sys: &mut System, env: &Environment, name: &str, body: Box<dyn ThreadBody>) {
+/// waiting event-driven for completion. Returns the guest's handle when
+/// one was involved so observed runs can publish its exit counters.
+fn run_bench_in_env(
+    sys: &mut System,
+    env: &Environment,
+    name: &str,
+    body: Box<dyn ThreadBody>,
+) -> Option<VmHandle> {
     match env {
         Environment::Native => {
             sys.spawn(name, Priority::Normal, body);
@@ -620,6 +658,7 @@ fn run_bench_in_env(sys: &mut System, env: &Environment, name: &str, body: Box<d
                 sys.run_to_completion(SimTime::from_secs(3600)),
                 "{name} did not finish natively"
             );
+            None
         }
         Environment::Guest { profile, vnic } => {
             let mut guest = GuestVm::new(guest_config(profile, *vnic), sys.machine());
@@ -635,6 +674,7 @@ fn run_bench_in_env(sys: &mut System, env: &Environment, name: &str, body: Box<d
                 vm.run_until_halted(sys, SimTime::from_secs(7200)),
                 "{name} did not finish in the guest"
             );
+            Some(vm)
         }
         Environment::HostUnderVm { .. } => {
             panic!("{name} does not run beside a VM in any paper experiment")

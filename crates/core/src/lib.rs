@@ -29,6 +29,8 @@
 //!   experiments (grid deployment, guest-clock methodology).
 //! * [`engine`] — the unified experiment engine: declarative trial
 //!   specs, one parallel repetition path, cached shared baselines.
+//! * [`obs`] — observability capture: merged metric snapshots,
+//!   Chrome-trace export and run manifests for `vgrid run/trace`.
 //! * [`testbed`] — fidelity levels and native/guest run helpers.
 //! * [`figures`] — result containers, ASCII rendering, JSON.
 //! * [`calibration`] — the paper-vs-measured comparison table.
@@ -40,6 +42,7 @@ pub mod calibration;
 pub mod engine;
 pub mod experiments;
 pub mod figures;
+pub mod obs;
 pub mod parallel;
 pub mod testbed;
 

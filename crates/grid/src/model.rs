@@ -227,6 +227,35 @@ pub struct GridReport {
     /// Sandbox kills applied to in-flight activities (owner escalations
     /// plus spontaneous kills).
     pub vm_kills: u64,
+    /// Volunteer availability/fault transitions the campaign processed:
+    /// hosts coming up, going down, owner sessions starting and ending,
+    /// and sandbox kills.
+    pub fault_transitions: u64,
+    /// Checkpoints written by volunteers while computing (the checkpoint
+    /// model charges a fractional write overhead per interval; this
+    /// counts the intervals it covered).
+    pub checkpoint_writes: u64,
+}
+
+impl GridReport {
+    /// Publish the campaign's outcome counters into an observability
+    /// registry. Pure function of simulation state.
+    pub fn publish_metrics(&self, m: &mut vgrid_simobs::MetricsRegistry) {
+        m.counter_add("grid.validated_wus", self.validated_wus as u64);
+        m.counter_add("grid.results_returned", self.results_returned);
+        m.counter_add("grid.bad_results", self.bad_results);
+        m.counter_add("grid.hosts_excluded_ram", self.hosts_excluded_ram as u64);
+        m.counter_add("grid.migrations", self.migrations);
+        m.counter_add("grid.reissues", self.reissues);
+        m.counter_add("grid.owner_preemptions", self.owner_preemptions);
+        m.counter_add("grid.vm_kills", self.vm_kills);
+        m.counter_add("grid.fault_transitions", self.fault_transitions);
+        m.counter_add("grid.checkpoint_writes", self.checkpoint_writes);
+        m.gauge_add("grid.cpu_secs_spent", self.cpu_secs_spent);
+        m.gauge_add("grid.cpu_secs_lost", self.cpu_secs_lost);
+        m.gauge_add("grid.image_transfer_secs", self.image_transfer_secs);
+        m.gauge_add("grid.wasted_cpu_secs", self.wasted_cpu_secs);
+    }
 }
 
 #[cfg(test)]

@@ -291,6 +291,7 @@ pub(crate) fn run_campaign_impl(
                 if gen != hosts[h].life_gen || hosts[h].excluded {
                     continue;
                 }
+                report.fault_transitions += 1;
                 hosts[h].up = true;
                 hosts[h].paused = false;
                 hosts[h].up_since = now;
@@ -343,6 +344,7 @@ pub(crate) fn run_campaign_impl(
                 if gen != hosts[h].life_gen {
                     continue;
                 }
+                report.fault_transitions += 1;
                 hosts[h].up = false;
                 hosts[h].uptime_total += now.since(hosts[h].up_since).as_secs_f64();
                 // Interrupt the activity, preserving resumable progress.
@@ -580,6 +582,7 @@ pub(crate) fn run_campaign_impl(
                     continue;
                 }
                 report.owner_preemptions += 1;
+                report.fault_transitions += 1;
                 let kills = hosts[h].frng.chance(fctx.churn.preempt_kill_prob);
                 if !hosts[h].paused {
                     if hosts[h].activity.is_some() {
@@ -628,6 +631,7 @@ pub(crate) fn run_campaign_impl(
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
                     continue;
                 }
+                report.fault_transitions += 1;
                 hosts[h].paused = false;
                 // Resume the preempted activity (or fetch fresh work).
                 start_next_activity(
@@ -657,6 +661,7 @@ pub(crate) fn run_campaign_impl(
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
                     continue;
                 }
+                report.fault_transitions += 1;
                 if hosts[h].activity.is_some() {
                     kill_task(
                         h,
@@ -745,6 +750,13 @@ pub(crate) fn run_campaign_impl(
         0.0
     };
     report.wasted_cpu_secs = (report.cpu_secs_spent - validator.useful_cpu_secs()).max(0.0);
+    // The checkpoint model charges a fractional write overhead per
+    // interval of host compute time rather than simulating each write;
+    // count the intervals that overhead covered.
+    let interval_secs = deploy.checkpoint_interval.as_secs_f64();
+    if interval_secs > 0.0 {
+        report.checkpoint_writes = (report.cpu_secs_spent / interval_secs).floor() as u64;
+    }
     // Makespan relative to a fully-available, perfectly-scheduled pool
     // of the RAM-eligible hosts (a lower bound, so inflation >= 1 for
     // any finished campaign).

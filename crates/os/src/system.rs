@@ -61,6 +61,7 @@ use vgrid_simcore::{
     EventLoopStats, EventQueue, EventQueueStats, SimDuration, SimRng, SimTime, TraceCategory,
     TraceSink,
 };
+use vgrid_simobs::{Histogram, MetricsRegistry};
 
 /// Residual solo work below which a compute block counts as finished.
 const WORK_EPS: f64 = 1e-10;
@@ -322,6 +323,16 @@ pub struct System {
     quanta_crossed: u64,
     /// Quantum boundaries materialized as real events.
     quantum_events: u64,
+    /// Always-on observability byte counters (plain integer adds on
+    /// paths that already exist — no events, no allocation, so bench
+    /// event counts are untouched).
+    fs_read_bytes: u64,
+    fs_write_bytes: u64,
+    net_tx_bytes: u64,
+    net_rx_bytes: u64,
+    disk_device_bytes: u64,
+    /// Device-transfer size distribution (fixed byte-size buckets).
+    disk_req_sizes: Histogram,
     /// Bytes of RAM committed by long-lived reservations (VM guests).
     committed: u64,
     rng: SimRng,
@@ -388,6 +399,12 @@ impl System {
             events_handled: 0,
             quanta_crossed: 0,
             quantum_events: 0,
+            fs_read_bytes: 0,
+            fs_write_bytes: 0,
+            net_tx_bytes: 0,
+            net_rx_bytes: 0,
+            disk_device_bytes: 0,
+            disk_req_sizes: Histogram::byte_sizes(),
             committed: 0,
             rng,
             trace: TraceSink::default(),
@@ -630,6 +647,30 @@ impl System {
         self.queue.stats()
     }
 
+    /// Publish this system's telemetry into an observability registry:
+    /// the event-loop counters plus the always-on byte counters. Every
+    /// value is a pure function of simulation state, so same-seed runs
+    /// publish identical registries.
+    pub fn publish_metrics(&self, m: &mut MetricsRegistry) {
+        let ls = self.loop_stats();
+        m.counter_add("os.loop.events_handled", ls.events_handled);
+        m.counter_add("os.loop.quanta_crossed", ls.quanta_crossed);
+        m.counter_add("os.loop.quantum_events", ls.quantum_events);
+        m.counter_add("os.loop.quanta_coalesced", ls.events_coalesced());
+        m.counter_add("os.loop.clamped_events", ls.clamped_events);
+        m.counter_add("os.cache.contention_hits", ls.memo_hits);
+        m.counter_add("os.cache.contention_misses", ls.memo_misses);
+        m.gauge_add("os.loop.sim_seconds", ls.sim_seconds);
+        m.counter_add("os.fs.read_bytes", self.fs_read_bytes);
+        m.counter_add("os.fs.write_bytes", self.fs_write_bytes);
+        m.counter_add("os.net.tx_bytes", self.net_tx_bytes);
+        m.counter_add("os.net.rx_bytes", self.net_rx_bytes);
+        m.counter_add("os.disk.device_bytes", self.disk_device_bytes);
+        if self.disk_req_sizes.total() > 0 {
+            m.histogram_merge("os.disk.request_bytes", &self.disk_req_sizes);
+        }
+    }
+
     /// Bring the whole system to a consistent state at `now`: integer
     /// accounting, core assignment, contention re-timing, and slice-event
     /// horizons, in that order.
@@ -841,6 +882,8 @@ impl System {
             return;
         };
         if let Some(req) = job.reqs.pop_front() {
+            self.disk_device_bytes += req.bytes;
+            self.disk_req_sizes.observe(req.bytes);
             let dur = self.disk.service(req);
             self.queue.schedule(self.now + dur, Ev::DiskDone);
             self.disk_busy = Some(job);
@@ -877,6 +920,8 @@ impl System {
         };
         match job.reqs.pop_front() {
             Some(req) => {
+                self.disk_device_bytes += req.bytes;
+                self.disk_req_sizes.observe(req.bytes);
                 let dur = self.disk.service(req);
                 self.queue.schedule(self.now + dur, Ev::DiskDone);
                 self.disk_busy = Some(job);
@@ -1302,11 +1347,13 @@ impl System {
                     return;
                 }
                 Action::FileRead { file, bytes } => {
+                    self.fs_read_bytes += bytes;
                     let plan = self.fs.read(file, bytes);
                     self.install_io(core, tid, plan);
                     return;
                 }
                 Action::FileWrite { file, bytes } => {
+                    self.fs_write_bytes += bytes;
                     let plan = self.fs.write(file, bytes);
                     self.install_io(core, tid, plan);
                     return;
@@ -1342,11 +1389,13 @@ impl System {
                     return;
                 }
                 Action::NetSend { conn, bytes } => {
+                    self.net_tx_bytes += bytes;
                     let plan = self.net.send(conn, bytes);
                     self.install_net(core, tid, plan);
                     return;
                 }
                 Action::NetRecv { conn, bytes } => {
+                    self.net_rx_bytes += bytes;
                     let plan = self.net.recv(conn, bytes);
                     self.install_net(core, tid, plan);
                     return;

@@ -64,8 +64,15 @@ pub mod test_runner {
     impl Default for ProptestConfig {
         fn default() -> Self {
             // The real crate defaults to 256; 32 keeps the simulation-heavy
-            // suites fast while still exercising varied inputs.
-            ProptestConfig { cases: 32 }
+            // suites fast while still exercising varied inputs. Like the
+            // real crate, `PROPTEST_CASES` raises the count (nightly CI
+            // sets it to get a deeper sweep without slowing PR runs).
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(32);
+            ProptestConfig { cases }
         }
     }
 }

@@ -48,6 +48,7 @@ use std::path::Path;
 /// `unstable-sort`). Everything under `crates/<name>/`.
 pub const SIM_CRATES: &[&str] = &[
     "simcore",
+    "simobs",
     "os",
     "machine",
     "vmm",

@@ -1,0 +1,208 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Renders [`TraceEvent`] streams and per-phase profiling spans into the
+//! Chrome trace-event JSON format (the `{"traceEvents":[...]}` flavour),
+//! which `chrome://tracing` and [ui.perfetto.dev] load directly.
+//!
+//! Layout: each simulated trial becomes one *process* (pid + a
+//! `process_name` metadata record); each [`TraceCategory`] becomes one
+//! *thread* track inside it (fixed tid per category, so track order
+//! never depends on which categories happened to fire). `TraceEvent`s
+//! are instant events (`ph:"i"`) and profiling phases are duration
+//! spans (`ph:"X"`), both keyed by **virtual time**: `ts` is simulated
+//! microseconds, rendered with a fixed six-digit picosecond fraction so
+//! output is byte-stable. No wall-clock value is ever written here —
+//! wall time is reported on stderr by the CLI and never gated.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::json;
+use vgrid_simcore::time::PS_PER_US;
+use vgrid_simcore::{SimTime, TraceCategory, TraceEvent};
+
+/// Fixed track id and display name for a category; tids start at 1 so
+/// tid 0 stays free for per-trial phase spans.
+fn category_track(cat: TraceCategory) -> (u32, &'static str) {
+    match cat {
+        TraceCategory::Sched => (1, "sched"),
+        TraceCategory::Io => (2, "io"),
+        TraceCategory::Net => (3, "net"),
+        TraceCategory::Vmm => (4, "vmm"),
+        TraceCategory::Clock => (5, "clock"),
+        TraceCategory::Workload => (6, "workload"),
+        TraceCategory::Grid => (7, "grid"),
+        TraceCategory::Fault => (8, "fault"),
+    }
+}
+
+/// Every category in fixed track order (metadata emission order).
+const ALL_CATEGORIES: [TraceCategory; 8] = [
+    TraceCategory::Sched,
+    TraceCategory::Io,
+    TraceCategory::Net,
+    TraceCategory::Vmm,
+    TraceCategory::Clock,
+    TraceCategory::Workload,
+    TraceCategory::Grid,
+    TraceCategory::Fault,
+];
+
+/// Simulated time as a Chrome `ts` value: microseconds with an exact
+/// six-digit (picosecond-resolution) fraction.
+fn ts(time: SimTime) -> String {
+    let ps = time.as_picos();
+    format!("{}.{:06}", ps / PS_PER_US, ps % PS_PER_US)
+}
+
+/// Builds a Chrome trace document; events render in insertion order, so
+/// callers add trials in deterministic (label, repetition) order and the
+/// whole document is byte-stable.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTraceBuilder::default()
+    }
+
+    fn meta(&mut self, pid: u32, tid: u32, which: &str, name: &str) {
+        self.events.push(json::object(&[
+            ("args", json::object(&[("name", json::string(name))])),
+            ("name", json::string(which)),
+            ("ph", json::string("M")),
+            ("pid", pid.to_string()),
+            ("tid", tid.to_string()),
+        ]));
+    }
+
+    /// Register one trial as a Perfetto process: names the process and
+    /// lays out one thread track per trace category plus the phase
+    /// track (tid 0).
+    pub fn add_trial(&mut self, pid: u32, name: &str) {
+        self.meta(pid, 0, "process_name", name);
+        self.meta(pid, 0, "thread_name", "phases");
+        for cat in ALL_CATEGORIES {
+            let (tid, track) = category_track(cat);
+            self.meta(pid, tid, "thread_name", track);
+        }
+    }
+
+    /// Add one recorded [`TraceEvent`] as an instant on its category
+    /// track.
+    pub fn add_event(&mut self, pid: u32, ev: &TraceEvent) {
+        let (tid, track) = category_track(ev.category);
+        self.events.push(json::object(&[
+            ("cat", json::string(track)),
+            ("name", json::string(&ev.message)),
+            ("ph", json::string("i")),
+            ("pid", pid.to_string()),
+            ("s", json::string("t")),
+            ("tid", tid.to_string()),
+            ("ts", ts(ev.time)),
+        ]));
+    }
+
+    /// Add a duration span (`ph:"X"`) in virtual time on the trial's
+    /// phase track.
+    pub fn add_phase_span(&mut self, pid: u32, name: &str, start: SimTime, end: SimTime) {
+        let dur_ps = end.as_picos().saturating_sub(start.as_picos());
+        self.events.push(json::object(&[
+            ("cat", json::string("phase")),
+            (
+                "dur",
+                format!("{}.{:06}", dur_ps / PS_PER_US, dur_ps % PS_PER_US),
+            ),
+            ("name", json::string(name)),
+            ("ph", json::string("X")),
+            ("pid", pid.to_string()),
+            ("tid", "0".to_string()),
+            ("ts", ts(start)),
+        ]));
+    }
+
+    /// Number of records added so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the complete document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(ev);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_is_exact_microseconds() {
+        assert_eq!(ts(SimTime::from_micros(3)), "3.000000");
+        assert_eq!(ts(SimTime::from_picos(1_500_000)), "1.500000");
+        assert_eq!(ts(SimTime::from_picos(7)), "0.000007");
+    }
+
+    #[test]
+    fn tracks_are_fixed_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for cat in ALL_CATEGORIES {
+            let (tid, name) = category_track(cat);
+            assert!(tid >= 1);
+            assert!(seen.insert(tid), "duplicate tid for {name}");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let build = || {
+            let mut b = ChromeTraceBuilder::new();
+            b.add_trial(1, "trial-a");
+            b.add_event(
+                1,
+                &TraceEvent {
+                    time: SimTime::from_millis(2),
+                    category: TraceCategory::Vmm,
+                    message: "exit".into(),
+                },
+            );
+            b.add_phase_span(1, "run", SimTime::ZERO, SimTime::from_secs(1));
+            b.render()
+        };
+        let doc = build();
+        assert_eq!(doc, build());
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"dur\":1000000.000000"));
+        assert!(doc.ends_with("\n]}\n"));
+    }
+
+    #[test]
+    fn empty_builder_renders_valid_shell() {
+        let b = ChromeTraceBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(
+            b.render(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+        );
+    }
+}

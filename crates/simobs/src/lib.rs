@@ -1,0 +1,36 @@
+//! # vgrid-simobs
+//!
+//! Deterministic observability for the `vgrid` testbed: a metrics
+//! registry every simulation layer publishes into, a Chrome-trace /
+//! Perfetto JSON exporter for [`vgrid_simcore::TraceEvent`] streams, and
+//! a per-run manifest that pins what a run was (config digest, seed,
+//! scheduler mode) next to what it measured (metric snapshot).
+//!
+//! ## Determinism contract (DESIGN.md §11)
+//!
+//! Everything this crate renders is a pure function of simulation state,
+//! which is itself a pure function of `(config, seed)`:
+//!
+//! * maps are [`vgrid_simcore::DetMap`]-backed, so iteration — and
+//!   therefore JSON key order — is lexicographic, never hash order;
+//! * timestamps are virtual ([`vgrid_simcore::SimTime`]), never wall
+//!   clock; wall time is *reported* by callers on stderr but never
+//!   written into an artifact that CI byte-compares;
+//! * floats are formatted with the testbed's round-trip rule (shortest
+//!   representation that reparses exactly), so rendering is stable
+//!   across runs and platforms.
+//!
+//! The upshot: same-seed runs emit byte-identical metrics manifests and
+//! trace files, and CI gates them with `cmp` exactly like
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+
+pub use chrome::ChromeTraceBuilder;
+pub use manifest::{fnv1a64, RunManifest};
+pub use metrics::{Histogram, MetricsRegistry};

@@ -1,0 +1,141 @@
+//! Per-run manifests.
+//!
+//! A [`RunManifest`] pins everything that identifies a run — experiment
+//! id, fidelity, scheduler mode, base seed, and an FNV-1a digest of the
+//! engine trial identities — next to the run's merged metric snapshot
+//! and a linkage to the bench baselines that cover the same scenario.
+//! `vgrid run <id> --metrics-json <path>` writes one; `verify.sh` and CI
+//! byte-compare it against a committed golden.
+
+use crate::json;
+use crate::metrics::MetricsRegistry;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a run's configuration: FNV-1a over the newline-joined
+/// trial identity strings (engine cache keys), which already encode
+/// environment, kernel, machine, repetitions, seed, fidelity and
+/// scheduler mode.
+pub fn config_digest<S: AsRef<str>>(trial_keys: &[S]) -> u64 {
+    let joined = trial_keys
+        .iter()
+        .map(|k| k.as_ref())
+        .collect::<Vec<_>>()
+        .join("\n");
+    fnv1a64(joined.as_bytes())
+}
+
+/// Everything `vgrid run --metrics-json` writes about one run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Experiment id (`fig1`, `grid-churn`, ...).
+    pub experiment: String,
+    /// Fidelity the run used (`fast` / `paper`).
+    pub fidelity: String,
+    /// Scheduler execution mode (`coalesced` / `per-quantum-reference`).
+    pub scheduler_mode: String,
+    /// Base seed of the run's default seed stream.
+    pub seed: u64,
+    /// [`config_digest`] over the run's trial identities.
+    pub config_digest: u64,
+    /// Trial labels, in run order.
+    pub trials: Vec<String>,
+    /// Bench scenarios (from `BENCH_engine.json`) exercising the same
+    /// simulation substrate, for cross-referencing regressions.
+    pub bench_links: Vec<String>,
+    /// Merged metric snapshot of every publication during the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunManifest {
+    /// Render as deterministic JSON (sorted keys, trailing newline).
+    pub fn render_json(&self) -> String {
+        let trials: Vec<String> = self.trials.iter().map(|t| json::string(t)).collect();
+        let links: Vec<String> = self.bench_links.iter().map(|l| json::string(l)).collect();
+        let mut out = json::object(&[
+            ("bench_links", json::array(&links)),
+            (
+                "config_digest",
+                json::string(&format!("{:#018x}", self.config_digest)),
+            ),
+            ("experiment", json::string(&self.experiment)),
+            ("fidelity", json::string(&self.fidelity)),
+            ("metrics", self.metrics.render_json()),
+            ("schema", json::string("vgrid-run-manifest/v1")),
+            ("scheduler_mode", json::string(&self.scheduler_mode)),
+            ("seed", json::string(&format!("{:#018x}", self.seed))),
+            ("trials", json::array(&trials)),
+        ]);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_depends_on_each_key() {
+        let a = config_digest(&["k1", "k2"]);
+        assert_eq!(a, config_digest(&["k1", "k2"]));
+        assert_ne!(a, config_digest(&["k1", "k3"]));
+        assert_ne!(a, config_digest(&["k2", "k1"]));
+    }
+
+    #[test]
+    fn manifest_renders_stable_sorted_json() {
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter_add("os.events_handled", 7);
+        let m = RunManifest {
+            experiment: "fig1".into(),
+            fidelity: "fast".into(),
+            scheduler_mode: "coalesced".into(),
+            seed: 0xD0A1_57E5_7BED_5EED,
+            config_digest: config_digest(&["trial-a", "trial-b"]),
+            trials: vec!["trial-a".into(), "trial-b".into()],
+            bench_links: vec!["fig1_substrate".into()],
+            metrics,
+        };
+        let doc = m.render_json();
+        assert_eq!(doc, m.render_json());
+        assert!(doc.starts_with("{\"bench_links\":[\"fig1_substrate\"]"));
+        assert!(doc.contains("\"schema\":\"vgrid-run-manifest/v1\""));
+        assert!(doc.contains("\"seed\":\"0xd0a157e57bed5eed\""));
+        assert!(doc.ends_with("}\n"));
+        // Top-level keys appear in sorted order.
+        let keys = [
+            "\"bench_links\"",
+            "\"config_digest\"",
+            "\"experiment\"",
+            "\"fidelity\"",
+            "\"metrics\"",
+            "\"schema\"",
+            "\"scheduler_mode\"",
+            "\"seed\"",
+            "\"trials\"",
+        ];
+        let mut last = 0;
+        for k in keys {
+            let at = doc.find(k).unwrap_or_else(|| panic!("missing {k}"));
+            assert!(at >= last, "{k} out of order");
+            last = at;
+        }
+    }
+}

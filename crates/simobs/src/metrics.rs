@@ -1,0 +1,307 @@
+//! The deterministic metrics registry.
+//!
+//! Every simulation layer (os, vmm, grid, the experiment engine)
+//! publishes named counters, gauges and fixed-bucket histograms into a
+//! [`MetricsRegistry`]. Like [`vgrid_simcore::EventLoopStats`], a
+//! registry is mergeable: per-repetition registries fold into a per-run
+//! registry with plain addition, so the fold is order-insensitive and
+//! the aggregate is a pure function of the set of publications.
+//!
+//! Naming convention: dotted lower-case paths rooted at the publishing
+//! layer — `os.fs.read_bytes`, `vmm.exits.disk`, `grid.fault_transitions`,
+//! `engine.reps`. [`vgrid_simcore::DetMap`] keeps JSON key order
+//! lexicographic regardless of publication order.
+
+use crate::json;
+use vgrid_simcore::DetMap;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by a fixed, ascending list of inclusive upper
+/// bounds plus an implicit overflow bucket; merging requires identical
+/// bounds. Bounds are fixed at construction so that two registries
+/// produced by different repetitions always agree on shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be
+    /// strictly ascending and non-empty).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Power-of-two byte-size buckets (512 B .. 256 MiB), the default
+    /// shape for I/O request and transfer sizes.
+    pub fn byte_sizes() -> Self {
+        Histogram::new(&[512, 4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20])
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fold another histogram of identical shape into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram shapes must match");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    fn render_json(&self) -> String {
+        json::object(&[
+            (
+                "bounds",
+                json::array(
+                    &self
+                        .bounds
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "counts",
+                json::array(
+                    &self
+                        .counts
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("sum", self.sum.to_string()),
+            ("total", self.total.to_string()),
+        ])
+    }
+}
+
+/// Deterministic, mergeable registry of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: DetMap<String, u64>,
+    gauges: DetMap<String, f64>,
+    histograms: DetMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.or_insert_with(name.to_string(), || 0) += delta;
+    }
+
+    /// Add `delta` to the named gauge (creating it at zero). Gauges are
+    /// additive float quantities — per-repetition contributions sum
+    /// under [`MetricsRegistry::merge`], like
+    /// `EventLoopStats::sim_seconds`. Ratios (cache hit rates, ...) are
+    /// derived from counters at render time by callers, never merged.
+    pub fn gauge_add(&mut self, name: &str, delta: f64) {
+        *self.gauges.or_insert_with(name.to_string(), || 0.0) += delta;
+    }
+
+    /// Record a sample into the named histogram, creating it via
+    /// `shape()` on first observation.
+    pub fn histogram_observe<F: FnOnce() -> Histogram>(
+        &mut self,
+        name: &str,
+        value: u64,
+        shape: F,
+    ) {
+        self.histograms
+            .or_insert_with(name.to_string(), shape)
+            .observe(value);
+    }
+
+    /// Fold an externally-accumulated histogram into the named slot
+    /// (creating it as a copy when absent). Shapes must match.
+    pub fn histogram_merge(&mut self, name: &str, h: &Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(mine) => mine.merge(h),
+            None => {
+                self.histograms.insert(name.to_string(), h.clone());
+            }
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one. Counters and gauges add;
+    /// histograms of the same name must share a shape and add
+    /// bucket-wise. Merging is commutative and associative, so fold
+    /// order cannot leak into the aggregate.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters.iter() {
+            *self.counters.or_insert_with(name.clone(), || 0) += value;
+        }
+        for (name, value) in other.gauges.iter() {
+            *self.gauges.or_insert_with(name.clone(), || 0.0) += value;
+        }
+        for (name, h) in other.histograms.iter() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Render the registry as a deterministic JSON object with sorted
+    /// keys: `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn render_json(&self) -> String {
+        let counters: Vec<(&str, String)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.to_string()))
+            .collect();
+        let gauges: Vec<(&str, String)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.as_str(), json::number(*v)))
+            .collect();
+        let histograms: Vec<(&str, String)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.as_str(), h.render_json()))
+            .collect();
+        json::object(&[
+            ("counters", json::object(&counters)),
+            ("gauges", json::object(&gauges)),
+            ("histograms", json::object(&histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a.x", 2);
+        m.counter_add("a.x", 3);
+        m.gauge_add("a.y", 1.5);
+        m.gauge_add("a.y", 0.25);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.gauge("a.y"), 1.75);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("missing"), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [5, 10, 11, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.sum(), 1026);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mk = |c: u64, g: f64, v: u64| {
+            let mut m = MetricsRegistry::new();
+            m.counter_add("c", c);
+            m.gauge_add("g", g);
+            m.histogram_observe("h", v, Histogram::byte_sizes);
+            m
+        };
+        let (a, b) = (mk(1, 0.5, 100), mk(2, 1.5, 1 << 21));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 3);
+        assert_eq!(ab.gauge("g"), 2.0);
+        assert_eq!(ab.histogram("h").unwrap().total(), 2);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z.last", 1);
+        m.counter_add("a.first", 2);
+        m.gauge_add("mid", 0.5);
+        let j = m.render_json();
+        assert!(j.find("\"a.first\"").unwrap() < j.find("\"z.last\"").unwrap());
+        assert_eq!(j, m.clone().render_json());
+        assert_eq!(
+            MetricsRegistry::new().render_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

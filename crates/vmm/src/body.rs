@@ -21,7 +21,7 @@
 //! file.
 
 use crate::guest::{GuestNetOp, GuestStep, GuestVm};
-use crate::profiles::VmmProfile;
+use crate::profiles::{VmmProfile, VnicMode};
 use std::cell::RefCell;
 use std::rc::Rc;
 use vgrid_machine::ops::{OpBlock, OpClassCounts};
@@ -31,6 +31,7 @@ use vgrid_os::{
     ThreadId,
 };
 use vgrid_simcore::{DetMap, SimDuration, SimTime};
+use vgrid_simobs::MetricsRegistry;
 
 /// Checkpoint write chunk.
 const CKPT_CHUNK: u64 = 16 * 1024 * 1024;
@@ -57,6 +58,17 @@ pub struct VmControl {
     pub guest_clock_lag_secs: f64,
     /// Number of tick-loss events the guest clock has suffered.
     pub guest_clock_loss_events: u64,
+    /// VMM exits taken for virtual-disk device emulation.
+    pub exits_disk: u64,
+    /// VMM exits taken for virtual-NIC operations.
+    pub exits_net: u64,
+    /// VMM exits taken because every guest thread was idle.
+    pub exits_idle: u64,
+    /// Ethernet frames the NAT vNIC translated (0 in bridged mode).
+    pub nat_frames: u64,
+    /// Host file writes issued by the checkpoint machinery
+    /// ([`CKPT_CHUNK`]-sized streaming of the guest RAM).
+    pub ckpt_chunk_writes: u64,
 }
 
 /// VM installation parameters.
@@ -118,6 +130,19 @@ impl VmHandle {
     /// True once the guest has halted (all guest threads exited).
     pub fn halted(&self) -> bool {
         self.control.borrow().halted
+    }
+
+    /// Publish the monitor's device-emulation counters into an
+    /// observability registry. Pure function of simulation state.
+    pub fn publish_metrics(&self, m: &mut MetricsRegistry) {
+        let c = self.control.borrow();
+        m.counter_add("vmm.exits.disk", c.exits_disk);
+        m.counter_add("vmm.exits.net", c.exits_net);
+        m.counter_add("vmm.exits.idle", c.exits_idle);
+        m.counter_add("vmm.nat.frames", c.nat_frames);
+        m.counter_add("vmm.ckpt.chunk_writes", c.ckpt_chunk_writes);
+        m.counter_add("vmm.clock.loss_events", c.guest_clock_loss_events);
+        m.gauge_add("vmm.clock.lag_secs", c.guest_clock_lag_secs);
     }
 
     /// Run `sys` until the guest halts or `deadline` passes, waking at
@@ -374,6 +399,7 @@ impl ThreadBody for VcpuBody {
                             bytes,
                             overhead,
                         } => {
+                            self.control.borrow_mut().exits_disk += 1;
                             self.phase = VPhase::DiskOverhead {
                                 kind,
                                 offset,
@@ -382,6 +408,21 @@ impl ThreadBody for VcpuBody {
                             return Action::compute(overhead);
                         }
                         GuestStep::Net(op) => {
+                            {
+                                let mut c = self.control.borrow_mut();
+                                c.exits_net += 1;
+                                // Per-frame NAT translation work is what the
+                                // profiles charge for; count the frames it
+                                // covered (bridged vNICs translate nothing).
+                                let guest = self.guest.borrow();
+                                if guest.vnic_mode() == VnicMode::Nat {
+                                    if let GuestNetOp::Send { bytes, .. }
+                                    | GuestNetOp::Recv { bytes, .. } = &op
+                                    {
+                                        c.nat_frames += guest.frames_for(*bytes);
+                                    }
+                                }
+                            }
                             let (kind, overhead) = match op {
                                 GuestNetOp::Connect {
                                     guest_conn,
@@ -407,6 +448,7 @@ impl ThreadBody for VcpuBody {
                             return Action::compute(overhead);
                         }
                         GuestStep::Idle { until } => {
+                            self.control.borrow_mut().exits_idle += 1;
                             let dt = match until {
                                 Some(t) if t > ctx.now => t.since(ctx.now),
                                 Some(_) => SimDuration::from_micros(100),
@@ -534,6 +576,7 @@ impl ThreadBody for VcpuBody {
                     self.phase = VPhase::CkptWrite {
                         remaining: remaining - n,
                     };
+                    self.control.borrow_mut().ckpt_chunk_writes += 1;
                     return Action::FileWrite {
                         file: self.ckpt_file.expect("opened"),
                         bytes: n,

@@ -311,6 +311,12 @@ impl GuestVm {
         self.cfg.vnic_mode
     }
 
+    /// Ethernet frames the virtual link needs for a `bytes`-sized
+    /// transfer (what the NAT vNIC translates per frame).
+    pub fn frames_for(&self, bytes: u64) -> u64 {
+        self.net.nic().link.frames_for(bytes)
+    }
+
     /// Spawn a guest thread.
     pub fn spawn(&mut self, name: impl Into<String>, body: Box<dyn ThreadBody>) -> ThreadId {
         let idx = self.threads.len();

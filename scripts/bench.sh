@@ -39,8 +39,10 @@ done
 BASELINE="$PWD/BENCH_engine.json"
 OUT="$BASELINE"
 if [[ "$MODE" == "check" ]]; then
-  OUT="$(mktemp -t vgrid-bench.XXXXXX.json)"
-  trap 'rm -f "$OUT"' EXIT
+  # A stable path (not mktemp) so CI can upload the candidate as a
+  # failure artifact for diffing against the committed baseline.
+  mkdir -p target
+  OUT="$PWD/target/BENCH_engine.candidate.json"
 fi
 
 rm -f "$OUT"

@@ -6,35 +6,75 @@
 #
 # Runs the same gates as CI: formatting, lints (warnings are errors),
 # the determinism lint, the test suite for the default workspace
-# members, a fault-injection smoke run and the EXPERIMENTS.md
-# byte-identity check (zero churn must leave every figure untouched).
-# The bench crate and the in-repo criterion/proptest shims are outside
-# the default members and are exercised by `cargo build --workspace`.
+# members, a fault-injection smoke run, the EXPERIMENTS.md byte-identity
+# check (zero churn must leave every figure untouched) and the fig1 run
+# manifest byte-identity check against the committed golden. The bench
+# crate and the in-repo criterion/proptest shims are outside the
+# default members and are exercised by `cargo build --workspace`.
+#
+# Each step's wall time is summarized at the end — reported for humans
+# and CI logs only, never gated (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+STEP_NAMES=()
+STEP_SECS=()
 
-echo "==> cargo clippy (default members, -D warnings)"
-cargo clippy --all-targets -- -D warnings
+step() {
+  local name="$1"
+  shift
+  echo "==> $name"
+  local t0=$SECONDS
+  "$@"
+  STEP_NAMES+=("$name")
+  STEP_SECS+=($((SECONDS - t0)))
+}
 
-echo "==> simlint (determinism contract: exit 0 = clean, 1 = violations)"
-cargo run -q -p simlint
+experiments_identity() {
+  cargo run -q --release --bin vgrid-report -- --paper > target/EXPERIMENTS.regen.md
+  cmp EXPERIMENTS.md target/EXPERIMENTS.regen.md
+}
 
-echo "==> cargo build --workspace (includes bench crate + shims)"
-cargo build -q --workspace --examples --tests --benches
+metrics_identity() {
+  cargo run -q --release --bin vgrid -- run fig1 \
+    --metrics-json target/fig1.metrics.json > /dev/null
+  cmp tests/golden/fig1.metrics.json target/fig1.metrics.json
+}
 
-echo "==> cargo test (default members)"
-cargo test -q
+churn_smoke() {
+  cargo run -q --release --bin vgrid -- run grid-churn > /dev/null
+}
 
-echo "==> grid-churn quick run (fault-injection smoke)"
-cargo run -q --release --bin vgrid -- run grid-churn >/dev/null
+step "cargo fmt --check" \
+  cargo fmt --all -- --check
 
-echo "==> EXPERIMENTS.md byte-identity (zero churn must not move any figure)"
-cargo run -q --release --bin vgrid-report -- --paper > target/EXPERIMENTS.regen.md
-cmp EXPERIMENTS.md target/EXPERIMENTS.regen.md
+step "cargo clippy (default members, -D warnings)" \
+  cargo clippy --all-targets -- -D warnings
+
+step "simlint (determinism contract: exit 0 = clean, 1 = violations)" \
+  cargo run -q -p simlint
+
+step "cargo build --workspace (includes bench crate + shims)" \
+  cargo build -q --workspace --examples --tests --benches
+
+step "cargo test (default members)" \
+  cargo test -q
+
+step "grid-churn quick run (fault-injection smoke)" \
+  churn_smoke
+
+step "EXPERIMENTS.md byte-identity (zero churn must not move any figure)" \
+  experiments_identity
+
+step "fig1 metrics manifest byte-identity (tests/golden/fig1.metrics.json)" \
+  metrics_identity
+
+echo
+echo "step wall times (reported only, never gated):"
+for i in "${!STEP_NAMES[@]}"; do
+  printf '  %4ds  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+done
 
 echo "verify: OK"

@@ -3,6 +3,9 @@
 //! ```text
 //! vgrid list                         # all experiment ids with titles
 //! vgrid run fig1 [--paper] [--json]  # run one experiment
+//!           [--metrics-json <path>]  # + write the run manifest
+//!           [--per-quantum-reference]
+//! vgrid trace fig1 --out <path>      # export a Chrome-trace JSON
 //! vgrid suite [--paper]              # the whole paper, rendered
 //! vgrid campaign [--volunteers N] [--days D] [--vm <monitor>|native]
 //!                [--image-mb M] [--migrate] [--churn L]
@@ -10,9 +13,14 @@
 //!
 //! Everything the CLI does is a thin veneer over `vgrid_core` /
 //! `vgrid_grid`; argument parsing is hand-rolled (no CLI dependency).
+//! Observed runs (`--metrics-json`, `trace`) write artifacts that are
+//! pure functions of `(experiment, fidelity, scheduler mode)` — the
+//! wall-clock phase summary they print goes to stderr only and never
+//! enters a gated file (DESIGN.md §11).
 
 use std::process::ExitCode;
-use vgrid::core::{experiments, Fidelity};
+use std::time::Duration;
+use vgrid::core::{experiments, obs, Fidelity};
 use vgrid::grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
 use vgrid::simcore::SimTime;
 use vgrid::vmm::VmmProfile;
@@ -40,6 +48,61 @@ fn report_loop_totals(args: &[String]) {
     }
 }
 
+/// Honor `--per-quantum-reference`: pin the scheduler to the per-quantum
+/// reference execution mode for the whole process.
+fn apply_scheduler_mode(args: &[String]) {
+    if args.iter().any(|a| a == "--per-quantum-reference") {
+        vgrid::os::force_per_quantum_reference(true);
+    }
+}
+
+/// Wall-clock reading for the stderr phase summary. Reported, never
+/// gated: no wall value enters any artifact (DESIGN.md §11).
+fn wall_now() -> std::time::Instant {
+    // simlint: allow(wall-clock) -- stderr-only phase profiling; never written to a gated artifact
+    std::time::Instant::now()
+}
+
+/// Per-phase wall-time summary on stderr (sim-time phase spans live in
+/// the trace document; wall time is for humans and CI logs only).
+fn report_wall_phases(setup: Duration, simulate: Duration, emit: Duration) {
+    eprintln!(
+        "wall phases: setup {:.1} ms, simulate {:.1} ms, emit {:.1} ms",
+        setup.as_secs_f64() * 1e3,
+        simulate.as_secs_f64() * 1e3,
+        emit.as_secs_f64() * 1e3,
+    );
+}
+
+/// Run an experiment with observation and write one artifact file.
+/// Returns the observed run for further printing, or `None` after
+/// reporting the failure.
+fn run_observed_to_file(
+    id: &str,
+    fid: Fidelity,
+    path: &str,
+    which: &str,
+) -> Option<obs::ObservedRun> {
+    let t0 = wall_now();
+    let setup = t0.elapsed();
+    let Some(run) = obs::run_observed(id, fid) else {
+        eprintln!("unknown experiment id '{id}'; try `vgrid list`");
+        return None;
+    };
+    let simulate = t0.elapsed() - setup;
+    let doc = match which {
+        "trace" => &run.trace_json,
+        _ => &run.manifest_json,
+    };
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("cannot write {which} to '{path}': {e}");
+        return None;
+    }
+    let emit = t0.elapsed() - setup - simulate;
+    report_wall_phases(setup, simulate, emit);
+    Some(run)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vgrid <command>\n\
@@ -47,7 +110,11 @@ fn usage() -> ExitCode {
          commands:\n\
            list                          list experiment ids\n\
            run <id> [--paper] [--json] [--verbose]\n\
-                                         run one experiment\n\
+                    [--metrics-json <path>] [--per-quantum-reference]\n\
+                                         run one experiment; --metrics-json\n\
+                                         also writes the run manifest\n\
+           trace <id> --out <path> [--paper] [--per-quantum-reference]\n\
+                                         export a Chrome-trace/Perfetto JSON\n\
            suite [--paper] [--verbose]   run the full paper suite\n\
            campaign [--volunteers N] [--days D]\n\
                     [--vm vmplayer|qemu|virtualbox|virtualpc|native]\n\
@@ -88,10 +155,19 @@ fn main() -> ExitCode {
             let Some(id) = args.get(1) else {
                 return usage();
             };
+            apply_scheduler_mode(&args);
             let fid = fidelity(&args);
-            let Some(fig) = experiments::run_by_id(id, fid) else {
-                eprintln!("unknown experiment id '{id}'; try `vgrid list`");
-                return ExitCode::FAILURE;
+            let fig = if let Some(path) = flag_value(&args, "--metrics-json") {
+                let Some(run) = run_observed_to_file(id, fid, &path, "manifest") else {
+                    return ExitCode::FAILURE;
+                };
+                run.figure
+            } else {
+                let Some(fig) = experiments::run_by_id(id, fid) else {
+                    eprintln!("unknown experiment id '{id}'; try `vgrid list`");
+                    return ExitCode::FAILURE;
+                };
+                fig
             };
             if args.iter().any(|a| a == "--json") {
                 println!("{}", fig.to_json());
@@ -99,6 +175,24 @@ fn main() -> ExitCode {
                 print!("{}", fig.render());
             }
             report_loop_totals(&args);
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(id) = args.get(1) else {
+                return usage();
+            };
+            let Some(path) = flag_value(&args, "--out") else {
+                eprintln!("trace needs --out <path>");
+                return usage();
+            };
+            apply_scheduler_mode(&args);
+            let fid = fidelity(&args);
+            if run_observed_to_file(id, fid, &path, "trace").is_none() {
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "trace written to {path} (open at https://ui.perfetto.dev or chrome://tracing)"
+            );
             ExitCode::SUCCESS
         }
         "suite" => {

@@ -7,6 +7,8 @@
 //! This facade crate re-exports the whole stack:
 //!
 //! * [`simcore`] — discrete-event core: time, events, RNG, statistics.
+//! * [`simobs`] — deterministic observability: metrics registry,
+//!   Chrome-trace export, run manifests.
 //! * [`machine`] — the Core 2 Duo testbed hardware models.
 //! * [`os`] — the Windows-XP-like host kernel simulator.
 //! * [`vmm`] — the four calibrated monitors and the nested guest kernel.
@@ -29,6 +31,7 @@ pub use vgrid_grid as grid;
 pub use vgrid_machine as machine;
 pub use vgrid_os as os;
 pub use vgrid_simcore as simcore;
+pub use vgrid_simobs as simobs;
 pub use vgrid_timeref as timeref;
 pub use vgrid_vmm as vmm;
 pub use vgrid_workloads as workloads;

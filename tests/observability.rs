@@ -1,0 +1,105 @@
+//! Observability artifacts are byte-deterministic: two same-seed runs
+//! of `vgrid run --metrics-json` / `vgrid trace` produce byte-identical
+//! files, in both scheduler execution modes. These tests spawn the real
+//! binary (fresh process per run, so the engine cache starts cold each
+//! time — exactly the situation the committed golden gates in CI).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn vgrid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vgrid"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p
+}
+
+/// Run `vgrid <args>` writing an artifact to `out`; returns the bytes.
+fn artifact(args: &[&str], out: &PathBuf) -> Vec<u8> {
+    let status = vgrid()
+        .args(args)
+        .arg(out)
+        .status()
+        .expect("spawn vgrid binary");
+    assert!(status.success(), "vgrid {args:?} failed");
+    std::fs::read(out).expect("artifact written")
+}
+
+fn assert_run_twice_identical(mode_args: &[&str], tag: &str) {
+    // The flag parser takes the value after the flag; keep `--metrics-json`
+    // last so the path argument lands right behind it.
+    let metrics_args = {
+        let mut a = vec!["run", "fig1"];
+        a.extend_from_slice(mode_args);
+        a.push("--metrics-json");
+        a
+    };
+    let m1 = artifact(&metrics_args, &tmp(&format!("{tag}.m1.json")));
+    let m2 = artifact(&metrics_args, &tmp(&format!("{tag}.m2.json")));
+    assert_eq!(m1, m2, "metrics manifest not byte-identical ({tag})");
+    assert!(!m1.is_empty());
+
+    let trace_args = {
+        let mut a = vec!["trace", "fig1"];
+        a.extend_from_slice(mode_args);
+        a.push("--out");
+        a
+    };
+    let t1 = artifact(&trace_args, &tmp(&format!("{tag}.t1.json")));
+    let t2 = artifact(&trace_args, &tmp(&format!("{tag}.t2.json")));
+    assert_eq!(t1, t2, "trace JSON not byte-identical ({tag})");
+    let doc = String::from_utf8(t1).expect("trace is UTF-8");
+    assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(doc.ends_with("]}\n"));
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical_fast_path() {
+    assert_run_twice_identical(&[], "coalesced");
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical_per_quantum_reference() {
+    assert_run_twice_identical(&["--per-quantum-reference"], "reference");
+}
+
+#[test]
+fn manifest_records_the_scheduler_mode() {
+    let m = artifact(&["run", "fig1", "--metrics-json"], &tmp("mode.fast.json"));
+    let doc = String::from_utf8(m).unwrap();
+    assert!(doc.contains("\"scheduler_mode\":\"coalesced\""));
+    assert!(doc.contains("\"schema\":\"vgrid-run-manifest/v1\""));
+
+    let m = artifact(
+        &["run", "fig1", "--per-quantum-reference", "--metrics-json"],
+        &tmp("mode.ref.json"),
+    );
+    let doc = String::from_utf8(m).unwrap();
+    assert!(doc.contains("\"scheduler_mode\":\"per-quantum-reference\""));
+}
+
+#[test]
+fn manifest_matches_committed_golden() {
+    // The same gate verify.sh and CI apply: the committed golden pins
+    // the fig1 fast-fidelity manifest byte for byte. Regenerate with
+    //   cargo run --release --bin vgrid -- run fig1 --metrics-json \
+    //     tests/golden/fig1.metrics.json
+    // when an intentional physics or metrics change shifts it.
+    let got = artifact(
+        &["run", "fig1", "--metrics-json"],
+        &tmp("golden.check.json"),
+    );
+    let want = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig1.metrics.json"
+    ))
+    .expect("committed golden exists");
+    assert_eq!(
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(&want),
+        "fig1 metrics manifest drifted from tests/golden/fig1.metrics.json"
+    );
+}
