@@ -237,6 +237,17 @@ impl TrialSpec {
     /// the per-quantum reference must not be served to a fast-path run
     /// of the same spec (they are bit-identical by contract, but the
     /// equivalence suite is exactly the place that must not assume so).
+    ///
+    /// The grid *host substrate* (`--hydrated-reference`, see
+    /// `vgrid_grid::SubstrateMode`) is deliberately NOT part of the
+    /// identity. Unlike the per-quantum scheduler reference — which
+    /// genuinely changes context-switch placement and is only
+    /// contractually equivalent — the two grid substrates share every
+    /// line of host-stepping code, so cross-substrate cache sharing is
+    /// sound, and it is what keeps run-manifest `config_digest`s
+    /// identical across modes (asserted by the `hydration_reference`
+    /// suite, which compares substrates in separate processes where the
+    /// cache cannot mask a divergence).
     fn cache_key(&self) -> String {
         format!(
             "{:?}|{:?}|{:?}|{}|{:#x}|{:?}|ref={}",

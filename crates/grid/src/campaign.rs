@@ -26,7 +26,7 @@ use crate::checkpoint::write_overhead_frac;
 use crate::error::Error;
 use crate::faults::ChurnConfig;
 use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
-use crate::sim::{run_campaign_impl, vm_cpu_factor};
+use crate::sim::{hydrated_reference_forced, run_campaign_substrate, vm_cpu_factor, SubstrateMode};
 use vgrid_simcore::{OnlineStats, RepetitionRunner, SimTime, Summary};
 
 /// Base seed used when the spec does not set one; matches the engine's
@@ -93,6 +93,11 @@ pub struct CampaignSpec {
     pub repetitions: u32,
     /// Simulated-time horizon.
     pub horizon: SimTime,
+    /// Run on the reference substrate (flat event queue, unmemoized
+    /// solver) instead of the archetype-batched default. Bit-identical
+    /// results by contract — this flag exists so that contract can be
+    /// tested.
+    pub hydrated_reference: bool,
 }
 
 impl CampaignSpec {
@@ -108,6 +113,7 @@ impl CampaignSpec {
             seed: DEFAULT_SEED,
             repetitions: 1,
             horizon: SimTime::from_secs(30 * 24 * 3600),
+            hydrated_reference: false,
         }
     }
 
@@ -150,6 +156,13 @@ impl CampaignSpec {
     /// Set the simulated-time horizon.
     pub fn horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Run on the reference substrate (see the field doc). The grid
+    /// twin of the engine's `--per-quantum-reference`.
+    pub fn hydrated_reference(mut self, on: bool) -> Self {
+        self.hydrated_reference = on;
         self
     }
 
@@ -276,13 +289,19 @@ impl Campaign {
     }
 
     fn run_rep(&self, rep: u32) -> GridReport {
-        run_campaign_impl(
+        let substrate = if self.spec.hydrated_reference || hydrated_reference_forced() {
+            SubstrateMode::HydratedReference
+        } else {
+            SubstrateMode::Batched
+        };
+        run_campaign_substrate(
             &self.spec.project,
             &self.spec.pool,
             &self.spec.deploy,
             &self.spec.churn,
             self.seed_for(rep),
             self.spec.horizon,
+            substrate,
         )
     }
 
@@ -448,6 +467,33 @@ mod tests {
             assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{name}");
             assert_eq!(a.stddev.to_bits(), b.stddev.to_bits(), "{name}");
         }
+    }
+
+    #[test]
+    fn public_campaign_path_matches_zero_churn_impl() {
+        // Port of the retired `run_campaign` shim's guarantee: the
+        // public builder path with churn left at its default runs the
+        // exact zero-churn simulator.
+        let spec = quick_spec().seed(9);
+        let via_campaign = spec.clone().build().unwrap().run().reports()[0].clone();
+        let direct = run_campaign_substrate(
+            &spec.project,
+            &spec.pool,
+            &spec.deploy,
+            &ChurnConfig::off(),
+            9,
+            spec.horizon,
+            SubstrateMode::Batched,
+        );
+        assert_eq!(via_campaign, direct);
+    }
+
+    #[test]
+    fn hydrated_reference_spec_is_bit_identical() {
+        let spec = quick_spec().churn(ChurnConfig::intensity(1.0)).seed(17);
+        let batched = spec.clone().build().unwrap().run();
+        let reference = spec.hydrated_reference(true).build().unwrap().run();
+        assert_eq!(batched.reports(), reference.reports());
     }
 
     #[test]

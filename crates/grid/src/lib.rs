@@ -52,20 +52,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod archetype;
 pub mod campaign;
 pub mod checkpoint;
 pub mod client;
 pub mod error;
 pub mod faults;
+pub mod hydrate;
 pub mod model;
 pub mod sim;
 
+pub use archetype::{ArchetypeKey, SegmentSolution};
 pub use campaign::{Campaign, CampaignResult, CampaignSpec};
 pub use checkpoint::{BackoffPolicy, BackoffState, QuorumValidator, RecordOutcome};
 pub use client::{BoincClientBody, ClientStats, ClientWorkSpec};
 pub use error::Error;
 pub use faults::ChurnConfig;
+pub use hydrate::{HydrationPool, HydrationStats};
 pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
-#[allow(deprecated)]
-pub use sim::run_campaign;
-pub use sim::vm_cpu_factor;
+pub use sim::{force_hydrated_reference, hydrated_reference_forced, vm_cpu_factor, SubstrateMode};

@@ -235,6 +235,14 @@ pub struct GridReport {
     /// model charges a fractional write overhead per interval; this
     /// counts the intervals it covered).
     pub checkpoint_writes: u64,
+    /// Host census per archetype (canonical label order): how the pool
+    /// decomposed into machine × mode × churn-class × speed-band
+    /// population slices.
+    pub archetype_hosts: Vec<(String, u32)>,
+    /// Hydration-pool lifecycle counters (windows, hydrations,
+    /// retirements, peak resident probes, memo hits). Identical across
+    /// substrates: a pure function of the event stream.
+    pub hydration: crate::hydrate::HydrationStats,
 }
 
 impl GridReport {
@@ -255,6 +263,17 @@ impl GridReport {
         m.gauge_add("grid.cpu_secs_lost", self.cpu_secs_lost);
         m.gauge_add("grid.image_transfer_secs", self.image_transfer_secs);
         m.gauge_add("grid.wasted_cpu_secs", self.wasted_cpu_secs);
+        for (label, count) in &self.archetype_hosts {
+            m.counter_add(&format!("grid.archetype.{label}.hosts"), *count as u64);
+        }
+        m.counter_add("grid.pool.windows", self.hydration.windows);
+        m.counter_add("grid.pool.hydrations", self.hydration.hydrations);
+        m.counter_add("grid.pool.retirements", self.hydration.retirements);
+        m.counter_add("grid.pool.memo_hits", self.hydration.memo_hits);
+        m.gauge_add(
+            "grid.pool.peak_resident",
+            self.hydration.peak_resident as f64,
+        );
     }
 }
 

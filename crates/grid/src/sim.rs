@@ -24,15 +24,39 @@
 //! parent), span draws collapse to the exact legacy `exponential`
 //! calls, and no fault event is ever scheduled.
 
-use crate::checkpoint::{durable_progress, write_overhead_frac, BackoffPolicy, BackoffState};
+use crate::archetype::{self, ArchetypeKey};
+use crate::checkpoint::{durable_progress, BackoffPolicy, BackoffState};
 use crate::faults::{self, ChurnConfig};
+use crate::hydrate::{HydrationPool, ProbeSpec};
 use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use vgrid_machine::MachineSpec;
-use vgrid_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use vgrid_simcore::{
+    CalendarQueue, DetMap, DetSet, EventQueue, EventScheduler, SimDuration, SimRng, SimTime,
+};
 use vgrid_workloads::counter::OpCounter;
 use vgrid_workloads::einstein::EinsteinKernel;
 use vgrid_workloads::kernel::Kernel;
+
+/// The Einstein-style surrogate instruction block every grid task is
+/// modeled on — shared by the analytic dilation solver below and the
+/// full-fidelity hydration probes in [`crate::hydrate`].
+pub(crate) fn science_block() -> vgrid_machine::ops::OpBlock {
+    let kernel = EinsteinKernel {
+        fft_len: 4096,
+        templates: 4,
+        seed: 0x617d,
+    };
+    let mut ops = OpCounter::new();
+    kernel.run(&mut ops);
+    vgrid_machine::ops::OpBlock {
+        label: "grid-task".to_string(),
+        counts: ops.to_counts(),
+        working_set: kernel.working_set(),
+        locality: kernel.locality(),
+    }
+}
 
 /// Derive the CPU slowdown of VM execution for the Einstein-style
 /// workload from a monitor profile, via the machine model.
@@ -40,19 +64,7 @@ pub fn vm_cpu_factor(mode: &ExecutionMode) -> f64 {
     match mode {
         ExecutionMode::Native => 1.0,
         ExecutionMode::Vm(profile) => {
-            let kernel = EinsteinKernel {
-                fft_len: 4096,
-                templates: 4,
-                seed: 0x617d,
-            };
-            let mut ops = OpCounter::new();
-            kernel.run(&mut ops);
-            let block = vgrid_machine::ops::OpBlock {
-                label: "grid-task".to_string(),
-                counts: ops.to_counts(),
-                working_set: kernel.working_set(),
-                locality: kernel.locality(),
-            };
+            let block = science_block();
             let cpu = MachineSpec::core2_duo_6600().cpu_model();
             let native = cpu.solo_estimate(&block).duration.as_secs_f64();
             let dilated = cpu
@@ -97,8 +109,12 @@ enum Work {
     Resume { copy: usize, remaining_ref: f64 },
 }
 
+/// Thin per-host record of the batched substrate: everything a host
+/// needs to advance analytically between events. Full-fidelity
+/// `System` state lives in [`crate::hydrate::HydrationPool`] instead,
+/// materialized only in windows around interesting events.
 #[derive(Debug)]
-struct Host {
+struct HostSlot {
     speed: f64,
     excluded: bool,
     up: bool,
@@ -118,6 +134,9 @@ struct Host {
     /// A backoff refetch event is already in flight.
     refetch_pending: bool,
     backoff: BackoffState,
+    /// Index into the campaign's archetype table.
+    #[allow(dead_code)] // read by the census and future batched solvers
+    archetype: u32,
 }
 
 #[derive(Debug)]
@@ -175,26 +194,85 @@ struct FaultCtx<'a> {
     on: bool,
 }
 
-/// Run one campaign; stops when all work units validate or at `horizon`.
-#[deprecated(note = "use `CampaignSpec::new(..).build()?.run()` (crate::campaign)")]
-pub fn run_campaign(
-    project: &ProjectConfig,
-    pool: &PoolConfig,
-    deploy: &DeployConfig,
-    seed: u64,
-    horizon: SimTime,
-) -> GridReport {
-    run_campaign_impl(project, pool, deploy, &ChurnConfig::off(), seed, horizon)
+/// Which host substrate executes a campaign. The two substrates are
+/// **bit-identical by contract**: they share every piece of
+/// host-stepping logic and differ only in the event-queue
+/// implementation and in whether the archetype solver's memo is
+/// consulted — both validated by the `hydration_equivalence` and
+/// `hydration_reference` test suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateMode {
+    /// Archetype-batched analytic substrate on the sharded calendar
+    /// queue with the memoized segment solver (the default).
+    Batched,
+    /// Reference substrate: flat binary-heap event queue, solver
+    /// recomputed from scratch (`--hydrated-reference`).
+    HydratedReference,
 }
 
-/// Campaign simulator entry point used by [`crate::campaign::Campaign`].
-pub(crate) fn run_campaign_impl(
+static FORCE_HYDRATED_REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Force every subsequent campaign onto the reference substrate — the
+/// `--hydrated-reference` CLI flag (the grid twin of
+/// `vgrid_os::force_per_quantum_reference`).
+pub fn force_hydrated_reference(on: bool) {
+    FORCE_HYDRATED_REFERENCE.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`force_hydrated_reference`] is currently in effect.
+pub fn hydrated_reference_forced() -> bool {
+    FORCE_HYDRATED_REFERENCE.load(Ordering::SeqCst)
+}
+
+/// Run one campaign on an explicit substrate; stops when all work
+/// units validate or at `horizon`. The campaign API
+/// ([`crate::campaign::Campaign`]) is the public entry point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_campaign_substrate(
     project: &ProjectConfig,
     pool: &PoolConfig,
     deploy: &DeployConfig,
     churn: &ChurnConfig,
     seed: u64,
     horizon: SimTime,
+    substrate: SubstrateMode,
+) -> GridReport {
+    match substrate {
+        SubstrateMode::Batched => run_campaign_on(
+            project,
+            pool,
+            deploy,
+            churn,
+            seed,
+            horizon,
+            substrate,
+            CalendarQueue::new(),
+        ),
+        SubstrateMode::HydratedReference => run_campaign_on(
+            project,
+            pool,
+            deploy,
+            churn,
+            seed,
+            horizon,
+            substrate,
+            EventQueue::new(),
+        ),
+    }
+}
+
+/// The campaign loop, generic over the event-queue implementation so
+/// both substrates execute literally the same host-stepping code.
+#[allow(clippy::too_many_arguments)]
+fn run_campaign_on<Q: EventScheduler<Ev>>(
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    churn: &ChurnConfig,
+    seed: u64,
+    horizon: SimTime,
+    substrate: SubstrateMode,
+    mut q: Q,
 ) -> GridReport {
     let rng = SimRng::new(seed ^ 0x617d_517d);
     let fctx = FaultCtx {
@@ -202,21 +280,45 @@ pub(crate) fn run_campaign_impl(
         backoff: BackoffPolicy::default(),
         on: !churn.is_off(),
     };
-    let vm_factor = vm_cpu_factor(&deploy.mode);
-    let (guest_ram, ckpt_bytes) = match &deploy.mode {
-        ExecutionMode::Native => (0u64, deploy.native_checkpoint_bytes),
-        ExecutionMode::Vm(p) => (p.guest_ram, p.guest_ram),
+    // Per-archetype segment solve. The batched substrate consults the
+    // process-wide memo; the reference substrate recomputes from
+    // scratch. Both produce bit-identical constants (the memo stores
+    // only solver *inputs* — see `crate::archetype`).
+    let solution = match substrate {
+        SubstrateMode::Batched => archetype::solve(deploy),
+        SubstrateMode::HydratedReference => archetype::solve_direct(deploy),
     };
+    let vm_factor = solution.vm_factor;
     // Checkpoint overhead: fraction of host time spent writing state.
-    let ckpt_frac = write_overhead_frac(ckpt_bytes, deploy.checkpoint_interval);
+    let ckpt_frac = solution.ckpt_frac;
+    let guest_ram = match &deploy.mode {
+        ExecutionMode::Native => 0u64,
+        ExecutionMode::Vm(p) => p.guest_ram,
+    };
 
     let mut report = GridReport {
         mode: deploy.mode.name().to_string(),
         ..Default::default()
     };
 
-    // Build hosts.
-    let mut hosts: Vec<Host> = (0..pool.volunteers)
+    // Lazy-hydration pool: full-fidelity probe systems materialized in
+    // windows around interesting events, cross-checking the analytic
+    // ledger. Probes observe only — they draw no host randomness.
+    let mut hpool = HydrationPool::new();
+    let probe = ProbeSpec {
+        key: archetype::solver_key(&deploy.mode),
+        mode: deploy.mode.clone(),
+        solution,
+    };
+
+    // Build hosts, bucketing each into its archetype as we go (an
+    // index map instead of per-host label strings: a million-host pool
+    // collapses to a handful of archetypes).
+    let cclass = archetype::churn_class(churn);
+    let mut arch_index: DetMap<(u16, bool), u32> = DetMap::new();
+    let mut arch_keys: Vec<ArchetypeKey> = Vec::new();
+    let mut arch_counts: Vec<u32> = Vec::new();
+    let mut hosts: Vec<HostSlot> = (0..pool.volunteers)
         .map(|i| {
             let mut hrng = rng.fork(1000 + i as u64);
             // Fork the fault stream *before* the legacy draws; forking
@@ -225,7 +327,14 @@ pub(crate) fn run_campaign_impl(
             let speed = hrng.range_f64(pool.speed_range.0, pool.speed_range.1);
             let ram = pool.ram_range.0 + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
             let excluded = guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
-            Host {
+            let band = archetype::speed_band(speed);
+            let arch = *arch_index.or_insert_with((band, !excluded), || {
+                arch_keys.push(ArchetypeKey::new(deploy, &cclass, band, !excluded));
+                arch_counts.push(0);
+                (arch_keys.len() - 1) as u32
+            });
+            arch_counts[arch as usize] += 1;
+            HostSlot {
                 speed,
                 excluded,
                 up: false,
@@ -241,10 +350,15 @@ pub(crate) fn run_campaign_impl(
                 paused: false,
                 refetch_pending: false,
                 backoff: BackoffState::new(&fctx.backoff),
+                archetype: arch,
             }
         })
         .collect();
     report.hosts_excluded_ram = hosts.iter().filter(|h| h.excluded).count() as u32;
+    // Canonical archetype census: sorted by key, not first-seen order.
+    let mut census: Vec<(ArchetypeKey, u32)> = arch_keys.into_iter().zip(arch_counts).collect();
+    census.sort();
+    report.archetype_hosts = census.into_iter().map(|(k, n)| (k.label(), n)).collect();
     // Ideal-makespan denominator: the RAM-eligible pool's aggregate
     // compute rate, as if always on and perfectly scheduled.
     let eligible_rate: f64 = hosts
@@ -270,7 +384,11 @@ pub(crate) fn run_campaign_impl(
     }
     let mut makespan: Option<SimTime> = None;
 
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    // Hosts currently idle (up, eligible, unpaused, no activity) —
+    // kept in lockstep with host state so server pushes touch only the
+    // hosts that can take work instead of scanning the whole pool.
+    let mut idle: DetSet<u32> = DetSet::new();
+
     // Stagger initial power-ons.
     for (h, host) in hosts.iter_mut().enumerate() {
         let delay = host.rng.exponential(pool.mean_downtime_secs / 4.0);
@@ -280,12 +398,11 @@ pub(crate) fn run_campaign_impl(
     // --- helpers as closures are awkward with borrows; use a macro-free
     // imperative loop with inline logic. ---
     #[allow(clippy::needless_range_loop)] // hosts indexed by stable id
-    while let Some(te) = q.peek_time() {
-        if te > horizon || (makespan.is_some() && validator.validated_count() >= project.workunits)
+    while let Some((now, ev)) = q.pop() {
+        if now > horizon || (makespan.is_some() && validator.validated_count() >= project.workunits)
         {
             break;
         }
-        let Some((now, ev)) = q.pop() else { break };
         match ev {
             Ev::Up { h, gen } => {
                 if gen != hosts[h].life_gen || hosts[h].excluded {
@@ -339,10 +456,16 @@ pub(crate) fn run_campaign_impl(
                     &fctx,
                     &mut report,
                 );
+                sync_idle(&mut idle, &hosts, h);
             }
             Ev::Down { h, gen } => {
                 if gen != hosts[h].life_gen {
                     continue;
+                }
+                // A failure mid-compute is an interesting event: hydrate
+                // a probe window before the ledger absorbs it.
+                if matches!(hosts[h].activity, Some(Activity::Compute { .. })) {
+                    hpool.window(&probe);
                 }
                 report.fault_transitions += 1;
                 hosts[h].up = false;
@@ -385,6 +508,7 @@ pub(crate) fn run_campaign_impl(
                         report.migrations += 1;
                         kick_idle_hosts(
                             now,
+                            &mut idle,
                             &mut hosts,
                             &mut queue,
                             &copies,
@@ -403,6 +527,7 @@ pub(crate) fn run_campaign_impl(
                     // The volunteer never returns; its task (if any) is
                     // stranded until the server's deadline reissues it.
                     hosts[h].excluded = true;
+                    sync_idle(&mut idle, &hosts, h);
                     continue;
                 }
                 let span = faults::sample_span(
@@ -413,6 +538,7 @@ pub(crate) fn run_campaign_impl(
                 hosts[h].life_gen += 1;
                 let gen = hosts[h].life_gen;
                 q.schedule(now + SimDuration::from_secs_f64(span), Ev::Up { h, gen });
+                sync_idle(&mut idle, &hosts, h);
             }
             Ev::ActDone { h, gen } => {
                 if gen != hosts[h].act_gen || !hosts[h].up {
@@ -471,6 +597,9 @@ pub(crate) fn run_campaign_impl(
                         remaining_ref,
                         progress_ref,
                     } => {
+                        // Task completion: hydrate a probe window to
+                        // check the ledger's rate against a real system.
+                        hpool.window(&probe);
                         // Account the CPU time of the final stretch.
                         let elapsed = now.since(hosts[h].act_started).as_secs_f64();
                         report.cpu_secs_spent += elapsed;
@@ -500,6 +629,9 @@ pub(crate) fn run_campaign_impl(
                         use crate::checkpoint::RecordOutcome;
                         match validator.record(wu_idx, good, copies[task].cpu_spent) {
                             RecordOutcome::NewlyValidated => {
+                                // A quorum decision is an interesting
+                                // event: hydrate a probe window.
+                                hpool.window(&probe);
                                 if validator.validated_count() >= project.workunits {
                                     makespan = Some(now);
                                 }
@@ -514,8 +646,14 @@ pub(crate) fn run_campaign_impl(
                                 });
                                 queue.push_back(Work::Fresh(copies.len() - 1));
                                 validator.note_issued(wu_idx);
+                                // The reporting host is between
+                                // activities right now — it competes
+                                // for the replacement copy in id order
+                                // like any other idle host.
+                                sync_idle(&mut idle, &hosts, h);
                                 kick_idle_hosts(
                                     now,
+                                    &mut idle,
                                     &mut hosts,
                                     &mut queue,
                                     &copies,
@@ -549,6 +687,7 @@ pub(crate) fn run_campaign_impl(
                     &fctx,
                     &mut report,
                 );
+                sync_idle(&mut idle, &hosts, h);
             }
             Ev::Deadline { copy } => {
                 if !copies[copy].returned && !validator.is_validated(copies[copy].wu) {
@@ -563,6 +702,7 @@ pub(crate) fn run_campaign_impl(
                     report.reissues += 1;
                     kick_idle_hosts(
                         now,
+                        &mut idle,
                         &mut hosts,
                         &mut queue,
                         &copies,
@@ -580,6 +720,10 @@ pub(crate) fn run_campaign_impl(
             Ev::OwnerArrive { h, gen } => {
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
                     continue;
+                }
+                // An owner preempting live work is an interesting event.
+                if !hosts[h].paused && hosts[h].activity.is_some() {
+                    hpool.window(&probe);
                 }
                 report.owner_preemptions += 1;
                 report.fault_transitions += 1;
@@ -626,6 +770,7 @@ pub(crate) fn run_campaign_impl(
                     now + SimDuration::from_secs_f64(session),
                     Ev::OwnerLeave { h, gen },
                 );
+                sync_idle(&mut idle, &hosts, h);
             }
             Ev::OwnerLeave { h, gen } => {
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
@@ -656,6 +801,7 @@ pub(crate) fn run_campaign_impl(
                     now + SimDuration::from_secs_f64(gap),
                     Ev::OwnerArrive { h, gen },
                 );
+                sync_idle(&mut idle, &hosts, h);
             }
             Ev::VmKill { h, gen } => {
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
@@ -663,6 +809,9 @@ pub(crate) fn run_campaign_impl(
                 }
                 report.fault_transitions += 1;
                 if hosts[h].activity.is_some() {
+                    // A sandbox kill with live work is an interesting
+                    // event.
+                    hpool.window(&probe);
                     kill_task(
                         h,
                         now,
@@ -697,6 +846,7 @@ pub(crate) fn run_campaign_impl(
                     now + SimDuration::from_secs_f64(wait),
                     Ev::VmKill { h, gen },
                 );
+                sync_idle(&mut idle, &hosts, h);
             }
             Ev::Refetch { h } => {
                 hosts[h].refetch_pending = false;
@@ -722,6 +872,7 @@ pub(crate) fn run_campaign_impl(
                     &fctx,
                     &mut report,
                 );
+                sync_idle(&mut idle, &hosts, h);
             }
         }
     }
@@ -770,12 +921,29 @@ pub(crate) fn run_campaign_impl(
     } else {
         0.0
     };
+    // Retire the hydration pool. The stats are a pure function of the
+    // (substrate-independent) event stream, so the report stays
+    // bit-identical across substrates.
+    report.hydration = hpool.finish();
     report
 }
 
 /// Effective compute rate: reference seconds per host second.
-fn compute_rate(host: &Host, vm_factor: f64, ckpt_frac: f64) -> f64 {
+fn compute_rate(host: &HostSlot, vm_factor: f64, ckpt_frac: f64) -> f64 {
     host.speed / vm_factor * (1.0 - ckpt_frac).max(0.05)
+}
+
+/// Re-derive one host's membership in the idle set after an event arm
+/// mutated it. The set invariant — `h ∈ idle` iff the host is up,
+/// eligible, unpaused and between activities — is what lets the server
+/// push touch only takers instead of scanning a million-host pool.
+fn sync_idle(idle: &mut DetSet<u32>, hosts: &[HostSlot], h: usize) {
+    let host = &hosts[h];
+    if host.up && !host.excluded && !host.paused && host.activity.is_none() {
+        idle.insert(h as u32);
+    } else {
+        idle.remove(&(h as u32));
+    }
 }
 
 /// Accrue partial progress of the interrupted activity. With `preserve`
@@ -786,7 +954,7 @@ fn compute_rate(host: &Host, vm_factor: f64, ckpt_frac: f64) -> f64 {
 fn accrue_activity(
     h: usize,
     now: SimTime,
-    hosts: &mut [Host],
+    hosts: &mut [HostSlot],
     copies: &mut [TaskCopy],
     pool: &PoolConfig,
     deploy: &DeployConfig,
@@ -847,7 +1015,7 @@ fn accrue_activity(
 fn kill_task(
     h: usize,
     now: SimTime,
-    hosts: &mut [Host],
+    hosts: &mut [HostSlot],
     copies: &mut [TaskCopy],
     pool: &PoolConfig,
     deploy: &DeployConfig,
@@ -889,21 +1057,26 @@ fn kill_task(
     report.vm_kills += 1;
 }
 
-/// Hand queued work to every idle online host (called whenever the
-/// queue gains entries after the initial distribution — migrations,
-/// deadline reissues, replacement copies). Hosts otherwise only ask for
-/// work at their own transitions. Under churn the server push is
-/// disabled: idle clients poll with exponential backoff instead.
+/// Hand queued work to idle online hosts (called whenever the queue
+/// gains entries after the initial distribution — migrations, deadline
+/// reissues, replacement copies). Hosts otherwise only ask for work at
+/// their own transitions. Under churn the server push is disabled:
+/// idle clients poll with exponential backoff instead.
+///
+/// Iterates the idle set (sorted by host id — the same hand-out order
+/// as the original whole-pool scan) rather than all hosts: the walk is
+/// O(work handed out), not O(pool).
 #[allow(clippy::too_many_arguments)]
-fn kick_idle_hosts(
+fn kick_idle_hosts<Q: EventScheduler<Ev>>(
     now: SimTime,
-    hosts: &mut [Host],
+    idle: &mut DetSet<u32>,
+    hosts: &mut [HostSlot],
     queue: &mut VecDeque<Work>,
     copies: &[TaskCopy],
     project: &ProjectConfig,
     pool: &PoolConfig,
     deploy: &DeployConfig,
-    q: &mut EventQueue<Ev>,
+    q: &mut Q,
     vm_factor: f64,
     ckpt_frac: f64,
     fctx: &FaultCtx<'_>,
@@ -912,32 +1085,39 @@ fn kick_idle_hosts(
     if fctx.on {
         return;
     }
-    #[allow(clippy::needless_range_loop)] // host ids index several tables
-    for h in 0..hosts.len() {
+    let mut kicked: Vec<u32> = Vec::new();
+    for &hid in idle.iter() {
         if queue.is_empty() {
             break;
         }
-        if hosts[h].up && !hosts[h].excluded && !hosts[h].paused && hosts[h].activity.is_none() {
-            start_next_activity(
-                h, now, hosts, queue, copies, project, pool, deploy, q, vm_factor, ckpt_frac, fctx,
-                report,
-            );
-        }
+        let h = hid as usize;
+        debug_assert!(
+            hosts[h].up && !hosts[h].excluded && !hosts[h].paused && hosts[h].activity.is_none(),
+            "idle-set invariant broken for host {h}",
+        );
+        start_next_activity(
+            h, now, hosts, queue, copies, project, pool, deploy, q, vm_factor, ckpt_frac, fctx,
+            report,
+        );
+        kicked.push(hid);
+    }
+    for hid in kicked {
+        sync_idle(idle, hosts, hid as usize);
     }
 }
 
 /// Give the host its next activity (resume, or fetch new work).
 #[allow(clippy::too_many_arguments)]
-fn start_next_activity(
+fn start_next_activity<Q: EventScheduler<Ev>>(
     h: usize,
     now: SimTime,
-    hosts: &mut [Host],
+    hosts: &mut [HostSlot],
     queue: &mut VecDeque<Work>,
     copies: &[TaskCopy],
     project: &ProjectConfig,
     pool: &PoolConfig,
     deploy: &DeployConfig,
-    q: &mut EventQueue<Ev>,
+    q: &mut Q,
     vm_factor: f64,
     ckpt_frac: f64,
     fctx: &FaultCtx<'_>,
@@ -1018,6 +1198,26 @@ mod tests {
     use super::*;
     use vgrid_vmm::VmmProfile;
 
+    /// Churn-enabled entry point on the default (batched) substrate.
+    fn run_impl(
+        project: &ProjectConfig,
+        pool: &PoolConfig,
+        deploy: &DeployConfig,
+        churn: &ChurnConfig,
+        seed: u64,
+        horizon: SimTime,
+    ) -> GridReport {
+        run_campaign_substrate(
+            project,
+            pool,
+            deploy,
+            churn,
+            seed,
+            horizon,
+            SubstrateMode::Batched,
+        )
+    }
+
     /// Zero-churn entry point used by the legacy-behaviour tests.
     fn run_legacy(
         project: &ProjectConfig,
@@ -1026,7 +1226,7 @@ mod tests {
         seed: u64,
         horizon: SimTime,
     ) -> GridReport {
-        run_campaign_impl(project, pool, deploy, &ChurnConfig::off(), seed, horizon)
+        run_impl(project, pool, deploy, &ChurnConfig::off(), seed, horizon)
     }
 
     fn small_project() -> ProjectConfig {
@@ -1066,23 +1266,49 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_zero_churn_impl() {
-        let a = run_campaign(
+    fn substrates_are_bit_identical() {
+        // The calendar-queue batched substrate and the flat-queue
+        // reference substrate must agree on every report field,
+        // hydration stats included, under zero churn and full churn.
+        for churn in [ChurnConfig::off(), ChurnConfig::intensity(1.0)] {
+            for deploy in [
+                DeployConfig::native(),
+                DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
+            ] {
+                let run = |substrate| {
+                    run_campaign_substrate(
+                        &small_project(),
+                        &stable_pool(),
+                        &deploy,
+                        &churn,
+                        9,
+                        horizon(),
+                        substrate,
+                    )
+                };
+                let batched = run(SubstrateMode::Batched);
+                let reference = run(SubstrateMode::HydratedReference);
+                assert_eq!(batched, reference, "substrate divergence: {deploy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reports_carry_archetype_census_and_hydration_stats() {
+        let r = run_legacy(
             &small_project(),
             &stable_pool(),
             &DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
             9,
             horizon(),
         );
-        let b = run_legacy(
-            &small_project(),
-            &stable_pool(),
-            &DeployConfig::vm(VmmProfile::virtualbox(), 700 << 20),
-            9,
-            horizon(),
-        );
-        assert_eq!(a, b);
+        let census_total: u32 = r.archetype_hosts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(census_total, stable_pool().volunteers);
+        assert!(!r.archetype_hosts.is_empty());
+        assert!(r.hydration.windows > 0, "{:?}", r.hydration);
+        assert!(r.hydration.hydrations >= 1);
+        assert!(r.hydration.peak_resident >= 1);
+        assert!(r.hydration.memo_hits > 0, "windows repeat per archetype");
     }
 
     #[test]
@@ -1318,7 +1544,7 @@ mod tests {
     fn churn_is_deterministic_too() {
         let churn = ChurnConfig::intensity(2.0);
         let run = |seed| {
-            run_campaign_impl(
+            run_impl(
                 &small_project(),
                 &stable_pool(),
                 &DeployConfig::native(),
@@ -1339,7 +1565,7 @@ mod tests {
             preempt_kill_prob: 0.3,
             ..ChurnConfig::off()
         };
-        let r = run_campaign_impl(
+        let r = run_impl(
             &small_project(),
             &stable_pool(),
             &DeployConfig::native(),
@@ -1369,7 +1595,7 @@ mod tests {
         };
         let mut native_deploy = DeployConfig::native();
         native_deploy.checkpoint_interval = SimDuration::from_secs(3600);
-        let native = run_campaign_impl(
+        let native = run_impl(
             &project,
             &stable_pool(),
             &native_deploy,
@@ -1379,7 +1605,7 @@ mod tests {
         );
         let mut vm_deploy = DeployConfig::vm(VmmProfile::vmplayer(), 0);
         vm_deploy.checkpoint_interval = SimDuration::from_secs(3600);
-        let vm = run_campaign_impl(&project, &stable_pool(), &vm_deploy, &churn, 43, horizon());
+        let vm = run_impl(&project, &stable_pool(), &vm_deploy, &churn, 43, horizon());
         assert!(native.cpu_secs_lost > 0.0, "{native:?}");
         assert!(
             vm.cpu_secs_lost < native.cpu_secs_lost,
@@ -1402,8 +1628,8 @@ mod tests {
         };
         let mut no_ckpt = DeployConfig::native();
         no_ckpt.checkpoint_interval = SimDuration::ZERO;
-        let without = run_campaign_impl(&project, &stable_pool(), &no_ckpt, &churn, 47, horizon());
-        let with = run_campaign_impl(
+        let without = run_impl(&project, &stable_pool(), &no_ckpt, &churn, 47, horizon());
+        let with = run_impl(
             &project,
             &stable_pool(),
             &DeployConfig::native(),

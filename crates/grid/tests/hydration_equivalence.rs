@@ -1,0 +1,86 @@
+//! Substrate-equivalence matrix: the archetype-batched substrate must
+//! be bit-identical to the `hydrated_reference` substrate — every
+//! `GridReport` field and every published metric — across pool sizes
+//! up to 1k hosts, churn on and off, native and VM deployments.
+
+use vgrid_grid::{CampaignSpec, ChurnConfig, DeployConfig, GridReport, PoolConfig, ProjectConfig};
+use vgrid_simcore::SimTime;
+use vgrid_simobs::MetricsRegistry;
+use vgrid_vmm::VmmProfile;
+
+fn spec(volunteers: u32, churn: ChurnConfig, deploy: DeployConfig) -> CampaignSpec {
+    CampaignSpec::new("equivalence")
+        .project(ProjectConfig {
+            workunits: 60,
+            wu_ref_secs: 1800.0,
+            ..Default::default()
+        })
+        .pool(PoolConfig {
+            volunteers,
+            ram_range: (256 << 20, 2 << 30),
+            ..Default::default()
+        })
+        .deploy(deploy)
+        .churn(churn)
+        .seed(0x5eed_0b57)
+        .horizon(SimTime::from_secs(7 * 24 * 3600))
+}
+
+fn run(spec: CampaignSpec, hydrated_reference: bool) -> GridReport {
+    spec.hydrated_reference(hydrated_reference)
+        .build()
+        .expect("valid spec")
+        .run()
+        .reports()[0]
+        .clone()
+}
+
+fn rendered_metrics(report: &GridReport) -> String {
+    let mut m = MetricsRegistry::new();
+    report.publish_metrics(&mut m);
+    m.render_json()
+}
+
+#[test]
+fn overlap_matrix_is_bit_identical() {
+    for &volunteers in &[50u32, 200, 1000] {
+        for churn in [ChurnConfig::off(), ChurnConfig::intensity(1.0)] {
+            for deploy in [
+                DeployConfig::native(),
+                DeployConfig::vm(VmmProfile::qemu(), 300 << 20),
+            ] {
+                let batched = run(spec(volunteers, churn.clone(), deploy.clone()), false);
+                let reference = run(spec(volunteers, churn.clone(), deploy.clone()), true);
+                assert_eq!(
+                    batched, reference,
+                    "substrate divergence at {volunteers} hosts, {deploy:?}",
+                );
+                assert_eq!(
+                    rendered_metrics(&batched),
+                    rendered_metrics(&reference),
+                    "published metrics diverged at {volunteers} hosts",
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_substrate_bounds_resident_probes() {
+    let report = run(
+        spec(
+            1000,
+            ChurnConfig::intensity(1.0),
+            DeployConfig::vm(VmmProfile::qemu(), 300 << 20),
+        ),
+        false,
+    );
+    assert!(report.hydration.windows > 0, "{:?}", report.hydration);
+    assert!(
+        report.hydration.peak_resident <= 4,
+        "hydration pool exceeded its capacity bound: {:?}",
+        report.hydration
+    );
+    let census: u32 = report.archetype_hosts.iter().map(|&(_, n)| n).sum();
+    assert_eq!(census, 1000);
+}

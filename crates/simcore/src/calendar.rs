@@ -1,0 +1,590 @@
+//! Hierarchical calendar event queue.
+//!
+//! A calendar-queue (timing-wheel) alternative to [`EventQueue`]:
+//! pending events live in a power-of-two array of time buckets, so the
+//! typical enqueue is one index computation plus a `Vec::push`, and the
+//! typical dequeue scans the one or two short buckets near "now" —
+//! amortized O(1) against the heap's O(log n). Nothing about the order
+//! changes: pops reproduce the flat queue's `(time, rank, seq)` order
+//! *exactly*, including same-instant rank ordering and FIFO stability,
+//! which is what lets the grid layer swap scheduling substrates without
+//! moving a single bit (DESIGN.md §12).
+//!
+//! ## Ordering argument
+//!
+//! Bucket `b` in the current rotation ("year") covers the half-open
+//! window `[top - width, top)` where `top` advances by `width` per
+//! bucket scanned. The dequeue scan accepts the best `(time, rank,
+//! seq)` event with `time < top` — an upper bound only. That suffices
+//! because the queue maintains two invariants: every live event's time
+//! is `>= last_popped` (schedule clamps, pop takes the global minimum),
+//! and the current bucket's window start is `<= last_popped`. An event
+//! stored in a scanned bucket but belonging to an *earlier* year would
+//! have to be at least one full rotation (`nbuckets * width`) below its
+//! window, putting it before `last_popped` — impossible. Events at or
+//! past `top` belong to a later bucket or year and are picked up by a
+//! later scan step or the fallback. A full fruitless rotation falls
+//! back to an exact global-minimum scan (and, after repeated misses,
+//! recalibrates the bucket width to the live event distribution), so
+//! correctness never depends on the width heuristic.
+//!
+//! Cancellation is lazy: tombstones are skipped during scans and purged
+//! when their bucket is touched by a pop or a recalibration.
+
+use crate::detmap::DetSet;
+use crate::event::{EventQueueStats, EventScheduler, ScheduledEvent};
+use crate::time::SimTime;
+
+/// Smallest bucket-array size; also the floor the queue shrinks back to.
+const MIN_BUCKETS: usize = 16;
+/// Bucket-array growth cap (~2M buckets). Beyond this, bucket chains
+/// grow instead — correctness never depends on the cap.
+const MAX_BUCKETS: usize = 1 << 21;
+/// Fruitless full rotations tolerated before the bucket width is
+/// recalibrated to the live event distribution.
+const MISS_LIMIT: u32 = 4;
+/// Initial bucket width (1 ms). The first resize recalibrates to the
+/// actual inter-event spacing.
+const INITIAL_WIDTH_PS: u64 = 1_000_000_000;
+
+/// Total order among live events: earliest time, then rank, then FIFO.
+/// (`ScheduledEvent`'s own `Ord` is reversed for the max-heap.)
+fn is_before<E>(a: &ScheduledEvent<E>, b: &ScheduledEvent<E>) -> bool {
+    (a.time, a.rank, a.seq) < (b.time, b.rank, b.seq)
+}
+
+/// A deterministic future-event list with O(1) typical operations.
+///
+/// Drop-in replacement for [`EventQueue`] behind [`EventScheduler`]:
+/// identical pop order, identical past-scheduling clamp semantics
+/// (debug panic, release clamp-and-count), identical stats.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    /// `buckets.len() - 1`; the bucket count is a power of two.
+    mask: usize,
+    /// Bucket width in picoseconds (>= 1).
+    width: u64,
+    /// Bucket the year position currently points at.
+    cur: usize,
+    /// Exclusive upper time bound of `cur`'s window in the current
+    /// year. `u128` so `width * buckets` arithmetic cannot overflow.
+    bucket_top: u128,
+    last_popped: SimTime,
+    next_seq: u64,
+    /// Pending non-cancelled events.
+    live: usize,
+    cancelled: DetSet<u64>,
+    clamped: u64,
+    /// Fruitless full rotations since the last recalibration.
+    misses: u32,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: INITIAL_WIDTH_PS,
+            cur: 0,
+            bucket_top: INITIAL_WIDTH_PS as u128,
+            last_popped: SimTime::ZERO,
+            next_seq: 0,
+            live: 0,
+            cancelled: DetSet::new(),
+            clamped: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, time: SimTime) -> usize {
+        ((time.as_picos() / self.width) as usize) & self.mask
+    }
+
+    /// Schedule `event` to fire at absolute time `time` with rank 0.
+    /// Returns the assigned sequence number (usable with `cancel`).
+    pub fn schedule(&mut self, time: SimTime, event: E) -> u64 {
+        self.schedule_ranked(time, 0, event)
+    }
+
+    /// Schedule `event` at `time` with an explicit same-instant rank.
+    pub fn schedule_ranked(&mut self, time: SimTime, rank: u8, event: E) -> u64 {
+        debug_assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        if time < self.last_popped {
+            self.clamped += 1;
+        }
+        let time = time.max(self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = self.index(time);
+        self.buckets[idx].push(ScheduledEvent {
+            time,
+            rank,
+            seq,
+            event,
+        });
+        self.live += 1;
+        if self.live > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.recalibrate();
+        }
+        seq
+    }
+
+    /// Cancel a pending event by seq (see [`EventScheduler::cancel`] for
+    /// the contract). The entry is tombstoned and purged lazily.
+    pub fn cancel(&mut self, seq: u64) -> bool {
+        if seq >= self.next_seq || !self.cancelled.insert(seq) {
+            return false;
+        }
+        self.live = self.live.saturating_sub(1);
+        true
+    }
+
+    /// Best live in-window event of bucket `b`: index of the minimum
+    /// `(time, rank, seq)` entry with `time < below` (no bound when
+    /// `None`), skipping tombstones.
+    fn best_in_bucket(&self, b: usize, below: Option<u128>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (j, ev) in self.buckets[b].iter().enumerate() {
+            if self.cancelled.contains(&ev.seq) {
+                continue;
+            }
+            if let Some(top) = below {
+                if ev.time.as_picos() as u128 >= top {
+                    continue;
+                }
+            }
+            let better = match best {
+                None => true,
+                Some(k) => is_before(ev, &self.buckets[b][k]),
+            };
+            if better {
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// One rotation from the current year position: the next live event
+    /// as `(bucket, slot, window top)`, or `None` when the whole year
+    /// ahead is empty.
+    fn locate(&self) -> Option<(usize, usize, u128)> {
+        let mut top = self.bucket_top;
+        for i in 0..self.buckets.len() {
+            let b = (self.cur + i) & self.mask;
+            if let Some(j) = self.best_in_bucket(b, Some(top)) {
+                return Some((b, j, top));
+            }
+            top += self.width as u128;
+        }
+        None
+    }
+
+    /// Exact global-minimum fallback for sparse far-future years; also
+    /// computes the window top to jump the year position to.
+    fn locate_anywhere(&self) -> (usize, usize, u128) {
+        let mut best: Option<(usize, usize)> = None;
+        for b in 0..self.buckets.len() {
+            if let Some(j) = self.best_in_bucket(b, None) {
+                let better = match best {
+                    None => true,
+                    Some((bb, jj)) => is_before(&self.buckets[b][j], &self.buckets[bb][jj]),
+                };
+                if better {
+                    best = Some((b, j));
+                }
+            }
+        }
+        let (b, j) = best.expect("locate_anywhere called with live events pending");
+        let t = self.buckets[b][j].time.as_picos() as u128;
+        let top = (t / self.width as u128 + 1) * self.width as u128;
+        (b, j, top)
+    }
+
+    /// Drop tombstoned entries from bucket `b`.
+    fn purge_cancelled(&mut self, b: usize) {
+        if self.cancelled.is_empty() {
+            return;
+        }
+        let cancelled = &mut self.cancelled;
+        self.buckets[b].retain(|ev| !cancelled.remove(&ev.seq));
+    }
+
+    /// Rebuild the bucket array sized and spaced for the live events.
+    /// Purges every tombstone as a side effect.
+    fn recalibrate(&mut self) {
+        self.misses = 0;
+        let mut all: Vec<ScheduledEvent<E>> = Vec::with_capacity(self.live);
+        let cancelled = &mut self.cancelled;
+        for bucket in &mut self.buckets {
+            for ev in bucket.drain(..) {
+                if !cancelled.remove(&ev.seq) {
+                    all.push(ev);
+                }
+            }
+        }
+        debug_assert_eq!(all.len(), self.live, "live-event accounting drifted");
+        let nbuckets = all
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if all.len() >= 2 {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for ev in &all {
+                let t = ev.time.as_picos();
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+            // ~2 events per bucket for a uniform spread; degenerate
+            // spans (all events at one instant) clamp to 1 ps.
+            self.width = ((hi - lo) / all.len() as u64).saturating_mul(2).max(1);
+        }
+        if nbuckets != self.buckets.len() {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+            self.mask = nbuckets - 1;
+        }
+        let now_ps = self.last_popped.as_picos();
+        self.cur = self.index(self.last_popped);
+        self.bucket_top = (now_ps as u128 / self.width as u128 + 1) * self.width as u128;
+        for ev in all {
+            let idx = ((ev.time.as_picos() / self.width) as usize) & self.mask;
+            self.buckets[idx].push(ev);
+        }
+    }
+
+    /// Remove and return the earliest live event, advancing the queue's
+    /// notion of "now".
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.live == 0 {
+            // Nothing live: any remaining entries are tombstones.
+            if !self.cancelled.is_empty() {
+                for bucket in &mut self.buckets {
+                    bucket.clear();
+                }
+                self.cancelled.clear();
+            }
+            return None;
+        }
+        let (b, j, top) = match self.locate() {
+            Some(hit) => {
+                self.misses = 0;
+                hit
+            }
+            None => {
+                self.misses += 1;
+                if self.misses > MISS_LIMIT {
+                    self.recalibrate();
+                }
+                self.locate_anywhere()
+            }
+        };
+        self.cur = b;
+        self.bucket_top = top;
+        let ev = self.buckets[b].swap_remove(j);
+        self.live -= 1;
+        self.purge_cancelled(b);
+        debug_assert!(ev.time >= self.last_popped, "calendar queue went backwards");
+        self.last_popped = ev.time;
+        if self.live > 0 && self.live < self.buckets.len() / 8 && self.buckets.len() > MIN_BUCKETS {
+            self.recalibrate();
+        }
+        Some((ev.time, ev.event))
+    }
+
+    /// The due time of the earliest live event, if any. Read-only (and
+    /// hence O(buckets) worst case — hot loops should pop instead).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        let (b, j, _) = match self.locate() {
+            Some(hit) => hit,
+            None => self.locate_anywhere(),
+        };
+        Some(self.buckets[b][j].time)
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The time of the most recently popped event (the queue's "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Lifetime counters, mirroring [`EventQueue::stats`].
+    pub fn stats(&self) -> EventQueueStats {
+        EventQueueStats {
+            scheduled: self.next_seq,
+            clamped: self.clamped,
+        }
+    }
+
+    /// Drop all pending events, keeping the current time.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+impl<E> EventScheduler<E> for CalendarQueue<E> {
+    fn schedule_ranked(&mut self, time: SimTime, rank: u8, event: E) -> u64 {
+        CalendarQueue::schedule_ranked(self, time, rank, event)
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        CalendarQueue::cancel(self, seq)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+
+    fn stats(&self) -> EventQueueStats {
+        CalendarQueue::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+    use crate::rng::SimRng;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_millis(3), "c");
+        q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(1), 1));
+        q.schedule(q.now() + SimDuration::from_secs(1), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(2), 2));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_nanos(5), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn ranks_order_same_instant_events() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_ranked(t, 2, "slice-core1");
+        q.schedule_ranked(t, 0, "wake");
+        q.schedule_ranked(t, 1, "slice-core0");
+        q.schedule(t, "disk");
+        assert_eq!(q.pop().unwrap().1, "wake");
+        assert_eq!(q.pop().unwrap().1, "disk");
+        assert_eq!(q.pop().unwrap().1, "slice-core0");
+        assert_eq!(q.pop().unwrap().1, "slice-core1");
+    }
+
+    #[test]
+    fn rank_does_not_override_time() {
+        let mut q = CalendarQueue::new();
+        q.schedule_ranked(SimTime::from_secs(2), 0, "later");
+        q.schedule_ranked(SimTime::from_secs(1), 9, "sooner");
+        assert_eq!(q.pop().unwrap().1, "sooner");
+        assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn far_future_year_jump() {
+        let mut q = CalendarQueue::new();
+        // Events many initial-widths apart force the fallback scan and
+        // the year jump repeatedly.
+        for d in [0u64, 3600, 7200, 30 * 24 * 3600] {
+            q.schedule(SimTime::from_secs(1 + d), d);
+        }
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 3600);
+        assert_eq!(q.pop().unwrap().1, 7200);
+        assert_eq!(q.pop().unwrap().1, 30 * 24 * 3600);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn resize_preserves_order_and_stability() {
+        let mut q = CalendarQueue::new();
+        // Enough same-instant events to trigger growth mid-stream; FIFO
+        // must survive the rebucketing.
+        let t = SimTime::from_secs(5);
+        for i in 0..2000u32 {
+            q.schedule(t, i);
+        }
+        for i in 0..2000u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancel_skips_events_and_keeps_peek_accurate() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        let c = q.schedule(SimTime::from_secs(3), "c");
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert!(q.cancel(c));
+        assert!(!q.cancel(c));
+        assert!(!q.cancel(999));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        let _ = b;
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn past_scheduling_is_counted_in_release() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.stats().clamped, 1);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
+    }
+
+    /// Randomized end-to-end mirror: interleaved schedules, pops, and
+    /// cancellations against the flat queue must agree exactly. (The
+    /// proptest in `tests/props.rs` explores this space further.)
+    #[test]
+    fn mirrors_flat_queue_under_random_interleaving() {
+        let mut rng = SimRng::new(0xca1e_4da2);
+        let mut cal = CalendarQueue::new();
+        let mut flat = EventQueue::new();
+        // Live seqs with their payloads, so cancellation only ever
+        // targets genuinely pending events (the documented contract).
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        for step in 0..5000u64 {
+            match rng.next_below(10) {
+                0..=5 => {
+                    let dt = SimDuration::from_micros(rng.next_below(2_000_000));
+                    let t = cal.now() + dt;
+                    let rank = rng.next_below(3) as u8;
+                    let a = cal.schedule_ranked(t, rank, step);
+                    let b = flat.schedule_ranked(t, rank, step);
+                    assert_eq!(a, b);
+                    pending.push((a, step));
+                }
+                6..=7 => {
+                    assert_eq!(cal.peek_time(), flat.peek_time());
+                    let a = cal.pop();
+                    let b = flat.pop();
+                    assert_eq!(a, b);
+                    if let Some((_, payload)) = a {
+                        pending.retain(|&(_, p)| p != payload);
+                    }
+                }
+                _ => {
+                    if !pending.is_empty() {
+                        let i = rng.next_below(pending.len() as u64) as usize;
+                        let (seq, _) = pending.swap_remove(i);
+                        assert_eq!(cal.cancel(seq), flat.cancel(seq));
+                    }
+                }
+            }
+            assert_eq!(cal.len(), flat.len());
+            assert_eq!(cal.now(), flat.now());
+        }
+        loop {
+            let a = cal.pop();
+            let b = flat.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.stats(), flat.stats());
+    }
+}

@@ -11,6 +11,7 @@
 //! relies on to keep its coalesced and per-quantum execution modes
 //! bit-identical.
 
+use crate::detmap::DetSet;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -65,17 +66,68 @@ pub struct EventQueueStats {
     pub clamped: u64,
 }
 
+/// The scheduling surface shared by [`EventQueue`] and
+/// [`CalendarQueue`](crate::calendar::CalendarQueue): deterministic
+/// `(time, rank, seq)` pop order, lazy cancellation by sequence number,
+/// and identical past-scheduling clamp semantics. A simulation written
+/// against this trait can swap the flat heap for the calendar without
+/// observing any difference in pop order or stats.
+pub trait EventScheduler<E> {
+    /// Schedule `event` at absolute `time` with rank 0; returns the
+    /// assigned sequence number.
+    fn schedule(&mut self, time: SimTime, event: E) -> u64 {
+        self.schedule_ranked(time, 0, event)
+    }
+
+    /// Schedule with an explicit same-instant rank: among events due at
+    /// the same time, lower ranks pop first, FIFO within a rank.
+    fn schedule_ranked(&mut self, time: SimTime, rank: u8, event: E) -> u64;
+
+    /// Cancel a pending event by the seq its schedule call returned.
+    /// Returns `true` when a tombstone was newly recorded. Cancelling a
+    /// seq that is no longer pending is a caller logic error: seqs that
+    /// were never issued or already cancelled return `false`, but an
+    /// already-popped seq cannot be detected and would leave a stale
+    /// tombstone skewing [`len`](Self::len).
+    fn cancel(&mut self, seq: u64) -> bool;
+
+    /// Remove and return the earliest live event, advancing "now".
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The due time of the earliest live event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending (non-cancelled) events.
+    fn len(&self) -> usize;
+
+    /// True when no live events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The time of the most recently popped event (the queue's "now").
+    fn now(&self) -> SimTime;
+
+    /// Lifetime schedule/clamp counters.
+    fn stats(&self) -> EventQueueStats;
+}
+
 /// A deterministic future-event list.
 ///
 /// Events pop in `(time, insertion order)` order. Scheduling in the past is
 /// a logic error and panics in debug builds (it indicates a broken causal
 /// chain in a component model); in release builds the event is clamped to
 /// "now" as tracked by the last pop.
+///
+/// Cancellation is lazy: [`EventQueue::cancel`] records a tombstone and
+/// the queue drains dead heads eagerly, so `peek_time`/`pop` never
+/// observe a cancelled event.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     last_popped: SimTime,
+    cancelled: DetSet<u64>,
     clamped: u64,
 }
 
@@ -92,6 +144,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
+            cancelled: DetSet::new(),
             clamped: 0,
         }
     }
@@ -139,12 +192,43 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Cancel a pending event by seq (see [`EventScheduler::cancel`] for
+    /// the contract). The head is drained eagerly so `peek_time` stays
+    /// accurate.
+    pub fn cancel(&mut self, seq: u64) -> bool {
+        if seq >= self.next_seq || !self.cancelled.insert(seq) {
+            return false;
+        }
+        self.drain_cancelled_head();
+        true
+    }
+
+    /// Drop cancelled events sitting at the head so peek/pop only ever
+    /// see live events. Does not advance "now".
+    fn drain_cancelled_head(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if !self.cancelled.contains(&head.seq) {
+                break;
+            }
+            let dead = self.heap.pop().expect("peeked head exists");
+            self.cancelled.remove(&dead.seq);
+        }
+    }
+
     /// Remove and return the earliest event, advancing the queue's notion
     /// of "now".
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.heap.pop()?;
+        // The head is never cancelled (cancel() and pop() both drain
+        // dead heads), but stay defensive.
+        let ev = loop {
+            let ev = self.heap.pop()?;
+            if !self.cancelled.remove(&ev.seq) {
+                break ev;
+            }
+        };
         debug_assert!(ev.time >= self.last_popped, "event queue went backwards");
         self.last_popped = ev.time;
+        self.drain_cancelled_head();
         Some((ev.time, ev.event))
     }
 
@@ -153,14 +237,14 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The time of the most recently popped event (the queue's "now").
@@ -171,6 +255,37 @@ impl<E> EventQueue<E> {
     /// Drop all pending events, keeping the current time.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn schedule_ranked(&mut self, time: SimTime, rank: u8, event: E) -> u64 {
+        EventQueue::schedule_ranked(self, time, rank, event)
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        EventQueue::cancel(self, seq)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+
+    fn stats(&self) -> EventQueueStats {
+        EventQueue::stats(self)
     }
 }
 
@@ -279,6 +394,57 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "disk");
         assert_eq!(q.pop().unwrap().1, "slice-core0");
         assert_eq!(q.pop().unwrap().1, "slice-core1");
+    }
+
+    #[test]
+    fn cancel_skips_events_and_keeps_peek_accurate() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        let c = q.schedule(SimTime::from_secs(3), "c");
+        assert_eq!(q.len(), 3);
+        // Cancelling the head drains it immediately.
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        // Cancelling mid-queue is lazy but never observable.
+        assert!(q.cancel(c));
+        // Double-cancel of a still-pending tombstone and never-issued
+        // seqs report false.
+        assert!(!q.cancel(c));
+        assert!(!q.cancel(999));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        let _ = b;
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_head_does_not_advance_now() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(5), "a");
+        q.schedule(SimTime::from_secs(9), "b");
+        q.cancel(a);
+        assert_eq!(q.now(), SimTime::ZERO);
+        // Scheduling before the cancelled event's time is still legal.
+        q.schedule(SimTime::from_secs(1), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn trait_object_matches_inherent_behavior() {
+        let q: &mut dyn EventScheduler<&str> = &mut EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_ranked(t, 1, "slice");
+        q.schedule(t, "wake");
+        let dead = q.schedule(t, "dead");
+        assert!(q.cancel(dead));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "wake");
+        assert_eq!(q.pop().unwrap().1, "slice");
+        assert_eq!(q.now(), t);
+        assert_eq!(q.stats().scheduled, 3);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod detmap;
 pub mod event;
 pub mod fault;
@@ -44,8 +45,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use detmap::{DetMap, DetSet};
-pub use event::{EventQueue, EventQueueStats, ScheduledEvent};
+pub use event::{EventQueue, EventQueueStats, EventScheduler, ScheduledEvent};
 pub use fault::FaultKind;
 pub use rng::SimRng;
 pub use stats::{

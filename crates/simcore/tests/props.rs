@@ -1,7 +1,40 @@
 //! Property-based tests of the DES core's invariants.
 
 use proptest::prelude::*;
-use vgrid_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use vgrid_simcore::{CalendarQueue, EventQueue, SimDuration, SimRng, SimTime};
+
+/// One step of an interleaved schedule/pop/cancel workload, applied
+/// identically to both queue implementations.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule at `now + dt` with a same-instant rank.
+    Schedule { dt: u64, rank: u8 },
+    /// Pop the earliest live event (after comparing peeks).
+    Pop,
+    /// Cancel the pending event at this index into the live list (mod
+    /// its length); no-op when nothing is pending.
+    Cancel(usize),
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    // Decoded from one u64 so the in-tree shim's uniform generators
+    // suffice: half schedules (with same-instant bursts, sub-bucket
+    // jitter, and far jumps that cross calendar years), the rest pops
+    // and cancellations.
+    any::<u64>().prop_map(|bits| match bits % 10 {
+        0..=4 => {
+            let rank = ((bits >> 8) % 3) as u8;
+            let dt = match (bits >> 16) % 3 {
+                0 => 0,
+                1 => (bits >> 24) % 1_000,
+                _ => (bits >> 24) % 10_000_000_000,
+            };
+            QueueOp::Schedule { dt, rank }
+        }
+        5..=7 => QueueOp::Pop,
+        _ => QueueOp::Cancel((bits >> 8) as usize),
+    })
+}
 
 proptest! {
     /// Events always pop in nondecreasing time order, FIFO within ties.
@@ -34,6 +67,62 @@ proptest! {
         prop_assert_eq!(d.scale(0.0), SimDuration::ZERO);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(d.scale(lo) <= d.scale(hi));
+    }
+
+    /// The calendar queue is observationally identical to the flat
+    /// queue: arbitrary interleaved schedules, pops, and cancellations
+    /// produce the same seqs, the same peeks, the same pop order
+    /// (same-instant rank/FIFO stability included), and the same stats.
+    #[test]
+    fn calendar_queue_mirrors_flat_queue(
+        ops in proptest::collection::vec(queue_op(), 1..120)
+    ) {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut flat: EventQueue<u64> = EventQueue::new();
+        // Seqs still pending in both queues (cancellation may only
+        // target pending events — the documented contract).
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            let step = step as u64;
+            match *op {
+                QueueOp::Schedule { dt, rank } => {
+                    let t = cal.now() + SimDuration::from_picos(dt.saturating_mul(1_000));
+                    let a = cal.schedule_ranked(t, rank, step);
+                    let b = flat.schedule_ranked(t, rank, step);
+                    prop_assert_eq!(a, b);
+                    pending.push((a, step));
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(cal.peek_time(), flat.peek_time());
+                    let a = cal.pop();
+                    let b = flat.pop();
+                    prop_assert_eq!(a, b);
+                    if let Some((_, payload)) = a {
+                        pending.retain(|&(_, p)| p != payload);
+                    }
+                }
+                QueueOp::Cancel(i) => {
+                    if !pending.is_empty() {
+                        let (seq, _) = pending.swap_remove(i % pending.len());
+                        prop_assert_eq!(cal.cancel(seq), flat.cancel(seq));
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), flat.len());
+            prop_assert_eq!(cal.is_empty(), flat.is_empty());
+            prop_assert_eq!(cal.now(), flat.now());
+        }
+        // Drain: the full residual pop order must agree.
+        loop {
+            prop_assert_eq!(cal.peek_time(), flat.peek_time());
+            let a = cal.pop();
+            let b = flat.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cal.stats(), flat.stats());
     }
 
     /// exponential() deviates are positive; chance() respects extremes.

@@ -12,6 +12,7 @@
 //! | `wall-clock`       | `Instant::now`/`SystemTime` outside the criterion/timeref shims |
 //! | `ambient-entropy`  | `thread_rng`/`OsRng`/`getrandom`/`from_entropy` outside `simcore::rng` |
 //! | `unstable-sort`    | `sort_unstable*` without an explicit key-totality pragma      |
+//! | `substrate-collections` | raw `BTreeMap`/`BTreeSet` in the grid host substrate (use `DetMap`/`DetSet`) |
 //! | `stray-file`       | unreferenced / non-`.rs` files under any `src/` directory     |
 //! | `forbid-unsafe`    | crate roots missing `#![forbid(unsafe_code)]`                 |
 //!
@@ -66,6 +67,16 @@ pub const WALL_CLOCK_SHIMS: &[&str] = &["criterion", "timeref"];
 /// simulation RNG.
 pub const ENTROPY_SHIM: &str = "crates/simcore/src/rng.rs";
 
+/// The grid host-substrate files, where per-host state must live in
+/// the deterministic wrappers (`DetMap`/`DetSet`) rather than raw
+/// B-tree collections, so the batched/hydrated equivalence contract
+/// stays visible in the types (DESIGN.md §12).
+pub const SUBSTRATE_FILES: &[&str] = &[
+    "crates/grid/src/sim.rs",
+    "crates/grid/src/archetype.rs",
+    "crates/grid/src/hydrate.rs",
+];
+
 /// A determinism rule enforced by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -77,6 +88,8 @@ pub enum Rule {
     AmbientEntropy,
     /// `sort_unstable*` without a key-totality pragma.
     UnstableSort,
+    /// Raw `BTreeMap`/`BTreeSet` in the grid host substrate.
+    SubstrateCollections,
     /// Unreferenced or non-`.rs` file under a `src/` directory.
     StrayFile,
     /// Crate root missing `#![forbid(unsafe_code)]`.
@@ -93,6 +106,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::AmbientEntropy => "ambient-entropy",
             Rule::UnstableSort => "unstable-sort",
+            Rule::SubstrateCollections => "substrate-collections",
             Rule::StrayFile => "stray-file",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadPragma => "bad-pragma",
@@ -108,6 +122,7 @@ impl Rule {
             "wall-clock" => Some(Rule::WallClock),
             "ambient-entropy" => Some(Rule::AmbientEntropy),
             "unstable-sort" => Some(Rule::UnstableSort),
+            "substrate-collections" => Some(Rule::SubstrateCollections),
             _ => None,
         }
     }
@@ -528,6 +543,12 @@ const TOKEN_RULES: &[TokenRule] = &[
         message: "`sort_unstable*` reorders equal keys; prove the key is total and \
                   annotate, or use a stable sort",
     },
+    TokenRule {
+        rule: Rule::SubstrateCollections,
+        tokens: &[("BTreeMap", false), ("BTreeSet", false)],
+        message: "host-substrate state must use `vgrid_simcore::DetMap`/`DetSet` so the \
+                  batched/hydrated equivalence contract stays visible in the types",
+    },
 ];
 
 fn rule_applies(rule: Rule, path: &str) -> bool {
@@ -536,6 +557,7 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
         Rule::WallClock => !in_wall_clock_shim(path),
         Rule::AmbientEntropy => path != ENTROPY_SHIM,
         Rule::UnstableSort => true,
+        Rule::SubstrateCollections => SUBSTRATE_FILES.contains(&path),
         _ => false,
     }
 }

@@ -54,6 +54,9 @@ fn main() -> ExitCode {
                 println!("wall-clock        no Instant::now/SystemTime outside criterion/timeref");
                 println!("ambient-entropy   no thread_rng/OsRng/getrandom outside simcore::rng");
                 println!("unstable-sort     no sort_unstable* without a key-totality pragma");
+                println!(
+                    "substrate-collections  no raw BTreeMap/BTreeSet in the grid host substrate"
+                );
                 println!("stray-file        no unreferenced or non-.rs files under src/");
                 println!("forbid-unsafe     crate roots must carry #![forbid(unsafe_code)]");
                 return ExitCode::SUCCESS;

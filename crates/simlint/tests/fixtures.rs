@@ -148,6 +148,59 @@ fn unstable_sort_pragma_suppresses() {
     assert!(diags.is_empty(), "unexpected: {diags:?}");
 }
 
+// ---- substrate-collections --------------------------------------------
+
+#[test]
+fn substrate_collections_fires_in_substrate_files() {
+    // Substrate files are module files, so lint them next to a crate
+    // root that declares them (keeps the stray-file rule quiet).
+    let root = SourceFile::new(
+        "crates/grid/src/lib.rs",
+        "#![forbid(unsafe_code)]\nmod sim;\nmod archetype;\nmod hydrate;\n",
+    );
+    for path in [
+        "crates/grid/src/sim.rs",
+        "crates/grid/src/archetype.rs",
+        "crates/grid/src/hydrate.rs",
+    ] {
+        let fixture = SourceFile::new(
+            path,
+            "use std::collections::BTreeMap;\nlet s: BTreeSet<u32> = Default::default();\n",
+        );
+        let diags = lint(&[root.clone(), fixture]);
+        assert_eq!(
+            rules_of(&diags),
+            vec![Rule::SubstrateCollections, Rule::SubstrateCollections],
+            "at {path}"
+        );
+    }
+}
+
+#[test]
+fn substrate_collections_ignores_other_files_and_pragma_suppresses() {
+    // DetMap's own implementation (and any non-substrate file) may wrap
+    // a BTreeMap freely.
+    let diags = lint(&[
+        SourceFile::new(
+            "crates/simcore/src/lib.rs",
+            "#![forbid(unsafe_code)]\nmod detmap;\n",
+        ),
+        SourceFile::new(
+            "crates/simcore/src/detmap.rs",
+            "pub struct DetMap<K, V>(BTreeMap<K, V>);\n",
+        ),
+    ]);
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+    let diags = lint(&[
+        SourceFile::new("crates/grid/src/lib.rs", "#![forbid(unsafe_code)]\nmod sim;\n"),
+        SourceFile::new(
+            "crates/grid/src/sim.rs",
+            "// simlint: allow(substrate-collections) -- local scratch, never iterated\nlet m = BTreeMap::new();\n",
+        ),
+    ]);
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
 // ---- stray-file -------------------------------------------------------
 
 #[test]

@@ -50,6 +50,12 @@ echo "==> cargo bench -p vgrid-bench --bench substrate (quick=$QUICK)"
 VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
   cargo bench -q -p vgrid-bench --bench substrate
 
+# Grid scale smoke (10k hosts always; --full adds the 1M-host month and
+# the 100k-host churn campaign from ROADMAP item 1).
+echo "==> cargo bench -p vgrid-bench --bench grid_scale (quick=$QUICK)"
+VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
+  cargo bench -q -p vgrid-bench --bench grid_scale
+
 if [[ "$MODE" == "write" ]]; then
   echo "bench: wrote $OUT"
   exit 0
@@ -114,6 +120,26 @@ for key, base in sorted(base_metric.items()):
         failures.append(f"{key}: {now:.0f} events vs baseline {base:.0f} (+20% budget)")
     else:
         print(f"{'/'.join(key)}: {now:.0f} (baseline {base:.0f}) ok")
+
+# Gate 3: grid_scale outputs are deterministic simulation results, not
+# timings — any committed row this run reproduces must match EXACTLY.
+# Rows only the baseline has (e.g. --full nightly scenarios compared
+# during a quick run) are skipped; the smoke scenario must be present.
+smoke = [k for k in metric if k[0] == "grid_scale" and k[1] == "pool_10k"]
+if not smoke:
+    failures.append("grid_scale/pool_10k: smoke metrics missing from this run")
+if not any(k[0] == "grid_scale" for k in base_metric):
+    print("note: no grid_scale rows in committed baseline; skipping Gate 3")
+for key, base in sorted(base_metric.items()):
+    if key[0] != "grid_scale":
+        continue
+    now = metric.get(key)
+    if now is None:
+        print(f"{'/'.join(key)}: not exercised in this run (full-only), skipped")
+    elif now != base:
+        failures.append(f"{key}: {now!r} != committed baseline {base!r}")
+    else:
+        print(f"{'/'.join(key)}: {now:.0f} exact match ok")
 
 if failures:
     print("bench check FAILED:", file=sys.stderr)

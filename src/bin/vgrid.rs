@@ -9,6 +9,7 @@
 //! vgrid suite [--paper]              # the whole paper, rendered
 //! vgrid campaign [--volunteers N] [--days D] [--vm <monitor>|native]
 //!                [--image-mb M] [--migrate] [--churn L]
+//!                [--workunits N] [--hydrated-reference]
 //! ```
 //!
 //! Everything the CLI does is a thin veneer over `vgrid_core` /
@@ -49,10 +50,15 @@ fn report_loop_totals(args: &[String]) {
 }
 
 /// Honor `--per-quantum-reference`: pin the scheduler to the per-quantum
-/// reference execution mode for the whole process.
+/// reference execution mode for the whole process. Likewise
+/// `--hydrated-reference`: pin grid campaigns to the reference host
+/// substrate (flat event queue, unmemoized archetype solver).
 fn apply_scheduler_mode(args: &[String]) {
     if args.iter().any(|a| a == "--per-quantum-reference") {
         vgrid::os::force_per_quantum_reference(true);
+    }
+    if args.iter().any(|a| a == "--hydrated-reference") {
+        vgrid::grid::force_hydrated_reference(true);
     }
 }
 
@@ -111,6 +117,7 @@ fn usage() -> ExitCode {
            list                          list experiment ids\n\
            run <id> [--paper] [--json] [--verbose]\n\
                     [--metrics-json <path>] [--per-quantum-reference]\n\
+                    [--hydrated-reference]\n\
                                          run one experiment; --metrics-json\n\
                                          also writes the run manifest\n\
            trace <id> --out <path> [--paper] [--per-quantum-reference]\n\
@@ -118,7 +125,8 @@ fn usage() -> ExitCode {
            suite [--paper] [--verbose]   run the full paper suite\n\
            campaign [--volunteers N] [--days D]\n\
                     [--vm vmplayer|qemu|virtualbox|virtualpc|native]\n\
-                    [--image-mb M] [--migrate] [--churn L]\n"
+                    [--image-mb M] [--migrate] [--churn L]\n\
+                    [--workunits N] [--hydrated-reference]\n"
     );
     ExitCode::FAILURE
 }
@@ -231,8 +239,11 @@ fn main() -> ExitCode {
             let churn_level: f64 = flag_value(&args, "--churn")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0.0);
+            let workunits: u32 = flag_value(&args, "--workunits")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100_000); // never work-limited by default
             let project = ProjectConfig {
-                workunits: 100_000, // never work-limited
+                workunits,
                 ..Default::default()
             };
             let pool = PoolConfig {
@@ -246,6 +257,7 @@ fn main() -> ExitCode {
                 .churn(ChurnConfig::intensity(churn_level))
                 .seed(0xc11)
                 .horizon(SimTime::from_secs(days * 24 * 3600))
+                .hydrated_reference(args.iter().any(|a| a == "--hydrated-reference"))
                 .build()
             {
                 Ok(c) => c,
@@ -283,6 +295,17 @@ fn main() -> ExitCode {
             println!("  reissues             : {}", r.reissues);
             println!("  owner preemptions    : {}", r.owner_preemptions);
             println!("  sandbox kills        : {}", r.vm_kills);
+            println!("  archetypes           : {}", r.archetype_hosts.len());
+            for (label, count) in &r.archetype_hosts {
+                println!("    {count:>10}  {label}");
+            }
+            println!(
+                "  hydration            : {} windows, {} hydrations, {} memo hits, peak {} resident",
+                r.hydration.windows,
+                r.hydration.hydrations,
+                r.hydration.memo_hits,
+                r.hydration.peak_resident
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

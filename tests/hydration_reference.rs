@@ -1,0 +1,61 @@
+//! Registry-level substrate equivalence, enforced across processes.
+//!
+//! Every grid experiment in the registry must produce byte-identical
+//! figure JSON *and* a byte-identical run manifest whether it runs on
+//! the archetype-batched substrate (default) or under
+//! `--hydrated-reference`. Each invocation is a fresh process, so the
+//! engine cache starts cold and cannot mask a divergence between the
+//! two substrates.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const GRID_IDS: &[&str] = &[
+    "grid-tradeoff",
+    "grid-image",
+    "grid-migration",
+    "grid-churn",
+];
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p
+}
+
+/// Run `vgrid run <id> --json --metrics-json <out> [extra]` in a fresh
+/// process; return (figure JSON stdout, manifest bytes).
+fn run_grid(id: &str, out: &PathBuf, extra: &[&str]) -> (Vec<u8>, Vec<u8>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_vgrid"));
+    cmd.args(["run", id, "--json"]).args(extra);
+    cmd.arg("--metrics-json").arg(out);
+    let output = cmd.output().expect("spawn vgrid binary");
+    assert!(
+        output.status.success(),
+        "vgrid run {id} {extra:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let manifest = std::fs::read(out).expect("manifest written");
+    (output.stdout, manifest)
+}
+
+#[test]
+fn grid_registry_is_bit_identical_across_substrates() {
+    for id in GRID_IDS {
+        let (fig_batched, man_batched) = run_grid(id, &tmp(&format!("{id}.batched.json")), &[]);
+        let (fig_reference, man_reference) = run_grid(
+            id,
+            &tmp(&format!("{id}.reference.json")),
+            &["--hydrated-reference"],
+        );
+        assert_eq!(
+            fig_batched, fig_reference,
+            "figure JSON diverged across substrates for {id}"
+        );
+        assert_eq!(
+            man_batched, man_reference,
+            "run manifest diverged across substrates for {id}"
+        );
+        assert!(!fig_batched.is_empty() && !man_batched.is_empty());
+    }
+}
