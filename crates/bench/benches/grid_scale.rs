@@ -125,11 +125,21 @@ fn record(s: &Scenario) {
         "results_returned",
         report.results_returned as f64,
     );
+    // Peak residency in both units: how many probe `System`s were
+    // hydrated at once, and how much working-set they pinned. The old
+    // single `peak_resident` row under-read (pre-band keying a whole
+    // campaign shared one window, so it pinned at 1 regardless of cap).
     report_metric(
         "grid_scale",
         s.id,
-        "peak_resident",
+        "peak_resident_probes",
         report.hydration.peak_resident as f64,
+    );
+    report_metric(
+        "grid_scale",
+        s.id,
+        "peak_resident_bytes",
+        report.hydration.peak_resident_bytes as f64,
     );
     report_metric("grid_scale", s.id, "report_digest", report_digest(&report));
 }

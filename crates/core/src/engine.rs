@@ -23,6 +23,7 @@
 //! Figure modules translate specs and results into `FigureResult`s; the
 //! physics lives in the layers below.
 
+use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
 use crate::parallel::parallel_map;
@@ -34,6 +35,7 @@ use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
 use vgrid_simcore::{
     DetMap, EventLoopStats, OnlineStats, RepetitionRunner, SimDuration, SimTime, Summary, TraceSink,
 };
+use vgrid_simobs::fnv1a64;
 use vgrid_vmm::{GuestConfig, GuestVm, Vm, VmConfig, VmHandle, VmmProfile, VnicMode};
 use vgrid_workloads::iobench::{IoBenchBody, IoBenchConfig};
 use vgrid_workloads::nbench::{IndexGroup, NBenchBody, NBenchSuite};
@@ -248,7 +250,30 @@ impl TrialSpec {
     /// identical across modes (asserted by the `hydration_reference`
     /// suite, which compares substrates in separate processes where the
     /// cache cannot mask a divergence).
-    fn cache_key(&self) -> String {
+    ///
+    /// The horizon of a `Campaign` kernel *is* part of the identity
+    /// (different horizons are different results), but a horizon-only
+    /// miss still fast-forwards: the grid layer's trajectory cache
+    /// (`vgrid_grid::fastforward`) resumes the campaign from the
+    /// longest stored prefix snapshot of the same configuration.
+    fn cache_key(&self) -> TrialKey {
+        let digest = |s: String| fnv1a64(s.as_bytes());
+        TrialKey {
+            env: digest(format!("{:?}", self.env)),
+            kernel: digest(format!("{:?}", self.kernel)),
+            machine: digest(format!("{:?}", self.machine)),
+            repetitions: self.repetitions,
+            base_seed: self.base_seed,
+            fidelity: digest(format!("{:?}", self.fidelity)),
+            per_quantum_ref: vgrid_os::per_quantum_reference_forced(),
+        }
+    }
+
+    /// The pre-TrialKey concatenated-string identity, kept only so the
+    /// tests can pin that the structured key partitions specs exactly
+    /// like the string it replaced.
+    #[cfg(test)]
+    fn legacy_cache_key(&self) -> String {
         format!(
             "{:?}|{:?}|{:?}|{}|{:#x}|{:?}|ref={}",
             self.env,
@@ -258,6 +283,41 @@ impl TrialSpec {
             self.base_seed,
             self.fidelity,
             vgrid_os::per_quantum_reference_forced(),
+        )
+    }
+}
+
+/// Label-agnostic structured trial identity. Each unbounded axis (the
+/// environment, kernel, and machine `Debug` renderings) is folded to
+/// its own FNV-1a digest, so the key is a fixed-size, cheaply ordered
+/// value instead of a multi-kilobyte concatenated string; the scalar
+/// axes (repetitions, seed, scheduler reference mode) stay verbatim.
+/// Per-axis digests also make an accidental cross-axis collision — one
+/// spec's kernel text bleeding into another's machine text, possible
+/// with delimiter-joined strings — structurally impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrialKey {
+    env: u64,
+    kernel: u64,
+    machine: u64,
+    repetitions: u32,
+    base_seed: u64,
+    fidelity: u64,
+    per_quantum_ref: bool,
+}
+
+impl fmt::Display for TrialKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "env:{:016x}|krn:{:016x}|mac:{:016x}|reps:{}|seed:{:#x}|fid:{:016x}|ref:{}",
+            self.env,
+            self.kernel,
+            self.machine,
+            self.repetitions,
+            self.base_seed,
+            self.fidelity,
+            self.per_quantum_ref,
         )
     }
 }
@@ -314,7 +374,7 @@ impl TrialResult {
 /// docs for the parallelism, caching and determinism contract.
 #[derive(Debug, Default)]
 pub struct Engine {
-    cache: Mutex<DetMap<String, TrialResult>>,
+    cache: Mutex<DetMap<TrialKey, TrialResult>>,
 }
 
 impl Engine {
@@ -362,7 +422,7 @@ impl Engine {
             for (i, spec) in specs.iter().enumerate() {
                 let key = spec.cache_key();
                 let hit = cache.get(&key);
-                crate::obs::note_trial(&spec.label, &key, hit.is_some());
+                crate::obs::note_trial(&spec.label, &key.to_string(), hit.is_some());
                 match hit {
                     Some(hit) => out.push(Some(TrialResult {
                         label: spec.label.clone(),
@@ -755,6 +815,204 @@ mod tests {
         };
         assert_eq!(mk("a", 1).cache_key(), mk("b", 1).cache_key());
         assert_ne!(mk("a", 1).cache_key(), mk("a", 2).cache_key());
+    }
+
+    /// A family of specs varying every identity axis, for the key
+    /// partition/injectivity tests below.
+    fn key_test_specs() -> Vec<TrialSpec> {
+        let base = |label: &str| {
+            TrialSpec::new(
+                label,
+                Environment::Native,
+                KernelSpec::OpLoop {
+                    block: OpBlock::int_alu(1),
+                    iters: 1,
+                },
+                Fidelity::Fast,
+            )
+        };
+        vec![
+            base("a"),
+            base("b"), // label differs, identity equal to "a"
+            base("env").seed(2),
+            base("reps").repetitions(3),
+            base("machine").on_machine(MachineSpec::core2_duo_6600()),
+            TrialSpec::new(
+                "guest",
+                Environment::Guest {
+                    profile: VmmProfile::qemu(),
+                    vnic: None,
+                },
+                KernelSpec::OpLoop {
+                    block: OpBlock::int_alu(1),
+                    iters: 1,
+                },
+                Fidelity::Fast,
+            ),
+            TrialSpec::new(
+                "kernel",
+                Environment::Native,
+                KernelSpec::OpLoop {
+                    block: OpBlock::int_alu(1),
+                    iters: 2,
+                },
+                Fidelity::Fast,
+            ),
+            TrialSpec::new(
+                "fidelity",
+                Environment::Native,
+                KernelSpec::OpLoop {
+                    block: OpBlock::int_alu(1),
+                    iters: 1,
+                },
+                Fidelity::Paper,
+            ),
+            TrialSpec::new(
+                "campaign-3d",
+                Environment::Native,
+                KernelSpec::Campaign {
+                    project: ProjectConfig::default(),
+                    pool: PoolConfig::default(),
+                    deploy: DeployConfig::native(),
+                    churn: ChurnConfig::off(),
+                    horizon: SimTime::from_secs(3 * 24 * 3600),
+                },
+                Fidelity::Fast,
+            ),
+            TrialSpec::new(
+                "campaign-9d",
+                Environment::Native,
+                KernelSpec::Campaign {
+                    project: ProjectConfig::default(),
+                    pool: PoolConfig::default(),
+                    deploy: DeployConfig::native(),
+                    churn: ChurnConfig::off(),
+                    horizon: SimTime::from_secs(9 * 24 * 3600),
+                },
+                Fidelity::Fast,
+            ),
+        ]
+    }
+
+    #[test]
+    fn structured_key_partitions_specs_like_the_legacy_string() {
+        let specs = key_test_specs();
+        for (i, a) in specs.iter().enumerate() {
+            for b in specs.iter().skip(i) {
+                assert_eq!(
+                    a.legacy_cache_key() == b.legacy_cache_key(),
+                    a.cache_key() == b.cache_key(),
+                    "old and new keys disagree for {:?} vs {:?}",
+                    a.label,
+                    b.label,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structured_key_is_injective_over_distinct_identities() {
+        let specs = key_test_specs();
+        // Skip index 1 ("b"): it intentionally shares "a"'s identity.
+        let distinct: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 1)
+            .map(|(_, s)| s)
+            .collect();
+        for (i, a) in distinct.iter().enumerate() {
+            for b in distinct.iter().skip(i + 1) {
+                assert_ne!(
+                    a.cache_key(),
+                    b.cache_key(),
+                    "key collision between {:?} and {:?}",
+                    a.label,
+                    b.label,
+                );
+                assert_ne!(
+                    a.cache_key().to_string(),
+                    b.cache_key().to_string(),
+                    "display collision between {:?} and {:?}",
+                    a.label,
+                    b.label,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_trials_reuse_prefix_trajectories_across_horizons() {
+        let project = ProjectConfig {
+            workunits: 30,
+            wu_ref_secs: 1800.0,
+            ..Default::default()
+        };
+        let pool = PoolConfig {
+            volunteers: 40,
+            ram_range: (256 << 20, 2 << 30),
+            ..Default::default()
+        };
+        let deploy = DeployConfig::native();
+        let churn = ChurnConfig::intensity(0.5);
+        let seed = 0x7e57_e461_4e00_0001u64;
+        let mk = |days: u64| {
+            TrialSpec::new(
+                "grid",
+                Environment::Native,
+                KernelSpec::Campaign {
+                    project: project.clone(),
+                    pool: pool.clone(),
+                    deploy: deploy.clone(),
+                    churn: churn.clone(),
+                    horizon: SimTime::from_secs(days * 24 * 3600),
+                },
+                Fidelity::Fast,
+            )
+            .seed(seed)
+        };
+        // Ground truth: the flat-queue reference substrate never
+        // consults the trajectory cache, so this is a true cold run.
+        let reference = |days: u64| {
+            CampaignSpec::new("ref")
+                .project(project.clone())
+                .pool(pool.clone())
+                .deploy(deploy.clone())
+                .churn(churn.clone())
+                .seed(seed)
+                .horizon(SimTime::from_secs(days * 24 * 3600))
+                .hydrated_reference(true)
+                .build()
+                .expect("valid spec")
+                .run_seq()
+                .reports()[0]
+                .clone()
+        };
+        let engine = Engine::new();
+        engine.run_trial(&mk(3)); // stores the 3-day prefix snapshot
+        let before = vgrid_grid::fastforward::stats();
+        let warm = engine.run_trial(&mk(9)); // horizon-only cache miss
+        let after = vgrid_grid::fastforward::stats();
+        assert!(
+            after.trajectory_hits > before.trajectory_hits,
+            "horizon extension did not resume from the stored prefix",
+        );
+        let expect = reference(9);
+        assert_eq!(
+            warm.metric("validated_wus").mean.to_bits(),
+            (expect.validated_wus as f64).to_bits(),
+        );
+        assert_eq!(
+            warm.metric("efficiency").mean.to_bits(),
+            expect.efficiency.to_bits(),
+        );
+        assert_eq!(
+            warm.metric("goodput").mean.to_bits(),
+            expect.goodput.to_bits(),
+        );
+        assert_eq!(
+            warm.metric("makespan_inflation").mean.to_bits(),
+            expect.makespan_inflation.to_bits(),
+        );
     }
 
     #[test]

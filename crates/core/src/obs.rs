@@ -61,13 +61,20 @@ pub struct RunCapture {
     pub trial_labels: Vec<String>,
     /// Trial identity strings (engine cache keys), in request order.
     pub trial_keys: Vec<String>,
+    /// Fast-forward reuse counters at arm time. The grid's segment
+    /// and trajectory caches are process-global; the manifest reports
+    /// this run's delta, not the process lifetime totals.
+    pub ff_baseline: vgrid_grid::FastForwardStats,
 }
 
 static CAPTURE: Mutex<Option<RunCapture>> = Mutex::new(None);
 
 /// Arm the process-global capture, discarding any previous one.
 pub fn begin_capture() {
-    *CAPTURE.lock().unwrap() = Some(RunCapture::default());
+    *CAPTURE.lock().unwrap() = Some(RunCapture {
+        ff_baseline: vgrid_grid::fastforward::stats(),
+        ..RunCapture::default()
+    });
 }
 
 /// Disarm the capture and return what it collected; `None` when no
@@ -200,6 +207,37 @@ pub fn run_observed(id: &str, fidelity: Fidelity) -> Option<ObservedRun> {
         // Derived once at snapshot time from merged counters — rates
         // are never merged (they do not compose additively).
         metrics.gauge_add("os.cache.contention_hit_rate", hits / (hits + misses));
+    }
+    // Engine trial-cache hit rate, derived the same way.
+    let ehits = metrics.counter("engine.cache_hits") as f64;
+    let emisses = metrics.counter("engine.cache_misses") as f64;
+    if ehits + emisses > 0.0 {
+        metrics.gauge_add("engine.cache_hit_rate", ehits / (ehits + emisses));
+    }
+    // Grid fast-forward reuse: this run's delta over the process-global
+    // segment-solution and trajectory caches (zero rows are omitted so
+    // non-grid experiments render unchanged).
+    let ff = vgrid_grid::fastforward::stats();
+    let base = cap.ff_baseline;
+    let seg_hits = ff.segment_hits - base.segment_hits;
+    let seg_misses = ff.segment_misses - base.segment_misses;
+    if seg_hits + seg_misses > 0 {
+        metrics.counter_add("grid.fastforward.segment_hits", seg_hits);
+        metrics.counter_add("grid.fastforward.segment_misses", seg_misses);
+        metrics.gauge_add(
+            "grid.fastforward.segment_hit_rate",
+            seg_hits as f64 / (seg_hits + seg_misses) as f64,
+        );
+    }
+    let traj_hits = ff.trajectory_hits - base.trajectory_hits;
+    let traj_misses = ff.trajectory_misses - base.trajectory_misses;
+    if traj_hits + traj_misses > 0 {
+        metrics.counter_add("grid.fastforward.trajectory_hits", traj_hits);
+        metrics.counter_add("grid.fastforward.trajectory_misses", traj_misses);
+        metrics.gauge_add(
+            "grid.fastforward.trajectory_hit_rate",
+            traj_hits as f64 / (traj_hits + traj_misses) as f64,
+        );
     }
 
     let manifest = RunManifest {

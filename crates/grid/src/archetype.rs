@@ -174,7 +174,14 @@ pub fn memoized_vm_cpu_factor(mode: &ExecutionMode) -> f64 {
 
 /// Solve an archetype's segment constants, memoizing the expensive
 /// machine-model dilation per deploy mode (the batched substrate).
+/// With fast-forward enabled the whole solution — dilation *and*
+/// checkpoint fraction — comes from the process-wide segment-solution
+/// cache (keyed per contention-steady configuration); the kill switch
+/// falls back to the per-mode dilation memo alone.
 pub fn solve(deploy: &DeployConfig) -> SegmentSolution {
+    if crate::fastforward::enabled() {
+        return crate::fastforward::segment_solution(deploy);
+    }
     SegmentSolution {
         vm_factor: memoized_vm_cpu_factor(&deploy.mode),
         ckpt_frac: write_overhead_frac(checkpoint_state_bytes(deploy), deploy.checkpoint_interval),

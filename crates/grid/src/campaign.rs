@@ -235,7 +235,14 @@ impl CampaignSpec {
 
         // The fastest possible host must be able to compute a work unit
         // inside the reissue deadline, or every copy expires forever.
-        let vm_factor = vm_cpu_factor(&self.deploy.mode);
+        // The memoized factor is bit-identical to the direct one (the
+        // memo caches solver inputs only), so validation agrees with
+        // the simulation regardless of the fast-forward switch.
+        let vm_factor = if crate::fastforward::enabled() {
+            crate::archetype::memoized_vm_cpu_factor(&self.deploy.mode)
+        } else {
+            vm_cpu_factor(&self.deploy.mode)
+        };
         let state_bytes = match &self.deploy.mode {
             ExecutionMode::Native => self.deploy.native_checkpoint_bytes,
             ExecutionMode::Vm(vmm) => vmm.guest_ram,

@@ -100,7 +100,7 @@ pub enum RecordOutcome {
 /// time of quorum-contributing results as *useful* (everything else a
 /// campaign spends is waste — lost to churn, bad results, or redundant
 /// late returns).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QuorumValidator {
     quorum: u32,
     units: Vec<UnitState>,

@@ -57,6 +57,9 @@ pub struct HydrationStats {
     pub retirements: u64,
     /// Peak concurrently resident probes.
     pub peak_resident: u64,
+    /// Peak modeled working-set bytes of the resident probe pairs
+    /// (native + dilated science-block footprints per probe).
+    pub peak_resident_bytes: u64,
     /// Windows satisfied by the per-archetype measurement memo.
     pub memo_hits: u64,
 }
@@ -93,14 +96,20 @@ impl ThreadBody for ProbeBody {
 
 /// Bounded pool of full-fidelity probe systems hydrated around
 /// interesting events.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HydrationPool {
     capacity: usize,
-    /// Resident probes, oldest first: (archetype key, measured factor).
-    resident: Vec<(String, f64)>,
-    /// Per-archetype measurement memo — one machine-model replay per
-    /// archetype per campaign, however many windows fire.
-    measured: DetMap<String, f64>,
+    /// Resident probes, oldest first:
+    /// (archetype|band key, measured factor, modeled footprint bytes).
+    resident: Vec<(String, f64, u64)>,
+    /// Per-(archetype, speed-band) measurement memo — one probe
+    /// residency per band per campaign, however many windows fire.
+    measured: DetMap<String, (f64, u64)>,
+    /// Route the expensive machine-model replay through the
+    /// process-wide memo in [`crate::fastforward`]. Affects only the
+    /// cost of obtaining the (deterministic) measurement — every
+    /// counter in [`HydrationStats`] is identical either way.
+    use_global: bool,
     stats: HydrationStats,
 }
 
@@ -116,30 +125,51 @@ impl HydrationPool {
             capacity: capacity.max(1),
             resident: Vec::new(),
             measured: DetMap::new(),
+            use_global: false,
             stats: HydrationStats::default(),
         }
     }
 
-    /// Observe one interesting-event window for an archetype: hydrate a
-    /// probe pair (or hit the memo) and check the measured dilation
-    /// against the analytic ledger.
-    pub fn window(&mut self, spec: &ProbeSpec) {
+    /// Toggle the process-wide measurement memo (used by the batched
+    /// substrate when fast-forward is enabled).
+    pub(crate) fn with_global_memo(mut self, on: bool) -> Self {
+        self.use_global = on;
+        self
+    }
+
+    /// Observe one interesting-event window for an archetype at a host
+    /// speed band: hydrate a probe pair (or hit the memo) and check
+    /// the measured dilation against the analytic ledger. Windows are
+    /// keyed per (archetype, band) so a heterogeneous pool genuinely
+    /// exercises the residency bound; the machine-model replay itself
+    /// is band-invariant and measured once per mode.
+    pub fn window(&mut self, spec: &ProbeSpec, band: u16) {
         self.stats.windows += 1;
-        if let Some(&factor) = self.measured.get(&spec.key) {
+        let key = format!("{}|s{band}", spec.key);
+        if let Some(&(factor, _)) = self.measured.get(&key) {
             self.stats.memo_hits += 1;
-            Self::check(&spec.key, factor, spec.solution.vm_factor);
+            Self::check(&key, factor, spec.solution.vm_factor);
             return;
         }
-        let factor = Self::measure(&spec.mode);
-        Self::check(&spec.key, factor, spec.solution.vm_factor);
-        self.measured.insert(spec.key.clone(), factor);
-        self.resident.push((spec.key.clone(), factor));
-        self.stats.hydrations += 1;
-        self.stats.peak_resident = self.stats.peak_resident.max(self.resident.len() as u64);
-        while self.resident.len() > self.capacity {
+        let factor = if self.use_global {
+            crate::fastforward::measured_dilation(&spec.mode)
+        } else {
+            measure_dilation_direct(&spec.mode)
+        };
+        let bytes = probe_footprint_bytes(&spec.mode);
+        Self::check(&key, factor, spec.solution.vm_factor);
+        self.measured.insert(key.clone(), (factor, bytes));
+        // Make room first: the bound is on *concurrently* resident
+        // systems, so the pool never exceeds its capacity.
+        while self.resident.len() >= self.capacity {
             self.resident.remove(0);
             self.stats.retirements += 1;
         }
+        self.resident.push((key, factor, bytes));
+        self.stats.hydrations += 1;
+        self.stats.peak_resident = self.stats.peak_resident.max(self.resident.len() as u64);
+        let resident_bytes: u64 = self.resident.iter().map(|(_, _, b)| *b).sum();
+        self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(resident_bytes);
     }
 
     /// Retire every resident probe and return the final counters.
@@ -165,34 +195,47 @@ impl HydrationPool {
              measured {measured:.4} vs analytic {analytic:.4} (rel {rel:.4})",
         );
     }
+}
 
-    /// Materialize the probe pair: run the science block on a testbed
-    /// system under the native and the dilated instruction mix, and
-    /// return the measured wall-time dilation.
-    fn measure(mode: &ExecutionMode) -> f64 {
-        let block = crate::sim::science_block();
-        let native = Self::run_probe(block.clone());
-        let dilated = match mode {
-            ExecutionMode::Native => native,
-            ExecutionMode::Vm(profile) => Self::run_probe(profile.dilate(&block)),
-        };
-        dilated / native
-    }
+/// Materialize the probe pair: run the science block on a testbed
+/// system under the native and the dilated instruction mix, and
+/// return the measured wall-time dilation. This is the single
+/// ground-truth measurement; the process-wide memo in
+/// [`crate::fastforward`] only caches its (deterministic) result.
+pub(crate) fn measure_dilation_direct(mode: &ExecutionMode) -> f64 {
+    let block = crate::fastforward::science_block_cached();
+    let native = run_probe(block.clone());
+    let dilated = match mode {
+        ExecutionMode::Native => native,
+        ExecutionMode::Vm(profile) => run_probe(profile.dilate(&block)),
+    };
+    dilated / native
+}
 
-    fn run_probe(block: OpBlock) -> f64 {
-        let mut sys = System::new(SystemConfig::testbed(PROBE_SEED));
-        sys.spawn(
-            "hydration-probe",
-            Priority::BelowNormal,
-            Box::new(ProbeBody {
-                block,
-                iters: PROBE_ITERS,
-            }),
-        );
-        let done = sys.run_to_completion(SimTime::from_secs(3600));
-        assert!(done, "hydration probe did not complete within its window");
-        sys.now().as_secs_f64()
+/// Modeled working-set footprint of one resident probe pair: the
+/// native science block plus its dilated twin. Deterministic — a pure
+/// function of the deploy mode's instruction mix.
+pub(crate) fn probe_footprint_bytes(mode: &ExecutionMode) -> u64 {
+    let block = crate::fastforward::science_block_cached();
+    match mode {
+        ExecutionMode::Native => 2 * block.working_set,
+        ExecutionMode::Vm(profile) => block.working_set + profile.dilate(&block).working_set,
     }
+}
+
+fn run_probe(block: OpBlock) -> f64 {
+    let mut sys = System::new(SystemConfig::testbed(PROBE_SEED));
+    sys.spawn(
+        "hydration-probe",
+        Priority::BelowNormal,
+        Box::new(ProbeBody {
+            block,
+            iters: PROBE_ITERS,
+        }),
+    );
+    let done = sys.run_to_completion(SimTime::from_secs(3600));
+    assert!(done, "hydration probe did not complete within its window");
+    sys.now().as_secs_f64()
 }
 
 impl Default for HydrationPool {
@@ -219,21 +262,22 @@ mod tests {
     #[test]
     fn native_probe_measures_unity() {
         let mut pool = HydrationPool::new();
-        pool.window(&spec_for(&DeployConfig::native()));
+        pool.window(&spec_for(&DeployConfig::native()), 0);
         let stats = pool.finish();
         assert_eq!(stats.windows, 1);
         assert_eq!(stats.hydrations, 1);
         assert_eq!(stats.retirements, 1);
         assert_eq!(stats.peak_resident, 1);
+        assert!(stats.peak_resident_bytes > 0);
     }
 
     #[test]
     fn vm_probe_agrees_with_analytic_factor() {
         let mut pool = HydrationPool::new();
         let deploy = DeployConfig::vm(VmmProfile::qemu(), 300 << 20);
-        pool.window(&spec_for(&deploy));
+        pool.window(&spec_for(&deploy), 3);
         // Window() itself asserts agreement; here we check the memo path.
-        pool.window(&spec_for(&deploy));
+        pool.window(&spec_for(&deploy), 3);
         let stats = pool.stats();
         assert_eq!(stats.windows, 2);
         assert_eq!(stats.hydrations, 1);
@@ -241,13 +285,39 @@ mod tests {
     }
 
     #[test]
+    fn bands_occupy_distinct_residencies() {
+        let mut pool = HydrationPool::new();
+        let deploy = DeployConfig::vm(VmmProfile::qemu(), 300 << 20);
+        pool.window(&spec_for(&deploy), 1);
+        pool.window(&spec_for(&deploy), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.hydrations, 2, "bands key distinct residencies");
+        assert_eq!(stats.peak_resident, 2);
+        assert!(stats.peak_resident_bytes > 0);
+    }
+
+    #[test]
+    fn global_memo_is_bit_identical_to_direct() {
+        let deploy = DeployConfig::vm(VmmProfile::qemu(), 300 << 20);
+        let mut direct = HydrationPool::new();
+        direct.window(&spec_for(&deploy), 2);
+        let mut global = HydrationPool::new().with_global_memo(true);
+        global.window(&spec_for(&deploy), 2);
+        assert_eq!(direct.stats(), global.stats());
+        assert_eq!(direct.resident, global.resident);
+    }
+
+    #[test]
     fn capacity_bound_retires_oldest() {
         let mut pool = HydrationPool::with_capacity(1);
-        pool.window(&spec_for(&DeployConfig::native()));
-        pool.window(&spec_for(&DeployConfig::vm(VmmProfile::qemu(), 300 << 20)));
+        pool.window(&spec_for(&DeployConfig::native()), 0);
+        pool.window(
+            &spec_for(&DeployConfig::vm(VmmProfile::qemu(), 300 << 20)),
+            0,
+        );
         let stats = pool.stats();
         assert_eq!(stats.hydrations, 2);
-        assert_eq!(stats.peak_resident, 2, "peak seen before retirement");
+        assert_eq!(stats.peak_resident, 1, "pool never exceeds its bound");
         assert_eq!(stats.retirements, 1);
         let final_stats = pool.finish();
         assert_eq!(final_stats.retirements, 2);

@@ -57,6 +57,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod client;
 pub mod error;
+pub mod fastforward;
 pub mod faults;
 pub mod hydrate;
 pub mod model;
@@ -67,6 +68,7 @@ pub use campaign::{Campaign, CampaignResult, CampaignSpec};
 pub use checkpoint::{BackoffPolicy, BackoffState, QuorumValidator, RecordOutcome};
 pub use client::{BoincClientBody, ClientStats, ClientWorkSpec};
 pub use error::Error;
+pub use fastforward::{force_no_fastforward, FastForwardStats};
 pub use faults::ChurnConfig;
 pub use hydrate::{HydrationPool, HydrationStats};
 pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};

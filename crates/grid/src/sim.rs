@@ -25,11 +25,11 @@
 //! calls, and no fault event is ever scheduled.
 
 use crate::archetype::{self, ArchetypeKey};
-use crate::checkpoint::{durable_progress, BackoffPolicy, BackoffState};
+use crate::checkpoint::{durable_progress, BackoffPolicy, BackoffState, QuorumValidator};
+use crate::fastforward::{self, CampaignArena, WorkQueue};
 use crate::faults::{self, ChurnConfig};
 use crate::hydrate::{HydrationPool, ProbeSpec};
 use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use vgrid_machine::MachineSpec;
 use vgrid_simcore::{
@@ -104,7 +104,7 @@ enum Activity {
 
 /// A queue entry: fresh work, or a migrated task resuming elsewhere.
 #[derive(Debug, Clone, Copy)]
-enum Work {
+pub(crate) enum Work {
     Fresh(usize),
     Resume { copy: usize, remaining_ref: f64 },
 }
@@ -113,8 +113,8 @@ enum Work {
 /// needs to advance analytically between events. Full-fidelity
 /// `System` state lives in [`crate::hydrate::HydrationPool`] instead,
 /// materialized only in windows around interesting events.
-#[derive(Debug)]
-struct HostSlot {
+#[derive(Debug, Clone)]
+pub(crate) struct HostSlot {
     speed: f64,
     excluded: bool,
     up: bool,
@@ -139,16 +139,16 @@ struct HostSlot {
     archetype: u32,
 }
 
-#[derive(Debug)]
-struct TaskCopy {
-    wu: usize,
-    returned: bool,
+#[derive(Debug, Clone)]
+pub(crate) struct TaskCopy {
+    pub(crate) wu: usize,
+    pub(crate) returned: bool,
     /// CPU seconds this copy has consumed (for goodput/waste accounting).
-    cpu_spent: f64,
+    pub(crate) cpu_spent: f64,
 }
 
 #[derive(Debug, Clone)]
-enum Ev {
+pub(crate) enum Ev {
     Up {
         h: usize,
         gen: u64,
@@ -227,6 +227,13 @@ pub fn hydrated_reference_forced() -> bool {
 /// Run one campaign on an explicit substrate; stops when all work
 /// units validate or at `horizon`. The campaign API
 /// ([`crate::campaign::Campaign`]) is the public entry point.
+///
+/// On the batched substrate with fast-forward enabled (the default),
+/// the trial first consults the process-wide trajectory cache: a stored
+/// loop-exit snapshot of the same configuration at a horizon at or
+/// below the requested one resumes mid-stream instead of replaying
+/// from t=0 (see [`crate::fastforward`]). Resumed and cold runs are
+/// bit-identical by contract.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_campaign_substrate(
     project: &ProjectConfig,
@@ -238,16 +245,37 @@ pub(crate) fn run_campaign_substrate(
     substrate: SubstrateMode,
 ) -> GridReport {
     match substrate {
-        SubstrateMode::Batched => run_campaign_on(
-            project,
-            pool,
-            deploy,
-            churn,
-            seed,
-            horizon,
-            substrate,
-            CalendarQueue::new(),
-        ),
+        SubstrateMode::Batched => {
+            if fastforward::enabled() {
+                let key = fastforward::trajectory_key(project, pool, deploy, churn, seed);
+                if let Some(ckpt) = fastforward::trajectory_lookup(&key, horizon) {
+                    return resume_campaign(project, pool, deploy, churn, horizon, &key, ckpt);
+                }
+                run_campaign_on(
+                    project,
+                    pool,
+                    deploy,
+                    churn,
+                    seed,
+                    horizon,
+                    substrate,
+                    CalendarQueue::new(),
+                    Some(&key),
+                )
+            } else {
+                run_campaign_on(
+                    project,
+                    pool,
+                    deploy,
+                    churn,
+                    seed,
+                    horizon,
+                    substrate,
+                    CalendarQueue::new(),
+                    None,
+                )
+            }
+        }
         SubstrateMode::HydratedReference => run_campaign_on(
             project,
             pool,
@@ -257,12 +285,83 @@ pub(crate) fn run_campaign_substrate(
             horizon,
             substrate,
             EventQueue::new(),
+            None,
         ),
     }
 }
 
+/// Everything the campaign loop mutates, bundled so the loop exit can
+/// be snapshotted into a [`CampaignCheckpoint`] and resumed later.
+/// Loop-invariant derived constants (`vm_factor`, `ckpt_frac`,
+/// `eligible_rate`, the probe spec) ride along so a resume never
+/// recomputes them in a different order.
+#[derive(Debug, Clone)]
+pub(crate) struct SimState {
+    hosts: Vec<HostSlot>,
+    report: GridReport,
+    hpool: HydrationPool,
+    probe: ProbeSpec,
+    vm_factor: f64,
+    ckpt_frac: f64,
+    eligible_rate: f64,
+    validator: QuorumValidator,
+    copies: Vec<TaskCopy>,
+    queue: WorkQueue,
+    makespan: Option<SimTime>,
+    idle: DetSet<u32>,
+}
+
+/// A campaign trajectory frozen at its loop exit: the full mutable
+/// state plus the event queue's surviving entries in pop order. The
+/// first pending entry is the event the break check popped and
+/// discarded — a resume re-pops it first, reproducing the cold run's
+/// tie-breaking exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct CampaignCheckpoint {
+    state: SimState,
+    pending: Vec<(SimTime, Ev)>,
+}
+
+impl CampaignCheckpoint {
+    /// Volunteer count of the snapshotted pool (memory-bound gating).
+    pub(crate) fn host_count(&self) -> usize {
+        self.state.hosts.len()
+    }
+}
+
+/// Resume a campaign from a stored prefix snapshot: rebuild a calendar
+/// queue from the drained pending events (re-scheduling in pop order
+/// preserves same-instant FIFO ties) and continue the identical loop.
+fn resume_campaign(
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    churn: &ChurnConfig,
+    horizon: SimTime,
+    key: &str,
+    ckpt: CampaignCheckpoint,
+) -> GridReport {
+    let fctx = FaultCtx {
+        churn,
+        backoff: BackoffPolicy::default(),
+        on: !churn.is_off(),
+    };
+    let CampaignCheckpoint {
+        state: mut st,
+        pending,
+    } = ckpt;
+    let mut q = CalendarQueue::new();
+    for (time, ev) in pending {
+        q.schedule(time, ev);
+    }
+    let carried = run_loop(&mut st, &mut q, project, pool, deploy, &fctx, horizon);
+    store_and_finalize(st, q, carried, project, deploy, horizon, Some(key))
+}
+
 /// The campaign loop, generic over the event-queue implementation so
-/// both substrates execute literally the same host-stepping code.
+/// both substrates execute literally the same host-stepping code. With
+/// `store_key` set (batched substrate, fast-forward on), the loop-exit
+/// state is snapshotted into the trajectory cache before accounting.
 #[allow(clippy::too_many_arguments)]
 fn run_campaign_on<Q: EventScheduler<Ev>>(
     project: &ProjectConfig,
@@ -273,13 +372,32 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
     horizon: SimTime,
     substrate: SubstrateMode,
     mut q: Q,
+    store_key: Option<&str>,
 ) -> GridReport {
-    let rng = SimRng::new(seed ^ 0x617d_517d);
     let fctx = FaultCtx {
         churn,
         backoff: BackoffPolicy::default(),
         on: !churn.is_off(),
     };
+    let mut st = init_state(project, pool, deploy, churn, seed, substrate, &fctx, &mut q);
+    let carried = run_loop(&mut st, &mut q, project, pool, deploy, &fctx, horizon);
+    store_and_finalize(st, q, carried, project, deploy, horizon, store_key)
+}
+
+/// Build the campaign's initial state and schedule the staggered
+/// power-ons — every random draw in the exact legacy order.
+#[allow(clippy::too_many_arguments)]
+fn init_state<Q: EventScheduler<Ev>>(
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    churn: &ChurnConfig,
+    seed: u64,
+    substrate: SubstrateMode,
+    fctx: &FaultCtx<'_>,
+    q: &mut Q,
+) -> SimState {
+    let rng = SimRng::new(seed ^ 0x617d_517d);
     // Per-archetype segment solve. The batched substrate consults the
     // process-wide memo; the reference substrate recomputes from
     // scratch. Both produce bit-identical constants (the memo stores
@@ -301,10 +419,14 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
         ..Default::default()
     };
 
+    // The fast-forward layers serve only the batched substrate; the
+    // reference substrate (and the kill switch) recompute everything.
+    let fast = substrate == SubstrateMode::Batched && fastforward::enabled();
+
     // Lazy-hydration pool: full-fidelity probe systems materialized in
     // windows around interesting events, cross-checking the analytic
     // ledger. Probes observe only — they draw no host randomness.
-    let mut hpool = HydrationPool::new();
+    let hpool = HydrationPool::new().with_global_memo(fast);
     let probe = ProbeSpec {
         key: archetype::solver_key(&deploy.mode),
         mode: deploy.mode.clone(),
@@ -313,47 +435,51 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
 
     // Build hosts, bucketing each into its archetype as we go (an
     // index map instead of per-host label strings: a million-host pool
-    // collapses to a handful of archetypes).
+    // collapses to a handful of archetypes). Host/copy buffers come
+    // from the thread's campaign arena, capacity recycled across
+    // batched repetitions.
+    let CampaignArena {
+        mut hosts,
+        copies: mut copies_buf,
+    } = fastforward::arena_take();
     let cclass = archetype::churn_class(churn);
     let mut arch_index: DetMap<(u16, bool), u32> = DetMap::new();
     let mut arch_keys: Vec<ArchetypeKey> = Vec::new();
     let mut arch_counts: Vec<u32> = Vec::new();
-    let mut hosts: Vec<HostSlot> = (0..pool.volunteers)
-        .map(|i| {
-            let mut hrng = rng.fork(1000 + i as u64);
-            // Fork the fault stream *before* the legacy draws; forking
-            // never advances `hrng`, so speed/RAM draws are unchanged.
-            let frng = hrng.fork(77);
-            let speed = hrng.range_f64(pool.speed_range.0, pool.speed_range.1);
-            let ram = pool.ram_range.0 + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
-            let excluded = guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
-            let band = archetype::speed_band(speed);
-            let arch = *arch_index.or_insert_with((band, !excluded), || {
-                arch_keys.push(ArchetypeKey::new(deploy, &cclass, band, !excluded));
-                arch_counts.push(0);
-                (arch_keys.len() - 1) as u32
-            });
-            arch_counts[arch as usize] += 1;
-            HostSlot {
-                speed,
-                excluded,
-                up: false,
-                life_gen: 0,
-                act_gen: 0,
-                has_image: deploy.image_bytes == 0,
-                activity: None,
-                act_started: SimTime::ZERO,
-                up_since: SimTime::ZERO,
-                uptime_total: 0.0,
-                rng: hrng,
-                frng,
-                paused: false,
-                refetch_pending: false,
-                backoff: BackoffState::new(&fctx.backoff),
-                archetype: arch,
-            }
-        })
-        .collect();
+    hosts.extend((0..pool.volunteers).map(|i| {
+        let mut hrng = rng.fork(1000 + i as u64);
+        // Fork the fault stream *before* the legacy draws; forking
+        // never advances `hrng`, so speed/RAM draws are unchanged.
+        let frng = hrng.fork(77);
+        let speed = hrng.range_f64(pool.speed_range.0, pool.speed_range.1);
+        let ram = pool.ram_range.0 + hrng.next_below(pool.ram_range.1 - pool.ram_range.0 + 1);
+        let excluded = guest_ram > 0 && ram < guest_ram + deploy.host_headroom_bytes;
+        let band = archetype::speed_band(speed);
+        let arch = *arch_index.or_insert_with((band, !excluded), || {
+            arch_keys.push(ArchetypeKey::new(deploy, &cclass, band, !excluded));
+            arch_counts.push(0);
+            (arch_keys.len() - 1) as u32
+        });
+        arch_counts[arch as usize] += 1;
+        HostSlot {
+            speed,
+            excluded,
+            up: false,
+            life_gen: 0,
+            act_gen: 0,
+            has_image: deploy.image_bytes == 0,
+            activity: None,
+            act_started: SimTime::ZERO,
+            up_since: SimTime::ZERO,
+            uptime_total: 0.0,
+            rng: hrng,
+            frng,
+            paused: false,
+            refetch_pending: false,
+            backoff: BackoffState::new(&fctx.backoff),
+            archetype: arch,
+        }
+    }));
     report.hosts_excluded_ram = hosts.iter().filter(|h| h.excluded).count() as u32;
     // Canonical archetype census: sorted by key, not first-seen order.
     let mut census: Vec<(ArchetypeKey, u32)> = arch_keys.into_iter().zip(arch_counts).collect();
@@ -367,27 +493,17 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
         .map(|h| compute_rate(h, vm_factor, ckpt_frac))
         .sum();
 
-    // Server state.
-    let mut validator = crate::checkpoint::QuorumValidator::new(project.workunits, project.quorum);
-    let mut copies: Vec<TaskCopy> = Vec::new();
-    let mut queue: VecDeque<Work> = VecDeque::new();
-    for wu_idx in 0..project.workunits as usize {
-        for _ in 0..project.replication {
-            copies.push(TaskCopy {
-                wu: wu_idx,
-                returned: false,
-                cpu_spent: 0.0,
-            });
-            queue.push_back(Work::Fresh(copies.len() - 1));
-            validator.note_issued(wu_idx);
-        }
-    }
-    let mut makespan: Option<SimTime> = None;
-
-    // Hosts currently idle (up, eligible, unpaused, no activity) —
-    // kept in lockstep with host state so server pushes touch only the
-    // hosts that can take work instead of scanning the whole pool.
-    let mut idle: DetSet<u32> = DetSet::new();
+    // Server state. The batched substrate issues fresh copies lazily
+    // (materialized when a host takes them); the reference substrate
+    // and the kill switch run the legacy eager setup. Copy indices are
+    // internal lookup keys, so the two schemes are report-identical.
+    let mut validator = QuorumValidator::new(project.workunits, project.quorum);
+    let queue = if fast {
+        WorkQueue::lazy(project)
+    } else {
+        WorkQueue::eager(project, &mut copies_buf, &mut validator)
+    };
+    let copies = copies_buf;
 
     // Stagger initial power-ons.
     for (h, host) in hosts.iter_mut().enumerate() {
@@ -395,13 +511,58 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
         q.schedule(SimTime::from_secs_f64(delay), Ev::Up { h, gen: 0 });
     }
 
+    SimState {
+        hosts,
+        report,
+        hpool,
+        probe,
+        vm_factor,
+        ckpt_frac,
+        eligible_rate,
+        validator,
+        copies,
+        queue,
+        makespan: None,
+        // Hosts currently idle (up, eligible, unpaused, no activity) —
+        // kept in lockstep with host state so server pushes touch only
+        // the hosts that can take work instead of scanning the pool.
+        idle: DetSet::new(),
+    }
+}
+
+/// Drive the event loop until the horizon, quorum completion, or queue
+/// exhaustion. Returns the popped-but-unprocessed event when a break
+/// check fired (it belongs at the head of any stored trajectory).
+fn run_loop<Q: EventScheduler<Ev>>(
+    st: &mut SimState,
+    q: &mut Q,
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    fctx: &FaultCtx<'_>,
+    horizon: SimTime,
+) -> Option<(SimTime, Ev)> {
+    let vm_factor = st.vm_factor;
+    let ckpt_frac = st.ckpt_frac;
+    let SimState {
+        hosts,
+        report,
+        hpool,
+        probe,
+        validator,
+        copies,
+        queue,
+        makespan,
+        idle,
+        ..
+    } = st;
     // --- helpers as closures are awkward with borrows; use a macro-free
     // imperative loop with inline logic. ---
     #[allow(clippy::needless_range_loop)] // hosts indexed by stable id
     while let Some((now, ev)) = q.pop() {
         if now > horizon || (makespan.is_some() && validator.validated_count() >= project.workunits)
         {
-            break;
+            return Some((now, ev));
         }
         match ev {
             Ev::Up { h, gen } => {
@@ -442,21 +603,10 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 }
                 // Resume or acquire work.
                 start_next_activity(
-                    h,
-                    now,
-                    &mut hosts,
-                    &mut queue,
-                    &copies,
-                    project,
-                    pool,
-                    deploy,
-                    &mut q,
-                    vm_factor,
-                    ckpt_frac,
-                    &fctx,
-                    &mut report,
+                    h, now, hosts, queue, copies, validator, project, pool, deploy, q, vm_factor,
+                    ckpt_frac, fctx, report,
                 );
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
             Ev::Down { h, gen } => {
                 if gen != hosts[h].life_gen {
@@ -465,7 +615,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 // A failure mid-compute is an interesting event: hydrate
                 // a probe window before the ledger absorbs it.
                 if matches!(hosts[h].activity, Some(Activity::Compute { .. })) {
-                    hpool.window(&probe);
+                    hpool.window(probe, archetype::speed_band(hosts[h].speed));
                 }
                 report.fault_transitions += 1;
                 hosts[h].up = false;
@@ -474,16 +624,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 // A paused host accrued everything at pause time.
                 if !hosts[h].paused {
                     accrue_activity(
-                        h,
-                        now,
-                        &mut hosts,
-                        &mut copies,
-                        pool,
-                        deploy,
-                        vm_factor,
-                        ckpt_frac,
-                        false,
-                        &mut report,
+                        h, now, hosts, copies, pool, deploy, vm_factor, ckpt_frac, false, report,
                     );
                 }
                 hosts[h].paused = false;
@@ -507,19 +648,8 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                         });
                         report.migrations += 1;
                         kick_idle_hosts(
-                            now,
-                            &mut idle,
-                            &mut hosts,
-                            &mut queue,
-                            &copies,
-                            project,
-                            pool,
-                            deploy,
-                            &mut q,
-                            vm_factor,
-                            ckpt_frac,
-                            &fctx,
-                            &mut report,
+                            now, idle, hosts, queue, copies, validator, project, pool, deploy, q,
+                            vm_factor, ckpt_frac, fctx, report,
                         );
                     }
                 }
@@ -527,7 +657,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     // The volunteer never returns; its task (if any) is
                     // stranded until the server's deadline reissues it.
                     hosts[h].excluded = true;
-                    sync_idle(&mut idle, &hosts, h);
+                    sync_idle(idle, hosts, h);
                     continue;
                 }
                 let span = faults::sample_span(
@@ -538,7 +668,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 hosts[h].life_gen += 1;
                 let gen = hosts[h].life_gen;
                 q.schedule(now + SimDuration::from_secs_f64(span), Ev::Up { h, gen });
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
             Ev::ActDone { h, gen } => {
                 if gen != hosts[h].act_gen || !hosts[h].up {
@@ -599,7 +729,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     } => {
                         // Task completion: hydrate a probe window to
                         // check the ledger's rate against a real system.
-                        hpool.window(&probe);
+                        hpool.window(probe, archetype::speed_band(hosts[h].speed));
                         // Account the CPU time of the final stretch.
                         let elapsed = now.since(hosts[h].act_started).as_secs_f64();
                         report.cpu_secs_spent += elapsed;
@@ -631,9 +761,9 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                             RecordOutcome::NewlyValidated => {
                                 // A quorum decision is an interesting
                                 // event: hydrate a probe window.
-                                hpool.window(&probe);
+                                hpool.window(probe, archetype::speed_band(hosts[h].speed));
                                 if validator.validated_count() >= project.workunits {
-                                    makespan = Some(now);
+                                    *makespan = Some(now);
                                 }
                             }
                             RecordOutcome::Rejected => {
@@ -650,21 +780,10 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                                 // activities right now — it competes
                                 // for the replacement copy in id order
                                 // like any other idle host.
-                                sync_idle(&mut idle, &hosts, h);
+                                sync_idle(idle, hosts, h);
                                 kick_idle_hosts(
-                                    now,
-                                    &mut idle,
-                                    &mut hosts,
-                                    &mut queue,
-                                    &copies,
-                                    project,
-                                    pool,
-                                    deploy,
-                                    &mut q,
-                                    vm_factor,
-                                    ckpt_frac,
-                                    &fctx,
-                                    &mut report,
+                                    now, idle, hosts, queue, copies, validator, project, pool,
+                                    deploy, q, vm_factor, ckpt_frac, fctx, report,
                                 );
                             }
                             RecordOutcome::Counted | RecordOutcome::Late => {}
@@ -673,21 +792,10 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 }
                 // Acquire the next piece of work.
                 start_next_activity(
-                    h,
-                    now,
-                    &mut hosts,
-                    &mut queue,
-                    &copies,
-                    project,
-                    pool,
-                    deploy,
-                    &mut q,
-                    vm_factor,
-                    ckpt_frac,
-                    &fctx,
-                    &mut report,
+                    h, now, hosts, queue, copies, validator, project, pool, deploy, q, vm_factor,
+                    ckpt_frac, fctx, report,
                 );
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
             Ev::Deadline { copy } => {
                 if !copies[copy].returned && !validator.is_validated(copies[copy].wu) {
@@ -701,19 +809,8 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     validator.note_issued(wu);
                     report.reissues += 1;
                     kick_idle_hosts(
-                        now,
-                        &mut idle,
-                        &mut hosts,
-                        &mut queue,
-                        &copies,
-                        project,
-                        pool,
-                        deploy,
-                        &mut q,
-                        vm_factor,
-                        ckpt_frac,
-                        &fctx,
-                        &mut report,
+                        now, idle, hosts, queue, copies, validator, project, pool, deploy, q,
+                        vm_factor, ckpt_frac, fctx, report,
                     );
                 }
             }
@@ -723,7 +820,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 }
                 // An owner preempting live work is an interesting event.
                 if !hosts[h].paused && hosts[h].activity.is_some() {
-                    hpool.window(&probe);
+                    hpool.window(probe, archetype::speed_band(hosts[h].speed));
                 }
                 report.owner_preemptions += 1;
                 report.fault_transitions += 1;
@@ -735,16 +832,8 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                         // and roll back to their last checkpoint.
                         let preserve = matches!(deploy.mode, ExecutionMode::Vm(_));
                         accrue_activity(
-                            h,
-                            now,
-                            &mut hosts,
-                            &mut copies,
-                            pool,
-                            deploy,
-                            vm_factor,
-                            ckpt_frac,
-                            preserve,
-                            &mut report,
+                            h, now, hosts, copies, pool, deploy, vm_factor, ckpt_frac, preserve,
+                            report,
                         );
                         hosts[h].act_gen += 1; // cancel the pending ActDone
                     }
@@ -752,15 +841,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 }
                 if kills {
                     kill_task(
-                        h,
-                        now,
-                        &mut hosts,
-                        &mut copies,
-                        pool,
-                        deploy,
-                        vm_factor,
-                        ckpt_frac,
-                        &mut report,
+                        h, now, hosts, copies, pool, deploy, vm_factor, ckpt_frac, report,
                     );
                 }
                 let session = hosts[h]
@@ -770,7 +851,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     now + SimDuration::from_secs_f64(session),
                     Ev::OwnerLeave { h, gen },
                 );
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
             Ev::OwnerLeave { h, gen } => {
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
@@ -780,19 +861,8 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 hosts[h].paused = false;
                 // Resume the preempted activity (or fetch fresh work).
                 start_next_activity(
-                    h,
-                    now,
-                    &mut hosts,
-                    &mut queue,
-                    &copies,
-                    project,
-                    pool,
-                    deploy,
-                    &mut q,
-                    vm_factor,
-                    ckpt_frac,
-                    &fctx,
-                    &mut report,
+                    h, now, hosts, queue, copies, validator, project, pool, deploy, q, vm_factor,
+                    ckpt_frac, fctx, report,
                 );
                 let gap = hosts[h]
                     .frng
@@ -801,7 +871,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     now + SimDuration::from_secs_f64(gap),
                     Ev::OwnerArrive { h, gen },
                 );
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
             Ev::VmKill { h, gen } => {
                 if gen != hosts[h].life_gen || !hosts[h].up || hosts[h].excluded {
@@ -811,34 +881,15 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                 if hosts[h].activity.is_some() {
                     // A sandbox kill with live work is an interesting
                     // event.
-                    hpool.window(&probe);
+                    hpool.window(probe, archetype::speed_band(hosts[h].speed));
                     kill_task(
-                        h,
-                        now,
-                        &mut hosts,
-                        &mut copies,
-                        pool,
-                        deploy,
-                        vm_factor,
-                        ckpt_frac,
-                        &mut report,
+                        h, now, hosts, copies, pool, deploy, vm_factor, ckpt_frac, report,
                     );
                     // Restart from the rolled-back state (no-op while the
                     // owner holds the machine: OwnerLeave resumes it).
                     start_next_activity(
-                        h,
-                        now,
-                        &mut hosts,
-                        &mut queue,
-                        &copies,
-                        project,
-                        pool,
-                        deploy,
-                        &mut q,
-                        vm_factor,
-                        ckpt_frac,
-                        &fctx,
-                        &mut report,
+                        h, now, hosts, queue, copies, validator, project, pool, deploy, q,
+                        vm_factor, ckpt_frac, fctx, report,
                     );
                 }
                 let wait = hosts[h].frng.exponential(fctx.churn.vm_kill_mean_secs);
@@ -846,7 +897,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     now + SimDuration::from_secs_f64(wait),
                     Ev::VmKill { h, gen },
                 );
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
             Ev::Refetch { h } => {
                 hosts[h].refetch_pending = false;
@@ -858,26 +909,69 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
                     continue;
                 }
                 start_next_activity(
-                    h,
-                    now,
-                    &mut hosts,
-                    &mut queue,
-                    &copies,
-                    project,
-                    pool,
-                    deploy,
-                    &mut q,
-                    vm_factor,
-                    ckpt_frac,
-                    &fctx,
-                    &mut report,
+                    h, now, hosts, queue, copies, validator, project, pool, deploy, q, vm_factor,
+                    ckpt_frac, fctx, report,
                 );
-                sync_idle(&mut idle, &hosts, h);
+                sync_idle(idle, hosts, h);
             }
         }
     }
+    None
+}
 
-    // Final accounting.
+/// Snapshot the loop-exit state into the trajectory cache (when a
+/// store key is present), then run final accounting. The snapshot is
+/// taken *before* accounting so a resumed run re-derives the final
+/// report through the identical code path.
+fn store_and_finalize<Q: EventScheduler<Ev>>(
+    st: SimState,
+    mut q: Q,
+    carried: Option<(SimTime, Ev)>,
+    project: &ProjectConfig,
+    deploy: &DeployConfig,
+    horizon: SimTime,
+    store_key: Option<&str>,
+) -> GridReport {
+    if let Some(key) = store_key {
+        // Drain the queue in pop order: re-scheduling this sequence
+        // into a fresh queue preserves same-instant FIFO ties, so a
+        // resumed run pops the identical event stream. The carried
+        // event (popped by the break check, never processed) leads.
+        let mut pending: Vec<(SimTime, Ev)> = Vec::new();
+        pending.extend(carried);
+        while let Some(entry) = q.pop() {
+            pending.push(entry);
+        }
+        fastforward::trajectory_store(
+            key,
+            horizon,
+            CampaignCheckpoint {
+                state: st.clone(),
+                pending,
+            },
+        );
+    }
+    finalize(st, project, deploy, horizon)
+}
+
+/// Final accounting: fold the loop-exit state into the report and
+/// return the scratch buffers to the thread's campaign arena.
+fn finalize(
+    st: SimState,
+    project: &ProjectConfig,
+    deploy: &DeployConfig,
+    horizon: SimTime,
+) -> GridReport {
+    let SimState {
+        mut hosts,
+        mut report,
+        hpool,
+        eligible_rate,
+        validator,
+        copies,
+        makespan,
+        ..
+    } = st;
     let end = makespan.unwrap_or(horizon);
     for host in hosts.iter_mut() {
         if host.up {
@@ -925,6 +1019,9 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
     // (substrate-independent) event stream, so the report stays
     // bit-identical across substrates.
     report.hydration = hpool.finish();
+    // Recycle the host/copy buffers for the next repetition on this
+    // thread (capacity is kept, contents are cleared).
+    fastforward::arena_put(CampaignArena { hosts, copies });
     report
 }
 
@@ -1071,8 +1168,9 @@ fn kick_idle_hosts<Q: EventScheduler<Ev>>(
     now: SimTime,
     idle: &mut DetSet<u32>,
     hosts: &mut [HostSlot],
-    queue: &mut VecDeque<Work>,
-    copies: &[TaskCopy],
+    queue: &mut WorkQueue,
+    copies: &mut Vec<TaskCopy>,
+    validator: &mut QuorumValidator,
     project: &ProjectConfig,
     pool: &PoolConfig,
     deploy: &DeployConfig,
@@ -1096,8 +1194,8 @@ fn kick_idle_hosts<Q: EventScheduler<Ev>>(
             "idle-set invariant broken for host {h}",
         );
         start_next_activity(
-            h, now, hosts, queue, copies, project, pool, deploy, q, vm_factor, ckpt_frac, fctx,
-            report,
+            h, now, hosts, queue, copies, validator, project, pool, deploy, q, vm_factor,
+            ckpt_frac, fctx, report,
         );
         kicked.push(hid);
     }
@@ -1112,8 +1210,9 @@ fn start_next_activity<Q: EventScheduler<Ev>>(
     h: usize,
     now: SimTime,
     hosts: &mut [HostSlot],
-    queue: &mut VecDeque<Work>,
-    copies: &[TaskCopy],
+    queue: &mut WorkQueue,
+    copies: &mut Vec<TaskCopy>,
+    validator: &mut QuorumValidator,
     project: &ProjectConfig,
     pool: &PoolConfig,
     deploy: &DeployConfig,
@@ -1133,7 +1232,7 @@ fn start_next_activity<Q: EventScheduler<Ev>>(
                 remaining: deploy.image_bytes as f64,
             });
             hosts[h].backoff.reset(&fctx.backoff);
-        } else if let Some(work) = queue.pop_front() {
+        } else if let Some(work) = queue.pop_front(copies, validator) {
             hosts[h].backoff.reset(&fctx.backoff);
             match work {
                 Work::Fresh(copy) => {
@@ -1252,6 +1351,59 @@ mod tests {
 
     fn horizon() -> SimTime {
         SimTime::from_secs(30 * 24 * 3600)
+    }
+
+    #[test]
+    fn prefix_resume_is_bit_identical_to_cold_run() {
+        // Same spec at a longer horizon must resume from the stored
+        // prefix snapshot and still match a cold full run. The cold
+        // references use the flat-queue substrate, which never touches
+        // the trajectory cache — no global toggles, so this test is
+        // race-free under parallel execution.
+        let project = ProjectConfig {
+            workunits: 40,
+            wu_ref_secs: 1800.0,
+            ..Default::default()
+        };
+        let pool = PoolConfig {
+            volunteers: 60,
+            ram_range: (256 << 20, 2 << 30),
+            ..Default::default()
+        };
+        let deploy = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
+        let churn = ChurnConfig::intensity(0.7);
+        let seed = 0x9e5a_11e7_7e57_0001;
+        let h1 = SimTime::from_secs(3 * 24 * 3600);
+        let h2 = SimTime::from_secs(9 * 24 * 3600);
+
+        let cold = |h| {
+            run_campaign_substrate(
+                &project,
+                &pool,
+                &deploy,
+                &churn,
+                seed,
+                h,
+                SubstrateMode::HydratedReference,
+            )
+        };
+        let warm = |h| run_impl(&project, &pool, &deploy, &churn, seed, h);
+
+        let ref1 = cold(h1);
+        let ref2 = cold(h2);
+        assert_eq!(warm(h1), ref1, "cold batched run diverged");
+        // The h1 run stored its loop-exit snapshot; the h2 lookup must
+        // find it as a usable prefix.
+        let key = fastforward::trajectory_key(&project, &pool, &deploy, &churn, seed);
+        assert!(
+            fastforward::trajectory_lookup(&key, h2).is_some(),
+            "prefix snapshot was not stored at h1",
+        );
+        assert_eq!(warm(h2), ref2, "resume-from-prefix diverged from cold run");
+        // Exact-horizon replay: resuming at the snapshot's own horizon
+        // re-breaks immediately and re-derives the identical report.
+        assert_eq!(warm(h1), ref1, "exact-horizon resume diverged");
+        assert_eq!(warm(h2), ref2, "repeat resume diverged");
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub const SUBSTRATE_FILES: &[&str] = &[
     "crates/grid/src/sim.rs",
     "crates/grid/src/archetype.rs",
     "crates/grid/src/hydrate.rs",
+    "crates/grid/src/fastforward.rs",
 ];
 
 /// A determinism rule enforced by this crate.

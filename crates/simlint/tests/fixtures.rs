@@ -156,12 +156,13 @@ fn substrate_collections_fires_in_substrate_files() {
     // root that declares them (keeps the stray-file rule quiet).
     let root = SourceFile::new(
         "crates/grid/src/lib.rs",
-        "#![forbid(unsafe_code)]\nmod sim;\nmod archetype;\nmod hydrate;\n",
+        "#![forbid(unsafe_code)]\nmod sim;\nmod archetype;\nmod hydrate;\nmod fastforward;\n",
     );
     for path in [
         "crates/grid/src/sim.rs",
         "crates/grid/src/archetype.rs",
         "crates/grid/src/hydrate.rs",
+        "crates/grid/src/fastforward.rs",
     ] {
         let fixture = SourceFile::new(
             path,

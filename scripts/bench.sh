@@ -13,9 +13,12 @@
 #
 # --check gates on (a) the fast path handling >= 3x fewer events and
 # finishing >= 2x faster than the per-quantum reference on the fig1/fig7
-# substrate scenarios, and (b) deterministic event counts staying within
-# +20% of the committed BENCH_engine.json. Timings vs. the baseline are
-# reported but never gated — wall clock is machine-dependent.
+# substrate scenarios, (b) deterministic event counts staying within
+# +20% of the committed BENCH_engine.json, (c) grid_scale/fastforward
+# simulation outputs matching the committed rows exactly, and (d) the
+# analytic fast-forward caches making the grid-churn sweep >= 5x faster
+# while leaving its report digest untouched. Timings vs. the baseline
+# are reported but never gated — wall clock is machine-dependent.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,6 +58,12 @@ VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
 echo "==> cargo bench -p vgrid-bench --bench grid_scale (quick=$QUICK)"
 VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
   cargo bench -q -p vgrid-bench --bench grid_scale
+
+# Analytic fast-forward: the grid-churn sweep with the cross-sweep
+# caches off vs on, plus result digests proving the caches are invisible.
+echo "==> cargo bench -p vgrid-bench --bench fastforward (quick=$QUICK)"
+VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
+  cargo bench -q -p vgrid-bench --bench fastforward
 
 if [[ "$MODE" == "write" ]]; then
   echo "bench: wrote $OUT"
@@ -121,17 +130,18 @@ for key, base in sorted(base_metric.items()):
     else:
         print(f"{'/'.join(key)}: {now:.0f} (baseline {base:.0f}) ok")
 
-# Gate 3: grid_scale outputs are deterministic simulation results, not
-# timings — any committed row this run reproduces must match EXACTLY.
-# Rows only the baseline has (e.g. --full nightly scenarios compared
-# during a quick run) are skipped; the smoke scenario must be present.
+# Gate 3: grid_scale and fastforward outputs are deterministic
+# simulation results, not timings — any committed row this run
+# reproduces must match EXACTLY. Rows only the baseline has (e.g.
+# --full nightly scenarios compared during a quick run) are skipped;
+# the smoke scenario must be present.
 smoke = [k for k in metric if k[0] == "grid_scale" and k[1] == "pool_10k"]
 if not smoke:
     failures.append("grid_scale/pool_10k: smoke metrics missing from this run")
 if not any(k[0] == "grid_scale" for k in base_metric):
     print("note: no grid_scale rows in committed baseline; skipping Gate 3")
 for key, base in sorted(base_metric.items()):
-    if key[0] != "grid_scale":
+    if key[0] not in ("grid_scale", "fastforward"):
         continue
     now = metric.get(key)
     if now is None:
@@ -140,6 +150,33 @@ for key, base in sorted(base_metric.items()):
         failures.append(f"{key}: {now!r} != committed baseline {base!r}")
     else:
         print(f"{'/'.join(key)}: {now:.0f} exact match ok")
+
+# Gate 4: analytic fast-forward on the grid-churn sweep. Within this
+# run's candidate rows: the warm sweep must be >= 5x faster than the
+# cold one, and both digests must agree exactly — the caches may only
+# change how fast results appear, never the results.
+ff_off = metric.get(("fastforward", "churn_sweep", "digest_off"))
+ff_on = metric.get(("fastforward", "churn_sweep", "digest_on"))
+if ff_off is None or ff_on is None:
+    failures.append("fastforward/churn_sweep: digest rows missing from this run")
+elif ff_off != ff_on:
+    failures.append(
+        f"fastforward/churn_sweep: digest_on={ff_on!r} != digest_off={ff_off!r}"
+    )
+try:
+    wall_off = bench[("fastforward", "churn_sweep_off")]["median_ns"]
+    wall_on = bench[("fastforward", "churn_sweep_on")]["median_ns"]
+except KeyError:
+    failures.append("fastforward/churn_sweep: timing rows missing from this run")
+else:
+    if wall_on * 5 > wall_off:
+        failures.append(
+            f"fastforward: warm sweep {wall_on:.0f} ns not >=5x below cold {wall_off:.0f} ns"
+        )
+    print(
+        f"fastforward: churn sweep wall {wall_off / wall_on:.1f}x, "
+        f"digests {'match' if ff_off == ff_on else 'DIFFER'}"
+    )
 
 if failures:
     print("bench check FAILED:", file=sys.stderr)

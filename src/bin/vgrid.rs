@@ -52,13 +52,18 @@ fn report_loop_totals(args: &[String]) {
 /// Honor `--per-quantum-reference`: pin the scheduler to the per-quantum
 /// reference execution mode for the whole process. Likewise
 /// `--hydrated-reference`: pin grid campaigns to the reference host
-/// substrate (flat event queue, unmemoized archetype solver).
+/// substrate (flat event queue, unmemoized archetype solver), and
+/// `--no-fastforward`: disable the analytic fast-forward caches while
+/// keeping the batched substrate (isolates cache effects for A/B runs).
 fn apply_scheduler_mode(args: &[String]) {
     if args.iter().any(|a| a == "--per-quantum-reference") {
         vgrid::os::force_per_quantum_reference(true);
     }
     if args.iter().any(|a| a == "--hydrated-reference") {
         vgrid::grid::force_hydrated_reference(true);
+    }
+    if args.iter().any(|a| a == "--no-fastforward") {
+        vgrid::grid::force_no_fastforward(true);
     }
 }
 
@@ -117,7 +122,7 @@ fn usage() -> ExitCode {
            list                          list experiment ids\n\
            run <id> [--paper] [--json] [--verbose]\n\
                     [--metrics-json <path>] [--per-quantum-reference]\n\
-                    [--hydrated-reference]\n\
+                    [--hydrated-reference] [--no-fastforward]\n\
                                          run one experiment; --metrics-json\n\
                                          also writes the run manifest\n\
            trace <id> --out <path> [--paper] [--per-quantum-reference]\n\

@@ -6,6 +6,14 @@
 //! `--hydrated-reference`. Each invocation is a fresh process, so the
 //! engine cache starts cold and cannot mask a divergence between the
 //! two substrates.
+//!
+//! One carve-out: the `grid.fastforward.*` metric rows report cache
+//! reuse — the execution strategy itself, which is exactly what this
+//! test varies. The reference substrate never consults the
+//! fast-forward caches (DESIGN.md §13), so those rows must be present
+//! in the batched manifest, absent from the reference one, and are
+//! stripped before the byte comparison. Everything simulation-derived
+//! still compares exactly.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -39,6 +47,30 @@ fn run_grid(id: &str, out: &PathBuf, extra: &[&str]) -> (Vec<u8>, Vec<u8>) {
     (output.stdout, manifest)
 }
 
+/// Remove `"grid.fastforward.<name>":<number>` manifest entries (and
+/// the comma joining them to their neighbor). Metric values are plain
+/// JSON numbers, so scanning to the next `,` or `}` is exact.
+fn strip_fastforward_rows(manifest: &[u8]) -> String {
+    let mut s = std::str::from_utf8(manifest)
+        .expect("manifest is utf-8")
+        .to_string();
+    while let Some(start) = s.find("\"grid.fastforward.") {
+        let value_end = start
+            + s[start..]
+                .find([',', '}'])
+                .expect("metric entry is terminated");
+        let range = if s[..start].ends_with(',') {
+            start - 1..value_end
+        } else if s[value_end..].starts_with(',') {
+            start..value_end + 1
+        } else {
+            start..value_end
+        };
+        s.replace_range(range, "");
+    }
+    s
+}
+
 #[test]
 fn grid_registry_is_bit_identical_across_substrates() {
     for id in GRID_IDS {
@@ -52,9 +84,21 @@ fn grid_registry_is_bit_identical_across_substrates() {
             fig_batched, fig_reference,
             "figure JSON diverged across substrates for {id}"
         );
+        let batched = strip_fastforward_rows(&man_batched);
+        let reference = strip_fastforward_rows(&man_reference);
         assert_eq!(
-            man_batched, man_reference,
+            batched, reference,
             "run manifest diverged across substrates for {id}"
+        );
+        assert_ne!(
+            batched.len(),
+            man_batched.len(),
+            "batched manifest must report its fast-forward reuse for {id}"
+        );
+        assert_eq!(
+            reference.len(),
+            man_reference.len(),
+            "reference manifest must not touch the fast-forward caches for {id}"
         );
         assert!(!fig_batched.is_empty() && !man_batched.is_empty());
     }
