@@ -330,11 +330,16 @@ static LOOP_TOTALS: Mutex<Option<EventLoopStats>> = Mutex::new(None);
 /// Snapshot of the process-wide event-loop totals; zeroes before any
 /// trial has completed.
 pub fn loop_totals() -> EventLoopStats {
-    LOOP_TOTALS.lock().unwrap().unwrap_or_default()
+    LOOP_TOTALS
+        .lock()
+        .expect("core::engine::LOOP_TOTALS poisoned")
+        .unwrap_or_default()
 }
 
 fn record_loop_stats(sys: &System) {
-    let mut totals = LOOP_TOTALS.lock().unwrap();
+    let mut totals = LOOP_TOTALS
+        .lock()
+        .expect("core::engine::LOOP_TOTALS poisoned");
     totals
         .get_or_insert_with(EventLoopStats::default)
         .merge(&sys.loop_stats());
@@ -418,7 +423,7 @@ impl Engine {
         let mut out: Vec<Option<TrialResult>> = Vec::with_capacity(specs.len());
         let mut todo: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.lock().unwrap();
+            let cache = self.cache.lock().expect("engine trial cache poisoned");
             for (i, spec) in specs.iter().enumerate() {
                 let key = spec.cache_key();
                 let hit = cache.get(&key);
@@ -476,7 +481,7 @@ impl Engine {
             };
             self.cache
                 .lock()
-                .unwrap()
+                .expect("engine trial cache poisoned")
                 .insert(spec.cache_key(), result.clone());
             out[i] = Some(result);
         }
@@ -1036,7 +1041,14 @@ mod tests {
         let second = engine.run_trial(&relabeled);
         assert_eq!(second.label, "other");
         assert_eq!(first.value(), second.value());
-        assert_eq!(engine.cache.lock().unwrap().len(), 1);
+        assert_eq!(
+            engine
+                .cache
+                .lock()
+                .expect("engine trial cache poisoned")
+                .len(),
+            1
+        );
     }
 
     #[test]

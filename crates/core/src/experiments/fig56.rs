@@ -156,7 +156,7 @@ mod tests {
         }
         // MEM is hit hardest on average (the shared-L2 mechanism).
         let avg =
-            |f: &FigureResult| f.rows.iter().map(|r| r.value).sum::<f64>() / f.rows.len() as f64;
+            |f: &FigureResult| f.rows.iter().map(|r| r.value).sum::<f64>() / f.rows.len() as f64; // simlint: allow(float-fold-order) -- test statistic over a fixed row order
         assert!(avg(&fig5) >= avg(&figfp));
         // Priority barely matters: normal vs idle within 3 points.
         for f in [&fig5, &fig6] {

@@ -94,7 +94,7 @@ impl FigureResult {
             .rows
             .iter()
             .map(|r| r.value)
-            .fold(0.0_f64, f64::max)
+            .fold(0.0_f64, f64::max) // simlint: allow(float-fold-order) -- running max, order-insensitive
             .max(1e-12);
         let label_w = self
             .rows

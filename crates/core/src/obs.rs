@@ -71,7 +71,7 @@ static CAPTURE: Mutex<Option<RunCapture>> = Mutex::new(None);
 
 /// Arm the process-global capture, discarding any previous one.
 pub fn begin_capture() {
-    *CAPTURE.lock().unwrap() = Some(RunCapture {
+    *CAPTURE.lock().expect("core::obs::CAPTURE poisoned") = Some(RunCapture {
         ff_baseline: vgrid_grid::fastforward::stats(),
         ..RunCapture::default()
     });
@@ -80,16 +80,23 @@ pub fn begin_capture() {
 /// Disarm the capture and return what it collected; `None` when no
 /// capture was armed.
 pub fn take_capture() -> Option<RunCapture> {
-    CAPTURE.lock().unwrap().take()
+    CAPTURE.lock().expect("core::obs::CAPTURE poisoned").take()
 }
 
 /// Whether a capture is currently armed.
 pub fn capturing() -> bool {
-    CAPTURE.lock().unwrap().is_some()
+    CAPTURE
+        .lock()
+        .expect("core::obs::CAPTURE poisoned")
+        .is_some()
 }
 
 fn with_capture(f: impl FnOnce(&mut RunCapture)) {
-    if let Some(cap) = CAPTURE.lock().unwrap().as_mut() {
+    if let Some(cap) = CAPTURE
+        .lock()
+        .expect("core::obs::CAPTURE poisoned")
+        .as_mut()
+    {
         f(cap);
     }
 }

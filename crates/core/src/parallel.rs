@@ -42,7 +42,7 @@ where
                     break;
                 }
                 let value = f(i);
-                *slots[i].lock().unwrap() = Some(value);
+                *slots[i].lock().expect("parallel_map result slot poisoned") = Some(value);
             });
         }
     });

@@ -157,12 +157,22 @@ pub fn solver_key(mode: &ExecutionMode) -> String {
 
 static VM_FACTOR_MEMO: Mutex<Option<DetMap<String, f64>>> = Mutex::new(None);
 
+/// Drop the memo, part of [`crate::fastforward::reset_all`]'s cold-state
+/// contract.
+pub(crate) fn reset_vm_factor_memo() {
+    *VM_FACTOR_MEMO
+        .lock()
+        .expect("grid::archetype::VM_FACTOR_MEMO poisoned") = None;
+}
+
 /// [`crate::sim::vm_cpu_factor`] behind a process-wide memo keyed by
 /// [`solver_key`]. The dilation is a pure function of the mode, so the
 /// memo returns bit-identical values in any call order.
 pub fn memoized_vm_cpu_factor(mode: &ExecutionMode) -> f64 {
     let key = solver_key(mode);
-    let mut guard = VM_FACTOR_MEMO.lock().unwrap();
+    let mut guard = VM_FACTOR_MEMO
+        .lock()
+        .expect("grid::archetype::VM_FACTOR_MEMO poisoned");
     let memo = guard.get_or_insert_with(DetMap::new);
     if let Some(&factor) = memo.get(&key) {
         return factor;

@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use vgrid_machine::ops::OpBlock;
 use vgrid_simcore::{DetMap, SimTime};
+use vgrid_simobs::fnv1a64;
 
 /// Upper bound on distinct configurations the trajectory cache retains;
 /// the oldest-inserted configuration is evicted beyond it. Eviction only
@@ -115,21 +116,31 @@ pub(crate) fn science_block_cached() -> OpBlock {
 }
 
 /// Canonical identity of a contention-steady segment: the deploy mode's
-/// full solver key plus the checkpoint state/interval that shape the
-/// write-overhead fraction. Mirrors `machine::ContentionCache`'s keying
-/// (runnable-set ≘ the steady single-task segment, mode, and — at the
-/// consumer — the host's speed band, which scales the rate outside the
-/// cached constants).
-fn segment_key(deploy: &DeployConfig) -> String {
-    format!(
-        "{}|ckpt={}b/{:?}",
-        crate::archetype::solver_key(&deploy.mode),
-        crate::archetype::checkpoint_state_bytes(deploy),
-        deploy.checkpoint_interval,
-    )
+/// full solver key (FNV-digested, like the engine's `TrialKey`) plus
+/// the checkpoint state/interval that shape the write-overhead
+/// fraction. Mirrors `machine::ContentionCache`'s keying (runnable-set
+/// ≘ the steady single-task segment, mode, and — at the consumer — the
+/// host's speed band, which scales the rate outside the cached
+/// constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct SegmentKey {
+    /// FNV-1a digest of [`crate::archetype::solver_key`] for the mode.
+    solver: u64,
+    /// Checkpoint state size in bytes (zero when checkpointing is off).
+    ckpt_bytes: u64,
+    /// Checkpoint interval in integer picoseconds.
+    interval_ps: u64,
 }
 
-static SEGMENT_MEMO: Mutex<Option<DetMap<String, crate::archetype::SegmentSolution>>> =
+fn segment_key(deploy: &DeployConfig) -> SegmentKey {
+    SegmentKey {
+        solver: fnv1a64(crate::archetype::solver_key(&deploy.mode).as_bytes()),
+        ckpt_bytes: crate::archetype::checkpoint_state_bytes(deploy),
+        interval_ps: deploy.checkpoint_interval.as_picos(),
+    }
+}
+
+static SEGMENT_MEMO: Mutex<Option<DetMap<SegmentKey, crate::archetype::SegmentSolution>>> =
     Mutex::new(None);
 
 /// Segment solution for a deploy config behind the process-wide cache.
@@ -139,7 +150,9 @@ static SEGMENT_MEMO: Mutex<Option<DetMap<String, crate::archetype::SegmentSoluti
 pub(crate) fn segment_solution(deploy: &DeployConfig) -> crate::archetype::SegmentSolution {
     let key = segment_key(deploy);
     {
-        let mut guard = SEGMENT_MEMO.lock().unwrap();
+        let mut guard = SEGMENT_MEMO
+            .lock()
+            .expect("grid::fastforward::SEGMENT_MEMO poisoned");
         if let Some(&solution) = guard.get_or_insert_with(DetMap::new).get(&key) {
             SEGMENT_HITS.fetch_add(1, Ordering::Relaxed);
             return solution;
@@ -153,12 +166,19 @@ pub(crate) fn segment_solution(deploy: &DeployConfig) -> crate::archetype::Segme
             deploy.checkpoint_interval,
         ),
     };
-    let mut guard = SEGMENT_MEMO.lock().unwrap();
+    let mut guard = SEGMENT_MEMO
+        .lock()
+        .expect("grid::fastforward::SEGMENT_MEMO poisoned");
     guard.get_or_insert_with(DetMap::new).insert(key, solution);
     solution
 }
 
-static MEASURED_DILATION: Mutex<Option<DetMap<String, f64>>> = Mutex::new(None);
+/// FNV-1a digest of a mode's [`crate::archetype::solver_key`], keying
+/// the probe-dilation cache without retaining the full `Debug` string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct DilationKey(u64);
+
+static MEASURED_DILATION: Mutex<Option<DetMap<DilationKey, f64>>> = Mutex::new(None);
 
 /// Hydration-probe dilation for a mode behind the process-wide cache:
 /// the measurement is a pure function of the mode (fixed probe seed),
@@ -167,9 +187,11 @@ static MEASURED_DILATION: Mutex<Option<DetMap<String, f64>>> = Mutex::new(None);
 /// the per-campaign hydration memo bookkeeping (and therefore
 /// `HydrationStats`) is untouched.
 pub(crate) fn measured_dilation(mode: &ExecutionMode) -> f64 {
-    let key = crate::archetype::solver_key(mode);
+    let key = DilationKey(fnv1a64(crate::archetype::solver_key(mode).as_bytes()));
     {
-        let mut guard = MEASURED_DILATION.lock().unwrap();
+        let mut guard = MEASURED_DILATION
+            .lock()
+            .expect("grid::fastforward::MEASURED_DILATION poisoned");
         if let Some(&factor) = guard.get_or_insert_with(DetMap::new).get(&key) {
             SEGMENT_HITS.fetch_add(1, Ordering::Relaxed);
             return factor;
@@ -177,7 +199,9 @@ pub(crate) fn measured_dilation(mode: &ExecutionMode) -> f64 {
     }
     SEGMENT_MISSES.fetch_add(1, Ordering::Relaxed);
     let factor = crate::hydrate::measure_dilation_direct(mode);
-    let mut guard = MEASURED_DILATION.lock().unwrap();
+    let mut guard = MEASURED_DILATION
+        .lock()
+        .expect("grid::fastforward::MEASURED_DILATION poisoned");
     guard.get_or_insert_with(DetMap::new).insert(key, factor);
     factor
 }
@@ -213,7 +237,9 @@ pub(crate) fn trajectory_key(
 /// Largest stored prefix snapshot at or below `horizon`, cloned out of
 /// the cache. Counted as one trajectory hit or miss per campaign.
 pub(crate) fn trajectory_lookup(key: &str, horizon: SimTime) -> Option<CampaignCheckpoint> {
-    let guard = TRAJECTORIES.lock().unwrap();
+    let guard = TRAJECTORIES
+        .lock()
+        .expect("grid::fastforward::TRAJECTORIES poisoned");
     let hit = guard.as_ref().and_then(|cache| {
         cache.entries.get(key).and_then(|snaps| {
             snaps
@@ -241,7 +267,9 @@ pub(crate) fn trajectory_store(key: &str, horizon: SimTime, ckpt: CampaignCheckp
     if ckpt.host_count() > TRAJECTORY_MAX_HOSTS {
         return;
     }
-    let mut guard = TRAJECTORIES.lock().unwrap();
+    let mut guard = TRAJECTORIES
+        .lock()
+        .expect("grid::fastforward::TRAJECTORIES poisoned");
     let cache = guard.get_or_insert_with(|| TrajectoryCache {
         entries: DetMap::new(),
         order: VecDeque::new(),
@@ -391,6 +419,7 @@ pub(crate) struct CampaignArena {
 }
 
 thread_local! {
+    // simlint: allow(send-clean) -- thread-confined by construction: buffers are taken and returned on one thread, and trajectory snapshots are deep clones, never arena-backed
     static ARENA: RefCell<CampaignArena> = RefCell::new(CampaignArena::default());
 }
 
@@ -404,6 +433,28 @@ pub(crate) fn arena_put(mut arena: CampaignArena) {
     arena.hosts.clear();
     arena.copies.clear();
     ARENA.with(|cell| *cell.borrow_mut() = arena);
+}
+
+/// Test hook, registered in `GLOBALS.toml`: clear every fast-forward
+/// reuse layer and counter (plus the archetype vm-factor memo and the
+/// calling thread's arena) so a test can force a provably cold state.
+/// Locks are taken one at a time in rank order, never nested.
+pub fn reset_all() {
+    *SEGMENT_MEMO
+        .lock()
+        .expect("grid::fastforward::SEGMENT_MEMO poisoned") = None;
+    *MEASURED_DILATION
+        .lock()
+        .expect("grid::fastforward::MEASURED_DILATION poisoned") = None;
+    *TRAJECTORIES
+        .lock()
+        .expect("grid::fastforward::TRAJECTORIES poisoned") = None;
+    SEGMENT_HITS.store(0, Ordering::SeqCst);
+    SEGMENT_MISSES.store(0, Ordering::SeqCst);
+    TRAJECTORY_HITS.store(0, Ordering::SeqCst);
+    TRAJECTORY_MISSES.store(0, Ordering::SeqCst);
+    crate::archetype::reset_vm_factor_memo();
+    ARENA.with(|cell| *cell.borrow_mut() = CampaignArena::default());
 }
 
 #[cfg(test)]
@@ -437,6 +488,27 @@ mod tests {
         no_ckpt.checkpoint_interval = vgrid_simcore::SimDuration::ZERO;
         assert_ne!(segment_key(&vm), segment_key(&no_ckpt));
         assert_ne!(segment_key(&vm), segment_key(&DeployConfig::native()));
+        // The checkpoint axes stay plain integers (not digested), so
+        // the key separates them even under solver-digest equality.
+        assert_eq!(segment_key(&vm).solver, segment_key(&no_ckpt).solver);
+        assert_eq!(segment_key(&no_ckpt).interval_ps, 0);
+    }
+
+    #[test]
+    fn reset_all_restores_a_cold_cache() {
+        // Memory size unique to this test so sibling tests running in
+        // parallel never insert the same key into the shared memo.
+        let deploy = DeployConfig::vm(VmmProfile::qemu(), 123 << 20);
+        let warm = segment_solution(&deploy);
+        reset_all();
+        let before = stats();
+        // The post-reset lookup must re-solve (cold miss) and still
+        // land bit-identical to the pre-reset solution.
+        let cold = segment_solution(&deploy);
+        let after = stats();
+        assert!(after.segment_misses > before.segment_misses);
+        assert_eq!(cold.vm_factor.to_bits(), warm.vm_factor.to_bits());
+        assert_eq!(cold.ckpt_frac.to_bits(), warm.ckpt_frac.to_bits());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use campaign::{Campaign, CampaignResult, CampaignSpec};
 pub use checkpoint::{BackoffPolicy, BackoffState, QuorumValidator, RecordOutcome};
 pub use client::{BoincClientBody, ClientStats, ClientWorkSpec};
 pub use error::Error;
-pub use fastforward::{force_no_fastforward, FastForwardStats};
+pub use fastforward::{force_no_fastforward, reset_all, FastForwardStats};
 pub use faults::ChurnConfig;
 pub use hydrate::{HydrationPool, HydrationStats};
 pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};

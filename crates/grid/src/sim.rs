@@ -491,7 +491,7 @@ fn init_state<Q: EventScheduler<Ev>>(
         .iter()
         .filter(|h| !h.excluded)
         .map(|h| compute_rate(h, vm_factor, ckpt_frac))
-        .sum();
+        .sum(); // simlint: allow(float-fold-order) -- host order is fixed; this sum order is part of the bit-identity contract
 
     // Server state. The batched substrate issues fresh copies lazily
     // (materialized when a host takes them); the reference substrate
@@ -981,7 +981,7 @@ fn finalize(
     report.validated_wus = validator.validated_count();
     report.finished = validator.validated_count() >= project.workunits;
     report.makespan_secs = end.as_secs_f64();
-    let uptime: f64 = hosts.iter().map(|h| h.uptime_total).sum();
+    let uptime: f64 = hosts.iter().map(|h| h.uptime_total).sum(); // simlint: allow(float-fold-order) -- host order is fixed; this sum order is part of the bit-identity contract
     let validated_ref =
         validator.validated_count() as f64 * project.wu_ref_secs * project.quorum as f64;
     report.efficiency = if uptime > 0.0 {

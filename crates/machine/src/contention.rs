@@ -72,7 +72,7 @@ impl ContentionModel {
             .collect();
 
         // Aggregate bus demand from solo profiles.
-        let total_demand: f64 = solo.iter().flatten().map(|e| e.profile.mem_bw_demand).sum();
+        let total_demand: f64 = solo.iter().flatten().map(|e| e.profile.mem_bw_demand).sum(); // simlint: allow(float-fold-order) -- solo slot order is fixed; this sum order is part of the bit-identity contract
         let bus_factor = (total_demand / self.mem.bus_bandwidth).max(1.0);
 
         // Pass 2: contended estimates.
@@ -93,7 +93,7 @@ impl ContentionModel {
                     .filter(|(j, _)| *j != i)
                     .flat_map(|(_, e)| e.as_ref())
                     .map(|e| e.profile.l2_pressure)
-                    .fold(0.0f64, f64::max);
+                    .fold(0.0f64, f64::max); // simlint: allow(float-fold-order) -- running max, order-insensitive
                 let l2_eff = self.cpu.spec().cache.l2_share(sibling_pressure);
                 let contended = self.cpu.estimate(block, l2_eff, bus_factor);
                 (contended.duration.as_secs_f64() / solo_est.duration.as_secs_f64()).max(1.0)

@@ -1,0 +1,433 @@
+//! Hand-rolled Rust lexer for the lint pass.
+//!
+//! Produces a flat token stream (identifiers, lifetimes, string/char
+//! literals, numbers, single-char punctuation) with 1-based line
+//! numbers, plus a side-channel of comments for pragma parsing. The
+//! lexer is deliberately lossy where the rules don't care: string and
+//! char literal *contents* are dropped (so banned tokens inside
+//! literals can never fire), numeric literals keep only their
+//! float-ness, and whitespace vanishes entirely — which is what lets
+//! multi-line constructs like `.lock()\n.unwrap()` match as one token
+//! sequence.
+//!
+//! Handled: line comments, nested block comments, raw strings with any
+//! hash depth, byte strings/chars, raw identifiers (`r#match` lexes as
+//! the identifier `match`), char-literal vs. lifetime disambiguation,
+//! escapes, hex/octal/binary integers, float literals with exponents
+//! and `f32`/`f64` suffixes.
+
+/// What a token is. `Str` covers every string/char/byte literal; its
+/// contents are intentionally not retained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (raw identifiers are unprefixed).
+    Ident(String),
+    /// Lifetime, without the leading quote (`'a` -> `a`).
+    Lifetime(String),
+    /// String, char, byte-string or byte-char literal.
+    Str,
+    /// Numeric literal; `float` is true for decimal points, exponents
+    /// and `f32`/`f64` suffixes.
+    Num { float: bool },
+    /// Any other single character.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: usize,
+    pub kind: Kind,
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is this exactly the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Is this exactly the punctuation char `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+
+    /// Is this a float literal?
+    pub fn is_float(&self) -> bool {
+        matches!(self.kind, Kind::Num { float: true })
+    }
+}
+
+/// Lexer output: the token stream plus every comment, keyed by the
+/// line the comment starts on (pragmas in multi-line block comments
+/// attach to the block's first line).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<(usize, String)>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lex `text` into tokens and comments. Never fails: unrecognised
+/// bytes are skipped, unterminated literals run to end of input.
+pub fn lex(text: &str) -> Lexed {
+    let b = text.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push((line, text[start..i].to_string()));
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push((start_line, text[start..i].to_string()));
+            continue;
+        }
+        // Raw strings (r"", r#""#, br#""#) and raw identifiers (r#ident).
+        if c == b'r' || (c == b'b' && i + 1 < n && b[i + 1] == b'r') {
+            let mut j = i + 1 + usize::from(c == b'b');
+            let mut hashes = 0usize;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' {
+                let tok_line = line;
+                i = j + 1;
+                'raw: while i < n {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    } else if b[i] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: Kind::Str,
+                });
+                continue;
+            }
+            if c == b'r' && hashes == 1 && j < n && is_ident_start(b[j]) {
+                // Raw identifier: lex the ident without the `r#`.
+                let start = j;
+                i = j;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: Kind::Ident(text[start..i].to_string()),
+                });
+                continue;
+            }
+            // Plain identifier starting with `r`/`b`: fall through.
+        }
+        // Byte string / byte char: drop the `b` prefix.
+        let (c, lit_at) = if c == b'b' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+            (b[i + 1], i + 1)
+        } else {
+            (c, i)
+        };
+        // String literal (escapes honoured, may span lines).
+        if c == b'"' {
+            let tok_line = line;
+            i = lit_at + 1;
+            while i < n {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: Kind::Str,
+            });
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == b'\'' {
+            i = lit_at;
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char: consume up to the closing quote.
+                i += 2;
+                while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.toks.push(Tok {
+                    line,
+                    kind: Kind::Str,
+                });
+                continue;
+            }
+            if i + 1 < n {
+                let ch_len = utf8_len(b[i + 1]);
+                let close = i + 1 + ch_len;
+                if close < n && b[close] == b'\'' {
+                    i = close + 1;
+                    out.toks.push(Tok {
+                        line,
+                        kind: Kind::Str,
+                    });
+                    continue;
+                }
+            }
+            // Lifetime: consume the identifier after the quote.
+            let start = i + 1;
+            i += 1;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line,
+                kind: Kind::Lifetime(text[start..i].to_string()),
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let mut float = false;
+            if c == b'0' && i + 1 < n && matches!(b[i + 1] | 0x20, b'x' | b'o' | b'b') {
+                // Hex/octal/binary: digits then any suffix, never float.
+                i += 2;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Decimal point: `1.5` and `1.` are floats; `1..` is a
+                // range and `1.max(…)` a method call.
+                if i < n && b[i] == b'.' {
+                    let nxt = if i + 1 < n { b[i + 1] } else { b' ' };
+                    if nxt.is_ascii_digit() {
+                        float = true;
+                        i += 1;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+                            i += 1;
+                        }
+                    } else if nxt != b'.' && !is_ident_start(nxt) {
+                        float = true;
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < n && (b[i] | 0x20) == b'e' {
+                    let (sign, digit_at) = match b.get(i + 1) {
+                        Some(b'+') | Some(b'-') => (1, i + 2),
+                        _ => (0, i + 1),
+                    };
+                    if digit_at < n && b[digit_at].is_ascii_digit() {
+                        float = true;
+                        i += 1 + sign;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Suffix (`u64`, `f32`, …).
+                let sfx_start = i;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                if matches!(&text[sfx_start..i], "f32" | "f64") {
+                    float = true;
+                }
+            }
+            out.toks.push(Tok {
+                line,
+                kind: Kind::Num { float },
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line,
+                kind: Kind::Ident(text[start..i].to_string()),
+            });
+            continue;
+        }
+        // Punctuation (non-ASCII bytes outside literals are skipped).
+        if c < 0x80 {
+            out.toks.push(Tok {
+                line,
+                kind: Kind::Punct(c as char),
+            });
+        }
+        i += 1;
+    }
+
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = "let x = 1; // note: HashMap here\nlet s = \"HashMap\";\n";
+        let l = lex(src);
+        assert!(!idents(src).iter().any(|s| s == "HashMap"));
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].0, 1);
+        assert!(l.comments[0].1.contains("HashMap here"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"SystemTime\"#; let c = 'x'; }\n";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "SystemTime"));
+        let l = lex(src);
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| matches!(&t.kind, Kind::Lifetime(a) if a == "a")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b\n";
+        let ids = idents(src);
+        assert_eq!(ids, ["a", "b"]);
+        assert!(lex(src).comments[0].1.contains("still"));
+    }
+
+    #[test]
+    fn raw_identifiers_unprefix() {
+        assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    }
+
+    #[test]
+    fn float_detection() {
+        let l = lex("a(1.5, 2, 0x1F, 3f64, 2.5e-3, 1..4, x.0)");
+        let floats: Vec<bool> = l
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                Kind::Num { float } => Some(float),
+                _ => None,
+            })
+            .collect();
+        // 1.5 float, 2 int, 0x1F int, 3f64 float, 2.5e-3 float,
+        // 1 and 4 ints (range), 0 int (tuple index).
+        assert_eq!(
+            floats,
+            [true, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn multiline_chains_are_one_sequence() {
+        let l = lex("x\n  .lock()\n  .unwrap();");
+        let sig: Vec<String> = l
+            .toks
+            .iter()
+            .map(|t| match &t.kind {
+                Kind::Ident(s) => s.clone(),
+                Kind::Punct(c) => c.to_string(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(sig.join(""), "x.lock().unwrap();");
+        assert_eq!(l.toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let l = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b_tok = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -1,21 +1,27 @@
 //! The `simlint` binary: `cargo run -p simlint`.
 //!
-//! Walks the workspace source tree and enforces the determinism
-//! contract (DESIGN.md §8). Exit codes are machine-readable so the
-//! verify script and CI can gate on them:
+//! Walks the workspace source tree and enforces the determinism and
+//! shared-state contracts (DESIGN.md §8, §14). Exit codes are
+//! machine-readable so the verify script and CI can gate on them:
 //!
 //! * `0` — tree is lint-clean
-//! * `1` — violations found (one `path:line: [rule] message` per line)
+//! * `1` — violations found
 //! * `2` — usage or I/O error
+//!
+//! Output formats (`--format`):
+//!
+//! * `text` (default) — one `path:line: [rule] message` per line
+//! * `json` — `{"violations": […], "files_scanned": N}` for tooling
+//! * `github` — `::error file=…,line=…::…` workflow annotations
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use simlint::{collect_tree, lint};
+use simlint::{collect_tree, lint, Diagnostic, Rule};
 
-const USAGE: &str = "usage: simlint [--root <path>] [--list-rules]";
+const USAGE: &str = "usage: simlint [--root <path>] [--format text|json|github] [--list-rules]";
 
 /// Walk up from the manifest (or current) directory to the directory
 /// whose Cargo.toml declares `[workspace]`.
@@ -37,8 +43,72 @@ fn workspace_root() -> Option<PathBuf> {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render(diags: &[Diagnostic], files_scanned: usize, format: Format) {
+    match format {
+        Format::Text => {
+            for d in diags {
+                println!("{d}");
+            }
+        }
+        Format::Json => {
+            let mut out = String::from("{\"violations\":[");
+            for (i, d) in diags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                    json_escape(&d.path),
+                    d.line,
+                    d.rule.id(),
+                    json_escape(&d.message)
+                ));
+            }
+            out.push_str(&format!("],\"files_scanned\":{files_scanned}}}"));
+            println!("{out}");
+        }
+        Format::Github => {
+            for d in diags {
+                // Annotation messages must keep to one line.
+                let msg = d.message.replace('\n', " ");
+                println!(
+                    "::error file={},line={},title=simlint {}::{}",
+                    d.path,
+                    d.line,
+                    d.rule.id(),
+                    msg
+                );
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,16 +119,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!(
+                        "simlint: --format needs text|json|github, got `{}`\n{USAGE}",
+                        other.unwrap_or("")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
-                println!("hash-collections  no HashMap/HashSet in sim crates");
-                println!("wall-clock        no Instant::now/SystemTime outside criterion/timeref");
-                println!("ambient-entropy   no thread_rng/OsRng/getrandom outside simcore::rng");
-                println!("unstable-sort     no sort_unstable* without a key-totality pragma");
-                println!(
-                    "substrate-collections  no raw BTreeMap/BTreeSet in the grid host substrate"
-                );
-                println!("stray-file        no unreferenced or non-.rs files under src/");
-                println!("forbid-unsafe     crate roots must carry #![forbid(unsafe_code)]");
+                for rule in Rule::all() {
+                    println!("{:<22} {}", rule.id(), rule.describe());
+                }
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
@@ -85,13 +161,13 @@ fn main() -> ExitCode {
     };
 
     let diags = lint(&files);
+    render(&diags, files.len(), format);
     if diags.is_empty() {
-        println!("simlint: OK ({} files scanned)", files.len());
+        if format == Format::Text {
+            println!("simlint: OK ({} files scanned)", files.len());
+        }
         ExitCode::SUCCESS
     } else {
-        for d in &diags {
-            println!("{d}");
-        }
         eprintln!("simlint: {} violation(s)", diags.len());
         ExitCode::from(1)
     }

@@ -1,0 +1,409 @@
+//! Lightweight item parsing over the token stream.
+//!
+//! This is not a Rust parser — it recovers just the item structure the
+//! concurrency rules need: function bodies (as token ranges, for the
+//! lock-order walk), `static` declarations including function-local
+//! and `thread_local!` ones (for the global-state registry), and
+//! struct/enum field types (for the send-clean reachability check).
+//! Everything else is skipped token-by-token, so macro-heavy or
+//! exotic code degrades to "no items found" rather than a parse error.
+
+use crate::lexer::{Kind, Tok};
+
+/// A function with a brace-matched body token range (inclusive of both
+/// braces). Nested functions appear as their own entries.
+#[derive(Debug)]
+pub struct FnDecl {
+    pub name: String,
+    pub line: usize,
+    /// `(open, close)` token indices of the body braces.
+    pub body: (usize, usize),
+}
+
+/// A `static` declaration (item-level, function-local, or inside
+/// `thread_local!`).
+#[derive(Debug)]
+pub struct StaticDecl {
+    pub name: String,
+    pub line: usize,
+    /// Identifier tokens of the declared type, in order.
+    pub ty: Vec<String>,
+    /// Declared inside a `thread_local! { … }` block.
+    pub thread_local: bool,
+}
+
+/// One struct field or enum variant payload.
+#[derive(Debug)]
+pub struct Field {
+    pub line: usize,
+    /// Identifier tokens of the field's type.
+    pub ty: Vec<String>,
+}
+
+/// A struct or enum definition with its field/variant payload types.
+#[derive(Debug)]
+pub struct TypeDef {
+    pub name: String,
+    pub line: usize,
+    pub fields: Vec<Field>,
+}
+
+/// Everything [`parse`] recovers from one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    pub fns: Vec<FnDecl>,
+    pub statics: Vec<StaticDecl>,
+    pub types: Vec<TypeDef>,
+}
+
+/// Index of the `}` matching the `{` at `open`, if any.
+pub fn match_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    debug_assert!(toks[open].is_punct('{'));
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Kind::Punct('{') => depth += 1,
+            Kind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`, if any.
+pub fn match_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    debug_assert!(toks[open].is_punct('('));
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Kind::Punct('(') => depth += 1,
+            Kind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Recover items from a lexed file.
+pub fn parse(toks: &[Tok]) -> Items {
+    let mut items = Items::default();
+
+    // First pass: `thread_local! { … }` brace ranges, so the statics
+    // pass can tag declarations inside them.
+    let mut tl_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("thread_local")
+            && is_punct(toks, i + 1, '!')
+            && is_punct(toks, i + 2, '{')
+        {
+            if let Some(close) = match_brace(toks, i + 2) {
+                tl_ranges.push((i + 2, close));
+            }
+        }
+        i += 1;
+    }
+    let in_thread_local = |idx: usize| tl_ranges.iter().any(|&(a, b)| idx > a && idx < b);
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+
+        if t.is_ident("fn") {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                // Body = first `{` at paren/bracket depth 0 before a
+                // terminating `;` (trait method signatures have none).
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut open = None;
+                while let Some(tok) = toks.get(j) {
+                    match tok.kind {
+                        Kind::Punct('(') | Kind::Punct('[') => depth += 1,
+                        Kind::Punct(')') | Kind::Punct(']') => depth -= 1,
+                        Kind::Punct('{') if depth == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        Kind::Punct(';') if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    if let Some(close) = match_brace(toks, open) {
+                        items.fns.push(FnDecl {
+                            name: name.to_string(),
+                            line: t.line,
+                            body: (open, close),
+                        });
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("static") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                if is_punct(toks, j + 1, ':') {
+                    let mut k = j + 2;
+                    let mut depth = 0i32;
+                    let mut ty = Vec::new();
+                    while let Some(tok) = toks.get(k) {
+                        match &tok.kind {
+                            Kind::Punct('<') | Kind::Punct('(') | Kind::Punct('[') => depth += 1,
+                            Kind::Punct('>') | Kind::Punct(')') | Kind::Punct(']') => depth -= 1,
+                            Kind::Punct('=') | Kind::Punct(';') if depth <= 0 => break,
+                            Kind::Ident(s) => ty.push(s.clone()),
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    items.statics.push(StaticDecl {
+                        name: name.to_string(),
+                        line: t.line,
+                        ty,
+                        thread_local: in_thread_local(i),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        if t.is_ident("struct") || t.is_ident("enum") {
+            let is_enum = t.is_ident("enum");
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) {
+                // Skip generics/where-clause to the body: `{` (named
+                // fields / variants) or `(` (tuple struct) at angle and
+                // paren depth 0; `;` means a unit struct.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut par = 0i32;
+                let mut open = None;
+                let mut tuple = false;
+                while let Some(tok) = toks.get(j) {
+                    match tok.kind {
+                        Kind::Punct('<') => angle += 1,
+                        Kind::Punct('>') => angle -= 1,
+                        Kind::Punct('(') if angle == 0 && par == 0 => {
+                            open = Some(j);
+                            tuple = true;
+                            break;
+                        }
+                        Kind::Punct('(') => par += 1,
+                        Kind::Punct(')') => par -= 1,
+                        Kind::Punct('{') if angle == 0 && par == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        Kind::Punct(';') if angle == 0 && par == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    let close = if tuple {
+                        match_paren(toks, open)
+                    } else {
+                        match_brace(toks, open)
+                    };
+                    if let Some(close) = close {
+                        items.types.push(TypeDef {
+                            name: name.to_string(),
+                            line: t.line,
+                            fields: parse_fields(toks, open + 1, close, is_enum || tuple),
+                        });
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        i += 1;
+    }
+
+    items
+}
+
+/// Split a struct/enum body into comma-separated chunks and pull the
+/// type identifiers out of each. For named struct fields the type is
+/// everything after the first top-level `:`; for enum variants and
+/// tuple structs it is every identifier except the leading variant
+/// name / visibility keywords.
+fn parse_fields(toks: &[Tok], start: usize, end: usize, payload_style: bool) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut chunk: Vec<&Tok> = Vec::new();
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        // Skip `#[…]` attributes outright.
+        if t.is_punct('#') && is_punct(toks, j + 1, '[') {
+            let mut d = 0i32;
+            j += 1;
+            while j < end {
+                match toks[j].kind {
+                    Kind::Punct('[') => d += 1,
+                    Kind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+            continue;
+        }
+        match t.kind {
+            Kind::Punct('(') | Kind::Punct('[') | Kind::Punct('{') | Kind::Punct('<') => depth += 1,
+            Kind::Punct(')') | Kind::Punct(']') | Kind::Punct('}') | Kind::Punct('>') => depth -= 1,
+            Kind::Punct(',') if depth == 0 => {
+                push_field(&chunk, payload_style, &mut fields);
+                chunk.clear();
+                j += 1;
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(t);
+        j += 1;
+    }
+    push_field(&chunk, payload_style, &mut fields);
+    fields
+}
+
+fn push_field(chunk: &[&Tok], payload_style: bool, fields: &mut Vec<Field>) {
+    if chunk.is_empty() {
+        return;
+    }
+    let line = chunk[0].line;
+    let ty: Vec<String> = if payload_style {
+        // Enum variant / tuple struct: all identifiers except the
+        // leading variant name and visibility keywords.
+        let mut ids: Vec<String> = Vec::new();
+        let mut skipped_head = false;
+        for t in chunk {
+            if let Some(s) = t.ident() {
+                if matches!(s, "pub" | "crate" | "super" | "in" | "self") {
+                    continue;
+                }
+                if !skipped_head && !chunk[0].is_punct('(') {
+                    // First real identifier of an enum variant is its
+                    // name; tuple-struct chunks start at the type.
+                    skipped_head = true;
+                    if chunk.iter().any(|t| t.is_punct('(') || t.is_punct('{')) {
+                        continue;
+                    }
+                }
+                ids.push(s.to_string());
+            }
+        }
+        ids
+    } else {
+        // Named field: identifiers after the first top-level `:`.
+        let mut depth = 0i32;
+        let mut after_colon = false;
+        let mut ids = Vec::new();
+        for t in chunk {
+            match t.kind {
+                Kind::Punct('(') | Kind::Punct('[') | Kind::Punct('{') | Kind::Punct('<') => {
+                    depth += 1
+                }
+                Kind::Punct(')') | Kind::Punct(']') | Kind::Punct('}') | Kind::Punct('>') => {
+                    depth -= 1
+                }
+                Kind::Punct(':') if depth == 0 => after_colon = true,
+                Kind::Ident(ref s) if after_colon => ids.push(s.clone()),
+                _ => {}
+            }
+        }
+        ids
+    };
+    if !ty.is_empty() {
+        fields.push(Field { line, ty });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_fn_bodies_and_statics() {
+        let src = "fn outer() { static LOCAL: OnceLock<u32> = OnceLock::new(); }\n\
+                   static TOP: Mutex<Vec<u8>> = Mutex::new(Vec::new());\n";
+        let items = parse(&lex(src).toks);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "outer");
+        let names: Vec<&str> = items.statics.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["LOCAL", "TOP"]);
+        assert!(items.statics[0].ty.iter().any(|t| t == "OnceLock"));
+        assert!(items.statics[1].ty.iter().any(|t| t == "Mutex"));
+    }
+
+    #[test]
+    fn thread_local_statics_are_tagged() {
+        let src =
+            "thread_local! { static ARENA: RefCell<Arena> = RefCell::new(Arena::default()); }";
+        let items = parse(&lex(src).toks);
+        assert_eq!(items.statics.len(), 1);
+        assert!(items.statics[0].thread_local);
+        assert!(items.statics[0].ty.iter().any(|t| t == "RefCell"));
+    }
+
+    #[test]
+    fn struct_fields_capture_type_idents() {
+        let src = "pub struct S<T> { pub a: Vec<Rc<T>>, b: u32 }";
+        let items = parse(&lex(src).toks);
+        assert_eq!(items.types.len(), 1);
+        assert_eq!(items.types[0].fields.len(), 2);
+        assert!(items.types[0].fields[0].ty.iter().any(|t| t == "Rc"));
+        assert_eq!(items.types[0].fields[1].ty, ["u32"]);
+    }
+
+    #[test]
+    fn enum_variant_payloads() {
+        let src = "enum E { A, B(RefCell<u8>), C { x: Cell<u8> } }";
+        let items = parse(&lex(src).toks);
+        let ty: Vec<String> = items.types[0]
+            .fields
+            .iter()
+            .flat_map(|f| f.ty.clone())
+            .collect();
+        assert!(ty.iter().any(|t| t == "RefCell"));
+        assert!(ty.iter().any(|t| t == "Cell"));
+    }
+
+    #[test]
+    fn fn_with_generic_bounds_and_where() {
+        let src = "fn g<F: Fn(u32) -> u32>(f: F) -> u32 where F: Clone { f(1) }";
+        let items = parse(&lex(src).toks);
+        assert_eq!(items.fns.len(), 1);
+        let (open, close) = items.fns[0].body;
+        assert!(open < close);
+    }
+}

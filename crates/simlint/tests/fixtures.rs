@@ -290,3 +290,341 @@ w.sort_unstable();
     assert_eq!(rules_of(&diags), vec![Rule::UnstableSort]);
     assert_eq!(diags[0].line, 4);
 }
+
+// ---- global-state-registry --------------------------------------------
+
+/// Synthetic registry naming the two fast-forward locks with their
+/// canonical ranks, for the shared-state fixtures below.
+const REG_FF: &str = r#"
+[[global]]
+name  = "SEGMENT_MEMO"
+path  = "crates/grid/src/fastforward.rs"
+owner = "grid::fastforward"
+kind  = "mutex"
+rank  = 40
+reset = "grid::fastforward::reset_all"
+
+[[global]]
+name  = "TRAJECTORIES"
+path  = "crates/grid/src/fastforward.rs"
+owner = "grid::fastforward"
+kind  = "mutex"
+rank  = 60
+reset = "grid::fastforward::reset_all"
+"#;
+
+fn ff_root() -> SourceFile {
+    SourceFile::new(
+        "crates/grid/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub mod fastforward;\n",
+    )
+}
+
+fn ff_file(body: &str) -> SourceFile {
+    SourceFile::new(
+        "crates/grid/src/fastforward.rs",
+        &format!(
+            "static SEGMENT_MEMO: Mutex<Option<u32>> = Mutex::new(None);\n\
+             static TRAJECTORIES: Mutex<Option<u32>> = Mutex::new(None);\n{body}"
+        ),
+    )
+}
+
+#[test]
+fn unregistered_global_fails() {
+    // The acceptance fixture: an interior-mutable static in a sim
+    // crate with no GLOBALS.toml entry must fail the lint (exit 1).
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        ff_file("static ROGUE: Mutex<u32> = Mutex::new(0);\n"),
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::GlobalStateRegistry]);
+    assert!(diags[0].message.contains("ROGUE"), "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn registry_entry_without_a_static_fails() {
+    // Reverse direction: a stale registry entry is itself an error.
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        SourceFile::new(
+            "crates/grid/src/fastforward.rs",
+            "static SEGMENT_MEMO: Mutex<Option<u32>> = Mutex::new(None);\n",
+        ),
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::GlobalStateRegistry]);
+    assert_eq!(diags[0].path, "GLOBALS.toml");
+    assert!(diags[0].message.contains("TRAJECTORIES"), "{diags:?}");
+}
+
+#[test]
+fn registry_kind_mismatch_fails() {
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        SourceFile::new(
+            "crates/grid/src/fastforward.rs",
+            "static SEGMENT_MEMO: AtomicU64 = AtomicU64::new(0);\n\
+             static TRAJECTORIES: Mutex<Option<u32>> = Mutex::new(None);\n",
+        ),
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::GlobalStateRegistry]);
+    assert!(
+        diags[0].message.contains("`atomic`") && diags[0].message.contains("`mutex`"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn registered_globals_are_clean_and_plain_statics_are_exempt() {
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        // A plain const-like static carries no interior mutability and
+        // needs no registration.
+        ff_file("static TABLE: [u32; 4] = [1, 2, 3, 4];\n"),
+    ];
+    assert!(lint(&files).is_empty(), "{:?}", lint(&files));
+}
+
+#[test]
+fn malformed_registry_is_diagnosed() {
+    let files = [
+        SourceFile::new(
+            "GLOBALS.toml",
+            "[[global]]\nname = \"X\"\npath = \"crates/grid/src/lib.rs\"\nowner = \"g\"\nkind = \"mutex\"\nreset = \"none\"\n",
+        ),
+        ff_root(),
+    ];
+    let diags = lint(&files);
+    // Missing rank on a lockable kind, plus the stale-entry check.
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == Rule::GlobalStateRegistry && d.message.contains("rank")));
+}
+
+// ---- lock-order -------------------------------------------------------
+
+#[test]
+fn seeded_lock_order_inversion_fails() {
+    // The acceptance fixture: acquiring SEGMENT_MEMO (rank 40) while
+    // TRAJECTORIES (rank 60) is held is a rank inversion.
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        ff_file(
+            "fn bad() {\n    let t = TRAJECTORIES.lock().expect(\"t\");\n    let s = SEGMENT_MEMO.lock().expect(\"s\");\n}\n",
+        ),
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::LockOrder]);
+    assert!(diags[0].message.contains("inversion"), "{diags:?}");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn rank_ordered_nesting_is_clean() {
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        ff_file(
+            "fn good() {\n    let s = SEGMENT_MEMO.lock().expect(\"s\");\n    let t = TRAJECTORIES.lock().expect(\"t\");\n}\n",
+        ),
+    ];
+    assert!(lint(&files).is_empty(), "{:?}", lint(&files));
+}
+
+#[test]
+fn released_guard_permits_reacquisition() {
+    // Scope exit and explicit drop() both release a hold, so the
+    // lock-then-relock idiom of the real caches stays clean.
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        ff_file(
+            "fn scoped() {\n    {\n        let s = SEGMENT_MEMO.lock().expect(\"s\");\n    }\n    let s = SEGMENT_MEMO.lock().expect(\"s\");\n}\n\
+             fn dropped() {\n    let t = TRAJECTORIES.lock().expect(\"t\");\n    drop(t);\n    let s = SEGMENT_MEMO.lock().expect(\"s\");\n}\n",
+        ),
+    ];
+    assert!(lint(&files).is_empty(), "{:?}", lint(&files));
+}
+
+#[test]
+fn self_reacquisition_is_a_deadlock() {
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        ff_file(
+            "fn twice() {\n    let a = SEGMENT_MEMO.lock().expect(\"a\");\n    let b = SEGMENT_MEMO.lock().expect(\"b\");\n}\n",
+        ),
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::LockOrder]);
+    assert!(diags[0].message.contains("self-deadlock"), "{diags:?}");
+}
+
+#[test]
+fn lock_order_pragma_suppresses() {
+    let files = [
+        SourceFile::new("GLOBALS.toml", REG_FF),
+        ff_root(),
+        ff_file(
+            "fn bad() {\n    let t = TRAJECTORIES.lock().expect(\"t\");\n    // simlint: allow(lock-order) -- fixture: inversion is unreachable here\n    let s = SEGMENT_MEMO.lock().expect(\"s\");\n}\n",
+        ),
+    ];
+    assert!(lint(&files).is_empty(), "{:?}", lint(&files));
+}
+
+// ---- send-clean -------------------------------------------------------
+
+#[test]
+fn send_clean_flags_cells_reachable_from_roots() {
+    let files = [
+        SourceFile::new(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod engine;\n",
+        ),
+        SourceFile::new(
+            "crates/core/src/engine.rs",
+            "pub struct TrialSpec {\n    inner: Inner,\n}\npub struct Inner {\n    cell: RefCell<u32>,\n}\n",
+        ),
+    ];
+    let diags = lint(&files);
+    assert_eq!(rules_of(&diags), vec![Rule::SendClean]);
+    assert!(diags[0].message.contains("RefCell"), "{diags:?}");
+    assert!(diags[0].message.contains("Inner"), "{diags:?}");
+}
+
+#[test]
+fn send_clean_ignores_unreachable_types() {
+    // An Rc in a type nobody reaches from the serve-critical roots is
+    // not this rule's business (part (b) is reachability-scoped).
+    let files = [
+        SourceFile::new(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod scratch;\n",
+        ),
+        SourceFile::new(
+            "crates/core/src/scratch.rs",
+            "pub struct LocalOnly {\n    cell: Rc<u32>,\n}\n",
+        ),
+    ];
+    assert!(lint(&files).is_empty(), "{:?}", lint(&files));
+}
+
+#[test]
+fn send_clean_static_needs_a_pragma() {
+    let reg = r#"
+[[global]]
+name  = "SCRATCH"
+path  = "crates/grid/src/sim.rs"
+owner = "grid::sim"
+kind  = "thread-local"
+reset = "cleared per campaign"
+"#;
+    let bare = [
+        SourceFile::new("GLOBALS.toml", reg),
+        SourceFile::new(
+            "crates/grid/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod sim;\n",
+        ),
+        SourceFile::new(
+            "crates/grid/src/sim.rs",
+            "thread_local! {\n    static SCRATCH: RefCell<Vec<u32>> = RefCell::new(Vec::new());\n}\n",
+        ),
+    ];
+    let diags = lint(&bare);
+    assert_eq!(rules_of(&diags), vec![Rule::SendClean]);
+    let justified = [
+        bare[0].clone(),
+        bare[1].clone(),
+        SourceFile::new(
+            "crates/grid/src/sim.rs",
+            "thread_local! {\n    // simlint: allow(send-clean) -- thread-confined scratch, never escapes\n    static SCRATCH: RefCell<Vec<u32>> = RefCell::new(Vec::new());\n}\n",
+        ),
+    ];
+    assert!(lint(&justified).is_empty(), "{:?}", lint(&justified));
+}
+
+// ---- float-fold-order -------------------------------------------------
+
+#[test]
+fn float_fold_fires_on_sum_and_fold() {
+    let diags = lint_one(
+        "crates/grid/tests/fix.rs",
+        "let a: f64 = xs.iter().sum();\nlet b = ys.iter().fold(0.0_f64, |acc, x| acc + x);\n",
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec![Rule::FloatFoldOrder, Rule::FloatFoldOrder]
+    );
+}
+
+#[test]
+fn float_fold_ignores_integer_reductions_and_blessed_helpers() {
+    // Integer reductions are order-free.
+    assert!(lint_one(
+        "crates/grid/tests/fix.rs",
+        "let n: u64 = xs.iter().sum();\n"
+    )
+    .is_empty());
+    // The fixed-op-order helpers are the blessed home for float folds.
+    let files = [
+        SourceFile::new(
+            "crates/simcore/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod stats;\n",
+        ),
+        SourceFile::new(
+            "crates/simcore/src/stats.rs",
+            "pub fn mean(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>() / xs.len() as f64\n}\n",
+        ),
+    ];
+    assert!(lint(&files).is_empty(), "{:?}", lint(&files));
+}
+
+#[test]
+fn float_fold_pragma_suppresses() {
+    let diags = lint_one(
+        "crates/grid/tests/fix.rs",
+        "let a: f64 = xs.iter().sum(); // simlint: allow(float-fold-order) -- test statistic over a fixed sample order\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+// ---- mutex-poison -----------------------------------------------------
+
+#[test]
+fn mutex_poison_fires_on_bare_unwrap_only() {
+    let diags = lint_one("crates/core/tests/fix.rs", "let g = m.lock().unwrap();\n");
+    assert_eq!(rules_of(&diags), vec![Rule::MutexPoison]);
+    // Named diagnostics are exactly what the rule wants.
+    assert!(lint_one(
+        "crates/core/tests/fix.rs",
+        "let g = m.lock().expect(\"core::x::M poisoned\");\n"
+    )
+    .is_empty());
+    // A lock() with no unwrap (stdout, try_lock paths) is fine.
+    assert!(lint_one("crates/core/tests/fix.rs", "let g = stdout.lock();\n").is_empty());
+    // Outside the sim crates the idiom is not enforced.
+    assert!(lint_one("crates/bench/tests/fix.rs", "let g = m.lock().unwrap();\n").is_empty());
+}
+
+#[test]
+fn mutex_poison_pragma_needs_a_reason() {
+    let diags = lint_one(
+        "crates/core/tests/fix.rs",
+        "// simlint: allow(mutex-poison)\nlet g = m.lock().unwrap();\n",
+    );
+    assert_eq!(rules_of(&diags), vec![Rule::BadPragma, Rule::MutexPoison]);
+    let diags = lint_one(
+        "crates/core/tests/fix.rs",
+        "// simlint: allow(mutex-poison) -- poison is unreachable, lock scope is panic-free\nlet g = m.lock().unwrap();\n",
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}

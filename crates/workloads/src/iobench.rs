@@ -43,12 +43,12 @@ impl IoBenchReport {
     /// Mean write throughput across sizes.
     pub fn mean_write_bps(&self) -> f64 {
         let n = self.results.len().max(1) as f64;
-        self.results.iter().map(|r| r.write_bps).sum::<f64>() / n
+        self.results.iter().map(|r| r.write_bps).sum::<f64>() / n // simlint: allow(float-fold-order) -- result order is fixed by the config size list
     }
     /// Mean read throughput across sizes.
     pub fn mean_read_bps(&self) -> f64 {
         let n = self.results.len().max(1) as f64;
-        self.results.iter().map(|r| r.read_bps).sum::<f64>() / n
+        self.results.iter().map(|r| r.read_bps).sum::<f64>() / n // simlint: allow(float-fold-order) -- result order is fixed by the config size list
     }
     /// Combined score: mean of read and write throughput (the scalar the
     /// relative Figure 3 normalizes).

@@ -91,6 +91,7 @@ impl Kernel for Fourier {
     fn run(&self, ops: &mut OpCounter) -> u64 {
         let coeffs = coefficients(self.terms, self.steps, ops);
         // Checksum: quantized coefficient sum.
+        // simlint: allow(float-fold-order) -- integer checksum fold; terms are quantized before accumulation
         coeffs.iter().fold(0u64, |acc, &(a, b)| {
             acc.wrapping_mul(31)
                 .wrapping_add(((a + b) * 1e6) as i64 as u64)

@@ -200,10 +200,10 @@ mod tests {
         let n = a.n;
         (0..n)
             .map(|i| {
-                let ax: f64 = (0..n).map(|j| a.at(i, j) * x[j]).sum();
+                let ax: f64 = (0..n).map(|j| a.at(i, j) * x[j]).sum(); // simlint: allow(float-fold-order) -- fixed-index dot product; op order is part of the kernel contract
                 (ax - b[i]).abs()
             })
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max) // simlint: allow(float-fold-order) -- running max, order-insensitive
     }
 
     #[test]

@@ -199,7 +199,7 @@ mod tests {
         let first: f64 = pats
             .iter()
             .map(|(x, t)| net.train_step(x, t, 0.5, &mut ops))
-            .sum();
+            .sum(); // simlint: allow(float-fold-order) -- training passes run in fixed pattern order
         for _ in 0..300 {
             for (x, t) in &pats {
                 net.train_step(x, t, 0.5, &mut ops);
@@ -208,7 +208,7 @@ mod tests {
         let last: f64 = pats
             .iter()
             .map(|(x, t)| net.train_step(x, t, 0.5, &mut ops))
-            .sum();
+            .sum(); // simlint: allow(float-fold-order) -- training passes run in fixed pattern order
         assert!(
             last < first * 0.5,
             "training failed to learn: {first} -> {last}"

@@ -56,8 +56,8 @@ proptest! {
         let (mut re, mut im) = (re0.clone(), im0.clone());
         let mut ops = OpCounter::new();
         fft(&mut re, &mut im, &mut ops);
-        let e_time: f64 = re0.iter().zip(&im0).map(|(r, i)| r * r + i * i).sum();
-        let e_freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+        let e_time: f64 = re0.iter().zip(&im0).map(|(r, i)| r * r + i * i).sum(); // simlint: allow(float-fold-order) -- test statistic over a fixed sample order
+        let e_freq: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum(); // simlint: allow(float-fold-order) -- test statistic over a fixed sample order
         prop_assert!((e_freq - n as f64 * e_time).abs() < 1e-6 * (1.0 + e_freq.abs()));
     }
 
@@ -101,7 +101,7 @@ proptest! {
         let f = lu::decompose(&a, &mut ops).expect("non-singular");
         let x = lu::solve(&f, &b, &mut ops);
         for (i, &bi) in b.iter().enumerate() {
-            let ax: f64 = (0..n).map(|j| a.data[i * n + j] * x[j]).sum();
+            let ax: f64 = (0..n).map(|j| a.data[i * n + j] * x[j]).sum(); // simlint: allow(float-fold-order) -- fixed-index dot product in a test assertion
             prop_assert!((ax - bi).abs() < 1e-8);
         }
     }

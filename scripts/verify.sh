@@ -53,7 +53,7 @@ step "cargo fmt --check" \
 step "cargo clippy (default members, -D warnings)" \
   cargo clippy --all-targets -- -D warnings
 
-step "simlint (determinism contract: exit 0 = clean, 1 = violations)" \
+step "simlint (determinism + shared-state contracts: exit 0 = clean, 1 = violations)" \
   cargo run -q -p simlint
 
 step "cargo build --workspace (includes bench crate + shims)" \
