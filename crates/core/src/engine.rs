@@ -28,7 +28,7 @@ use std::sync::{Mutex, OnceLock};
 
 use crate::parallel::parallel_map;
 use crate::testbed::{install_einstein_vm, Fidelity, KernelLoop};
-use vgrid_grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid_grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig, RunOptions};
 use vgrid_machine::ops::OpBlock;
 use vgrid_machine::MachineSpec;
 use vgrid_os::{Action, Priority, System, SystemConfig, ThreadBody, ThreadCtx};
@@ -256,7 +256,7 @@ impl TrialSpec {
     /// miss still fast-forwards: the grid layer's trajectory cache
     /// (`vgrid_grid::fastforward`) resumes the campaign from the
     /// longest stored prefix snapshot of the same configuration.
-    fn cache_key(&self) -> TrialKey {
+    fn cache_key(&self, options: &RunOptions) -> TrialKey {
         let digest = |s: String| fnv1a64(s.as_bytes());
         TrialKey {
             env: digest(format!("{:?}", self.env)),
@@ -265,7 +265,7 @@ impl TrialSpec {
             repetitions: self.repetitions,
             base_seed: self.base_seed,
             fidelity: digest(format!("{:?}", self.fidelity)),
-            per_quantum_ref: vgrid_os::per_quantum_reference_forced(),
+            per_quantum_ref: options.per_quantum_reference(),
         }
     }
 
@@ -273,7 +273,7 @@ impl TrialSpec {
     /// tests can pin that the structured key partitions specs exactly
     /// like the string it replaced.
     #[cfg(test)]
-    fn legacy_cache_key(&self) -> String {
+    fn legacy_cache_key(&self, options: &RunOptions) -> String {
         format!(
             "{:?}|{:?}|{:?}|{}|{:#x}|{:?}|ref={}",
             self.env,
@@ -282,7 +282,7 @@ impl TrialSpec {
             self.repetitions,
             self.base_seed,
             self.fidelity,
-            vgrid_os::per_quantum_reference_forced(),
+            options.per_quantum_reference(),
         )
     }
 }
@@ -396,16 +396,34 @@ impl Engine {
     }
 
     /// Run every spec, fanning all repetitions of all uncached trials
-    /// out over the scoped thread pool.
+    /// out over the scoped thread pool. Execution options come from the
+    /// deprecated process globals ([`RunOptions::from_globals`]); new
+    /// callers should prefer [`Engine::run_trials_with`].
     pub fn run_trials(&self, specs: &[TrialSpec]) -> Vec<TrialResult> {
-        self.run_impl(specs, true)
+        self.run_impl(specs, true, &RunOptions::from_globals())
     }
 
     /// Sequential twin of [`Engine::run_trials`]: same seeds, same fold
     /// order, one thread. Exists so tests can pin the parallel path to
     /// bit-identical statistics.
     pub fn run_trials_seq(&self, specs: &[TrialSpec]) -> Vec<TrialResult> {
-        self.run_impl(specs, false)
+        self.run_impl(specs, false, &RunOptions::from_globals())
+    }
+
+    /// [`Engine::run_trials`] with explicit execution options instead of
+    /// the ambient process globals, so concurrent callers (the serve
+    /// worker pool) can run different modes side by side.
+    pub fn run_trials_with(&self, specs: &[TrialSpec], options: &RunOptions) -> Vec<TrialResult> {
+        self.run_impl(specs, true, options)
+    }
+
+    /// Sequential twin of [`Engine::run_trials_with`].
+    pub fn run_trials_seq_with(
+        &self,
+        specs: &[TrialSpec],
+        options: &RunOptions,
+    ) -> Vec<TrialResult> {
+        self.run_impl(specs, false, options)
     }
 
     /// Convenience for a single spec.
@@ -415,7 +433,12 @@ impl Engine {
             .expect("one spec yields one result")
     }
 
-    fn run_impl(&self, specs: &[TrialSpec], parallel: bool) -> Vec<TrialResult> {
+    fn run_impl(
+        &self,
+        specs: &[TrialSpec],
+        parallel: bool,
+        options: &RunOptions,
+    ) -> Vec<TrialResult> {
         // Observed runs publish per-repetition telemetry as jobs
         // complete; run them sequentially so publication order is the
         // deterministic job order rather than thread-scheduling order.
@@ -425,7 +448,7 @@ impl Engine {
         {
             let cache = self.cache.lock().expect("engine trial cache poisoned");
             for (i, spec) in specs.iter().enumerate() {
-                let key = spec.cache_key();
+                let key = spec.cache_key(options);
                 let hit = cache.get(&key);
                 crate::obs::note_trial(&spec.label, &key.to_string(), hit.is_some());
                 match hit {
@@ -450,11 +473,11 @@ impl Engine {
         let observations: Vec<Vec<f64>> = if parallel {
             parallel_map(jobs.len(), |j| {
                 let (i, rep) = jobs[j];
-                run_one(&specs[i], specs[i].seed_for(rep))
+                run_one(&specs[i], specs[i].seed_for(rep), options)
             })
         } else {
             jobs.iter()
-                .map(|&(i, rep)| run_one(&specs[i], specs[i].seed_for(rep)))
+                .map(|&(i, rep)| run_one(&specs[i], specs[i].seed_for(rep), options))
                 .collect()
         };
 
@@ -482,7 +505,7 @@ impl Engine {
             self.cache
                 .lock()
                 .expect("engine trial cache poisoned")
-                .insert(spec.cache_key(), result.clone());
+                .insert(spec.cache_key(options), result.clone());
             out[i] = Some(result);
         }
         out.into_iter()
@@ -502,13 +525,19 @@ impl ThreadBody for Hog {
     }
 }
 
-fn system_for(spec: &TrialSpec, seed: u64) -> System {
+fn system_for(spec: &TrialSpec, seed: u64, options: &RunOptions) -> System {
+    // `testbed` snapshots the deprecated scheduler global; the options
+    // value is authoritative here so concurrent runs can differ.
+    let base = SystemConfig {
+        coalesce: !options.per_quantum_reference(),
+        ..SystemConfig::testbed(seed)
+    };
     let mut sys = match &spec.machine {
         Some(machine) => System::new(SystemConfig {
             machine: machine.clone(),
-            ..SystemConfig::testbed(seed)
+            ..base
         }),
-        None => System::new(SystemConfig::testbed(seed)),
+        None => System::new(base),
     };
     // Observed runs record the full event stream; emission stays a
     // single `is_enabled` branch everywhere else, so bench event
@@ -547,9 +576,9 @@ fn install_background_vm(
 
 /// Execute one repetition of `spec` with the given seed; returns one
 /// value per metric, in [`KernelSpec::metric_names`] order. Pure
-/// function of `(spec, seed)` — this is what makes engine runs
-/// deterministic and cacheable.
-fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
+/// function of `(spec, seed, options)` — this is what makes engine
+/// runs deterministic and cacheable.
+fn run_one(spec: &TrialSpec, seed: u64, options: &RunOptions) -> Vec<f64> {
     let fidelity = spec.fidelity;
     match &spec.kernel {
         KernelSpec::Campaign {
@@ -569,7 +598,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
                 .horizon(*horizon)
                 .build()
                 .unwrap_or_else(|e| panic!("trial {:?}: {e}", spec.label))
-                .run_seq();
+                .run_seq_with(options);
             let r = &result.reports()[0];
             crate::obs::observe_campaign_run(&spec.label, seed, r);
             vec![
@@ -587,7 +616,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             ]
         }
         KernelSpec::OpLoop { block, iters } => {
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let (body, span) = KernelLoop::new(block.clone(), *iters);
             let vm = match &spec.env {
                 Environment::Native => {
@@ -629,7 +658,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             vec![t1.since(t0).as_secs_f64()]
         }
         KernelSpec::IoBench(cfg) => {
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let (body, report) = IoBenchBody::new(cfg.clone());
             let vm = run_bench_in_env(&mut sys, &spec.env, "iobench", Box::new(body));
             record_loop_stats(&sys);
@@ -639,7 +668,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             vec![r.score_bps()]
         }
         KernelSpec::NetBench(cfg) => {
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let (body, report) = NetBenchBody::new(cfg.clone());
             let vm = run_bench_in_env(&mut sys, &spec.env, "netbench", Box::new(body));
             record_loop_stats(&sys);
@@ -649,7 +678,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             vec![r.mbps]
         }
         KernelSpec::NBench { suite, per_test } => {
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let vm = install_background_vm(&mut sys, &spec.env, fidelity);
             let (body, report) = NBenchBody::new(suite.clone(), *per_test);
             sys.spawn("nbench", Priority::Normal, Box::new(body));
@@ -668,7 +697,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             ]
         }
         KernelSpec::SevenZHost(cfg) => {
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let vm = install_background_vm(&mut sys, &spec.env, fidelity);
             let (body, report) = SevenZBody::new(cfg.clone(), Priority::Normal);
             sys.spawn("7z", Priority::Normal, Box::new(body));
@@ -686,7 +715,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             let Environment::Guest { profile, vnic } = &spec.env else {
                 panic!("Footprint measures a guest VM");
             };
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let guest = GuestVm::new(guest_config(profile, *vnic), sys.machine());
             let vm = Vm::install(
                 &mut sys,
@@ -701,7 +730,7 @@ fn run_one(spec: &TrialSpec, seed: u64) -> Vec<f64> {
             let Environment::HostUnderVm { profile, priority } = &spec.env else {
                 panic!("ClockLag measures a VM's guest clock");
             };
-            let mut sys = system_for(spec, seed);
+            let mut sys = system_for(spec, seed, options);
             let vm = install_einstein_vm(&mut sys, profile, *priority, fidelity);
             // Saturate both cores so a low-priority vCPU starves.
             sys.spawn("hog1", Priority::Normal, Box::new(Hog));
@@ -818,8 +847,14 @@ mod tests {
             )
             .seed(seed)
         };
-        assert_eq!(mk("a", 1).cache_key(), mk("b", 1).cache_key());
-        assert_ne!(mk("a", 1).cache_key(), mk("a", 2).cache_key());
+        assert_eq!(
+            mk("a", 1).cache_key(&RunOptions::default()),
+            mk("b", 1).cache_key(&RunOptions::default())
+        );
+        assert_ne!(
+            mk("a", 1).cache_key(&RunOptions::default()),
+            mk("a", 2).cache_key(&RunOptions::default())
+        );
     }
 
     /// A family of specs varying every identity axis, for the key
@@ -905,8 +940,9 @@ mod tests {
         for (i, a) in specs.iter().enumerate() {
             for b in specs.iter().skip(i) {
                 assert_eq!(
-                    a.legacy_cache_key() == b.legacy_cache_key(),
-                    a.cache_key() == b.cache_key(),
+                    a.legacy_cache_key(&RunOptions::default())
+                        == b.legacy_cache_key(&RunOptions::default()),
+                    a.cache_key(&RunOptions::default()) == b.cache_key(&RunOptions::default()),
                     "old and new keys disagree for {:?} vs {:?}",
                     a.label,
                     b.label,
@@ -928,15 +964,15 @@ mod tests {
         for (i, a) in distinct.iter().enumerate() {
             for b in distinct.iter().skip(i + 1) {
                 assert_ne!(
-                    a.cache_key(),
-                    b.cache_key(),
+                    a.cache_key(&RunOptions::default()),
+                    b.cache_key(&RunOptions::default()),
                     "key collision between {:?} and {:?}",
                     a.label,
                     b.label,
                 );
                 assert_ne!(
-                    a.cache_key().to_string(),
-                    b.cache_key().to_string(),
+                    a.cache_key(&RunOptions::default()).to_string(),
+                    b.cache_key(&RunOptions::default()).to_string(),
                     "display collision between {:?} and {:?}",
                     a.label,
                     b.label,

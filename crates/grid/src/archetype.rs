@@ -189,7 +189,14 @@ pub fn memoized_vm_cpu_factor(mode: &ExecutionMode) -> f64 {
 /// cache (keyed per contention-steady configuration); the kill switch
 /// falls back to the per-mode dilation memo alone.
 pub fn solve(deploy: &DeployConfig) -> SegmentSolution {
-    if crate::fastforward::enabled() {
+    solve_with(deploy, crate::fastforward::enabled())
+}
+
+/// [`solve`] with the fast-forward switch threaded as a value instead
+/// of read from the process global, so concurrent runs can differ in
+/// mode (`RunOptions::fastforward`).
+pub fn solve_with(deploy: &DeployConfig, fastforward: bool) -> SegmentSolution {
+    if fastforward {
         return crate::fastforward::segment_solution(deploy);
     }
     SegmentSolution {

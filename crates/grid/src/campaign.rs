@@ -26,7 +26,8 @@ use crate::checkpoint::write_overhead_frac;
 use crate::error::Error;
 use crate::faults::ChurnConfig;
 use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
-use crate::sim::{hydrated_reference_forced, run_campaign_substrate, vm_cpu_factor, SubstrateMode};
+use crate::options::RunOptions;
+use crate::sim::{run_campaign_substrate, vm_cpu_factor, SubstrateMode};
 use vgrid_simcore::{OnlineStats, RepetitionRunner, SimTime, Summary};
 
 /// Base seed used when the spec does not set one; matches the engine's
@@ -295,11 +296,11 @@ impl Campaign {
         }
     }
 
-    fn run_rep(&self, rep: u32) -> GridReport {
-        let substrate = if self.spec.hydrated_reference || hydrated_reference_forced() {
+    fn run_rep(&self, rep: u32, options: &RunOptions) -> GridReport {
+        let substrate = if self.spec.hydrated_reference {
             SubstrateMode::HydratedReference
         } else {
-            SubstrateMode::Batched
+            options.substrate
         };
         run_campaign_substrate(
             &self.spec.project,
@@ -309,32 +310,48 @@ impl Campaign {
             self.seed_for(rep),
             self.spec.horizon,
             substrate,
+            options.fastforward,
         )
     }
 
     /// Run all repetitions on scoped threads; statistics fold in
     /// repetition order, so the result is bit-identical to
-    /// [`Campaign::run_seq`].
+    /// [`Campaign::run_seq`]. Deprecated-shim entry point: snapshots
+    /// the process-global mode toggles into a [`RunOptions`].
     pub fn run(&self) -> CampaignResult {
+        self.run_with(&RunOptions::from_globals())
+    }
+
+    /// Run all repetitions on the calling thread, with the mode
+    /// switches taken from the process globals.
+    pub fn run_seq(&self) -> CampaignResult {
+        self.run_seq_with(&RunOptions::from_globals())
+    }
+
+    /// Run all repetitions on scoped threads under explicit typed
+    /// options — the entry point concurrent server requests use, so
+    /// requests can differ in mode without touching process state.
+    pub fn run_with(&self, options: &RunOptions) -> CampaignResult {
         let reps = self.spec.repetitions.max(1);
         if reps == 1 {
-            return self.run_seq();
+            return self.run_seq_with(options);
         }
         let mut reports: Vec<Option<GridReport>> = (0..reps).map(|_| None).collect();
         std::thread::scope(|scope| {
             for (rep, slot) in reports.iter_mut().enumerate() {
                 scope.spawn(move || {
-                    *slot = Some(self.run_rep(rep as u32));
+                    *slot = Some(self.run_rep(rep as u32, options));
                 });
             }
         });
         self.fold(reports.into_iter().map(|r| r.expect("rep ran")).collect())
     }
 
-    /// Run all repetitions on the calling thread.
-    pub fn run_seq(&self) -> CampaignResult {
+    /// Sequential twin of [`Campaign::run_with`]: same seeds, same fold
+    /// order, one thread.
+    pub fn run_seq_with(&self, options: &RunOptions) -> CampaignResult {
         let reps = self.spec.repetitions.max(1);
-        self.fold((0..reps).map(|rep| self.run_rep(rep)).collect())
+        self.fold((0..reps).map(|rep| self.run_rep(rep, options)).collect())
     }
 
     fn fold(&self, reports: Vec<GridReport>) -> CampaignResult {
@@ -491,6 +508,7 @@ mod tests {
             9,
             spec.horizon,
             SubstrateMode::Batched,
+            true,
         );
         assert_eq!(via_campaign, direct);
     }

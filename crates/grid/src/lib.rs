@@ -61,7 +61,9 @@ pub mod fastforward;
 pub mod faults;
 pub mod hydrate;
 pub mod model;
+pub mod options;
 pub mod sim;
+pub mod wire;
 
 pub use archetype::{ArchetypeKey, SegmentSolution};
 pub use campaign::{Campaign, CampaignResult, CampaignSpec};
@@ -72,4 +74,6 @@ pub use fastforward::{force_no_fastforward, reset_all, FastForwardStats};
 pub use faults::ChurnConfig;
 pub use hydrate::{HydrationPool, HydrationStats};
 pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
+pub use options::{RunOptions, SchedulerMode};
 pub use sim::{force_hydrated_reference, hydrated_reference_forced, vm_cpu_factor, SubstrateMode};
+pub use wire::{WireError, WireErrorKind, WireRequest};

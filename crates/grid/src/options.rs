@@ -1,0 +1,129 @@
+//! Typed per-run execution options.
+//!
+//! Historically the three execution-mode switches were process globals
+//! set once by the CLI (`vgrid_os::force_per_quantum_reference`,
+//! [`crate::sim::force_hydrated_reference`],
+//! [`crate::fastforward::force_no_fastforward`]). A long-running server
+//! cannot use process globals: two concurrent requests may legitimately
+//! ask for different modes. [`RunOptions`] carries the same three
+//! switches as a value, threaded through [`crate::Campaign::run_with`]
+//! and the engine entry points, so every run is a pure function of
+//! `(spec, seed, options)` with no ambient mode state.
+//!
+//! The globals survive as deprecated CLI shims: the no-argument entry
+//! points ([`crate::Campaign::run`], `Engine::run_trials`) snapshot
+//! them via [`RunOptions::from_globals`], which the `options_shims`
+//! integration test pins bit-identical to the explicit-options path.
+
+use crate::sim::SubstrateMode;
+
+/// Scheduler execution mode for `vgrid_os::System`-backed trials: the
+/// typed twin of `vgrid_os::force_per_quantum_reference`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchedulerMode {
+    /// Slice-coalescing fast path (the default).
+    Coalesced,
+    /// Materialize every quantum boundary as a real event
+    /// (`--per-quantum-reference`). Bit-identical by contract.
+    PerQuantumReference,
+}
+
+/// Execution options for one campaign or trial run. Defaults reproduce
+/// the production configuration: coalesced scheduler, batched host
+/// substrate, fast-forward caches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Scheduler execution mode (engine trials; grid campaigns run on
+    /// the desktop-grid simulator and ignore this switch).
+    pub scheduler: SchedulerMode,
+    /// Grid host substrate (`--hydrated-reference` selects the
+    /// reference substrate).
+    pub substrate: SubstrateMode,
+    /// Whether the analytic fast-forward caches are consulted
+    /// (`--no-fastforward` disables them). Results are bit-identical
+    /// either way; the switch exists for A/B cache pricing.
+    pub fastforward: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scheduler: SchedulerMode::Coalesced,
+            substrate: SubstrateMode::Batched,
+            fastforward: true,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Snapshot the three deprecated process globals into a typed
+    /// options value. The no-argument run entry points call this, so
+    /// the legacy CLI flags keep working unchanged.
+    pub fn from_globals() -> Self {
+        RunOptions {
+            scheduler: if vgrid_os::per_quantum_reference_forced() {
+                SchedulerMode::PerQuantumReference
+            } else {
+                SchedulerMode::Coalesced
+            },
+            substrate: if crate::sim::hydrated_reference_forced() {
+                SubstrateMode::HydratedReference
+            } else {
+                SubstrateMode::Batched
+            },
+            fastforward: crate::fastforward::enabled(),
+        }
+    }
+
+    /// Set the scheduler mode.
+    pub fn scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Set the grid host substrate.
+    pub fn substrate(mut self, substrate: SubstrateMode) -> Self {
+        self.substrate = substrate;
+        self
+    }
+
+    /// Enable or disable the fast-forward caches.
+    pub fn fastforward(mut self, on: bool) -> Self {
+        self.fastforward = on;
+        self
+    }
+
+    /// True when the per-quantum scheduler reference is selected.
+    pub fn per_quantum_reference(&self) -> bool {
+        self.scheduler == SchedulerMode::PerQuantumReference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_production() {
+        let o = RunOptions::default();
+        assert_eq!(o.scheduler, SchedulerMode::Coalesced);
+        assert_eq!(o.substrate, SubstrateMode::Batched);
+        assert!(o.fastforward);
+        assert!(!o.per_quantum_reference());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = RunOptions::default()
+            .scheduler(SchedulerMode::PerQuantumReference)
+            .substrate(SubstrateMode::HydratedReference)
+            .fastforward(false);
+        assert!(o.per_quantum_reference());
+        assert_eq!(o.substrate, SubstrateMode::HydratedReference);
+        assert!(!o.fastforward);
+    }
+
+    // `from_globals` is pinned against the actual globals by the
+    // `options_shims` integration test, which owns a whole process and
+    // so can mutate the deprecated toggles without racing other tests.
+}

@@ -228,8 +228,9 @@ pub fn hydrated_reference_forced() -> bool {
 /// units validate or at `horizon`. The campaign API
 /// ([`crate::campaign::Campaign`]) is the public entry point.
 ///
-/// On the batched substrate with fast-forward enabled (the default),
-/// the trial first consults the process-wide trajectory cache: a stored
+/// On the batched substrate with `ff` (fast-forward) set — the
+/// default, threaded down from `RunOptions::fastforward` — the trial
+/// first consults the process-wide trajectory cache: a stored
 /// loop-exit snapshot of the same configuration at a horizon at or
 /// below the requested one resumes mid-stream instead of replaying
 /// from t=0 (see [`crate::fastforward`]). Resumed and cold runs are
@@ -243,10 +244,11 @@ pub(crate) fn run_campaign_substrate(
     seed: u64,
     horizon: SimTime,
     substrate: SubstrateMode,
+    ff: bool,
 ) -> GridReport {
     match substrate {
         SubstrateMode::Batched => {
-            if fastforward::enabled() {
+            if ff {
                 let key = fastforward::trajectory_key(project, pool, deploy, churn, seed);
                 if let Some(ckpt) = fastforward::trajectory_lookup(&key, horizon) {
                     return resume_campaign(project, pool, deploy, churn, horizon, &key, ckpt);
@@ -259,6 +261,7 @@ pub(crate) fn run_campaign_substrate(
                     seed,
                     horizon,
                     substrate,
+                    true,
                     CalendarQueue::new(),
                     Some(&key),
                 )
@@ -271,6 +274,7 @@ pub(crate) fn run_campaign_substrate(
                     seed,
                     horizon,
                     substrate,
+                    false,
                     CalendarQueue::new(),
                     None,
                 )
@@ -284,6 +288,7 @@ pub(crate) fn run_campaign_substrate(
             seed,
             horizon,
             substrate,
+            ff,
             EventQueue::new(),
             None,
         ),
@@ -371,6 +376,7 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
     seed: u64,
     horizon: SimTime,
     substrate: SubstrateMode,
+    ff: bool,
     mut q: Q,
     store_key: Option<&str>,
 ) -> GridReport {
@@ -379,7 +385,9 @@ fn run_campaign_on<Q: EventScheduler<Ev>>(
         backoff: BackoffPolicy::default(),
         on: !churn.is_off(),
     };
-    let mut st = init_state(project, pool, deploy, churn, seed, substrate, &fctx, &mut q);
+    let mut st = init_state(
+        project, pool, deploy, churn, seed, substrate, ff, &fctx, &mut q,
+    );
     let carried = run_loop(&mut st, &mut q, project, pool, deploy, &fctx, horizon);
     store_and_finalize(st, q, carried, project, deploy, horizon, store_key)
 }
@@ -394,6 +402,7 @@ fn init_state<Q: EventScheduler<Ev>>(
     churn: &ChurnConfig,
     seed: u64,
     substrate: SubstrateMode,
+    ff: bool,
     fctx: &FaultCtx<'_>,
     q: &mut Q,
 ) -> SimState {
@@ -403,7 +412,7 @@ fn init_state<Q: EventScheduler<Ev>>(
     // scratch. Both produce bit-identical constants (the memo stores
     // only solver *inputs* — see `crate::archetype`).
     let solution = match substrate {
-        SubstrateMode::Batched => archetype::solve(deploy),
+        SubstrateMode::Batched => archetype::solve_with(deploy, ff),
         SubstrateMode::HydratedReference => archetype::solve_direct(deploy),
     };
     let vm_factor = solution.vm_factor;
@@ -421,7 +430,7 @@ fn init_state<Q: EventScheduler<Ev>>(
 
     // The fast-forward layers serve only the batched substrate; the
     // reference substrate (and the kill switch) recompute everything.
-    let fast = substrate == SubstrateMode::Batched && fastforward::enabled();
+    let fast = substrate == SubstrateMode::Batched && ff;
 
     // Lazy-hydration pool: full-fidelity probe systems materialized in
     // windows around interesting events, cross-checking the analytic
@@ -1314,6 +1323,7 @@ mod tests {
             seed,
             horizon,
             SubstrateMode::Batched,
+            true,
         )
     }
 
@@ -1385,6 +1395,7 @@ mod tests {
                 seed,
                 h,
                 SubstrateMode::HydratedReference,
+                true,
             )
         };
         let warm = |h| run_impl(&project, &pool, &deploy, &churn, seed, h);
@@ -1436,6 +1447,7 @@ mod tests {
                         9,
                         horizon(),
                         substrate,
+                        true,
                     )
                 };
                 let batched = run(SubstrateMode::Batched);

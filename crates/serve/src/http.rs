@@ -1,0 +1,260 @@
+//! Minimal HTTP/1.1 framing for the serve endpoint.
+//!
+//! Hand-rolled on purpose: the workspace is dependency-free, and the
+//! service needs exactly one verb pair (`GET`/`POST`), fixed routes,
+//! `Content-Length` bodies, and `Connection: close` per request.
+//! Nothing here touches the host clock; connection lifetimes are
+//! driven entirely by reads, writes, and the shutdown endpoint.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A protocol-level rejection, mapped straight to a status line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code to send.
+    pub status: u16,
+    /// Human-readable detail for the error document.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, verbatim (`GET`, `POST`).
+    pub method: String,
+    /// Request path, verbatim (`/v1/campaign`).
+    pub path: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// First value of the named header (name given lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from `stream`.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Result<HttpRequest, HttpError>> {
+    // Byte-at-a-time until the blank line; request heads are tiny and
+    // this keeps the reader from consuming body bytes.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Ok(Err(HttpError {
+                status: 431,
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            }));
+        }
+        match stream.read(&mut byte)? {
+            0 => {
+                if head.is_empty() {
+                    // Peer connected and said nothing; nothing to answer.
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before a request line",
+                    ));
+                }
+                return Ok(Err(HttpError::bad("connection closed mid-head")));
+            }
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = match String::from_utf8(head) {
+        Ok(h) => h,
+        Err(_) => return Ok(Err(HttpError::bad("request head is not UTF-8"))),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Ok(Err(HttpError::bad(format!(
+                "malformed request line {request_line:?}"
+            ))))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Ok(Err(HttpError {
+            status: 505,
+            message: format!("unsupported protocol version {version:?}"),
+        }));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(Err(HttpError::bad(format!("malformed header {line:?}"))));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: String::new(),
+    };
+    if let Some(raw) = req.header("content-length") {
+        let len: usize = match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                return Ok(Err(HttpError::bad(format!(
+                    "invalid Content-Length {raw:?}"
+                ))))
+            }
+        };
+        if len > MAX_BODY_BYTES {
+            return Ok(Err(HttpError {
+                status: 413,
+                message: format!("body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+            }));
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+        req.body = match String::from_utf8(body) {
+            Ok(b) => b,
+            Err(_) => return Ok(Err(HttpError::bad("request body is not UTF-8"))),
+        };
+    }
+    Ok(Ok(req))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write one JSON response and flush. Header order is fixed so
+/// captured exchanges (golden fixtures, smoke scripts) are stable;
+/// `extra_headers` land after the standard set.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Length: {}\r\nContent-Type: application/json\r\n",
+        status_text(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec())).expect("io ok")
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /v1/campaign HTTP/1.1\r\nHost: x\r\nX-Vgrid-Tenant: alice\r\nContent-Length: 4\r\n\r\n{\"a\"",
+        )
+        .expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/campaign");
+        assert_eq!(req.header("x-vgrid-tenant"), Some("alice"));
+        assert_eq!(req.body, "{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /v1/health HTTP/1.1\r\n\r\n").expect("valid request");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let e = parse("NONSENSE\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        let e = parse("GET /x HTTP/1.1 extra\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let e = parse(&format!(
+            "POST /v1/campaign HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ))
+        .unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn rejects_unknown_protocol_version() {
+        let e = parse("GET / SPDY/9\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 505);
+    }
+
+    #[test]
+    fn response_framing_is_stable() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            &[("X-Vgrid-Cross-Hit", "1".to_string())],
+            "{}\n",
+        )
+        .expect("write ok");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 3\r\nContent-Type: application/json\r\nX-Vgrid-Cross-Hit: 1\r\n\r\n{}\n"
+        );
+    }
+
+    #[test]
+    fn empty_connection_is_io_eof() {
+        let err = read_request(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -73,6 +73,7 @@ pub const SIM_CRATES: &[&str] = &[
     "workloads",
     "grid",
     "core",
+    "serve",
 ];
 
 /// Crates allowed to read host wall-clock time: the in-repo criterion

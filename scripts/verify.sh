@@ -47,6 +47,13 @@ churn_smoke() {
   cargo run -q --release --bin vgrid -- run grid-churn > /dev/null
 }
 
+# Live wire smoke (DESIGN.md §15): served responses must be
+# byte-identical to `vgrid campaign --spec` output for the golden
+# request fixtures. Shared with CI's dedicated serve-smoke lane.
+serve_smoke() {
+  ./scripts/serve_smoke.sh
+}
+
 step "cargo fmt --check" \
   cargo fmt --all -- --check
 
@@ -70,6 +77,9 @@ step "EXPERIMENTS.md byte-identity (zero churn must not move any figure)" \
 
 step "fig1 metrics manifest byte-identity (tests/golden/fig1.metrics.json)" \
   metrics_identity
+
+step "serve smoke (live server vs campaign --spec, byte-identical)" \
+  serve_smoke
 
 echo
 echo "step wall times (reported only, never gated):"

@@ -1,0 +1,206 @@
+//! Declarative CLI argument parsing shared by every `vgrid` subcommand.
+//!
+//! Each subcommand declares its flag table once; [`parse`] walks the
+//! raw argument list against it and either produces a [`ParsedArgs`]
+//! bag or a diagnosis naming the unknown flag *and* the flags the
+//! command does accept. This replaces the old per-command `flag_value`
+//! scans, which silently ignored misspelled flags — `--voluneers 500`
+//! used to run a 100-volunteer campaign without a word.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One flag a subcommand accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// Full flag name including the leading dashes (`"--seed"`).
+    pub name: &'static str,
+    /// Whether the flag consumes a value argument (`--seed 7`) or is a
+    /// boolean switch (`--migrate`).
+    pub takes_value: bool,
+}
+
+impl FlagSpec {
+    /// A flag that consumes the following argument as its value.
+    pub const fn value(name: &'static str) -> Self {
+        FlagSpec {
+            name,
+            takes_value: true,
+        }
+    }
+
+    /// A boolean switch.
+    pub const fn switch(name: &'static str) -> Self {
+        FlagSpec {
+            name,
+            takes_value: false,
+        }
+    }
+}
+
+/// A rejected argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The diagnosis, including the accepted-flag list.
+    pub message: String,
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments of one subcommand invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+    positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Raw value of a `--flag value` pair, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// Arguments that were not flags, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Typed accessor: parse the flag's value as `T`, with a diagnosis
+    /// naming the flag on failure. `Ok(None)` when the flag is absent.
+    pub fn parsed<T: FromStr>(&self, name: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|e| ArgError {
+                message: format!("invalid value {raw:?} for {name}: {e}"),
+            }),
+        }
+    }
+}
+
+fn known_flags(flags: &[FlagSpec]) -> String {
+    if flags.is_empty() {
+        return "this command takes no flags".to_string();
+    }
+    let names: Vec<&str> = flags.iter().map(|f| f.name).collect();
+    format!("known flags: {}", names.join(", "))
+}
+
+/// Parse `args` against a subcommand's flag table. Unknown flags and
+/// flags missing their value are errors, not silently dropped.
+pub fn parse(command: &str, args: &[String], flags: &[FlagSpec]) -> Result<ParsedArgs, ArgError> {
+    let mut out = ParsedArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(spec) = flags.iter().find(|f| f.name == *arg) {
+            if spec.takes_value {
+                let value = args.get(i + 1).ok_or_else(|| ArgError {
+                    message: format!("vgrid {command}: {} expects a value", spec.name),
+                })?;
+                // Last occurrence wins, matching the old scan loops.
+                out.values.retain(|(n, _)| *n != spec.name);
+                out.values.push((spec.name, value.clone()));
+                i += 2;
+            } else {
+                if !out.switches.contains(&spec.name) {
+                    out.switches.push(spec.name);
+                }
+                i += 1;
+            }
+        } else if arg.starts_with('-') && arg.len() > 1 {
+            return Err(ArgError {
+                message: format!(
+                    "vgrid {command}: unknown flag {arg:?} ({})",
+                    known_flags(flags)
+                ),
+            });
+        } else {
+            out.positionals.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    const FLAGS: &[FlagSpec] = &[
+        FlagSpec::value("--seed"),
+        FlagSpec::value("--volunteers"),
+        FlagSpec::switch("--migrate"),
+    ];
+
+    #[test]
+    fn values_switches_and_positionals_separate() {
+        let p = parse(
+            "campaign",
+            &to_args(&["qemu", "--seed", "7", "--migrate"]),
+            FLAGS,
+        )
+        .expect("valid args");
+        assert_eq!(p.value("--seed"), Some("7"));
+        assert!(p.switch("--migrate"));
+        assert!(!p.switch("--seed"));
+        assert_eq!(p.positionals(), &["qemu".to_string()]);
+    }
+
+    #[test]
+    fn unknown_flags_are_diagnosed_with_the_known_set() {
+        let e = parse("campaign", &to_args(&["--voluneers", "500"]), FLAGS).unwrap_err();
+        assert!(e.message.contains("--voluneers"), "{e}");
+        assert!(e.message.contains("--volunteers"), "{e}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = parse("campaign", &to_args(&["--seed"]), FLAGS).unwrap_err();
+        assert!(e.message.contains("expects a value"), "{e}");
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let p = parse("campaign", &to_args(&["--seed", "1", "--seed", "2"]), FLAGS)
+            .expect("valid args");
+        assert_eq!(p.value("--seed"), Some("2"));
+    }
+
+    #[test]
+    fn typed_accessor_parses_and_diagnoses() {
+        let p = parse("campaign", &to_args(&["--volunteers", "12"]), FLAGS).expect("valid");
+        assert_eq!(p.parsed::<u32>("--volunteers").expect("parses"), Some(12));
+        assert_eq!(p.parsed::<u32>("--seed").expect("absent"), None);
+        let p = parse("campaign", &to_args(&["--volunteers", "many"]), FLAGS).expect("valid");
+        let e = p.parsed::<u32>("--volunteers").unwrap_err();
+        assert!(e.message.contains("--volunteers"), "{e}");
+    }
+
+    #[test]
+    fn lone_dash_is_positional() {
+        let p = parse("run", &to_args(&["-"]), FLAGS).expect("valid");
+        assert_eq!(p.positionals(), &["-".to_string()]);
+    }
+}

@@ -10,59 +10,72 @@
 //! vgrid campaign [--volunteers N] [--days D] [--vm <monitor>|native]
 //!                [--image-mb M] [--migrate] [--churn L]
 //!                [--workunits N] [--hydrated-reference]
+//! vgrid campaign --spec req.json     # run a wire-format request
+//!                [--manifest-json <path>]
+//! vgrid serve [--port P] [--workers N] [--addr A]
+//!                                    # campaign-as-a-service
 //! ```
 //!
 //! Everything the CLI does is a thin veneer over `vgrid_core` /
-//! `vgrid_grid`; argument parsing is hand-rolled (no CLI dependency).
-//! Observed runs (`--metrics-json`, `trace`) write artifacts that are
-//! pure functions of `(experiment, fidelity, scheduler mode)` — the
-//! wall-clock phase summary they print goes to stderr only and never
-//! enters a gated file (DESIGN.md §11).
+//! `vgrid_grid` / `vgrid_serve`; argument parsing is the declarative
+//! table walk in `vgrid::args` (no CLI dependency), so a misspelled
+//! flag is diagnosed with the command's accepted set instead of being
+//! silently ignored. Observed runs (`--metrics-json`, `trace`) write
+//! artifacts that are pure functions of `(experiment, fidelity,
+//! scheduler mode)` — the wall-clock phase summary they print goes to
+//! stderr only and never enters a gated file (DESIGN.md §11).
 
 use std::process::ExitCode;
 use std::time::Duration;
+use vgrid::args::{parse, FlagSpec, ParsedArgs};
 use vgrid::core::{experiments, obs, Fidelity};
-use vgrid::grid::{CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid::grid::{wire, CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
+use vgrid::serve::{ServeConfig, Server};
 use vgrid::simcore::SimTime;
 use vgrid::vmm::VmmProfile;
 
-fn fidelity(args: &[String]) -> Fidelity {
-    if args.iter().any(|a| a == "--paper") {
+/// The three deprecated process-global execution-mode switches, shared
+/// by every command that runs simulations. New code threads
+/// `RunOptions` values instead (`grid::options`); these flags keep the
+/// legacy single-run CLI working and are pinned equivalent to the
+/// typed path by the `options_shims` integration test.
+const MODE_FLAGS: &[FlagSpec] = &[
+    FlagSpec::switch("--per-quantum-reference"),
+    FlagSpec::switch("--hydrated-reference"),
+    FlagSpec::switch("--no-fastforward"),
+];
+
+fn with_mode_flags(extra: &[FlagSpec]) -> Vec<FlagSpec> {
+    let mut flags = MODE_FLAGS.to_vec();
+    flags.extend_from_slice(extra);
+    flags
+}
+
+fn fidelity(p: &ParsedArgs) -> Fidelity {
+    if p.switch("--paper") {
         Fidelity::Paper
     } else {
         Fidelity::Fast
     }
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 /// With `--verbose`, print the process-wide event-loop totals to stderr
 /// (stdout stays clean for `--json` consumers).
-fn report_loop_totals(args: &[String]) {
-    if args.iter().any(|a| a == "--verbose" || a == "-v") {
+fn report_loop_totals(p: &ParsedArgs) {
+    if p.switch("--verbose") || p.switch("-v") {
         eprintln!("event loop: {}", vgrid::core::loop_totals().render());
     }
 }
 
-/// Honor `--per-quantum-reference`: pin the scheduler to the per-quantum
-/// reference execution mode for the whole process. Likewise
-/// `--hydrated-reference`: pin grid campaigns to the reference host
-/// substrate (flat event queue, unmemoized archetype solver), and
-/// `--no-fastforward`: disable the analytic fast-forward caches while
-/// keeping the batched substrate (isolates cache effects for A/B runs).
-fn apply_scheduler_mode(args: &[String]) {
-    if args.iter().any(|a| a == "--per-quantum-reference") {
+/// Honor the deprecated mode switches (see [`MODE_FLAGS`]).
+fn apply_scheduler_mode(p: &ParsedArgs) {
+    if p.switch("--per-quantum-reference") {
         vgrid::os::force_per_quantum_reference(true);
     }
-    if args.iter().any(|a| a == "--hydrated-reference") {
+    if p.switch("--hydrated-reference") {
         vgrid::grid::force_hydrated_reference(true);
     }
-    if args.iter().any(|a| a == "--no-fastforward") {
+    if p.switch("--no-fastforward") {
         vgrid::grid::force_no_fastforward(true);
     }
 }
@@ -131,7 +144,13 @@ fn usage() -> ExitCode {
            campaign [--volunteers N] [--days D]\n\
                     [--vm vmplayer|qemu|virtualbox|virtualpc|native]\n\
                     [--image-mb M] [--migrate] [--churn L]\n\
-                    [--workunits N] [--hydrated-reference]\n"
+                    [--workunits N] [--hydrated-reference]\n\
+           campaign --spec <req.json> [--manifest-json <path>]\n\
+                                         run a wire request (spec_version 1);\n\
+                                         prints the same manifest `vgrid serve`\n\
+                                         would return for the body\n\
+           serve [--port P] [--workers N] [--addr A]\n\
+                                         serve POST /v1/campaign requests\n"
     );
     ExitCode::FAILURE
 }
@@ -146,13 +165,198 @@ fn profile_by_name(name: &str) -> Option<VmmProfile> {
     }
 }
 
+/// `campaign --spec`: run one wire-format request document exactly as
+/// the serve worker would, printing (or writing) the manifest.
+fn campaign_from_spec(spec_path: &str, manifest_path: Option<&str>) -> ExitCode {
+    let body = match std::fs::read_to_string(spec_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read spec '{spec_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match wire::run_request_json(&body) {
+        Ok(manifest) => {
+            if let Some(path) = manifest_path {
+                if let Err(e) = std::fs::write(path, &manifest) {
+                    eprintln!("cannot write manifest to '{path}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{manifest}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid campaign request: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn campaign(p: &ParsedArgs) -> ExitCode {
+    let parsed_or_fail = |r: Result<ExitCode, vgrid::args::ArgError>| match r {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    };
+    parsed_or_fail((|| {
+        let volunteers: u32 = p.parsed("--volunteers")?.unwrap_or(100);
+        let days: u64 = p.parsed("--days")?.unwrap_or(14);
+        let image_mb: u64 = p.parsed("--image-mb")?.unwrap_or(1400);
+        let mode = p.value("--vm").unwrap_or("native").to_string();
+        let mut deploy = if mode == "native" {
+            DeployConfig::native()
+        } else {
+            match profile_by_name(&mode) {
+                Some(prof) => DeployConfig::vm(prof, image_mb << 20),
+                None => {
+                    eprintln!("unknown monitor '{mode}'");
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+        };
+        if p.switch("--migrate") {
+            deploy = deploy.with_migration();
+        }
+        let churn_level: f64 = p.parsed("--churn")?.unwrap_or(0.0);
+        // Default high enough that campaigns are never work-limited.
+        let workunits: u32 = p.parsed("--workunits")?.unwrap_or(100_000);
+        let project = ProjectConfig {
+            workunits,
+            ..Default::default()
+        };
+        let pool = PoolConfig {
+            volunteers,
+            ..Default::default()
+        };
+        let campaign = match CampaignSpec::new(&mode)
+            .project(project)
+            .pool(pool)
+            .deploy(deploy)
+            .churn(ChurnConfig::intensity(churn_level))
+            .seed(0xc11)
+            .horizon(SimTime::from_secs(days * 24 * 3600))
+            .hydrated_reference(p.switch("--hydrated-reference"))
+            .build()
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("invalid campaign: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        let result = campaign.run();
+        let r = &result.reports()[0];
+        println!(
+            "{} deployment, {volunteers} volunteers, {days} days, churn {churn_level}:",
+            r.mode
+        );
+        println!("  validated work units : {}", r.validated_wus);
+        println!("  results returned     : {}", r.results_returned);
+        println!("  bad results          : {}", r.bad_results);
+        println!(
+            "  cpu spent            : {:.1} h",
+            r.cpu_secs_spent / 3600.0
+        );
+        println!("  cpu lost to churn    : {:.1} h", r.cpu_secs_lost / 3600.0);
+        println!(
+            "  image transfer       : {:.1} h",
+            r.image_transfer_secs / 3600.0
+        );
+        println!("  hosts excluded (RAM) : {}", r.hosts_excluded_ram);
+        println!("  migrations           : {}", r.migrations);
+        println!("  efficiency           : {:.3}", r.efficiency);
+        println!("  goodput              : {:.3} ref-CPU s/s", r.goodput);
+        println!(
+            "  cpu wasted           : {:.1} h",
+            r.wasted_cpu_secs / 3600.0
+        );
+        println!("  reissues             : {}", r.reissues);
+        println!("  owner preemptions    : {}", r.owner_preemptions);
+        println!("  sandbox kills        : {}", r.vm_kills);
+        println!("  archetypes           : {}", r.archetype_hosts.len());
+        for (label, count) in &r.archetype_hosts {
+            println!("    {count:>10}  {label}");
+        }
+        println!(
+            "  hydration            : {} windows, {} hydrations, {} memo hits, peak {} resident",
+            r.hydration.windows,
+            r.hydration.hydrations,
+            r.hydration.memo_hits,
+            r.hydration.peak_resident
+        );
+        Ok(ExitCode::SUCCESS)
+    })())
+}
+
+fn serve(p: &ParsedArgs) -> ExitCode {
+    let cfg = {
+        let mut cfg = ServeConfig::default();
+        match (
+            p.parsed::<u16>("--port"),
+            p.parsed::<usize>("--workers"),
+            p.value("--addr"),
+        ) {
+            (Ok(port), Ok(workers), addr) => {
+                if let Some(port) = port {
+                    cfg.port = port;
+                }
+                if let Some(workers) = workers {
+                    cfg.workers = workers.max(1);
+                }
+                if let Some(addr) = addr {
+                    cfg.addr = addr.to_string();
+                }
+            }
+            (Err(e), _, _) | (_, Err(e), _) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        cfg
+    };
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}:{}: {e}", cfg.addr, cfg.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "vgrid serve: listening on http://{addr} ({} workers); \
+             POST /v1/campaign, GET /v1/health, GET /v1/status, POST /v1/shutdown",
+            cfg.workers.max(1)
+        ),
+        Err(e) => eprintln!("vgrid serve: listening ({e})"),
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("vgrid serve: shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vgrid serve: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
+    let rest = &args[1..];
     match cmd.as_str() {
         "list" => {
+            if let Err(e) = parse("list", rest, &[]) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
             use std::io::Write;
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -165,13 +369,27 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let Some(id) = args.get(1) else {
+            let flags = with_mode_flags(&[
+                FlagSpec::switch("--paper"),
+                FlagSpec::switch("--json"),
+                FlagSpec::switch("--verbose"),
+                FlagSpec::switch("-v"),
+                FlagSpec::value("--metrics-json"),
+            ]);
+            let p = match parse("run", rest, &flags) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let [id] = p.positionals() else {
                 return usage();
             };
-            apply_scheduler_mode(&args);
-            let fid = fidelity(&args);
-            let fig = if let Some(path) = flag_value(&args, "--metrics-json") {
-                let Some(run) = run_observed_to_file(id, fid, &path, "manifest") else {
+            apply_scheduler_mode(&p);
+            let fid = fidelity(&p);
+            let fig = if let Some(path) = p.value("--metrics-json") {
+                let Some(run) = run_observed_to_file(id, fid, path, "manifest") else {
                     return ExitCode::FAILURE;
                 };
                 run.figure
@@ -182,25 +400,33 @@ fn main() -> ExitCode {
                 };
                 fig
             };
-            if args.iter().any(|a| a == "--json") {
+            if p.switch("--json") {
                 println!("{}", fig.to_json());
             } else {
                 print!("{}", fig.render());
             }
-            report_loop_totals(&args);
+            report_loop_totals(&p);
             ExitCode::SUCCESS
         }
         "trace" => {
-            let Some(id) = args.get(1) else {
+            let flags = with_mode_flags(&[FlagSpec::switch("--paper"), FlagSpec::value("--out")]);
+            let p = match parse("trace", rest, &flags) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let [id] = p.positionals() else {
                 return usage();
             };
-            let Some(path) = flag_value(&args, "--out") else {
+            let Some(path) = p.value("--out") else {
                 eprintln!("trace needs --out <path>");
                 return usage();
             };
-            apply_scheduler_mode(&args);
-            let fid = fidelity(&args);
-            if run_observed_to_file(id, fid, &path, "trace").is_none() {
+            apply_scheduler_mode(&p);
+            let fid = fidelity(&p);
+            if run_observed_to_file(id, fid, path, "trace").is_none() {
                 return ExitCode::FAILURE;
             }
             eprintln!(
@@ -209,109 +435,94 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "suite" => {
-            let fid = fidelity(&args);
-            for fig in experiments::run_paper_suite(fid) {
-                println!("{}", fig.render());
-            }
-            report_loop_totals(&args);
-            ExitCode::SUCCESS
-        }
-        "campaign" => {
-            let volunteers: u32 = flag_value(&args, "--volunteers")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100);
-            let days: u64 = flag_value(&args, "--days")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(14);
-            let image_mb: u64 = flag_value(&args, "--image-mb")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1400);
-            let mode = flag_value(&args, "--vm").unwrap_or_else(|| "native".to_string());
-            let mut deploy = if mode == "native" {
-                DeployConfig::native()
-            } else {
-                match profile_by_name(&mode) {
-                    Some(p) => DeployConfig::vm(p, image_mb << 20),
-                    None => {
-                        eprintln!("unknown monitor '{mode}'");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            };
-            if args.iter().any(|a| a == "--migrate") {
-                deploy = deploy.with_migration();
-            }
-            let churn_level: f64 = flag_value(&args, "--churn")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0.0);
-            let workunits: u32 = flag_value(&args, "--workunits")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100_000); // never work-limited by default
-            let project = ProjectConfig {
-                workunits,
-                ..Default::default()
-            };
-            let pool = PoolConfig {
-                volunteers,
-                ..Default::default()
-            };
-            let campaign = match CampaignSpec::new(&mode)
-                .project(project)
-                .pool(pool)
-                .deploy(deploy)
-                .churn(ChurnConfig::intensity(churn_level))
-                .seed(0xc11)
-                .horizon(SimTime::from_secs(days * 24 * 3600))
-                .hydrated_reference(args.iter().any(|a| a == "--hydrated-reference"))
-                .build()
-            {
-                Ok(c) => c,
+            let flags = [
+                FlagSpec::switch("--paper"),
+                FlagSpec::switch("--verbose"),
+                FlagSpec::switch("-v"),
+            ];
+            let p = match parse("suite", rest, &flags) {
+                Ok(p) => p,
                 Err(e) => {
-                    eprintln!("invalid campaign: {e}");
+                    eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let result = campaign.run();
-            let r = &result.reports()[0];
-            println!(
-                "{} deployment, {volunteers} volunteers, {days} days, churn {churn_level}:",
-                r.mode
-            );
-            println!("  validated work units : {}", r.validated_wus);
-            println!("  results returned     : {}", r.results_returned);
-            println!("  bad results          : {}", r.bad_results);
-            println!(
-                "  cpu spent            : {:.1} h",
-                r.cpu_secs_spent / 3600.0
-            );
-            println!("  cpu lost to churn    : {:.1} h", r.cpu_secs_lost / 3600.0);
-            println!(
-                "  image transfer       : {:.1} h",
-                r.image_transfer_secs / 3600.0
-            );
-            println!("  hosts excluded (RAM) : {}", r.hosts_excluded_ram);
-            println!("  migrations           : {}", r.migrations);
-            println!("  efficiency           : {:.3}", r.efficiency);
-            println!("  goodput              : {:.3} ref-CPU s/s", r.goodput);
-            println!(
-                "  cpu wasted           : {:.1} h",
-                r.wasted_cpu_secs / 3600.0
-            );
-            println!("  reissues             : {}", r.reissues);
-            println!("  owner preemptions    : {}", r.owner_preemptions);
-            println!("  sandbox kills        : {}", r.vm_kills);
-            println!("  archetypes           : {}", r.archetype_hosts.len());
-            for (label, count) in &r.archetype_hosts {
-                println!("    {count:>10}  {label}");
+            let fid = fidelity(&p);
+            for fig in experiments::run_paper_suite(fid) {
+                println!("{}", fig.render());
             }
-            println!(
-                "  hydration            : {} windows, {} hydrations, {} memo hits, peak {} resident",
-                r.hydration.windows,
-                r.hydration.hydrations,
-                r.hydration.memo_hits,
-                r.hydration.peak_resident
-            );
+            report_loop_totals(&p);
             ExitCode::SUCCESS
+        }
+        "campaign" => {
+            let flags = [
+                FlagSpec::value("--spec"),
+                FlagSpec::value("--manifest-json"),
+                FlagSpec::value("--volunteers"),
+                FlagSpec::value("--days"),
+                FlagSpec::value("--image-mb"),
+                FlagSpec::value("--vm"),
+                FlagSpec::switch("--migrate"),
+                FlagSpec::value("--churn"),
+                FlagSpec::value("--workunits"),
+                FlagSpec::switch("--hydrated-reference"),
+            ];
+            let p = match parse("campaign", rest, &flags) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(spec_path) = p.value("--spec") {
+                // The wire document carries the whole configuration;
+                // mixing it with ad-hoc knobs would silently ignore
+                // one side, so diagnose instead.
+                let knobs = [
+                    "--volunteers",
+                    "--days",
+                    "--image-mb",
+                    "--vm",
+                    "--churn",
+                    "--workunits",
+                ];
+                let clash = knobs
+                    .iter()
+                    .copied()
+                    .find(|&k| p.value(k).is_some())
+                    .or_else(|| {
+                        ["--migrate", "--hydrated-reference"]
+                            .into_iter()
+                            .find(|&k| p.switch(k))
+                    });
+                if let Some(flag) = clash {
+                    eprintln!(
+                        "vgrid campaign: {flag} conflicts with --spec \
+                         (the spec document carries the full configuration)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                return campaign_from_spec(spec_path, p.value("--manifest-json"));
+            }
+            if p.value("--manifest-json").is_some() {
+                eprintln!("vgrid campaign: --manifest-json requires --spec");
+                return ExitCode::FAILURE;
+            }
+            campaign(&p)
+        }
+        "serve" => {
+            let flags = [
+                FlagSpec::value("--port"),
+                FlagSpec::value("--workers"),
+                FlagSpec::value("--addr"),
+            ];
+            match parse("serve", rest, &flags) {
+                Ok(p) => serve(&p),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }

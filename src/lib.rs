@@ -26,10 +26,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod args;
+
 pub use vgrid_core as core;
 pub use vgrid_grid as grid;
 pub use vgrid_machine as machine;
 pub use vgrid_os as os;
+pub use vgrid_serve as serve;
 pub use vgrid_simcore as simcore;
 pub use vgrid_simobs as simobs;
 pub use vgrid_timeref as timeref;

@@ -1,0 +1,152 @@
+//! The deprecated process-global mode toggles and the typed
+//! [`RunOptions`] path must be the same machine (DESIGN.md §15): a run
+//! configured by setting the globals and calling the no-argument entry
+//! points must be bit-identical to the same run configured by threading
+//! an explicit options value with the globals untouched.
+//!
+//! Everything lives in one `#[test]` because the toggles are
+//! process-global; parallel test functions would race on them.
+
+use vgrid::core::{Engine, Environment, Fidelity, KernelSpec, TrialSpec};
+use vgrid::grid::{
+    self, CampaignSpec, ChurnConfig, DeployConfig, PoolConfig, ProjectConfig, RunOptions,
+    SchedulerMode, SubstrateMode,
+};
+use vgrid::os::force_per_quantum_reference;
+use vgrid::simcore::SimTime;
+use vgrid::simobs::fnv1a64;
+use vgrid::vmm::VmmProfile;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("shim-probe")
+        .project(ProjectConfig {
+            workunits: 6,
+            wu_ref_secs: 900.0,
+            ..Default::default()
+        })
+        .pool(PoolConfig {
+            volunteers: 10,
+            ..Default::default()
+        })
+        .deploy(DeployConfig::vm(VmmProfile::vmplayer(), 200 << 20))
+        .churn(ChurnConfig::intensity(0.3))
+        .seed(0x5111)
+        .horizon(SimTime::from_secs(3 * 24 * 3600))
+}
+
+/// Digest of everything a campaign result carries (per-repetition
+/// reports, so archetype tables and hydration stats are included).
+fn campaign_digest(result: &grid::CampaignResult) -> u64 {
+    fnv1a64(format!("{:?}", result.reports()).as_bytes())
+}
+
+fn reset_globals() {
+    force_per_quantum_reference(false);
+    grid::force_hydrated_reference(false);
+    grid::force_no_fastforward(false);
+    grid::reset_all();
+}
+
+/// One engine trial whose kernel actually responds to the scheduler
+/// switch (OS-backed, not grid-backed).
+fn trial() -> TrialSpec {
+    use vgrid::machine::OpBlock;
+    TrialSpec::new(
+        "shim-trial",
+        Environment::Guest {
+            profile: VmmProfile::qemu(),
+            vnic: None,
+        },
+        KernelSpec::OpLoop {
+            block: OpBlock::int_alu(50_000),
+            iters: 20,
+        },
+        Fidelity::Fast,
+    )
+    .seed(0x5112)
+}
+
+fn trial_digest(results: &[vgrid::core::TrialResult]) -> u64 {
+    let rendered: Vec<String> = results
+        .iter()
+        .map(|r| format!("{:?}", r.metric("wall_secs")))
+        .collect();
+    fnv1a64(rendered.join("|").as_bytes())
+}
+
+#[test]
+fn globals_and_typed_options_are_the_same_machine() {
+    // (global setter, equivalent typed options) for every deprecated
+    // toggle plus the default configuration.
+    type Setter = fn();
+    let cases: Vec<(&str, Setter, RunOptions)> = vec![
+        ("default", || {}, RunOptions::default()),
+        (
+            "hydrated-reference",
+            || grid::force_hydrated_reference(true),
+            RunOptions::default().substrate(SubstrateMode::HydratedReference),
+        ),
+        (
+            "no-fastforward",
+            || grid::force_no_fastforward(true),
+            RunOptions::default().fastforward(false),
+        ),
+    ];
+
+    for (label, set_globals, options) in &cases {
+        // Legacy path: set the globals, call the no-argument entry point.
+        reset_globals();
+        set_globals();
+        let legacy = campaign_digest(&spec().build().expect("valid spec").run());
+
+        // Typed path: globals untouched, options threaded explicitly.
+        reset_globals();
+        let typed = campaign_digest(&spec().build().expect("valid spec").run_with(options));
+        assert_eq!(
+            legacy, typed,
+            "campaign digests diverge between the global shim and RunOptions for {label}"
+        );
+    }
+
+    // The scheduler toggle only affects OS-backed engine trials, so pin
+    // it (and the default) through `Engine::run_trials` instead. A
+    // fresh Engine per run keeps the result cache from short-circuiting
+    // the comparison.
+    let engine_cases: Vec<(&str, Setter, RunOptions)> = vec![
+        ("engine-default", || {}, RunOptions::default()),
+        (
+            "per-quantum-reference",
+            || force_per_quantum_reference(true),
+            RunOptions::default().scheduler(SchedulerMode::PerQuantumReference),
+        ),
+    ];
+    for (label, set_globals, options) in &engine_cases {
+        reset_globals();
+        set_globals();
+        let legacy = trial_digest(&Engine::new().run_trials(&[trial()]));
+
+        reset_globals();
+        let typed = trial_digest(&Engine::new().run_trials_with(&[trial()], options));
+        assert_eq!(
+            legacy, typed,
+            "trial digests diverge between the global shim and RunOptions for {label}"
+        );
+    }
+
+    // The per-quantum reference is a *reference*: same results, more
+    // events. Cross-check that both paths above were exercising a mode
+    // switch that is bit-identical by contract.
+    reset_globals();
+    let coalesced =
+        trial_digest(&Engine::new().run_trials_with(&[trial()], &RunOptions::default()));
+    let reference = trial_digest(&Engine::new().run_trials_with(
+        &[trial()],
+        &RunOptions::default().scheduler(SchedulerMode::PerQuantumReference),
+    ));
+    assert_eq!(
+        coalesced, reference,
+        "per-quantum reference must be bit-identical to the coalesced scheduler"
+    );
+
+    reset_globals();
+}
