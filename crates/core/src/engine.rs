@@ -112,7 +112,9 @@ pub enum KernelSpec {
     /// `validated_wus`, `efficiency`, `hosts_excluded_ram`,
     /// `image_transfer_secs`, `migrations`, plus the churn-robustness
     /// set `goodput`, `wasted_cpu_secs`, `reissues`,
-    /// `makespan_inflation`, `owner_preemptions`, `vm_kills`.
+    /// `makespan_inflation`, `owner_preemptions`, `vm_kills`, and the
+    /// migration-policy set `evacuations`, `rescue_wins`,
+    /// `transfer_secs` (all zero when the policy is off).
     Campaign {
         /// Project parameters.
         project: ProjectConfig,
@@ -152,6 +154,9 @@ impl KernelSpec {
                 "makespan_inflation",
                 "owner_preemptions",
                 "vm_kills",
+                "evacuations",
+                "rescue_wins",
+                "transfer_secs",
             ],
         }
     }
@@ -613,6 +618,9 @@ fn run_one(spec: &TrialSpec, seed: u64, options: &RunOptions) -> Vec<f64> {
                 r.makespan_inflation,
                 r.owner_preemptions as f64,
                 r.vm_kills as f64,
+                r.evacuations as f64,
+                r.rescue_wins as f64,
+                r.transfer_secs,
             ]
         }
         KernelSpec::OpLoop { block, iters } => {

@@ -12,8 +12,8 @@ use crate::figures::{FigureResult, FigureRow};
 use crate::testbed::Fidelity;
 #[allow(unused_imports)]
 use vgrid_grid::ExecutionMode;
-use vgrid_grid::{ChurnConfig, DeployConfig, PoolConfig, ProjectConfig};
-use vgrid_simcore::SimTime;
+use vgrid_grid::{ChurnConfig, DeployConfig, MigrationPolicy, PoolConfig, ProjectConfig};
+use vgrid_simcore::{SimDuration, SimTime};
 use vgrid_vmm::VmmProfile;
 
 fn project(fidelity: Fidelity) -> ProjectConfig {
@@ -44,6 +44,28 @@ fn campaign_spec(
     horizon: SimTime,
     fidelity: Fidelity,
 ) -> TrialSpec {
+    campaign_spec_churn(
+        label,
+        project,
+        pool,
+        deploy,
+        ChurnConfig::off(),
+        horizon,
+        fidelity,
+    )
+}
+
+/// Churn-capable twin of [`campaign_spec`], for the fault-injection and
+/// migration-policy sweeps.
+fn campaign_spec_churn(
+    label: impl Into<String>,
+    project: &ProjectConfig,
+    pool: &PoolConfig,
+    deploy: DeployConfig,
+    churn: ChurnConfig,
+    horizon: SimTime,
+    fidelity: Fidelity,
+) -> TrialSpec {
     TrialSpec::new(
         label,
         Environment::Native,
@@ -51,7 +73,7 @@ fn campaign_spec(
             project: project.clone(),
             pool: pool.clone(),
             deploy,
-            churn: ChurnConfig::off(),
+            churn,
             horizon,
         },
         fidelity,
@@ -177,6 +199,56 @@ pub fn image_size_sweep(fidelity: Fidelity) -> FigureResult {
     image_size_sweep_with(Engine::global(), fidelity)
 }
 
+/// Churn levels swept by the migration-policy rows, lowest to highest.
+const POLICY_SWEEP_LEVELS: [f64; 2] = [1.0, 3.0];
+
+/// Policy variants swept per churn level, in row order.
+fn policy_sweep_policies() -> [(&'static str, MigrationPolicy); 3] {
+    [
+        ("checkpoint-only", MigrationPolicy::off()),
+        ("rescue", MigrationPolicy::rescue_only()),
+        ("rescue+evacuate", MigrationPolicy::full()),
+    ]
+}
+
+/// Trial specs for the churn x policy sweep: a finishing workload with
+/// a tight reissue deadline, so straggler rescue has both a trigger
+/// (the deadline) and a payoff (the makespan). Shared by the figure and
+/// its gating test so they sweep identical campaigns.
+fn policy_sweep_specs(fidelity: Fidelity) -> Vec<TrialSpec> {
+    let horizon = SimTime::from_secs(fidelity.pick(10, 14) * 24 * 3600);
+    let project = ProjectConfig {
+        workunits: fidelity.pick(24, 48),
+        wu_ref_secs: 3.0 * 3600.0,
+        deadline: SimDuration::from_secs(24 * 3600),
+        ..Default::default()
+    };
+    let pool = PoolConfig {
+        volunteers: fidelity.pick(30, 60),
+        ..Default::default()
+    };
+    let base = DeployConfig::vm(VmmProfile::vmplayer(), 300 << 20);
+    let mut specs = Vec::new();
+    for &level in &POLICY_SWEEP_LEVELS {
+        for (name, policy) in policy_sweep_policies() {
+            specs.push(
+                campaign_spec_churn(
+                    format!("churn {level:.1} {name}"),
+                    &project,
+                    &pool,
+                    base.clone().with_policy(policy),
+                    ChurnConfig::intensity(level),
+                    horizon,
+                    fidelity,
+                )
+                .seed(0x7e5c)
+                .repetitions(2),
+            );
+        }
+    }
+    specs
+}
+
 /// `grid-migration` — the checkpoint/migration feature's payoff under
 /// churn (Section 1 motivates exportable VM state).
 pub fn migration_comparison_with(engine: &Engine, fidelity: Fidelity) -> FigureResult {
@@ -235,7 +307,27 @@ pub fn migration_comparison_with(engine: &Engine, fidelity: Fidelity) -> FigureR
             ),
         ),
     );
+
+    // Churn x policy sweep: scheduler-side rescue/evacuation paying the
+    // modeled NIC transfer cost, against the checkpoint-only baseline.
+    let sweep = engine.run_trials(&policy_sweep_specs(fidelity));
+    for trial in &sweep {
+        fig.push(
+            FigureRow::new(&trial.label, trial.metric("validated_wus").mean).with_detail(format!(
+                "inflation {:.2}, {:.1} rescues won of {:.1} migrations, {:.1} evacuations, {:.2} h transfer",
+                trial.metric("makespan_inflation").mean,
+                trial.metric("rescue_wins").mean,
+                trial.metric("migrations").mean,
+                trial.metric("evacuations").mean,
+                trial.metric("transfer_secs").mean / 3600.0
+            )),
+        );
+    }
     fig.note("tasks outlive host uptime spans; migration ships the VM checkpoint via the server");
+    fig.note(
+        "policy rows: 24 h reissue deadline; rescue re-homes laggards to idle faster hosts, \
+         evacuation exports ahead of predicted owner arrival (transfers pay 100 Mbps NIC time)",
+    );
     fig
 }
 
@@ -263,6 +355,46 @@ mod tests {
         let stay = fig.value_of("resume on original host").unwrap();
         let migrate = fig.value_of("migrate checkpointed state").unwrap();
         assert!(migrate >= stay, "migrate {migrate} vs stay {stay}");
+    }
+
+    #[test]
+    fn rescue_policy_tames_stragglers_at_high_churn() {
+        let specs = policy_sweep_specs(Fidelity::Fast);
+        let results = Engine::global().run_trials(&specs);
+        for t in &results {
+            eprintln!(
+                "{}: wus {:.1} inflation {:.2} migrations {:.1} evac {:.1} wins {:.1} xfer {:.2}h",
+                t.label,
+                t.metric("validated_wus").mean,
+                t.metric("makespan_inflation").mean,
+                t.metric("migrations").mean,
+                t.metric("evacuations").mean,
+                t.metric("rescue_wins").mean,
+                t.metric("transfer_secs").mean / 3600.0
+            );
+        }
+        let top = *POLICY_SWEEP_LEVELS.last().unwrap();
+        let at = |name: &str| {
+            results
+                .iter()
+                .find(|t| t.label == format!("churn {top:.1} {name}"))
+                .unwrap_or_else(|| panic!("missing sweep row {name:?}"))
+        };
+        let off = at("checkpoint-only");
+        let full = at("rescue+evacuate");
+        assert_eq!(off.metric("rescue_wins").mean, 0.0);
+        assert_eq!(off.metric("transfer_secs").mean, 0.0);
+        assert!(
+            full.metric("rescue_wins").mean > 0.0,
+            "no rescue ever paid off at churn {top}"
+        );
+        assert!(full.metric("transfer_secs").mean > 0.0);
+        let off_inflation = off.metric("makespan_inflation").mean;
+        let full_inflation = full.metric("makespan_inflation").mean;
+        assert!(
+            full_inflation < off_inflation,
+            "policy did not reduce makespan inflation: full {full_inflation} vs off {off_inflation}"
+        );
     }
 
     #[test]

@@ -52,9 +52,12 @@ pub const METRIC_NAMES: &[&str] = &[
     "bad_results",
     "owner_preemptions",
     "vm_kills",
+    "evacuations",
+    "rescue_wins",
+    "transfer_secs",
 ];
 
-fn metric_values(r: &GridReport) -> [f64; 16] {
+fn metric_values(r: &GridReport) -> [f64; 19] {
     [
         r.validated_wus as f64,
         r.efficiency,
@@ -72,6 +75,9 @@ fn metric_values(r: &GridReport) -> [f64; 16] {
         r.bad_results as f64,
         r.owner_preemptions as f64,
         r.vm_kills as f64,
+        r.evacuations as f64,
+        r.rescue_wins as f64,
+        r.transfer_secs,
     ]
 }
 
@@ -233,6 +239,7 @@ impl CampaignSpec {
             return invalid("horizon must be > 0".into());
         }
         self.churn.validate()?;
+        self.deploy.migration.validate()?;
 
         // The fastest possible host must be able to compute a work unit
         // inside the reissue deadline, or every copy expires forever.

@@ -354,6 +354,7 @@ impl WorkQueue {
                     wu: wu_idx,
                     returned: false,
                     cpu_spent: 0.0,
+                    rescued: false,
                 });
                 queue.back.push_back(Work::Fresh(copies.len() - 1));
                 validator.note_issued(wu_idx);
@@ -379,6 +380,7 @@ impl WorkQueue {
                 wu: wu_idx,
                 returned: false,
                 cpu_spent: 0.0,
+                rescued: false,
             });
             validator.note_issued(wu_idx);
             return Some(Work::Fresh(copies.len() - 1));
@@ -449,6 +451,7 @@ pub fn reset_all() {
     *TRAJECTORIES
         .lock()
         .expect("grid::fastforward::TRAJECTORIES poisoned") = None;
+    crate::migration::reset_transfer_memo();
     SEGMENT_HITS.store(0, Ordering::SeqCst);
     SEGMENT_MISSES.store(0, Ordering::SeqCst);
     TRAJECTORY_HITS.store(0, Ordering::SeqCst);

@@ -60,6 +60,7 @@ pub mod error;
 pub mod fastforward;
 pub mod faults;
 pub mod hydrate;
+pub mod migration;
 pub mod model;
 pub mod options;
 pub mod sim;
@@ -73,6 +74,7 @@ pub use error::Error;
 pub use fastforward::{force_no_fastforward, reset_all, FastForwardStats};
 pub use faults::ChurnConfig;
 pub use hydrate::{HydrationPool, HydrationStats};
+pub use migration::MigrationPolicy;
 pub use model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
 pub use options::{RunOptions, SchedulerMode};
 pub use sim::{force_hydrated_reference, hydrated_reference_forced, vm_cpu_factor, SubstrateMode};

@@ -29,6 +29,7 @@ use crate::checkpoint::{durable_progress, BackoffPolicy, BackoffState, QuorumVal
 use crate::fastforward::{self, CampaignArena, WorkQueue};
 use crate::faults::{self, ChurnConfig};
 use crate::hydrate::{HydrationPool, ProbeSpec};
+use crate::migration;
 use crate::model::{DeployConfig, ExecutionMode, GridReport, PoolConfig, ProjectConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use vgrid_machine::MachineSpec;
@@ -145,6 +146,9 @@ pub(crate) struct TaskCopy {
     pub(crate) returned: bool,
     /// CPU seconds this copy has consumed (for goodput/waste accounting).
     pub(crate) cpu_spent: f64,
+    /// The straggler-rescue policy re-homed this copy's checkpoint; a
+    /// later validation counts as a rescue win.
+    pub(crate) rescued: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -182,6 +186,26 @@ pub(crate) enum Ev {
     /// Exponential-backoff work refetch by an idle client (churn only).
     Refetch {
         h: usize,
+    },
+    /// Deadline-slack straggler audit of an issued copy (scheduled only
+    /// when the migration policy's `rescue` arm is on).
+    RescueCheck {
+        copy: usize,
+        deadline: SimTime,
+    },
+    /// Periodic predicted-interruption audit of a computing host
+    /// (scheduled only when the policy's `evacuate` arm is on, under
+    /// churn). Carries the `act_gen` at arming so any interruption
+    /// retires the chain.
+    EvacCheck {
+        h: usize,
+        gen: u64,
+    },
+    /// An exported checkpoint finished crossing the server NIC; the
+    /// state becomes fetchable (migration policy only).
+    XferDone {
+        copy: usize,
+        remaining_ref: f64,
     },
 }
 
@@ -314,6 +338,14 @@ pub(crate) struct SimState {
     queue: WorkQueue,
     makespan: Option<SimTime>,
     idle: DetSet<u32>,
+    /// Checkpoint exports currently crossing the server NIC; each new
+    /// export contends with these (migration policy only — always zero
+    /// otherwise).
+    inflight_xfers: u32,
+    /// Whether the transfer-cost memo may be consulted (batched
+    /// substrate with fast-forward on). Rides the snapshot so resumed
+    /// runs keep the cold run's cache discipline.
+    use_memo: bool,
 }
 
 /// A campaign trajectory frozen at its loop exit: the full mutable
@@ -536,6 +568,8 @@ fn init_state<Q: EventScheduler<Ev>>(
         // kept in lockstep with host state so server pushes touch only
         // the hosts that can take work instead of scanning the pool.
         idle: DetSet::new(),
+        inflight_xfers: 0,
+        use_memo: fast,
     }
 }
 
@@ -553,6 +587,7 @@ fn run_loop<Q: EventScheduler<Ev>>(
 ) -> Option<(SimTime, Ev)> {
     let vm_factor = st.vm_factor;
     let ckpt_frac = st.ckpt_frac;
+    let use_memo = st.use_memo;
     let SimState {
         hosts,
         report,
@@ -563,6 +598,7 @@ fn run_loop<Q: EventScheduler<Ev>>(
         queue,
         makespan,
         idle,
+        inflight_xfers,
         ..
     } = st;
     // --- helpers as closures are awkward with borrows; use a macro-free
@@ -710,6 +746,7 @@ fn run_loop<Q: EventScheduler<Ev>>(
                             now + SimDuration::from_secs_f64(remaining_ref / rate),
                             Ev::ActDone { h, gen },
                         );
+                        arm_evac_check(h, now, hosts, deploy, fctx, q);
                         continue;
                     }
                     Activity::InputDl { task, .. } => {
@@ -728,6 +765,7 @@ fn run_loop<Q: EventScheduler<Ev>>(
                             now + SimDuration::from_secs_f64(remaining_ref / rate),
                             Ev::ActDone { h, gen },
                         );
+                        arm_evac_check(h, now, hosts, deploy, fctx, q);
                         let _ = wu;
                         continue;
                     }
@@ -771,6 +809,9 @@ fn run_loop<Q: EventScheduler<Ev>>(
                                 // A quorum decision is an interesting
                                 // event: hydrate a probe window.
                                 hpool.window(probe, archetype::speed_band(hosts[h].speed));
+                                if copies[task].rescued {
+                                    report.rescue_wins += 1;
+                                }
                                 if validator.validated_count() >= project.workunits {
                                     *makespan = Some(now);
                                 }
@@ -782,6 +823,7 @@ fn run_loop<Q: EventScheduler<Ev>>(
                                     wu: wu_idx,
                                     returned: false,
                                     cpu_spent: 0.0,
+                                    rescued: false,
                                 });
                                 queue.push_back(Work::Fresh(copies.len() - 1));
                                 validator.note_issued(wu_idx);
@@ -813,6 +855,7 @@ fn run_loop<Q: EventScheduler<Ev>>(
                         wu,
                         returned: false,
                         cpu_spent: 0.0,
+                        rescued: false,
                     });
                     queue.push_back(Work::Fresh(copies.len() - 1));
                     validator.note_issued(wu);
@@ -922,6 +965,173 @@ fn run_loop<Q: EventScheduler<Ev>>(
                     ckpt_frac, fctx, report,
                 );
                 sync_idle(idle, hosts, h);
+            }
+            Ev::RescueCheck { copy, deadline } => {
+                if copies[copy].returned || validator.is_validated(copies[copy].wu) {
+                    continue;
+                }
+                // Locate the copy's holder. Only a computing holder has
+                // checkpointed state worth exporting; a copy still in
+                // the queue or mid-download is left to the deadline.
+                let Some(holder) = hosts.iter().position(
+                    |s| matches!(s.activity, Some(Activity::Compute { task, .. }) if task == copy),
+                ) else {
+                    continue;
+                };
+                let stranded = !hosts[holder].up || hosts[holder].paused;
+                if !stranded {
+                    // The holder is live: rescue only a projected miss,
+                    // and only when a strictly faster host sits idle.
+                    let rate = compute_rate(&hosts[holder], vm_factor, ckpt_frac);
+                    let Some(Activity::Compute { remaining_ref, .. }) = hosts[holder].activity
+                    else {
+                        continue;
+                    };
+                    let elapsed = now.since(hosts[holder].act_started).as_secs_f64();
+                    let live_remaining = remaining_ref - elapsed * rate;
+                    let projected =
+                        now + SimDuration::from_secs_f64((live_remaining / rate).max(0.0));
+                    if projected <= deadline {
+                        continue;
+                    }
+                    let holder_speed = hosts[holder].speed;
+                    if !idle.iter().any(|&i| hosts[i as usize].speed > holder_speed) {
+                        continue;
+                    }
+                }
+                // A straggler preempted live is an interesting event.
+                if !stranded {
+                    hpool.window(probe, archetype::speed_band(hosts[holder].speed));
+                }
+                if export_checkpoint(
+                    holder,
+                    now,
+                    hosts,
+                    copies,
+                    pool,
+                    deploy,
+                    vm_factor,
+                    ckpt_frac,
+                    !stranded,
+                    use_memo,
+                    inflight_xfers,
+                    report,
+                    q,
+                ) {
+                    copies[copy].rescued = true;
+                    report.migrations += 1;
+                    if !stranded {
+                        // The freed host competes for other work.
+                        start_next_activity(
+                            holder, now, hosts, queue, copies, validator, project, pool, deploy, q,
+                            vm_factor, ckpt_frac, fctx, report,
+                        );
+                    }
+                    sync_idle(idle, hosts, holder);
+                }
+            }
+            Ev::EvacCheck { h, gen } => {
+                if gen != hosts[h].act_gen || !hosts[h].up || hosts[h].paused {
+                    continue;
+                }
+                let Some(Activity::Compute {
+                    remaining_ref,
+                    progress_ref,
+                    ..
+                }) = hosts[h].activity
+                else {
+                    continue;
+                };
+                let rate = compute_rate(&hosts[h], vm_factor, ckpt_frac);
+                let elapsed = now.since(hosts[h].act_started).as_secs_f64();
+                let live_remaining = remaining_ref - elapsed * rate;
+                if live_remaining <= 0.0 {
+                    continue; // finishing imminently; let ActDone land
+                }
+                // Evacuating pays a transfer and a re-download; it only
+                // ever wins when at least one durable quantum exists.
+                let quantum = deploy.checkpoint_interval.as_secs_f64() * rate;
+                let durable =
+                    durable_progress(progress_ref + elapsed * rate, progress_ref, quantum);
+                let hazard = migration::interruption_hazard(
+                    fctx.churn,
+                    pool.mean_uptime_secs,
+                    now.since(hosts[h].up_since).as_secs_f64(),
+                    live_remaining / rate,
+                );
+                if durable <= 0.0 || hazard < deploy.migration.hazard_threshold {
+                    // Re-arm for the next checkpoint quantum; the
+                    // act_gen guard retires the chain on interruption.
+                    q.schedule(now + deploy.checkpoint_interval, Ev::EvacCheck { h, gen });
+                    continue;
+                }
+                // Evacuate only toward predicted safety: an idle host at
+                // least as fast whose own hazard over the same work
+                // window sits below the threshold. Without such a home
+                // the export would burn NIC time to move the task
+                // between equally doomed hosts — at extreme churn nobody
+                // qualifies and the policy holds still.
+                let safe_home = idle.iter().any(|&i| {
+                    let cand = &hosts[i as usize];
+                    if cand.speed < hosts[h].speed {
+                        return false;
+                    }
+                    let cand_rate = compute_rate(cand, vm_factor, ckpt_frac);
+                    migration::interruption_hazard(
+                        fctx.churn,
+                        pool.mean_uptime_secs,
+                        now.since(cand.up_since).as_secs_f64(),
+                        live_remaining / cand_rate,
+                    ) < deploy.migration.hazard_threshold
+                });
+                if !safe_home {
+                    q.schedule(now + deploy.checkpoint_interval, Ev::EvacCheck { h, gen });
+                    continue;
+                }
+                hpool.window(probe, archetype::speed_band(hosts[h].speed));
+                if export_checkpoint(
+                    h,
+                    now,
+                    hosts,
+                    copies,
+                    pool,
+                    deploy,
+                    vm_factor,
+                    ckpt_frac,
+                    true,
+                    use_memo,
+                    inflight_xfers,
+                    report,
+                    q,
+                ) {
+                    report.evacuations += 1;
+                    start_next_activity(
+                        h, now, hosts, queue, copies, validator, project, pool, deploy, q,
+                        vm_factor, ckpt_frac, fctx, report,
+                    );
+                    sync_idle(idle, hosts, h);
+                }
+            }
+            Ev::XferDone {
+                copy,
+                remaining_ref,
+            } => {
+                // The server NIC slot frees whether or not the state is
+                // still useful.
+                *inflight_xfers = inflight_xfers.saturating_sub(1);
+                if copies[copy].returned || validator.is_validated(copies[copy].wu) {
+                    continue;
+                }
+                // Re-homed state jumps the queue, like PR 4 migration:
+                // finishing started work beats starting fresh copies.
+                queue.push_front(Work::Resume {
+                    copy,
+                    remaining_ref,
+                });
+                kick_idle_hosts(
+                    now, idle, hosts, queue, copies, validator, project, pool, deploy, q,
+                    vm_factor, ckpt_frac, fctx, report,
+                );
             }
         }
     }
@@ -1163,6 +1373,67 @@ fn kill_task(
     report.vm_kills += 1;
 }
 
+/// Export the holder's computing checkpoint through the server NIC
+/// (migration policy only). With `accrue` set (live holder) partial
+/// progress first rolls back to the last durable checkpoint — exactly
+/// the accounting an interruption applies; a stranded holder already
+/// accrued at interruption time. The activity is cleared, the pending
+/// `ActDone` cancelled, and an [`Ev::XferDone`] scheduled after the
+/// contention-scaled transfer; only then does the state become
+/// fetchable. Returns false if the holder has no compute activity.
+#[allow(clippy::too_many_arguments)]
+fn export_checkpoint<Q: EventScheduler<Ev>>(
+    h: usize,
+    now: SimTime,
+    hosts: &mut [HostSlot],
+    copies: &mut [TaskCopy],
+    pool: &PoolConfig,
+    deploy: &DeployConfig,
+    vm_factor: f64,
+    ckpt_frac: f64,
+    accrue: bool,
+    use_memo: bool,
+    inflight_xfers: &mut u32,
+    report: &mut GridReport,
+    q: &mut Q,
+) -> bool {
+    if !matches!(hosts[h].activity, Some(Activity::Compute { .. })) {
+        return false;
+    }
+    if accrue {
+        accrue_activity(
+            h, now, hosts, copies, pool, deploy, vm_factor, ckpt_frac, false, report,
+        );
+    }
+    let Some(Activity::Compute {
+        task,
+        remaining_ref,
+        ..
+    }) = hosts[h].activity
+    else {
+        return false;
+    };
+    hosts[h].activity = None;
+    hosts[h].act_gen += 1; // cancel the pending ActDone
+    let state_bytes = match &deploy.mode {
+        ExecutionMode::Native => deploy.native_checkpoint_bytes,
+        ExecutionMode::Vm(p) => p.guest_ram,
+    };
+    // One server link: concurrent exports stretch each other linearly.
+    let base = migration::transfer_wire_secs(state_bytes, use_memo);
+    let secs = base * (1.0 + *inflight_xfers as f64);
+    *inflight_xfers += 1;
+    report.transfer_secs += secs;
+    q.schedule(
+        now + SimDuration::from_secs_f64(secs.max(1e-6)),
+        Ev::XferDone {
+            copy: task,
+            remaining_ref,
+        },
+    );
+    true
+}
+
 /// Hand queued work to idle online hosts (called whenever the queue
 /// gains entries after the initial distribution — migrations, deadline
 /// reissues, replacement copies). Hosts otherwise only ask for work at
@@ -1251,6 +1522,18 @@ fn start_next_activity<Q: EventScheduler<Ev>>(
                         task: copy,
                     });
                     q.schedule(now + project.deadline, Ev::Deadline { copy });
+                    if deploy.migration.rescue {
+                        // Audit the copy at the slack point; the full
+                        // deadline rides along for the projection.
+                        let slack = project.deadline.as_secs_f64() * deploy.migration.rescue_slack;
+                        q.schedule(
+                            now + SimDuration::from_secs_f64(slack),
+                            Ev::RescueCheck {
+                                copy,
+                                deadline: now + project.deadline,
+                            },
+                        );
+                    }
                 }
                 Work::Resume {
                     copy,
@@ -1299,6 +1582,29 @@ fn start_next_activity<Q: EventScheduler<Ev>>(
         now + SimDuration::from_secs_f64(secs.max(1e-6)),
         Ev::ActDone { h, gen },
     );
+    arm_evac_check(h, now, hosts, deploy, fctx, q);
+}
+
+/// Arm the periodic evacuation audit for a host that just (re)entered
+/// `Compute` — only under the policy's `evacuate` arm, only under
+/// churn, and only when checkpoints exist (no durable state, nothing
+/// worth exporting). Policy-off campaigns schedule nothing here, ever.
+fn arm_evac_check<Q: EventScheduler<Ev>>(
+    h: usize,
+    now: SimTime,
+    hosts: &[HostSlot],
+    deploy: &DeployConfig,
+    fctx: &FaultCtx<'_>,
+    q: &mut Q,
+) {
+    if !deploy.migration.evacuate || !fctx.on || deploy.checkpoint_interval.is_zero() {
+        return;
+    }
+    if !matches!(hosts[h].activity, Some(Activity::Compute { .. })) {
+        return;
+    }
+    let gen = hosts[h].act_gen;
+    q.schedule(now + deploy.checkpoint_interval, Ev::EvacCheck { h, gen });
 }
 
 #[cfg(test)]

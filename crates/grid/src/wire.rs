@@ -23,6 +23,7 @@
 use crate::campaign::{CampaignResult, CampaignSpec, METRIC_NAMES};
 use crate::error::Error;
 use crate::faults::ChurnConfig;
+use crate::migration::MigrationPolicy;
 use crate::model::{DeployConfig, ExecutionMode, PoolConfig, ProjectConfig};
 use crate::options::{RunOptions, SchedulerMode};
 use crate::sim::SubstrateMode;
@@ -635,8 +636,31 @@ fn decode_deploy(v: Json) -> Result<DeployConfig, WireError> {
     if let Some(v) = f.take("migrate_on_churn") {
         d.migrate_on_churn = as_bool(s, "migrate_on_churn", v)?;
     }
+    if let Some(v) = f.take("migration") {
+        d.migration = decode_migration(v)?;
+    }
     f.finish()?;
     Ok(d)
+}
+
+fn decode_migration(v: Json) -> Result<MigrationPolicy, WireError> {
+    let s = "deploy.migration";
+    let mut f = Fields::from(s, v)?;
+    let mut m = MigrationPolicy::off();
+    if let Some(v) = f.take("rescue") {
+        m.rescue = as_bool(s, "rescue", v)?;
+    }
+    if let Some(v) = f.take("evacuate") {
+        m.evacuate = as_bool(s, "evacuate", v)?;
+    }
+    if let Some(v) = f.take("rescue_slack") {
+        m.rescue_slack = as_f64(s, "rescue_slack", v)?;
+    }
+    if let Some(v) = f.take("hazard_threshold") {
+        m.hazard_threshold = as_f64(s, "hazard_threshold", v)?;
+    }
+    f.finish()?;
+    Ok(m)
 }
 
 fn decode_churn(v: Json) -> Result<ChurnConfig, WireError> {
@@ -843,7 +867,9 @@ pub fn render_request(spec: &CampaignSpec, options: &RunOptions) -> String {
         ("volunteers", uint(pl.volunteers as u64)),
     ]);
     let d = &spec.deploy;
-    let deploy = json::object(&[
+    // "migration" is omitted entirely when the policy is off, so every
+    // pre-policy request renders byte-identically to its historic form.
+    let mut deploy_fields: Vec<(&str, String)> = vec![
         (
             "checkpoint_interval_secs",
             secs(d.checkpoint_interval.as_picos()),
@@ -851,9 +877,24 @@ pub fn render_request(spec: &CampaignSpec, options: &RunOptions) -> String {
         ("host_headroom_bytes", uint(d.host_headroom_bytes)),
         ("image_bytes", uint(d.image_bytes)),
         ("migrate_on_churn", d.migrate_on_churn.to_string()),
-        ("mode", json::string(d.mode.name())),
-        ("native_checkpoint_bytes", uint(d.native_checkpoint_bytes)),
-    ]);
+    ];
+    if !d.migration.is_off() {
+        deploy_fields.push((
+            "migration",
+            json::object(&[
+                ("evacuate", d.migration.evacuate.to_string()),
+                (
+                    "hazard_threshold",
+                    json::number(d.migration.hazard_threshold),
+                ),
+                ("rescue", d.migration.rescue.to_string()),
+                ("rescue_slack", json::number(d.migration.rescue_slack)),
+            ]),
+        ));
+    }
+    deploy_fields.push(("mode", json::string(d.mode.name())));
+    deploy_fields.push(("native_checkpoint_bytes", uint(d.native_checkpoint_bytes)));
+    let deploy = json::object(&deploy_fields);
     let c = &spec.churn;
     let churn = json::object(&[
         ("availability_shape", json::number(c.availability_shape)),
@@ -914,6 +955,11 @@ pub fn render_response(
     result: &CampaignResult,
 ) -> String {
     let mut names: Vec<&str> = METRIC_NAMES.to_vec();
+    if spec.deploy.migration.is_off() {
+        // Policy-off responses keep the historic metric set so every
+        // pre-policy golden manifest stays byte-identical.
+        names.retain(|n| !matches!(*n, "evacuations" | "rescue_wins" | "transfer_secs"));
+    }
     names.sort_unstable(); // simlint: allow(unstable-sort) -- distinct &str metric names, total order
     let metrics: Vec<(&str, String)> = names
         .iter()
@@ -1132,6 +1178,7 @@ mod tests {
             ckpt in 0u64..7 * 24 * 3600,
             churn_level in prop_oneof![Just(0.0f64), 0.1f64..3.0],
             migrate in any::<bool>(),
+            policy in 0u8..4,
         ) -> CampaignSpec {
             let mut deploy = mode_by_name(mode)
                 .map(|m| match m {
@@ -1141,6 +1188,12 @@ mod tests {
                 .expect("known mode");
             deploy.checkpoint_interval = SimDuration::from_secs(ckpt);
             deploy.migrate_on_churn = migrate;
+            deploy.migration = match policy {
+                0 => MigrationPolicy::off(),
+                1 => MigrationPolicy::rescue_only(),
+                2 => MigrationPolicy::evacuate_only(),
+                _ => MigrationPolicy::full(),
+            };
             CampaignSpec::new(format!("spec-{tag}"))
                 .seed(seed)
                 .repetitions(reps)

@@ -65,6 +65,11 @@ echo "==> cargo bench -p vgrid-bench --bench fastforward (quick=$QUICK)"
 VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
   cargo bench -q -p vgrid-bench --bench fastforward
 
+# Grid tradeoff figure + the migration-policy sweep rows (Gate 5).
+echo "==> cargo bench -p vgrid-bench --bench grid_tradeoff (quick=$QUICK)"
+VGRID_BENCH_JSON="$OUT" VGRID_BENCH_QUICK="$QUICK" \
+  cargo bench -q -p vgrid-bench --bench grid_tradeoff
+
 if [[ "$MODE" == "write" ]]; then
   echo "bench: wrote $OUT"
   exit 0
@@ -177,6 +182,43 @@ else:
         f"fastforward: churn sweep wall {wall_off / wall_on:.1f}x, "
         f"digests {'match' if ff_off == ff_on else 'DIFFER'}"
     )
+
+# Gate 5: migration-policy sweep rows (grid_tradeoff bench). Like Gate
+# 3 these are deterministic simulation outputs: every committed
+# grid_migration row must reproduce EXACTLY, rescue must actually win
+# at high churn, and the policy must beat the checkpoint-only baseline
+# on makespan inflation.
+wins = metric.get(("grid_migration", "churn3_policy_full", "rescue_wins"))
+if wins is None:
+    failures.append("grid_migration: rescue_wins row missing from this run")
+elif wins <= 0:
+    failures.append(f"grid_migration: rescue_wins={wins:.0f}, expected > 0")
+infl_off = metric.get(("grid_migration", "churn3_checkpoint_only", "makespan_inflation"))
+infl_full = metric.get(("grid_migration", "churn3_policy_full", "makespan_inflation"))
+if infl_off is None or infl_full is None:
+    failures.append("grid_migration: makespan_inflation rows missing from this run")
+elif not infl_full < infl_off:
+    failures.append(
+        f"grid_migration: policy inflation {infl_full!r} not below "
+        f"checkpoint-only {infl_off!r}"
+    )
+else:
+    print(
+        f"grid_migration: inflation {infl_off:.2f} -> {infl_full:.2f}, "
+        f"rescue_wins {wins:.0f}"
+    )
+if not any(k[0] == "grid_migration" for k in base_metric):
+    print("note: no grid_migration rows in committed baseline; skipping Gate 5 pin")
+for key, base in sorted(base_metric.items()):
+    if key[0] != "grid_migration":
+        continue
+    now = metric.get(key)
+    if now is None:
+        failures.append(f"{key}: metric missing from this run")
+    elif now != base:
+        failures.append(f"{key}: {now!r} != committed baseline {base!r}")
+    else:
+        print(f"{'/'.join(key)}: exact match ok")
 
 if failures:
     print("bench check FAILED:", file=sys.stderr)

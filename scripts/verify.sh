@@ -54,6 +54,13 @@ serve_smoke() {
   ./scripts/serve_smoke.sh
 }
 
+# Migration gate (DESIGN.md §16): the grid-migration sweep smoke plus
+# the pinned grid_migration bench rows. Shared with CI's dedicated
+# migration-gate lane.
+migration_gate() {
+  ./scripts/migration_gate.sh
+}
+
 step "cargo fmt --check" \
   cargo fmt --all -- --check
 
@@ -80,6 +87,9 @@ step "fig1 metrics manifest byte-identity (tests/golden/fig1.metrics.json)" \
 
 step "serve smoke (live server vs campaign --spec, byte-identical)" \
   serve_smoke
+
+step "migration gate (sweep smoke + pinned grid_migration bench rows)" \
+  migration_gate
 
 echo
 echo "step wall times (reported only, never gated):"

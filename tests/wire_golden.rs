@@ -28,6 +28,10 @@ const CASES: &[(&str, &str)] = &[
         "tests/golden/campaign_vm.request.json",
         "tests/golden/campaign_vm.response.json",
     ),
+    (
+        "tests/golden/campaign_migration.request.json",
+        "tests/golden/campaign_migration.response.json",
+    ),
 ];
 
 fn read(path: &str) -> String {
